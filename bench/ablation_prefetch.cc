@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation: look-ahead-behind window sweep. Algorithm 2 fetches a
+ * fixed region around each fragment of a fragmented read; this
+ * sweep varies the per-side window to show where the mis-ordered
+ * write neighborhoods of w84/w95/w91/w106 are captured.
+ *
+ * Usage: ablation_prefetch [scale] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/report.h"
+#include "stl/simulator.h"
+#include "workloads/profiles.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace logseek;
+
+    workloads::ProfileOptions options;
+    options.scale = argc > 1 ? std::atof(argv[1]) : 0.01;
+    if (argc > 2)
+        options.seed =
+            static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+    const std::vector<std::uint64_t> windows_kib{16, 64, 128, 512};
+
+    std::cout << "Look-ahead-behind window ablation (SAF; window "
+                 "applies per side)\n\n";
+    std::vector<std::string> headers{"workload", "LS"};
+    for (const std::uint64_t kib : windows_kib)
+        headers.push_back(std::to_string(kib) + " KiB");
+    headers.push_back("ahead-only 128");
+    headers.push_back("behind-only 128");
+    analysis::TextTable table(headers);
+
+    for (const char *name : {"w84", "w95", "w91", "w106", "hm_1"}) {
+        const trace::Trace trace =
+            workloads::makeWorkload(name, options);
+
+        stl::SimConfig baseline;
+        baseline.translation = stl::TranslationKind::Conventional;
+        const stl::SimResult nols =
+            stl::Simulator(baseline).run(trace);
+
+        stl::SimConfig plain;
+        plain.translation = stl::TranslationKind::LogStructured;
+        std::vector<std::string> row{
+            name, analysis::formatDouble(stl::seekAmplification(
+                      nols, stl::Simulator(plain).run(trace)))};
+
+        auto run_with = [&](std::uint64_t ahead_kib,
+                            std::uint64_t behind_kib) {
+            stl::SimConfig config = plain;
+            config.prefetch = stl::PrefetchConfig{
+                .lookAheadBytes = ahead_kib * kKiB,
+                .lookBehindBytes = behind_kib * kKiB,
+                .bufferBytes = 2 * kMiB,
+            };
+            return analysis::formatDouble(stl::seekAmplification(
+                nols, stl::Simulator(config).run(trace)));
+        };
+
+        for (const std::uint64_t kib : windows_kib)
+            row.push_back(run_with(kib, kib));
+        row.push_back(run_with(128, 0));
+        row.push_back(run_with(0, 128));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: SAF drops once the window "
+                 "covers the write-reorder neighborhood; look-"
+                 "behind is the half that repairs missed rotations "
+                 "from descending writes (paper §IV-B).\n";
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Extension experiment: defragmentation vs. garbage collection.
+ *
+ * Paper §IV-A: opportunistic defragmentation "does not come for
+ * free; ... its use of free space will eventually necessitate
+ * running the cleaning algorithm with its attendant overheads."
+ * On a finite log, every rewrite consumes frontier space and leaves
+ * a dead copy behind, so defragmentation trades read seeks for
+ * cleaning traffic. This harness sweeps log over-provisioning and
+ * reports host SAF, cleaning seeks and WAF with and without
+ * defragmentation.
+ *
+ * Usage: cleaning_interaction [scale] [seed]
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/report.h"
+#include "util/logging.h"
+#include "stl/simulator.h"
+#include "trace/stats.h"
+#include "workloads/profiles.h"
+
+namespace
+{
+
+using namespace logseek;
+
+/** Log capacity sized as a multiple of the workload's live data. */
+stl::FiniteLogConfig
+sizedLog(const trace::Trace &trace, double overprovision)
+{
+    // Live data is bounded by the written volume (overwrites only
+    // shrink it). Keep at least 16 MiB / 64 segments so tiny
+    // workloads still have a meaningful segment population, and
+    // leave the cleaner headroom above the reserve.
+    const trace::TraceStats stats = trace::computeStats(trace);
+    stl::FiniteLogConfig config;
+    config.capacityBytes = std::max<std::uint64_t>(
+        16 * kMiB,
+        static_cast<std::uint64_t>(
+            overprovision * static_cast<double>(stats.writtenBytes)));
+    config.segmentBytes = std::clamp<std::uint64_t>(
+        config.capacityBytes / 128, 256 * kKiB, 4 * kMiB);
+    config.cleanReserveSegments = 4;
+    config.cleanTargetSegments = 12;
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    workloads::ProfileOptions options;
+    options.scale = argc > 1 ? std::atof(argv[1]) : 0.01;
+    if (argc > 2)
+        options.seed =
+            static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+    std::cout << "Defragmentation under finite-log cleaning "
+                 "(greedy GC; capacity = overprovision x written "
+                 "volume)\n\n";
+
+    analysis::TextTable table(
+        {"workload", "overprov", "SAF", "clean seeks", "WAF",
+         "SAF+defrag", "clean seeks+defrag", "WAF+defrag",
+         "rewrites"});
+
+    for (const char *name : {"w91", "hm_1", "w33"}) {
+        const trace::Trace trace =
+            workloads::makeWorkload(name, options);
+
+        stl::SimConfig baseline;
+        baseline.translation = stl::TranslationKind::Conventional;
+        const stl::SimResult nols =
+            stl::Simulator(baseline).run(trace);
+
+        for (const double overprovision : {1.2, 1.5, 2.0, 4.0}) {
+            stl::SimConfig finite;
+            finite.translation =
+                stl::TranslationKind::FiniteLogStructured;
+            finite.finiteLog = sizedLog(trace, overprovision);
+
+            // Run the two configs independently: a log that is
+            // feasible without defragmentation can be pushed into
+            // overcommitment *by* defragmentation's rewrites —
+            // itself a result worth showing.
+            std::vector<std::string> row{
+                name, analysis::formatDouble(overprovision, 1)};
+            try {
+                const stl::SimResult plain =
+                    stl::Simulator(finite).run(trace);
+                row.push_back(analysis::formatDouble(
+                    stl::seekAmplification(nols, plain)));
+                row.push_back(
+                    std::to_string(plain.cleaningSeeks));
+                row.push_back(analysis::formatDouble(
+                    plain.writeAmplification()));
+            } catch (const FatalError &) {
+                row.insert(row.end(),
+                           {"overcommitted", "-", "-"});
+            }
+            try {
+                stl::SimConfig with_defrag = finite;
+                with_defrag.defrag = stl::DefragConfig{};
+                const stl::SimResult defragged =
+                    stl::Simulator(with_defrag).run(trace);
+                row.push_back(analysis::formatDouble(
+                    stl::seekAmplification(nols, defragged)));
+                row.push_back(
+                    std::to_string(defragged.cleaningSeeks));
+                row.push_back(analysis::formatDouble(
+                    defragged.writeAmplification()));
+                row.push_back(
+                    std::to_string(defragged.defragRewrites));
+            } catch (const FatalError &) {
+                row.insert(row.end(),
+                           {"overcommitted", "-", "-", "-"});
+            }
+            table.addRow(std::move(row));
+        }
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nExpected shape: defragmentation still cuts host SAF, "
+           "but its rewrites raise WAF and cleaning seeks — and the "
+           "tighter the over-provisioning, the more cleaning it "
+           "induces (the paper's §IV-A caveat made concrete).\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Regenerates paper Figure 10: fragments sorted by read access
+ * count (most to least popular) with the cumulative cache size
+ * needed to hold them. The paper's observation: the fragments
+ * responsible for the large majority of accesses add up to a few
+ * tens of MB — small enough for an on-host (or future on-drive)
+ * RAM cache, which motivates translation-aware selective caching.
+ *
+ * Usage: fig10_fragment_popularity [scale] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/observers.h"
+#include "analysis/report.h"
+#include "stl/simulator.h"
+#include "workloads/profiles.h"
+
+namespace
+{
+
+using namespace logseek;
+
+void
+runWorkload(const std::string &name,
+            const workloads::ProfileOptions &options)
+{
+    const trace::Trace trace = workloads::makeWorkload(name, options);
+
+    analysis::FragmentPopularity popularity;
+    stl::SimConfig config;
+    config.translation = stl::TranslationKind::LogStructured;
+    stl::Simulator simulator(config);
+    simulator.addObserver(&popularity);
+    simulator.run(trace);
+
+    std::cout << "# Figure 10: " << name << " fragment popularity\n";
+    const auto sorted = popularity.sortedByPopularity();
+    if (sorted.empty()) {
+        std::cout << "# (no fragmented reads)\n\n";
+        return;
+    }
+
+    std::cout << "# fragments: " << sorted.size()
+              << ", fragment accesses: " << popularity.totalAccesses()
+              << "\n";
+    std::cout << "# rank\taccess_count\tcumulative_MiB\n";
+    std::uint64_t cumulative = 0;
+    const std::size_t step =
+        std::max<std::size_t>(1, sorted.size() / 24);
+    std::uint64_t printed_until = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        cumulative += sorted[i].bytes;
+        if (i % step == 0 || i + 1 == sorted.size()) {
+            std::cout << i << "\t" << sorted[i].accesses << "\t"
+                      << analysis::formatDouble(
+                             static_cast<double>(cumulative) /
+                                 static_cast<double>(kMiB),
+                             2)
+                      << "\n";
+            printed_until = i;
+        }
+    }
+    (void)printed_until;
+
+    for (const double fraction : {0.5, 0.8, 0.9, 0.99}) {
+        std::cout << "# cache needed for "
+                  << analysis::formatDouble(fraction * 100.0, 0)
+                  << "% of fragment accesses: "
+                  << analysis::formatBytes(
+                         popularity.bytesForAccessFraction(fraction))
+                  << "\n";
+    }
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    workloads::ProfileOptions options;
+    if (argc > 1)
+        options.scale = std::atof(argv[1]);
+    if (argc > 2)
+        options.seed =
+            static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+    for (const char *name : {"usr_1", "hm_1", "web_0", "src2_2",
+                             "w20", "w33", "w55", "w106"})
+        runWorkload(name, options);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regenerates paper Figure 2: read and write seek counts of every
+ * workload under non-log-structured (NoLS) and log-structured (LS)
+ * translation. The paper's observation: LS all but eliminates write
+ * seeks everywhere, while read seeks grow hugely for log-sensitive
+ * workloads (w91, w33, w20), modestly for log-friendly ones
+ * (src2_2, wdev_0, w36).
+ *
+ * Usage: fig2_seek_counts [scale] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/report.h"
+#include "stl/simulator.h"
+#include "workloads/profiles.h"
+
+namespace
+{
+
+using namespace logseek;
+
+void
+runSuite(const char *figure, const char *suite,
+         const std::vector<std::string> &names,
+         const workloads::ProfileOptions &options)
+{
+    std::cout << "Figure 2" << figure << ": " << suite
+              << " traces, seek counts (NoLS vs LS)\n\n";
+    analysis::TextTable table({"workload", "NoLS read", "NoLS write",
+                               "LS read", "LS write",
+                               "read growth", "write reduction"});
+    for (const auto &name : names) {
+        const trace::Trace trace =
+            workloads::makeWorkload(name, options);
+        stl::SimConfig ls_config;
+        ls_config.translation = stl::TranslationKind::LogStructured;
+        const auto [nols, ls] = stl::runWithBaseline(trace, ls_config);
+
+        const double read_growth =
+            nols.readSeeks == 0
+                ? 0.0
+                : static_cast<double>(ls.readSeeks) /
+                      static_cast<double>(nols.readSeeks);
+        const double write_cut =
+            ls.writeSeeks == 0
+                ? static_cast<double>(nols.writeSeeks)
+                : static_cast<double>(nols.writeSeeks) /
+                      static_cast<double>(ls.writeSeeks);
+        table.addRow({name, std::to_string(nols.readSeeks),
+                      std::to_string(nols.writeSeeks),
+                      std::to_string(ls.readSeeks),
+                      std::to_string(ls.writeSeeks),
+                      analysis::formatDouble(read_growth) + "x",
+                      analysis::formatDouble(write_cut) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    workloads::ProfileOptions options;
+    if (argc > 1)
+        options.scale = std::atof(argv[1]);
+    if (argc > 2)
+        options.seed =
+            static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+    runSuite("a", "MSR", workloads::msrWorkloadNames(), options);
+    runSuite("b", "CloudPhysics",
+             workloads::cloudPhysicsWorkloadNames(), options);
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates paper Figure 4: CDFs of access distances under NoLS
+ * and LS translation for src2_2, usr_0, w84 and w64, restricted to
+ * the +/-2 GB window the paper plots. The paper's observation: in
+ * the older MSR traces most LS seeks stay within +/-1 GB, while in
+ * the newer CloudPhysics traces less than half do.
+ *
+ * Usage: fig4_access_distance [scale] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/observers.h"
+#include "analysis/report.h"
+#include "stl/simulator.h"
+#include "workloads/profiles.h"
+
+namespace
+{
+
+using namespace logseek;
+
+void
+runWorkload(const std::string &name,
+            const workloads::ProfileOptions &options)
+{
+    const trace::Trace trace = workloads::makeWorkload(name, options);
+
+    auto collect = [&](stl::TranslationKind kind) {
+        analysis::AccessDistanceCdf cdf;
+        stl::SimConfig config;
+        config.translation = kind;
+        stl::Simulator simulator(config);
+        simulator.addObserver(&cdf);
+        simulator.run(trace);
+        return cdf;
+    };
+
+    const analysis::AccessDistanceCdf nols =
+        collect(stl::TranslationKind::Conventional);
+    const analysis::AccessDistanceCdf ls =
+        collect(stl::TranslationKind::LogStructured);
+
+    std::cout << "# Figure 4: " << name
+              << " access-distance CDF (GB)\n";
+    std::cout << "# distance_gb\tNoLS\tLS\n";
+    constexpr int kPoints = 41;
+    for (int i = 0; i < kPoints; ++i) {
+        const double x = -2.0 + 4.0 * i / (kPoints - 1);
+        std::cout << analysis::formatDouble(x, 2) << "\t"
+                  << analysis::formatDouble(
+                         nols.distancesGb().fractionAtOrBelow(x), 4)
+                  << "\t"
+                  << analysis::formatDouble(
+                         ls.distancesGb().fractionAtOrBelow(x), 4)
+                  << "\n";
+    }
+    const double nols_in_window =
+        nols.distancesGb().fractionAtOrBelow(1.0) -
+        nols.distancesGb().fractionAtOrBelow(-1.0);
+    const double ls_in_window =
+        ls.distancesGb().fractionAtOrBelow(1.0) -
+        ls.distancesGb().fractionAtOrBelow(-1.0);
+    std::cout << "# fraction of accesses within +/-1 GB: NoLS "
+              << analysis::formatDouble(nols_in_window, 3) << ", LS "
+              << analysis::formatDouble(ls_in_window, 3) << "\n\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    workloads::ProfileOptions options;
+    if (argc > 1)
+        options.scale = std::atof(argv[1]);
+    if (argc > 2)
+        options.seed =
+            static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+    for (const char *name : {"src2_2", "usr_0", "w84", "w64"})
+        runWorkload(name, options);
+    return 0;
+}

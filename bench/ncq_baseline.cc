@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Extension experiment: queue-aware (NCQ) baselines.
+ *
+ * Paper §IV-B: the descending bursts of Figure 7a were dispatched
+ * almost simultaneously and the disk "was able to re-order the I/Os
+ * on the fly", completing them ascending with almost no overhead.
+ * Our NoLS baseline replays requests in trace order, so it charges
+ * conventional drives full price for mis-ordered writes. This
+ * harness re-computes the baseline with an elevator-reordered
+ * request stream (queue depth 32, 2 ms window) and shows how SAF
+ * shifts — on mis-ordered-write workloads the realistic baseline
+ * is cheaper, so the log's true amplification is higher than the
+ * naive comparison suggests. It also feeds the reordered stream to
+ * the log itself (a queueing front-end absorbs mis-ordering before
+ * it is frozen into the log).
+ *
+ * Usage: ncq_baseline [scale] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/report.h"
+#include "stl/simulator.h"
+#include "trace/reorder.h"
+#include "workloads/profiles.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace logseek;
+
+    workloads::ProfileOptions options;
+    options.scale = argc > 1 ? std::atof(argv[1]) : 0.01;
+    if (argc > 2)
+        options.seed =
+            static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+    std::cout << "Queue-aware baselines (C-LOOK elevator, depth 32, "
+                 "2 ms window)\n\n";
+    analysis::TextTable table(
+        {"workload", "NoLS seeks", "NoLS+NCQ seeks", "SAF (naive)",
+         "SAF (vs NCQ)", "LS seeks", "LS-on-NCQ seeks"});
+
+    for (const char *name :
+         {"hm_1", "src2_2", "w84", "w95", "w106", "usr_1", "w91"}) {
+        const trace::Trace trace =
+            workloads::makeWorkload(name, options);
+        const trace::Trace sorted = trace::reorderElevator(trace);
+
+        stl::SimConfig nols_config;
+        nols_config.translation = stl::TranslationKind::Conventional;
+        const stl::SimResult nols =
+            stl::Simulator(nols_config).run(trace);
+        const stl::SimResult nols_ncq =
+            stl::Simulator(nols_config).run(sorted);
+
+        stl::SimConfig ls_config;
+        ls_config.translation = stl::TranslationKind::LogStructured;
+        const stl::SimResult ls =
+            stl::Simulator(ls_config).run(trace);
+        const stl::SimResult ls_ncq =
+            stl::Simulator(ls_config).run(sorted);
+
+        table.addRow(
+            {name, std::to_string(nols.totalSeeks()),
+             std::to_string(nols_ncq.totalSeeks()),
+             analysis::formatDouble(stl::seekAmplification(nols, ls)),
+             analysis::formatDouble(
+                 stl::seekAmplification(nols_ncq, ls)),
+             std::to_string(ls.totalSeeks()),
+             std::to_string(ls_ncq.totalSeeks())});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nExpected shape: on mis-ordered-write workloads (hm_1, "
+           "src2_2, w84, w106) the NCQ baseline seeks much less "
+           "than trace-order replay, so the log's amplification "
+           "against a real drive is larger than the naive SAF; "
+           "feeding the reordered stream to the log (last column) "
+           "shows a queueing front-end also removes most of the "
+           "mis-ordering before it reaches the medium.\n";
+    return 0;
+}

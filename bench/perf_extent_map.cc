@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for ExtentMap, the hot data
+ * structure of the translation layer: mapping throughput under
+ * random updates, translation latency at various fragmentation
+ * levels, and the sequential-coalescing fast path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "stl/extent_map.h"
+#include "util/random.h"
+
+namespace
+{
+
+using namespace logseek;
+
+void
+BM_MapRangeRandom(benchmark::State &state)
+{
+    const auto space = static_cast<Lba>(state.range(0));
+    Rng rng(42);
+    stl::ExtentMap map;
+    Pba frontier = space;
+    for (auto _ : state) {
+        const SectorCount count = 1 + rng.nextUint(32);
+        const Lba lba = rng.nextUint(space - count);
+        map.mapRange(lba, frontier, count);
+        frontier += count;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["entries"] =
+        static_cast<double>(map.entryCount());
+}
+BENCHMARK(BM_MapRangeRandom)->Range(1 << 12, 1 << 22);
+
+void
+BM_MapRangeSequential(benchmark::State &state)
+{
+    stl::ExtentMap map;
+    Lba lba = 0;
+    Pba frontier = 1ULL << 40;
+    for (auto _ : state) {
+        map.mapRange(lba, frontier, 8);
+        lba += 8;
+        frontier += 8;
+    }
+    state.SetItemsProcessed(state.iterations());
+    // The whole log coalesces into one entry.
+    state.counters["entries"] =
+        static_cast<double>(map.entryCount());
+}
+BENCHMARK(BM_MapRangeSequential);
+
+void
+BM_Translate(benchmark::State &state)
+{
+    const auto fragments = static_cast<std::uint64_t>(state.range(0));
+    constexpr Lba kSpace = 1 << 20;
+    Rng rng(7);
+    stl::ExtentMap map;
+    Pba frontier = kSpace;
+    for (std::uint64_t i = 0; i < fragments; ++i) {
+        const SectorCount count = 1 + rng.nextUint(16);
+        const Lba lba = rng.nextUint(kSpace - count);
+        map.mapRange(lba, frontier, count);
+        frontier += count;
+    }
+    constexpr SectorCount kReadSectors = 256;
+    for (auto _ : state) {
+        const Lba lba = rng.nextUint(kSpace - kReadSectors);
+        benchmark::DoNotOptimize(
+            map.translate({lba, kReadSectors}));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Translate)->Range(1 << 8, 1 << 18);
+
+void
+BM_FragmentCount(benchmark::State &state)
+{
+    constexpr Lba kSpace = 1 << 20;
+    Rng rng(11);
+    stl::ExtentMap map;
+    Pba frontier = kSpace;
+    for (int i = 0; i < 100000; ++i) {
+        const SectorCount count = 1 + rng.nextUint(8);
+        const Lba lba = rng.nextUint(kSpace - count);
+        map.mapRange(lba, frontier, count);
+        frontier += count;
+    }
+    for (auto _ : state) {
+        const Lba lba = rng.nextUint(kSpace - 128);
+        benchmark::DoNotOptimize(map.fragmentCount({lba, 128}));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FragmentCount);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Google-benchmark end-to-end throughput of the trace-replay
+ * engine: requests per second under each translation/mechanism
+ * configuration, on a pre-generated mixed workload.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "stl/simulator.h"
+#include "util/random.h"
+
+namespace
+{
+
+using namespace logseek;
+
+trace::Trace
+mixedTrace(std::size_t ops)
+{
+    Rng rng(123);
+    trace::Trace trace("perf");
+    constexpr Lba kSpace = 1 << 22;
+    for (std::size_t i = 0; i < ops; ++i) {
+        const SectorCount count = 8 + rng.nextUint(56);
+        const Lba lba = rng.nextUint(kSpace - count);
+        if (rng.nextBool(0.4))
+            trace.appendWrite(lba, count);
+        else
+            trace.appendRead(lba, count);
+    }
+    return trace;
+}
+
+const trace::Trace &
+sharedTrace()
+{
+    static const trace::Trace trace = mixedTrace(200000);
+    return trace;
+}
+
+void
+runConfig(benchmark::State &state, const stl::SimConfig &config)
+{
+    const trace::Trace &trace = sharedTrace();
+    for (auto _ : state) {
+        stl::Simulator simulator(config);
+        benchmark::DoNotOptimize(simulator.run(trace));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_Conventional(benchmark::State &state)
+{
+    stl::SimConfig config;
+    config.translation = stl::TranslationKind::Conventional;
+    runConfig(state, config);
+}
+BENCHMARK(BM_Conventional)->Unit(benchmark::kMillisecond);
+
+void
+BM_LogStructured(benchmark::State &state)
+{
+    stl::SimConfig config;
+    config.translation = stl::TranslationKind::LogStructured;
+    runConfig(state, config);
+}
+BENCHMARK(BM_LogStructured)->Unit(benchmark::kMillisecond);
+
+void
+BM_LogStructuredDefrag(benchmark::State &state)
+{
+    stl::SimConfig config;
+    config.translation = stl::TranslationKind::LogStructured;
+    config.defrag = stl::DefragConfig{};
+    runConfig(state, config);
+}
+BENCHMARK(BM_LogStructuredDefrag)->Unit(benchmark::kMillisecond);
+
+void
+BM_LogStructuredPrefetch(benchmark::State &state)
+{
+    stl::SimConfig config;
+    config.translation = stl::TranslationKind::LogStructured;
+    config.prefetch = stl::PrefetchConfig{};
+    runConfig(state, config);
+}
+BENCHMARK(BM_LogStructuredPrefetch)->Unit(benchmark::kMillisecond);
+
+void
+BM_LogStructuredCache(benchmark::State &state)
+{
+    stl::SimConfig config;
+    config.translation = stl::TranslationKind::LogStructured;
+    config.cache = stl::SelectiveCacheConfig{64 * kMiB};
+    runConfig(state, config);
+}
+BENCHMARK(BM_LogStructuredCache)->Unit(benchmark::kMillisecond);
+
+void
+BM_AllMechanisms(benchmark::State &state)
+{
+    stl::SimConfig config;
+    config.translation = stl::TranslationKind::LogStructured;
+    config.defrag = stl::DefragConfig{};
+    config.prefetch = stl::PrefetchConfig{};
+    config.cache = stl::SelectiveCacheConfig{64 * kMiB};
+    runConfig(state, config);
+}
+BENCHMARK(BM_AllMechanisms)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

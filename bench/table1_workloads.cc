@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates paper Table I: workload characteristics (request
+ * counts, transferred volumes, mean write size) for every named
+ * profile, next to the paper's reference values. Generated counts
+ * are scaled by the profile scale factor (default 1:50), so the
+ * columns to compare are the ratios, not the absolutes.
+ *
+ * Usage: table1_workloads [scale] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/report.h"
+#include "trace/stats.h"
+#include "workloads/profiles.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace logseek;
+
+    workloads::ProfileOptions options;
+    if (argc > 1)
+        options.scale = std::atof(argv[1]);
+    if (argc > 2)
+        options.seed =
+            static_cast<std::uint64_t>(std::atoll(argv[2]));
+
+    std::cout << "Table I: workload characteristics (generated at "
+              << "scale " << options.scale
+              << " of the paper's request counts)\n\n";
+
+    analysis::TextTable table(
+        {"workload", "suite", "reads", "writes", "read GiB",
+         "written GiB", "mean write KiB", "paper mean write KiB",
+         "OS (guest)"});
+
+    for (const auto &info : workloads::workloadTable()) {
+        const trace::Trace trace =
+            workloads::makeWorkload(info.name, options);
+        const trace::TraceStats stats = trace::computeStats(trace);
+        table.addRow({info.name, info.suite,
+                      std::to_string(stats.readCount),
+                      std::to_string(stats.writeCount),
+                      analysis::formatDouble(stats.readGiB(), 2),
+                      analysis::formatDouble(stats.writtenGiB(), 2),
+                      analysis::formatDouble(stats.meanWriteSizeKiB(),
+                                             1),
+                      analysis::formatDouble(info.tableMeanWriteKiB,
+                                             1),
+                      info.os});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference counts (unscaled):\n\n";
+    analysis::TextTable reference(
+        {"workload", "paper reads", "paper writes", "behavior"});
+    for (const auto &info : workloads::workloadTable()) {
+        reference.addRow({info.name,
+                          std::to_string(info.tableReads),
+                          std::to_string(info.tableWrites),
+                          info.behavior});
+    }
+    reference.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Example: an archival SMR store — the deployment the paper argues
+ * can escape the SMR performance penalty entirely (§I): data is
+ * ingested once and never overwritten, so a log-structured
+ * translation layer never needs cleaning; what remains is read
+ * seek overhead, which the three mechanisms remove.
+ *
+ * The ingest path interleaves several backup streams (a classic
+ * source of physical interleaving under a log) and the retrieval
+ * path restores individual streams sequentially — the worst case
+ * for interleaved placement, and exactly what look-ahead-behind
+ * prefetching repairs.
+ *
+ * Usage: archival_smr [streams] [stream_mib]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/report.h"
+#include "stl/simulator.h"
+#include "workloads/builder.h"
+#include "workloads/phases.h"
+
+namespace
+{
+
+using namespace logseek;
+
+trace::Trace
+makeArchiveTrace(std::uint32_t streams, std::uint64_t stream_mib,
+                 int restores)
+{
+    workloads::TraceBuilder builder("archive");
+    // Backup clients write small (16 KiB) chunks; the restore path
+    // reads large (256 KiB) requests, each spanning many ingest
+    // chunks — fragmented under a log when streams interleaved.
+    const SectorCount ingest_io = bytesToSectors(16 * kKiB);
+    const SectorCount restore_io = bytesToSectors(256 * kKiB);
+    const SectorCount stream_sectors =
+        bytesToSectors(stream_mib * kMiB);
+    const SectorExtent area{0, stream_sectors * streams};
+
+    // Ingest: all backup streams write concurrently, round-robin.
+    workloads::interleavedStreamWrite(builder, area, streams,
+                                      ingest_io);
+    builder.idle(3600ULL * 1000 * 1000);
+
+    // Restore: each stream is read back sequentially, in turn.
+    for (int round = 0; round < restores; ++round) {
+        for (std::uint32_t s = 0; s < streams; ++s) {
+            const SectorExtent stream{s * stream_sectors,
+                                      stream_sectors};
+            workloads::sequentialRead(builder, stream, restore_io);
+        }
+        builder.idle(3600ULL * 1000 * 1000);
+    }
+    return builder.take();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto streams = static_cast<std::uint32_t>(
+        argc > 1 ? std::atoi(argv[1]) : 4);
+    const std::uint64_t stream_mib =
+        argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+                 : 32;
+
+    std::cout << "Archival SMR scenario: " << streams
+              << " interleaved backup streams of " << stream_mib
+              << " MiB each, restored sequentially\n\n";
+
+    const trace::Trace trace =
+        makeArchiveTrace(streams, stream_mib, 2);
+
+    stl::SimConfig baseline;
+    baseline.translation = stl::TranslationKind::Conventional;
+    const stl::SimResult nols = stl::Simulator(baseline).run(trace);
+
+    analysis::TextTable table({"config", "read seeks", "write seeks",
+                               "SAF", "est. seek time (s)"});
+    auto add_row = [&](const stl::SimConfig &config) {
+        const stl::SimResult result =
+            stl::Simulator(config).run(trace);
+        table.addRow({result.configLabel,
+                      std::to_string(result.readSeeks),
+                      std::to_string(result.writeSeeks),
+                      analysis::formatDouble(
+                          stl::seekAmplification(nols, result)),
+                      analysis::formatDouble(result.seekTimeSec,
+                                             3)});
+    };
+
+    table.addRow({"NoLS", std::to_string(nols.readSeeks),
+                  std::to_string(nols.writeSeeks), "1.00",
+                  analysis::formatDouble(nols.seekTimeSec, 3)});
+
+    stl::SimConfig ls;
+    ls.translation = stl::TranslationKind::LogStructured;
+    add_row(ls);
+
+    stl::SimConfig with_prefetch = ls;
+    with_prefetch.prefetch = stl::PrefetchConfig{};
+    add_row(with_prefetch);
+
+    stl::SimConfig with_defrag = ls;
+    with_defrag.defrag = stl::DefragConfig{};
+    add_row(with_defrag);
+
+    stl::SimConfig with_cache = ls;
+    with_cache.cache = stl::SelectiveCacheConfig{64 * kMiB};
+    add_row(with_cache);
+
+    table.print(std::cout);
+
+    std::cout
+        << "\nThe conventional drive pays a seek per ingest request "
+           "(" << streams << " interleaved streams); the log absorbs "
+           "all of them but leaves each stream physically "
+           "interleaved, so restores pay a seek per chunk. "
+           "Look-ahead-behind prefetching reads through the "
+           "interleaving and recovers sequential restores — no "
+           "cleaning ever runs, so both SMR penalties are gone.\n";
+    return 0;
+}

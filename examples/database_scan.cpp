@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Example: the paper's log-sensitive motivating case (§III) —
+ * an OLTP-style table receiving small random updates, periodically
+ * swept by analytic full-table scans.
+ *
+ * Under conventional placement every update seeks but scans are
+ * sequential; under log-structured placement updates are free but
+ * every scan pays one seek per fragment, so the more often the
+ * table is scanned, the worse the amplification ("if the file is
+ * read in its entirety N times, the net result will be an N-fold
+ * seek amplification"). The example sweeps the scan count and shows
+ * how each seek-reduction mechanism bends the curve.
+ *
+ * Usage: database_scan [table_mib] [update_rounds]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/report.h"
+#include "stl/simulator.h"
+#include "util/random.h"
+#include "workloads/builder.h"
+#include "workloads/phases.h"
+
+namespace
+{
+
+using namespace logseek;
+
+trace::Trace
+makeDatabaseTrace(std::uint64_t table_mib, int update_rounds,
+                  int scans)
+{
+    workloads::TraceBuilder builder("database");
+    Rng rng(2024);
+
+    const SectorExtent table{0, bytesToSectors(table_mib * kMiB)};
+    const SectorCount update_io = bytesToSectors(8 * kKiB);
+    const SectorCount scan_io = bytesToSectors(128 * kKiB);
+
+    // The table exists before the trace starts (identity placement);
+    // each round dirties ~2% of it, then the analytics job scans.
+    const std::uint64_t updates_per_round =
+        table.count / update_io / 50;
+    for (int round = 0; round < update_rounds; ++round) {
+        workloads::randomWrite(builder, rng, table,
+                               updates_per_round, update_io);
+        builder.idle(60ULL * 1000 * 1000);
+    }
+    for (int scan = 0; scan < scans; ++scan) {
+        workloads::sequentialRead(builder, table, scan_io);
+        builder.idle(60ULL * 1000 * 1000);
+    }
+    return builder.take();
+}
+
+double
+safFor(const trace::Trace &trace, bool defrag, bool prefetch,
+       bool cache)
+{
+    stl::SimConfig config;
+    config.translation = stl::TranslationKind::LogStructured;
+    if (defrag)
+        config.defrag = stl::DefragConfig{};
+    if (prefetch)
+        config.prefetch = stl::PrefetchConfig{};
+    if (cache)
+        config.cache = stl::SelectiveCacheConfig{64 * kMiB};
+    const auto [nols, ls] = stl::runWithBaseline(trace, config);
+    return stl::seekAmplification(nols, ls);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t table_mib =
+        argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1]))
+                 : 48;
+    const int update_rounds = argc > 2 ? std::atoi(argv[2]) : 4;
+
+    std::cout << "Database scenario: " << table_mib
+              << " MiB table, " << update_rounds
+              << " update rounds, sweeping full-scan count\n\n";
+
+    analysis::TextTable table({"scans", "LS", "LS+defrag",
+                               "LS+prefetch", "LS+cache"});
+    for (const int scans : {1, 2, 4, 8, 16}) {
+        const trace::Trace trace =
+            makeDatabaseTrace(table_mib, update_rounds, scans);
+        table.addRow(
+            {std::to_string(scans),
+             analysis::formatDouble(
+                 safFor(trace, false, false, false)),
+             analysis::formatDouble(safFor(trace, true, false,
+                                           false)),
+             analysis::formatDouble(safFor(trace, false, true,
+                                           false)),
+             analysis::formatDouble(
+                 safFor(trace, false, false, true))});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading the table: plain LS amplification grows with "
+           "the number of scans (the paper's N-fold effect). "
+           "Opportunistic defragmentation pays one rewrite on the "
+           "first scan and is clean afterwards, so it crosses over "
+           "once the table is scanned repeatedly; selective caching "
+           "absorbs the fragments if the dirty set fits in 64 MB.\n";
+    return 0;
+}

@@ -1,0 +1,39 @@
+#include "misordered.h"
+
+#include <vector>
+
+namespace logseek::analysis
+{
+
+MisorderedWriteStats
+countMisorderedWrites(const trace::Trace &trace,
+                      std::uint64_t window_bytes)
+{
+    // Collect write indices once so the look-ahead walks writes
+    // only.
+    std::vector<const trace::IoRecord *> writes;
+    writes.reserve(trace.size());
+    for (const auto &record : trace) {
+        if (record.isWrite())
+            writes.push_back(&record);
+    }
+
+    MisorderedWriteStats stats;
+    stats.writes = writes.size();
+
+    for (std::size_t i = 0; i < writes.size(); ++i) {
+        const Lba start = writes[i]->extent.start;
+        std::uint64_t seen_bytes = 0;
+        for (std::size_t j = i + 1;
+             j < writes.size() && seen_bytes <= window_bytes; ++j) {
+            if (writes[j]->extent.end() == start) {
+                ++stats.misordered;
+                break;
+            }
+            seen_bytes += writes[j]->extent.bytes();
+        }
+    }
+    return stats;
+}
+
+} // namespace logseek::analysis

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Mis-ordered write detection (paper §IV-B, Figure 8).
+ *
+ * A write is *mis-ordered* if a write in the near future — within
+ * the next 256 KB of written data — ends exactly where this write
+ * begins; i.e. the two writes are LBA-contiguous but arrive in the
+ * wrong temporal order, so a log stores them reversed and a later
+ * sequential read pays a missed rotation.
+ */
+
+#ifndef LOGSEEK_ANALYSIS_MISORDERED_H
+#define LOGSEEK_ANALYSIS_MISORDERED_H
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace logseek::analysis
+{
+
+/** Result of the mis-ordered write analysis. */
+struct MisorderedWriteStats
+{
+    std::uint64_t writes = 0;
+    std::uint64_t misordered = 0;
+
+    /** Fraction of writes that are mis-ordered. */
+    double
+    fraction() const
+    {
+        return writes == 0 ? 0.0
+                           : static_cast<double>(misordered) /
+                                 static_cast<double>(writes);
+    }
+};
+
+/**
+ * Count mis-ordered writes in a trace.
+ *
+ * @param trace The trace to scan (reads are ignored).
+ * @param window_bytes How far ahead, in written volume, to look for
+ *        the LBA-preceding write (the paper uses 256 KB).
+ */
+MisorderedWriteStats
+countMisorderedWrites(const trace::Trace &trace,
+                      std::uint64_t window_bytes = 256 * 1024);
+
+} // namespace logseek::analysis
+
+#endif // LOGSEEK_ANALYSIS_MISORDERED_H

@@ -1,0 +1,117 @@
+#include "observers.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace logseek::analysis
+{
+
+SeekCounter::SeekCounter(std::uint64_t ops_per_bin,
+                         std::uint64_t long_seek_bytes)
+    : longSeekBytes_(long_seek_bytes), series_(ops_per_bin)
+{
+}
+
+void
+SeekCounter::onEvent(const stl::IoEvent &event)
+{
+    for (const auto &seek : event.seeks) {
+        if (seek.type == trace::IoType::Read)
+            ++readSeeks_;
+        else
+            ++writeSeeks_;
+        const auto magnitude = static_cast<std::uint64_t>(
+            seek.distanceBytes < 0 ? -seek.distanceBytes
+                                   : seek.distanceBytes);
+        if (magnitude > longSeekBytes_) {
+            ++longSeeks_;
+            series_.add(event.opIndex, 1);
+        }
+    }
+}
+
+void
+AccessDistanceCdf::onEvent(const stl::IoEvent &event)
+{
+    // Every media access contributes one distance sample; accesses
+    // that did not seek contribute 0 (the sequential case). The
+    // number of media accesses is the segment count minus segments
+    // served from caches; seeks carry the non-zero distances.
+    const std::size_t media_accesses =
+        event.segments.size() - event.cacheHits - event.prefetchHits +
+        event.defragSegments.size();
+    const std::size_t sequential =
+        media_accesses >= event.seeks.size()
+            ? media_accesses - event.seeks.size()
+            : 0;
+    for (std::size_t i = 0; i < sequential; ++i)
+        cdf_.add(0.0);
+    for (const auto &seek : event.seeks)
+        cdf_.add(static_cast<double>(seek.distanceBytes) / 1.0e9);
+}
+
+void
+FragmentedReadCdf::onEvent(const stl::IoEvent &event)
+{
+    if (!event.record.isRead())
+        return;
+    ++reads_;
+    if (!event.isFragmentedRead())
+        return;
+    ++fragmented_;
+    fragments_ += event.segments.size();
+    cdf_.add(static_cast<double>(event.segments.size()));
+}
+
+void
+FragmentPopularity::onEvent(const stl::IoEvent &event)
+{
+    if (!event.isFragmentedRead())
+        return;
+    for (const auto &segment : event.segments) {
+        FragmentStat &stat = fragments_[segment.pba];
+        stat.pba = segment.pba;
+        stat.bytes = std::max(stat.bytes,
+                              segment.physical().bytes());
+        ++stat.accesses;
+        ++totalAccesses_;
+    }
+}
+
+std::vector<FragmentPopularity::FragmentStat>
+FragmentPopularity::sortedByPopularity() const
+{
+    std::vector<FragmentStat> out;
+    out.reserve(fragments_.size());
+    for (const auto &[pba, stat] : fragments_)
+        out.push_back(stat);
+    std::sort(out.begin(), out.end(),
+              [](const FragmentStat &a, const FragmentStat &b) {
+                  if (a.accesses != b.accesses)
+                      return a.accesses > b.accesses;
+                  return a.pba < b.pba;
+              });
+    return out;
+}
+
+std::uint64_t
+FragmentPopularity::bytesForAccessFraction(double fraction) const
+{
+    panicIf(fraction < 0.0 || fraction > 1.0,
+            "bytesForAccessFraction: fraction not in [0,1]");
+    const auto sorted = sortedByPopularity();
+    const double target =
+        fraction * static_cast<double>(totalAccesses_);
+    double covered = 0.0;
+    std::uint64_t bytes = 0;
+    for (const auto &stat : sorted) {
+        if (covered >= target)
+            break;
+        covered += static_cast<double>(stat.accesses);
+        bytes += stat.bytes;
+    }
+    return bytes;
+}
+
+} // namespace logseek::analysis

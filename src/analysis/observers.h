@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Simulation observers that accumulate the statistics behind the
+ * paper's figures. Each observer attaches to a stl::Simulator and
+ * consumes IoEvents; none of them alter simulation behavior.
+ */
+
+#ifndef LOGSEEK_ANALYSIS_OBSERVERS_H
+#define LOGSEEK_ANALYSIS_OBSERVERS_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "stl/simulator.h"
+#include "util/histogram.h"
+#include "util/time_series.h"
+
+namespace logseek::analysis
+{
+
+/**
+ * Per-type seek counting over time (paper Figures 2 and 3).
+ *
+ * Tracks total read/write seeks plus a binned series of "long"
+ * seeks (|distance| above a threshold, 500 KB in the paper) indexed
+ * by operation number so LS and NoLS runs can be differenced.
+ */
+class SeekCounter : public stl::SimObserver
+{
+  public:
+    /**
+     * @param ops_per_bin Operation-number bin width for the long-
+     *        seek series.
+     * @param long_seek_bytes Threshold above which a seek is "long".
+     */
+    explicit SeekCounter(std::uint64_t ops_per_bin = 1000,
+                         std::uint64_t long_seek_bytes = 500 * 1000);
+
+    void onEvent(const stl::IoEvent &event) override;
+
+    std::uint64_t readSeeks() const { return readSeeks_; }
+    std::uint64_t writeSeeks() const { return writeSeeks_; }
+    std::uint64_t totalSeeks() const
+    {
+        return readSeeks_ + writeSeeks_;
+    }
+    std::uint64_t longSeeks() const { return longSeeks_; }
+
+    /** Long seeks per operation-number bin. */
+    const BinnedSeries &longSeekSeries() const { return series_; }
+
+  private:
+    std::uint64_t longSeekBytes_;
+    std::uint64_t readSeeks_ = 0;
+    std::uint64_t writeSeeks_ = 0;
+    std::uint64_t longSeeks_ = 0;
+    BinnedSeries series_;
+};
+
+/**
+ * Access-distance distribution (paper Figure 4): the signed
+ * distance, in bytes, between the end of one media access and the
+ * start of the next — zero-distance (sequential) accesses included,
+ * so the CDF shows the sequential fraction as mass at 0.
+ */
+class AccessDistanceCdf : public stl::SimObserver
+{
+  public:
+    void onEvent(const stl::IoEvent &event) override;
+
+    /** Distances in GB (signed); sequential accesses add 0. */
+    const EmpiricalCdf &distancesGb() const { return cdf_; }
+
+  private:
+    EmpiricalCdf cdf_;
+};
+
+/**
+ * Dynamic fragmentation of reads (paper Figure 5): the number of
+ * physical fragments of each *fragmented* read (reads with a single
+ * fragment are ignored, as in the paper).
+ */
+class FragmentedReadCdf : public stl::SimObserver
+{
+  public:
+    void onEvent(const stl::IoEvent &event) override;
+
+    /** One sample per fragmented read: its fragment count. */
+    const EmpiricalCdf &fragmentsPerRead() const { return cdf_; }
+
+    std::uint64_t fragmentedReads() const { return fragmented_; }
+    std::uint64_t totalReads() const { return reads_; }
+    std::uint64_t totalFragments() const { return fragments_; }
+
+  private:
+    EmpiricalCdf cdf_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t fragmented_ = 0;
+    std::uint64_t fragments_ = 0;
+};
+
+/**
+ * Fragment popularity (paper Figure 10): read access counts per
+ * physical fragment, for fragments touched by fragmented reads.
+ * Fragments are keyed by their physical start sector, which is
+ * stable because physical space is written at most once.
+ */
+class FragmentPopularity : public stl::SimObserver
+{
+  public:
+    void onEvent(const stl::IoEvent &event) override;
+
+    /** One popularity record. */
+    struct FragmentStat
+    {
+        Pba pba = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t accesses = 0;
+    };
+
+    /**
+     * Fragments sorted by access count, most popular first
+     * (Figure 10's x axis order).
+     */
+    std::vector<FragmentStat> sortedByPopularity() const;
+
+    /**
+     * Cumulative bytes needed to cache the most popular fragments
+     * covering the given fraction of all fragment accesses.
+     */
+    std::uint64_t bytesForAccessFraction(double fraction) const;
+
+    std::size_t fragmentCount() const { return fragments_.size(); }
+    std::uint64_t totalAccesses() const { return totalAccesses_; }
+
+  private:
+    std::map<Pba, FragmentStat> fragments_;
+    std::uint64_t totalAccesses_ = 0;
+};
+
+} // namespace logseek::analysis
+
+#endif // LOGSEEK_ANALYSIS_OBSERVERS_H

@@ -1,0 +1,132 @@
+#include "report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace logseek::analysis
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    panicIf(headers_.empty(), "TextTable: need at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    panicIf(cells.size() != headers_.size(),
+            "TextTable: row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &out) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << std::left << std::setw(static_cast<int>(widths[c]))
+                << row[c];
+            out << (c + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths)
+        total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return out.str();
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    const char *unit = "B";
+    double value = static_cast<double>(bytes);
+    if (bytes >= kGiB) {
+        value /= static_cast<double>(kGiB);
+        unit = "GiB";
+    } else if (bytes >= kMiB) {
+        value /= static_cast<double>(kMiB);
+        unit = "MiB";
+    } else if (bytes >= kKiB) {
+        value /= static_cast<double>(kKiB);
+        unit = "KiB";
+    }
+    return formatDouble(value, 1) + " " + unit;
+}
+
+void
+printResult(std::ostream &out, const stl::SimResult &result)
+{
+    TextTable table({"metric", "value"});
+    table.addRow({"workload", result.workload});
+    table.addRow({"config", result.configLabel});
+    table.addRow({"reads", std::to_string(result.reads)});
+    table.addRow({"writes", std::to_string(result.writes)});
+    table.addRow({"read seeks", std::to_string(result.readSeeks)});
+    table.addRow({"write seeks", std::to_string(result.writeSeeks)});
+    table.addRow({"total seeks", std::to_string(result.totalSeeks())});
+    table.addRow({"fragmented reads",
+                  std::to_string(result.fragmentedReads)});
+    table.addRow({"read fragments",
+                  std::to_string(result.readFragments)});
+    table.addRow({"cache hits", std::to_string(result.cacheHits)});
+    table.addRow({"prefetch hits",
+                  std::to_string(result.prefetchHits)});
+    table.addRow({"defrag rewrites",
+                  std::to_string(result.defragRewrites)});
+    table.addRow({"media read", formatBytes(result.mediaReadBytes)});
+    table.addRow({"media write",
+                  formatBytes(result.mediaWriteBytes)});
+    if (result.cleaningMerges > 0) {
+        table.addRow({"cleaning merges",
+                      std::to_string(result.cleaningMerges)});
+        table.addRow({"cleaning seeks",
+                      std::to_string(result.cleaningSeeks)});
+        table.addRow({"write amplification",
+                      formatDouble(result.writeAmplification())});
+    }
+    table.addRow({"static fragments",
+                  std::to_string(result.staticFragments)});
+    table.addRow({"est. seek time",
+                  formatDouble(result.seekTimeSec, 3) + " s"});
+    table.print(out);
+}
+
+void
+printSeries(std::ostream &out, const std::string &title,
+            const std::string &x_label, const std::string &y_label,
+            const std::vector<std::pair<double, double>> &points)
+{
+    out << "# " << title << "\n";
+    out << "# " << x_label << "\t" << y_label << "\n";
+    for (const auto &[x, y] : points)
+        out << formatDouble(x, 4) << "\t" << formatDouble(y, 6)
+            << "\n";
+}
+
+} // namespace logseek::analysis

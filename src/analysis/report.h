@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Plain-text table and series printers used by the figure harnesses
+ * in bench/ to emit the paper's tables and plot series.
+ */
+
+#ifndef LOGSEEK_ANALYSIS_REPORT_H
+#define LOGSEEK_ANALYSIS_REPORT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stl/simulator.h"
+
+namespace logseek::analysis
+{
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Add one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a header rule. */
+    void print(std::ostream &out) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string formatDouble(double value, int precision = 2);
+
+/** Format a byte count as a human-readable KiB/MiB/GiB quantity. */
+std::string formatBytes(std::uint64_t bytes);
+
+/**
+ * Print an (x, y) series as two aligned columns with a title line,
+ * the plot-ready form used for figure output.
+ */
+void printSeries(std::ostream &out, const std::string &title,
+                 const std::string &x_label,
+                 const std::string &y_label,
+                 const std::vector<std::pair<double, double>> &points);
+
+/**
+ * Dump one simulation result as a labeled two-column table —
+ * the quick way to inspect a run from examples and tools.
+ */
+void printResult(std::ostream &out, const stl::SimResult &result);
+
+} // namespace logseek::analysis
+
+#endif // LOGSEEK_ANALYSIS_REPORT_H

@@ -1,0 +1,109 @@
+#include "pba_cache.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace logseek::disk
+{
+
+PbaRangeCache::PbaRangeCache(std::uint64_t capacity_bytes,
+                             EvictionPolicy policy)
+    : capacityBytes_(capacity_bytes), policy_(policy)
+{
+}
+
+bool
+PbaRangeCache::contains(const SectorExtent &extent)
+{
+    if (extent.empty())
+        return true;
+
+    // Collect the entries overlapping extent, left to right, and
+    // check they tile it without gaps.
+    std::vector<RecencyList::iterator> covering;
+    std::uint64_t cursor = extent.start;
+
+    auto it = byStart_.upper_bound(extent.start);
+    if (it != byStart_.begin())
+        --it;
+    for (; it != byStart_.end() && it->first < extent.end(); ++it) {
+        const SectorExtent &entry = *it->second;
+        if (entry.end() <= cursor)
+            continue;
+        if (entry.start > cursor)
+            return false; // gap before this entry
+        covering.push_back(it->second);
+        cursor = entry.end();
+        if (cursor >= extent.end())
+            break;
+    }
+    if (cursor < extent.end())
+        return false;
+
+    if (policy_ == EvictionPolicy::Lru) {
+        for (auto entry_it : covering)
+            recency_.splice(recency_.begin(), recency_, entry_it);
+    }
+    return true;
+}
+
+void
+PbaRangeCache::insert(const SectorExtent &extent)
+{
+    if (extent.empty() || capacityBytes_ == 0)
+        return;
+
+    // Find the uncovered subranges of extent.
+    std::vector<SectorExtent> missing;
+    std::uint64_t cursor = extent.start;
+
+    auto it = byStart_.upper_bound(extent.start);
+    if (it != byStart_.begin())
+        --it;
+    for (; it != byStart_.end() && it->first < extent.end(); ++it) {
+        const SectorExtent &entry = *it->second;
+        if (entry.end() <= cursor)
+            continue;
+        if (entry.start > cursor)
+            missing.push_back({cursor, entry.start - cursor});
+        cursor = std::max(cursor, entry.end());
+        if (cursor >= extent.end())
+            break;
+    }
+    if (cursor < extent.end())
+        missing.push_back({cursor, extent.end() - cursor});
+
+    for (const auto &piece : missing) {
+        recency_.push_front(piece);
+        byStart_.emplace(piece.start, recency_.begin());
+        usedBytes_ += piece.bytes();
+    }
+
+    while (usedBytes_ > capacityBytes_ && !recency_.empty())
+        evictOne();
+}
+
+void
+PbaRangeCache::evictOne()
+{
+    panicIf(recency_.empty(), "PbaRangeCache::evictOne: cache empty");
+    const SectorExtent victim = recency_.back();
+    recency_.pop_back();
+    const auto erased = byStart_.erase(victim.start);
+    panicIf(erased != 1, "PbaRangeCache: index out of sync");
+    panicIf(usedBytes_ < victim.bytes(),
+            "PbaRangeCache: byte accounting underflow");
+    usedBytes_ -= victim.bytes();
+    ++evictions_;
+}
+
+void
+PbaRangeCache::clear()
+{
+    recency_.clear();
+    byStart_.clear();
+    usedBytes_ = 0;
+}
+
+} // namespace logseek::disk

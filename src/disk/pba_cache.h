@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A byte-budgeted cache of physical sector ranges.
+ *
+ * Both read caches in the paper are modeled with this structure: the
+ * on-drive prefetch buffer that holds look-ahead/look-behind fetch
+ * regions (FIFO replacement, like a drive segment buffer), and the
+ * translation-aware selective RAM cache of fragments (LRU
+ * replacement, Algorithm 3).
+ *
+ * Because the simulated disk is infinite, physical sectors are
+ * written at most once, so cached ranges can never hold stale data
+ * and no invalidation path is required (see DESIGN.md §6).
+ */
+
+#ifndef LOGSEEK_DISK_PBA_CACHE_H
+#define LOGSEEK_DISK_PBA_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+
+#include "util/extent.h"
+
+namespace logseek::disk
+{
+
+/** Replacement policy for PbaRangeCache. */
+enum class EvictionPolicy { Lru, Fifo };
+
+/**
+ * Cache of non-overlapping physical sector ranges with a byte
+ * budget. contains() answers whether a range is fully resident;
+ * insert() adds the not-yet-resident portions of a range and evicts
+ * until the budget holds.
+ */
+class PbaRangeCache
+{
+  public:
+    /**
+     * @param capacity_bytes Byte budget; 0 disables caching.
+     * @param policy Replacement policy.
+     */
+    PbaRangeCache(std::uint64_t capacity_bytes, EvictionPolicy policy);
+
+    /**
+     * True if extent is fully covered by resident ranges. Under LRU
+     * the covering entries are refreshed on a full hit. An empty
+     * extent is trivially covered.
+     */
+    bool contains(const SectorExtent &extent);
+
+    /**
+     * Make extent resident: uncovered subranges are inserted as
+     * fresh entries, then entries are evicted (LRU/FIFO order) until
+     * the byte budget holds.
+     */
+    void insert(const SectorExtent &extent);
+
+    /** Drop all entries. */
+    void clear();
+
+    /** Bytes currently resident. */
+    std::uint64_t usedBytes() const { return usedBytes_; }
+
+    /** Configured byte budget. */
+    std::uint64_t capacityBytes() const { return capacityBytes_; }
+
+    /** Number of resident (non-overlapping) ranges. */
+    std::size_t entryCount() const { return byStart_.size(); }
+
+    /** Total entries evicted since construction. */
+    std::uint64_t evictionCount() const { return evictions_; }
+
+  private:
+    using RecencyList = std::list<SectorExtent>;
+
+    void evictOne();
+
+    std::uint64_t capacityBytes_;
+    EvictionPolicy policy_;
+    std::uint64_t usedBytes_ = 0;
+    std::uint64_t evictions_ = 0;
+
+    /** Front = most recently inserted/refreshed. */
+    RecencyList recency_;
+
+    /** Start sector -> entry; entries never overlap. */
+    std::map<std::uint64_t, RecencyList::iterator> byStart_;
+};
+
+} // namespace logseek::disk
+
+#endif // LOGSEEK_DISK_PBA_CACHE_H

@@ -1,0 +1,63 @@
+#include "seek_time.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace logseek::disk
+{
+
+SeekTimeModel::SeekTimeModel(const SeekTimeParams &params)
+    : params_(params)
+{
+    panicIf(params_.transferBytesPerSec <= 0.0,
+            "SeekTimeModel: transfer rate must be positive");
+    panicIf(params_.rotationsPerSec <= 0.0,
+            "SeekTimeModel: rotation rate must be positive");
+    panicIf(params_.minHeadMoveSec > params_.maxHeadMoveSec,
+            "SeekTimeModel: min head move exceeds max");
+}
+
+double
+SeekTimeModel::rotationSeconds() const
+{
+    return 1.0 / params_.rotationsPerSec;
+}
+
+double
+SeekTimeModel::transferSeconds(std::uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / params_.transferBytesPerSec;
+}
+
+double
+SeekTimeModel::seekSeconds(std::int64_t distance_bytes) const
+{
+    if (distance_bytes == 0)
+        return 0.0;
+
+    const auto magnitude = static_cast<std::uint64_t>(
+        distance_bytes < 0 ? -distance_bytes : distance_bytes);
+
+    if (magnitude <= params_.shortSeekBytes) {
+        if (distance_bytes > 0) {
+            // Forward short seek: wait out the skipped sectors.
+            return transferSeconds(magnitude);
+        }
+        // Backward short seek: a missed rotation.
+        return rotationSeconds();
+    }
+
+    // Long seek: sqrt-law head move, capped at full stroke, plus an
+    // average half rotation of rotational latency.
+    const double frac = std::min(
+        1.0, static_cast<double>(magnitude) / params_.fullStrokeBytes);
+    const double head_move =
+        params_.minHeadMoveSec +
+        (params_.maxHeadMoveSec - params_.minHeadMoveSec) *
+            std::sqrt(frac);
+    return head_move + 0.5 * rotationSeconds();
+}
+
+} // namespace logseek::disk

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Analytic seek-time model.
+ *
+ * The paper's primary metric is seek *count*, but §III discusses how
+ * seek cost varies with length: very short seeks (100s of KB) cost
+ * only the rotational delay of skipping the intervening sectors;
+ * longer seeks pay head movement (a few ms growing to ~25 ms) plus
+ * an average half rotation; and backward seeks to the immediately
+ * preceding sectors cost a missed (full) rotation. This model turns
+ * seek distances into estimated service time so experiments can
+ * report time-weighted amplification alongside counts.
+ */
+
+#ifndef LOGSEEK_DISK_SEEK_TIME_H
+#define LOGSEEK_DISK_SEEK_TIME_H
+
+#include <cstdint>
+
+namespace logseek::disk
+{
+
+/** Parameters for the analytic seek-time model. */
+struct SeekTimeParams
+{
+    /** Sustained media transfer rate (bytes/s). */
+    double transferBytesPerSec = 180.0e6;
+
+    /** Spindle speed (rotations per second); 7200 rpm default. */
+    double rotationsPerSec = 120.0;
+
+    /** Distances at or below this are "short" (skip-read cost). */
+    std::uint64_t shortSeekBytes = 500 * 1024;
+
+    /** Minimum head-move time for a long seek (seconds). */
+    double minHeadMoveSec = 1.0e-3;
+
+    /** Maximum (full-stroke) head-move time (seconds). */
+    double maxHeadMoveSec = 25.0e-3;
+
+    /** Distance considered a full stroke (bytes). */
+    double fullStrokeBytes = 8.0e12;
+};
+
+/**
+ * Estimate the time cost of one seek.
+ *
+ * Short forward seeks cost the transfer-equivalent of the skipped
+ * bytes; short backward seeks cost a missed rotation; long seeks pay
+ * sqrt-law head movement (between minHeadMoveSec and maxHeadMoveSec)
+ * plus an average half rotation.
+ */
+class SeekTimeModel
+{
+  public:
+    explicit SeekTimeModel(const SeekTimeParams &params = {});
+
+    /**
+     * @param distance_bytes Signed seek distance (0 means no seek).
+     * @return Estimated positioning time in seconds.
+     */
+    double seekSeconds(std::int64_t distance_bytes) const;
+
+    /** Transfer time for n bytes at the sustained rate. */
+    double transferSeconds(std::uint64_t bytes) const;
+
+    /** Duration of one full rotation in seconds. */
+    double rotationSeconds() const;
+
+    const SeekTimeParams &params() const { return params_; }
+
+  private:
+    SeekTimeParams params_;
+};
+
+} // namespace logseek::disk
+
+#endif // LOGSEEK_DISK_SEEK_TIME_H

@@ -1,0 +1,22 @@
+#include "conventional.h"
+
+#include "util/logging.h"
+
+namespace logseek::stl
+{
+
+std::vector<Segment>
+ConventionalLayer::translateRead(const SectorExtent &extent) const
+{
+    panicIf(extent.empty(), "ConventionalLayer: empty read");
+    return {Segment{extent, extent.start, true}};
+}
+
+std::vector<Segment>
+ConventionalLayer::placeWrite(const SectorExtent &extent)
+{
+    panicIf(extent.empty(), "ConventionalLayer: empty write");
+    return {Segment{extent, extent.start, true}};
+}
+
+} // namespace logseek::stl

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Ordered interval map from logical to physical sector addresses.
+ *
+ * This is the translation structure of a full-map log-structured
+ * translation layer (cf. DFTL-style extent maps, paper §II): each
+ * entry maps a contiguous LBA run to a contiguous PBA run. Writes
+ * split and replace overlapping entries; physically adjacent
+ * neighbors are coalesced, so the number of entries equals the
+ * number of physically contiguous runs (the paper's *static
+ * fragmentation* when counted over written space).
+ */
+
+#ifndef LOGSEEK_STL_EXTENT_MAP_H
+#define LOGSEEK_STL_EXTENT_MAP_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/extent.h"
+
+namespace logseek::stl
+{
+
+/** One translation result: a logical run and its physical start. */
+struct Segment
+{
+    /** Logical sector range. */
+    SectorExtent logical;
+
+    /** Physical address of logical.start; run is contiguous. */
+    Pba pba = 0;
+
+    /** False for holes (LBAs never written through the map). */
+    bool mapped = false;
+
+    /** Physical sector range covered by this segment. */
+    SectorExtent
+    physical() const
+    {
+        return SectorExtent{pba, logical.count};
+    }
+
+    bool operator==(const Segment &other) const = default;
+};
+
+/**
+ * Interval map with O(log n + k) translate and amortized O(log n)
+ * mapping updates (k = segments touched).
+ */
+class ExtentMap
+{
+  public:
+    /**
+     * Map [lba, lba + count) to [pba, pba + count), replacing any
+     * previous mappings of the range. Adjacent entries that are
+     * contiguous both logically and physically are coalesced.
+     *
+     * @param displaced If non-null, receives the physical ranges
+     *        whose mappings this update invalidated — the sectors
+     *        that just became dead space (used by cleaning layers
+     *        to track per-segment liveness).
+     */
+    void mapRange(Lba lba, Pba pba, SectorCount count,
+                  std::vector<SectorExtent> *displaced = nullptr);
+
+    /**
+     * Translate a logical range into segments ordered by LBA.
+     * Unmapped subranges are returned as hole segments with
+     * mapped == false and pba == logical.start (identity), matching
+     * the paper's placement of data written before trace start.
+     */
+    std::vector<Segment> translate(const SectorExtent &extent) const;
+
+    /**
+     * Number of physically contiguous mapped runs intersecting
+     * extent plus its unmapped holes — the *dynamic fragmentation*
+     * of a read of extent.
+     */
+    std::size_t fragmentCount(const SectorExtent &extent) const;
+
+    /** Number of map entries (static fragmentation of written space). */
+    std::size_t entryCount() const { return entries_.size(); }
+
+    /** Total mapped sectors. */
+    SectorCount mappedSectors() const { return mappedSectors_; }
+
+    /** True if no range was ever mapped. */
+    bool empty() const { return entries_.empty(); }
+
+    /**
+     * Visit every entry in LBA order as (lba, pba, count).
+     * Primarily for tests and invariant checks.
+     */
+    template <typename Fn>
+    void
+    forEachEntry(Fn &&fn) const
+    {
+        for (const auto &[lba, value] : entries_)
+            fn(lba, value.pba, value.count);
+    }
+
+  private:
+    struct Entry
+    {
+        Pba pba;
+        SectorCount count;
+    };
+
+    /** Split any entry straddling sector so no entry crosses it. */
+    void splitAt(Lba sector);
+
+    /** Erase all whole entries inside [lo, hi), reporting their
+     *  physical ranges through displaced when requested. */
+    void eraseRange(Lba lo, Lba hi,
+                    std::vector<SectorExtent> *displaced);
+
+    /** Coalesce entry at iterator with its predecessor if possible. */
+    std::map<Lba, Entry>::iterator
+    tryMergeWithPrev(std::map<Lba, Entry>::iterator it);
+
+    std::map<Lba, Entry> entries_;
+    SectorCount mappedSectors_ = 0;
+};
+
+} // namespace logseek::stl
+
+#endif // LOGSEEK_STL_EXTENT_MAP_H

@@ -1,0 +1,270 @@
+#include "finite_log.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace logseek::stl
+{
+
+FiniteLogStructuredLayer::FiniteLogStructuredLayer(
+    Pba identity_end, const FiniteLogConfig &config)
+    : config_(config), logStart_(identity_end),
+      segmentSectors_(bytesToSectors(config.segmentBytes)),
+      writePtr_(identity_end)
+{
+    panicIf(segmentSectors_ == 0,
+            "FiniteLogStructuredLayer: segment size must be at "
+            "least one sector");
+    const SectorCount capacity =
+        bytesToSectors(config.capacityBytes);
+    const std::uint64_t count = capacity / segmentSectors_;
+    panicIf(count < 2,
+            "FiniteLogStructuredLayer: need at least two segments");
+    panicIf(config.cleanTargetSegments <=
+                config.cleanReserveSegments,
+            "FiniteLogStructuredLayer: clean target must exceed "
+            "the reserve");
+    panicIf(config.cleanTargetSegments >= count,
+            "FiniteLogStructuredLayer: clean target must be below "
+            "the segment count");
+    segments_.resize(count);
+    segments_[0].free = false; // the initial open segment
+}
+
+std::uint32_t
+FiniteLogStructuredLayer::segmentOf(Pba pba) const
+{
+    panicIf(pba < logStart_,
+            "FiniteLogStructuredLayer: sector below the log");
+    const auto index =
+        static_cast<std::uint32_t>((pba - logStart_) /
+                                   segmentSectors_);
+    panicIf(index >= segments_.size(),
+            "FiniteLogStructuredLayer: sector beyond the log");
+    return index;
+}
+
+void
+FiniteLogStructuredLayer::adjustLive(const SectorExtent &range,
+                                     bool add)
+{
+    // A range may straddle segment boundaries; split per segment.
+    Pba cursor = range.start;
+    while (cursor < range.end()) {
+        const std::uint32_t seg = segmentOf(cursor);
+        const Pba seg_end =
+            logStart_ + (seg + 1ULL) * segmentSectors_;
+        const SectorCount piece =
+            std::min<SectorCount>(range.end(), seg_end) - cursor;
+        SegmentState &state = segments_[seg];
+        if (add) {
+            state.live += piece;
+        } else {
+            panicIf(state.live < piece,
+                    "FiniteLogStructuredLayer: liveness underflow");
+            state.live -= piece;
+        }
+        cursor += piece;
+    }
+}
+
+void
+FiniteLogStructuredLayer::removeReverse(const SectorExtent &range)
+{
+    auto it = reverse_.upper_bound(range.start);
+    if (it != reverse_.begin())
+        --it;
+    while (it != reverse_.end() && it->first < range.end()) {
+        const SectorExtent entry{it->first, it->second.second};
+        const Lba entry_lba = it->second.first;
+        auto next = std::next(it);
+        const auto overlap = intersect(entry, range);
+        if (overlap) {
+            reverse_.erase(it);
+            if (entry.start < overlap->start) {
+                reverse_.emplace(
+                    entry.start,
+                    std::make_pair(entry_lba,
+                                   overlap->start - entry.start));
+            }
+            if (overlap->end() < entry.end()) {
+                reverse_.emplace(
+                    overlap->end(),
+                    std::make_pair(entry_lba +
+                                       (overlap->end() - entry.start),
+                                   entry.end() - overlap->end()));
+            }
+        }
+        it = next;
+    }
+}
+
+void
+FiniteLogStructuredLayer::openFreeSegment()
+{
+    for (std::uint32_t i = 0; i < segments_.size(); ++i) {
+        if (segments_[i].free) {
+            segments_[i].free = false;
+            openSegment_ = i;
+            writePtr_ = logStart_ + static_cast<Pba>(i) *
+                                        segmentSectors_;
+            return;
+        }
+    }
+    fatal("finite log out of space: no free segment to open "
+          "(cleaning could not keep up; increase capacityBytes)");
+}
+
+std::vector<Segment>
+FiniteLogStructuredLayer::append(Lba lba, SectorCount count)
+{
+    std::vector<Segment> placed;
+    while (count > 0) {
+        const Pba open_end =
+            logStart_ +
+            (static_cast<Pba>(openSegment_) + 1) * segmentSectors_;
+        if (writePtr_ == open_end)
+            openFreeSegment();
+        const Pba open_limit =
+            logStart_ +
+            (static_cast<Pba>(openSegment_) + 1) * segmentSectors_;
+        const SectorCount take =
+            std::min<SectorCount>(count, open_limit - writePtr_);
+
+        std::vector<SectorExtent> displaced;
+        map_.mapRange(lba, writePtr_, take, &displaced);
+        for (const auto &dead : displaced) {
+            // Identity holes are never in the forward map, so every
+            // displaced range is log-resident.
+            adjustLive(dead, false);
+            removeReverse(dead);
+        }
+        reverse_.emplace(writePtr_, std::make_pair(lba, take));
+        adjustLive({writePtr_, take}, true);
+
+        placed.push_back(
+            Segment{SectorExtent{lba, take}, writePtr_, true});
+        writePtr_ += take;
+        lba += take;
+        count -= take;
+    }
+    return placed;
+}
+
+std::vector<Segment>
+FiniteLogStructuredLayer::translateRead(
+    const SectorExtent &extent) const
+{
+    panicIf(extent.empty(), "FiniteLogStructuredLayer: empty read");
+    return map_.translate(extent);
+}
+
+std::vector<Segment>
+FiniteLogStructuredLayer::placeWrite(const SectorExtent &extent)
+{
+    panicIf(extent.empty(), "FiniteLogStructuredLayer: empty write");
+    panicIf(extent.end() > logStart_,
+            "FiniteLogStructuredLayer: workload LBA above the log "
+            "start");
+    return append(extent.start, extent.count);
+}
+
+std::size_t
+FiniteLogStructuredLayer::staticFragmentCount() const
+{
+    return map_.entryCount();
+}
+
+std::uint32_t
+FiniteLogStructuredLayer::freeSegments() const
+{
+    std::uint32_t count = 0;
+    for (const auto &segment : segments_) {
+        if (segment.free)
+            ++count;
+    }
+    return count;
+}
+
+SectorCount
+FiniteLogStructuredLayer::segmentLive(std::uint32_t i) const
+{
+    panicIf(i >= segments_.size(),
+            "FiniteLogStructuredLayer: segment index out of range");
+    return segments_[i].live;
+}
+
+std::vector<MediaAccess>
+FiniteLogStructuredLayer::maintenance()
+{
+    std::vector<MediaAccess> accesses;
+    // Hysteresis: cleaning starts when the reserve is reached and
+    // runs until the target is restored.
+    if (freeSegments() > config_.cleanReserveSegments)
+        return accesses;
+    while (freeSegments() < config_.cleanTargetSegments) {
+        // Greedy victim: the closed segment with the least live
+        // data. Fully dead segments are reclaimed for free.
+        std::uint32_t victim = 0;
+        SectorCount best = std::numeric_limits<SectorCount>::max();
+        bool found = false;
+        for (std::uint32_t i = 0; i < segments_.size(); ++i) {
+            if (segments_[i].free || i == openSegment_)
+                continue;
+            if (segments_[i].live < best) {
+                best = segments_[i].live;
+                victim = i;
+                found = true;
+            }
+        }
+        if (!found || best >= segmentSectors_) {
+            // All closed segments are fully live: compaction has
+            // nothing to reclaim right now. That is fine as long
+            // as we are above the reserve; below it the log is
+            // genuinely overcommitted.
+            if (freeSegments() > config_.cleanReserveSegments)
+                break;
+            fatal("finite log overcommitted: greedy cleaning "
+                  "cannot reclaim space (live data exceeds "
+                  "capacity headroom)");
+        }
+
+        // Move the victim's live extents to the frontier.
+        const Pba victim_start =
+            logStart_ + static_cast<Pba>(victim) * segmentSectors_;
+        const SectorExtent victim_extent{victim_start,
+                                         segmentSectors_};
+        std::vector<std::pair<Pba, std::pair<Lba, SectorCount>>>
+            live;
+        for (auto it = reverse_.lower_bound(victim_start);
+             it != reverse_.end() &&
+             it->first < victim_extent.end();
+             ++it) {
+            live.emplace_back(*it);
+        }
+
+        for (const auto &[pba, entry] : live) {
+            const auto &[lba, count] = entry;
+            // The entry may have been displaced by an earlier
+            // rewrite in this same pass; re-check residency.
+            if (!reverse_.contains(pba))
+                continue;
+            accesses.push_back(
+                {SectorExtent{pba, count}, trace::IoType::Read});
+            for (const Segment &segment : append(lba, count)) {
+                accesses.push_back({segment.physical(),
+                                    trace::IoType::Write});
+            }
+        }
+        panicIf(segments_[victim].live != 0,
+                "FiniteLogStructuredLayer: victim still live after "
+                "cleaning");
+        segments_[victim].free = true;
+        ++cleanings_;
+    }
+    return accesses;
+}
+
+} // namespace logseek::stl

@@ -1,0 +1,78 @@
+#include "log_structured.h"
+
+#include "util/logging.h"
+
+namespace logseek::stl
+{
+
+LogStructuredLayer::LogStructuredLayer(Pba initial_frontier,
+                                       std::optional<ZoneConfig> zones)
+    : logStart_(initial_frontier), frontier_(initial_frontier)
+{
+    if (zones) {
+        zoneSectors_ = bytesToSectors(zones->zoneBytes);
+        guardSectors_ = bytesToSectors(zones->guardBytes);
+        panicIf(zoneSectors_ == 0,
+                "LogStructuredLayer: zone size must be at least one "
+                "sector");
+    }
+}
+
+SectorCount
+LogStructuredLayer::zoneRemaining() const
+{
+    if (zoneSectors_ == 0)
+        return ~SectorCount{0};
+    const SectorCount pitch = zoneSectors_ + guardSectors_;
+    const SectorCount offset = (frontier_ - logStart_) % pitch;
+    panicIf(offset >= zoneSectors_,
+            "LogStructuredLayer: frontier inside a guard band");
+    return zoneSectors_ - offset;
+}
+
+std::vector<Segment>
+LogStructuredLayer::translateRead(const SectorExtent &extent) const
+{
+    panicIf(extent.empty(), "LogStructuredLayer: empty read");
+    return map_.translate(extent);
+}
+
+std::vector<Segment>
+LogStructuredLayer::placeWrite(const SectorExtent &extent)
+{
+    panicIf(extent.empty(), "LogStructuredLayer: empty write");
+    panicIf(extent.end() > logStart_,
+            "LogStructuredLayer: workload LBA above the log start; "
+            "construct with a larger initial frontier");
+
+    std::vector<Segment> placed;
+    Lba lba = extent.start;
+    SectorCount remaining = extent.count;
+    while (remaining > 0) {
+        const SectorCount take =
+            std::min(remaining, zoneRemaining());
+        map_.mapRange(lba, frontier_, take);
+        placed.push_back(
+            Segment{SectorExtent{lba, take}, frontier_, true});
+        lba += take;
+        frontier_ += take;
+        remaining -= take;
+        // Skip the guard band when the zone filled up.
+        if (zoneSectors_ != 0) {
+            const SectorCount pitch = zoneSectors_ + guardSectors_;
+            if ((frontier_ - logStart_) % pitch == zoneSectors_) {
+                frontier_ += guardSectors_;
+                ++zoneCrossings_;
+            }
+        }
+    }
+    return placed;
+}
+
+std::size_t
+LogStructuredLayer::staticFragmentCount() const
+{
+    return map_.entryCount();
+}
+
+} // namespace logseek::stl

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Log-structured translation layer with a write frontier (paper §II
+ * "disk model").
+ *
+ * Every write is placed at the current write frontier, which
+ * advances forever across an infinite disk (no cleaning). Data never
+ * written during the simulation is assumed to live at its identity
+ * location (pba == lba), and the frontier starts just above the
+ * highest LBA of the workload, exactly as the paper assigns
+ * locations for data written before trace collection began.
+ */
+
+#ifndef LOGSEEK_STL_LOG_STRUCTURED_H
+#define LOGSEEK_STL_LOG_STRUCTURED_H
+
+#include <optional>
+
+#include "stl/extent_map.h"
+#include "stl/translation_layer.h"
+
+namespace logseek::stl
+{
+
+/**
+ * Optional zone structure for the log (paper §II background): SMR
+ * devices divide each platter into zones separated by guard tracks.
+ * When configured, the write frontier fills one zone's writable
+ * area, then skips the guard — a write straddling the boundary is
+ * split into per-zone segments and the skip costs one (short) seek.
+ */
+struct ZoneConfig
+{
+    /** Writable bytes per zone. */
+    std::uint64_t zoneBytes = 256 * kMiB;
+
+    /** Guard-band bytes between adjacent zones. */
+    std::uint64_t guardBytes = kMiB;
+};
+
+/** Full-extent-map log-structured translation layer. */
+class LogStructuredLayer : public TranslationLayer
+{
+  public:
+    /**
+     * @param initial_frontier First physical sector of the log;
+     *        must be at or above the workload's highest LBA + 1 so
+     *        the log never collides with identity-placed data.
+     * @param zones Optional zone/guard structure; zone boundaries
+     *        are laid out from the initial frontier.
+     */
+    explicit LogStructuredLayer(Pba initial_frontier,
+                                std::optional<ZoneConfig> zones = {});
+
+    std::vector<Segment>
+    translateRead(const SectorExtent &extent) const override;
+
+    std::vector<Segment>
+    placeWrite(const SectorExtent &extent) override;
+
+    std::size_t staticFragmentCount() const override;
+
+    std::string name() const override { return "log-structured"; }
+
+    /**
+     * Rewrite a logical range contiguously at the write frontier
+     * without new host data — the write half of opportunistic
+     * defragmentation. Equivalent to placeWrite.
+     */
+    std::vector<Segment>
+    relocate(const SectorExtent &extent)
+    {
+        return placeWrite(extent);
+    }
+
+    /** Physical sector the next write will start at. */
+    Pba writeFrontier() const { return frontier_; }
+
+    /** Sector where the log began (initial frontier). */
+    Pba logStart() const { return logStart_; }
+
+    /** Access to the translation map (read-only, for analyses). */
+    const ExtentMap &extentMap() const { return map_; }
+
+    /** Number of zone boundaries the frontier has crossed. */
+    std::uint64_t zoneCrossings() const { return zoneCrossings_; }
+
+  private:
+    /** Sectors left in the current zone (SIZE_MAX if unzoned). */
+    SectorCount zoneRemaining() const;
+
+    ExtentMap map_;
+    Pba logStart_;
+    Pba frontier_;
+    SectorCount zoneSectors_ = 0;   ///< 0 = unzoned
+    SectorCount guardSectors_ = 0;
+    std::uint64_t zoneCrossings_ = 0;
+};
+
+} // namespace logseek::stl
+
+#endif // LOGSEEK_STL_LOG_STRUCTURED_H

@@ -1,0 +1,40 @@
+#include "prefetch.h"
+
+namespace logseek::stl
+{
+
+Prefetcher::Prefetcher(const PrefetchConfig &config)
+    : config_(config),
+      buffer_(config.bufferBytes, disk::EvictionPolicy::Fifo)
+{
+}
+
+bool
+Prefetcher::lookup(const SectorExtent &physical)
+{
+    if (buffer_.contains(physical)) {
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+SectorExtent
+Prefetcher::fetchRegion(const SectorExtent &physical) const
+{
+    const SectorCount behind =
+        bytesToSectors(config_.lookBehindBytes);
+    const SectorCount ahead = bytesToSectors(config_.lookAheadBytes);
+    const std::uint64_t start =
+        physical.start >= behind ? physical.start - behind : 0;
+    return SectorExtent{start, physical.end() + ahead - start};
+}
+
+void
+Prefetcher::admit(const SectorExtent &region)
+{
+    buffer_.insert(region);
+}
+
+} // namespace logseek::stl

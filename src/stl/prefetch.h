@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Translation-aware look-ahead-behind prefetching (paper §IV-B,
+ * Algorithm 2).
+ *
+ * When serving a fragment of a fragmented read, the drive also reads
+ * the physically preceding (look-behind) and following (look-ahead)
+ * sectors into its buffer. Mis-ordered writes (contiguous LBAs
+ * written in descending or interleaved order) land physically
+ * adjacent but reversed in the log; look-behind turns the resulting
+ * missed rotations into buffer hits.
+ */
+
+#ifndef LOGSEEK_STL_PREFETCH_H
+#define LOGSEEK_STL_PREFETCH_H
+
+#include <cstdint>
+
+#include "disk/pba_cache.h"
+#include "util/extent.h"
+
+namespace logseek::stl
+{
+
+/** Configuration for the look-ahead-behind prefetcher. */
+struct PrefetchConfig
+{
+    /** Bytes fetched beyond the fragment (look-ahead). */
+    std::uint64_t lookAheadBytes = 128 * kKiB;
+
+    /** Bytes fetched before the fragment (look-behind). */
+    std::uint64_t lookBehindBytes = 128 * kKiB;
+
+    /**
+     * Drive buffer devoted to fetch regions (FIFO replacement).
+     * Kept small, like a real drive's segment buffer: look-ahead-
+     * behind only needs the current read's neighborhood resident,
+     * and a large buffer would double as a read cache, conflating
+     * this mechanism with selective caching.
+     */
+    std::uint64_t bufferBytes = 2 * kMiB;
+};
+
+/** Drive-buffer model for look-ahead-behind prefetching. */
+class Prefetcher
+{
+  public:
+    explicit Prefetcher(const PrefetchConfig &config = {});
+
+    /**
+     * True if the fragment is already resident in the drive buffer
+     * (served with no media access). Counters are updated.
+     */
+    bool lookup(const SectorExtent &physical);
+
+    /**
+     * The media region the drive actually reads when fetching this
+     * fragment: [pba - behind, pba + count + ahead), clamped at
+     * sector 0.
+     */
+    SectorExtent fetchRegion(const SectorExtent &physical) const;
+
+    /** Record that region was transferred into the drive buffer. */
+    void admit(const SectorExtent &region);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t usedBytes() const { return buffer_.usedBytes(); }
+
+    const PrefetchConfig &config() const { return config_; }
+
+  private:
+    PrefetchConfig config_;
+    disk::PbaRangeCache buffer_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace logseek::stl
+
+#endif // LOGSEEK_STL_PREFETCH_H

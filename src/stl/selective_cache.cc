@@ -1,0 +1,28 @@
+#include "selective_cache.h"
+
+namespace logseek::stl
+{
+
+SelectiveCache::SelectiveCache(const SelectiveCacheConfig &config)
+    : cache_(config.capacityBytes, disk::EvictionPolicy::Lru)
+{
+}
+
+bool
+SelectiveCache::lookup(const SectorExtent &physical)
+{
+    if (cache_.contains(physical)) {
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+void
+SelectiveCache::admit(const SectorExtent &physical)
+{
+    cache_.insert(physical);
+}
+
+} // namespace logseek::stl

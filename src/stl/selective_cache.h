@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Translation-aware selective caching (paper §IV-C, Algorithm 3).
+ *
+ * A small RAM cache (64 MB in the paper's evaluation) populated only
+ * from fragments of *fragmented* reads. Because fragment access is
+ * highly skewed (paper Figure 10), a few tens of MB eliminate most
+ * fragmentation-induced seeks while avoiding pollution from data
+ * that would never cause a seek; LRU replacement.
+ */
+
+#ifndef LOGSEEK_STL_SELECTIVE_CACHE_H
+#define LOGSEEK_STL_SELECTIVE_CACHE_H
+
+#include <cstdint>
+
+#include "disk/pba_cache.h"
+#include "util/extent.h"
+
+namespace logseek::stl
+{
+
+/** Configuration for the selective fragment cache. */
+struct SelectiveCacheConfig
+{
+    /** Cache capacity in bytes (the paper evaluates 64 MiB). */
+    std::uint64_t capacityBytes = 64 * kMiB;
+};
+
+/** LRU fragment cache keyed by physical sector ranges. */
+class SelectiveCache
+{
+  public:
+    explicit SelectiveCache(const SelectiveCacheConfig &config = {});
+
+    /**
+     * Check whether a fragment's physical range is fully cached.
+     * A hit refreshes the entries' recency. Hit/miss counters are
+     * updated.
+     */
+    bool lookup(const SectorExtent &physical);
+
+    /** Admit a fragment just read from the media. */
+    void admit(const SectorExtent &physical);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t usedBytes() const { return cache_.usedBytes(); }
+    std::uint64_t capacityBytes() const
+    {
+        return cache_.capacityBytes();
+    }
+    std::uint64_t evictionCount() const
+    {
+        return cache_.evictionCount();
+    }
+
+  private:
+    disk::PbaRangeCache cache_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace logseek::stl
+
+#endif // LOGSEEK_STL_SELECTIVE_CACHE_H

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Trace-driven seek simulator for block translation layers.
+ *
+ * The Simulator replays a block trace against a translation layer
+ * (conventional or log-structured) under the paper's infinite-disk
+ * model, counting read and write seeks per §II, optionally with any
+ * combination of the three seek-reduction mechanisms (§IV). One
+ * IoEvent per logical request is delivered to registered observers,
+ * which is how every analysis/figure is computed without touching
+ * the engine.
+ */
+
+#ifndef LOGSEEK_STL_SIMULATOR_H
+#define LOGSEEK_STL_SIMULATOR_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "disk/head.h"
+#include "disk/seek_time.h"
+#include "stl/defrag.h"
+#include "stl/finite_log.h"
+#include "stl/log_structured.h"
+#include "stl/media_cache.h"
+#include "stl/prefetch.h"
+#include "stl/selective_cache.h"
+#include "stl/translation_layer.h"
+#include "trace/trace.h"
+
+namespace logseek::stl
+{
+
+/** Which translation layer the simulator instantiates. */
+enum class TranslationKind
+{
+    Conventional,
+    LogStructured,
+    FiniteLogStructured,
+    MediaCache,
+};
+
+/** Full simulator configuration. */
+struct SimConfig
+{
+    TranslationKind translation = TranslationKind::LogStructured;
+
+    /** Opportunistic defragmentation (§IV-A); off by default. */
+    std::optional<DefragConfig> defrag;
+
+    /** Look-ahead-behind prefetching (§IV-B); off by default. */
+    std::optional<PrefetchConfig> prefetch;
+
+    /** Selective caching (§IV-C); off by default. */
+    std::optional<SelectiveCacheConfig> cache;
+
+    /**
+     * Media-cache layer parameters; only used when translation is
+     * TranslationKind::MediaCache.
+     */
+    MediaCacheConfig mediaCache;
+
+    /**
+     * Optional zone/guard structure for the log-structured layer;
+     * crossing a zone boundary makes the next log write skip the
+     * guard band (one short seek per crossing).
+     */
+    std::optional<ZoneConfig> zones;
+
+    /**
+     * Finite-log parameters; only used when translation is
+     * TranslationKind::FiniteLogStructured.
+     */
+    FiniteLogConfig finiteLog;
+
+    /** Seek-time model parameters (time reporting only). */
+    disk::SeekTimeParams seekTime;
+
+    /** Short label of the configuration, e.g. "LS+cache". */
+    std::string label() const;
+};
+
+/** One logical request as the simulator served it. */
+struct IoEvent
+{
+    /** Index of the request in the trace. */
+    std::uint64_t opIndex = 0;
+
+    /** The original trace record. */
+    trace::IoRecord record;
+
+    /**
+     * Physical segments the request translated to (after merging
+     * physically contiguous runs), in LBA order; for writes, the
+     * single placed segment. Cache/prefetch hits do not remove
+     * entries here.
+     */
+    std::vector<Segment> segments;
+
+    /** Media seeks this request incurred (including any defrag
+     *  rewrite), in occurrence order; only actual seeks appear. */
+    std::vector<disk::SeekInfo> seeks;
+
+    /** Fragments served from the selective cache. */
+    std::uint32_t cacheHits = 0;
+
+    /** Fragments served from the drive prefetch buffer. */
+    std::uint32_t prefetchHits = 0;
+
+    /** True if this read triggered an opportunistic rewrite. */
+    bool defragRewrite = false;
+
+    /** Segments placed by the defrag rewrite (empty otherwise). */
+    std::vector<Segment> defragSegments;
+
+    /** Cleaning (merge) seeks charged to this request. */
+    std::uint32_t cleaningSeeks = 0;
+
+    /** Bytes moved to/from the media for this request. */
+    std::uint64_t mediaBytes = 0;
+
+    /** Dynamic fragmentation of a read (1 for writes). */
+    std::size_t fragments() const { return segments.size(); }
+
+    /** True for a read resolved to two or more physical runs. */
+    bool
+    isFragmentedRead() const
+    {
+        return record.isRead() && segments.size() >= 2;
+    }
+};
+
+/** Aggregate results of one simulation run. */
+struct SimResult
+{
+    std::string workload;
+    std::string configLabel;
+
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readSeeks = 0;
+    std::uint64_t writeSeeks = 0;
+
+    std::uint64_t fragmentedReads = 0;
+    std::uint64_t readFragments = 0;
+
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t prefetchHits = 0;
+
+    std::uint64_t defragRewrites = 0;
+    std::uint64_t defragBytes = 0;
+
+    std::uint64_t mediaReadBytes = 0;
+    std::uint64_t mediaWriteBytes = 0;
+
+    /** Bytes the host asked to write (before any amplification). */
+    std::uint64_t hostWriteBytes = 0;
+
+    /** Cleaning traffic and seeks (media-cache merges or finite-
+     *  log garbage collection). cleaningMerges counts merge passes
+     *  or reclaimed segments respectively. */
+    std::uint64_t cleaningReadBytes = 0;
+    std::uint64_t cleaningWriteBytes = 0;
+    std::uint64_t cleaningSeeks = 0;
+    std::uint64_t cleaningMerges = 0;
+
+    /** Estimated positioning time over all seeks (seconds). */
+    double seekTimeSec = 0.0;
+
+    /** Final static fragmentation of the translation layer. */
+    std::size_t staticFragments = 0;
+
+    /** Host-visible seeks (the paper's SAF numerator). */
+    std::uint64_t totalSeeks() const { return readSeeks + writeSeeks; }
+
+    /** Seeks including background cleaning work. */
+    std::uint64_t
+    totalSeeksWithCleaning() const
+    {
+        return totalSeeks() + cleaningSeeks;
+    }
+
+    /**
+     * Write amplification factor: bytes written to the media
+     * (host + cleaning rewrites) per host-written byte; 1.0 when
+     * there were no writes.
+     */
+    double writeAmplification() const;
+};
+
+/** Observer interface; analyses implement this. */
+class SimObserver
+{
+  public:
+    virtual ~SimObserver() = default;
+
+    /** Called once per logical request, in trace order. */
+    virtual void onEvent(const IoEvent &event) = 0;
+};
+
+/**
+ * The trace-replay engine. A Simulator is configured once and can
+ * run many traces; each run() uses fresh translation/mechanism
+ * state sized to that trace.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &config = {});
+
+    /**
+     * Register an observer for subsequent runs. Observers are not
+     * owned and must outlive the simulator's run() calls.
+     */
+    void addObserver(SimObserver *observer);
+
+    /** Remove all registered observers. */
+    void clearObservers();
+
+    /** Replay a trace and return aggregate results. */
+    SimResult run(const trace::Trace &trace);
+
+    const SimConfig &config() const { return config_; }
+
+  private:
+    SimConfig config_;
+    std::vector<SimObserver *> observers_;
+};
+
+/**
+ * Convenience: run the same trace under the conventional baseline
+ * and under a log-structured configuration, returning
+ * (baseline, logStructured). The baseline ignores cfg's mechanisms.
+ */
+std::pair<SimResult, SimResult>
+runWithBaseline(const trace::Trace &trace, const SimConfig &ls_config);
+
+/**
+ * Seek amplification factor: total seeks of ls divided by total
+ * seeks of the baseline (paper §II). Returns 0 if the baseline had
+ * no seeks.
+ */
+double seekAmplification(const SimResult &baseline,
+                         const SimResult &ls);
+
+} // namespace logseek::stl
+
+#endif // LOGSEEK_STL_SIMULATOR_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Abstract block translation layer (paper §I-II).
+ *
+ * A translation layer provides the rewritable LBA abstraction on top
+ * of the physical medium. The simulator asks it where reads must go
+ * (translateRead) and where writes land (placeWrite); the two
+ * implementations are the conventional update-in-place layer (the
+ * paper's NoLS baseline) and the log-structured layer with a write
+ * frontier (LS).
+ */
+
+#ifndef LOGSEEK_STL_TRANSLATION_LAYER_H
+#define LOGSEEK_STL_TRANSLATION_LAYER_H
+
+#include <string>
+#include <vector>
+
+#include "stl/extent_map.h"
+#include "trace/record.h"
+#include "util/extent.h"
+
+namespace logseek::stl
+{
+
+/**
+ * One background media access owed by a translation layer —
+ * cleaning reads/writes from media-cache merges or log garbage
+ * collection. The simulator plays these through the disk head and
+ * accounts them separately from host-visible traffic.
+ */
+struct MediaAccess
+{
+    SectorExtent physical;
+    trace::IoType type = trace::IoType::Read;
+};
+
+/** Translation layer interface. */
+class TranslationLayer
+{
+  public:
+    virtual ~TranslationLayer() = default;
+
+    /**
+     * Resolve a logical read into physical segments in LBA order.
+     * Does not change translation state.
+     */
+    virtual std::vector<Segment>
+    translateRead(const SectorExtent &extent) const = 0;
+
+    /**
+     * Choose the physical placement for a logical write and update
+     * the translation state. Returns the placed segments (a single
+     * segment for both implementations here).
+     */
+    virtual std::vector<Segment>
+    placeWrite(const SectorExtent &extent) = 0;
+
+    /**
+     * Static fragmentation: the number of physically contiguous
+     * runs the written LBA space is currently split into.
+     */
+    virtual std::size_t staticFragmentCount() const = 0;
+
+    /** Human-readable layer name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Background work owed after the last request (cleaning /
+     * merging). Called by the simulator once per host request;
+     * layers without background work return nothing.
+     */
+    virtual std::vector<MediaAccess> maintenance() { return {}; }
+};
+
+/**
+ * Merge consecutive segments whose physical runs are contiguous.
+ * Translation can produce logically split but physically adjacent
+ * segments (e.g. an identity hole next to an identity-placed run);
+ * the device would serve those with a single sequential access, so
+ * the simulator merges them before seek accounting. The merged
+ * segment is marked mapped if any constituent was mapped.
+ */
+std::vector<Segment>
+mergePhysicallyContiguous(std::vector<Segment> segments);
+
+} // namespace logseek::stl
+
+#endif // LOGSEEK_STL_TRANSLATION_LAYER_H

@@ -1,0 +1,136 @@
+#include "binary.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace logseek::trace
+{
+
+namespace
+{
+
+constexpr std::array<char, 4> kMagic{'L', 'S', 'K', 'T'};
+
+template <typename T>
+void
+putLe(std::ostream &out, T value)
+{
+    std::array<char, sizeof(T)> bytes;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    out.write(bytes.data(), bytes.size());
+}
+
+template <typename T>
+bool
+getLe(std::istream &in, T &value)
+{
+    std::array<char, sizeof(T)> bytes;
+    if (!in.read(bytes.data(), bytes.size()))
+        return false;
+    value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        value = static_cast<T>(
+            value | (static_cast<T>(
+                         static_cast<unsigned char>(bytes[i]))
+                     << (8 * i)));
+    }
+    return true;
+}
+
+} // namespace
+
+void
+writeBinaryTrace(std::ostream &out, const Trace &trace)
+{
+    out.write(kMagic.data(), kMagic.size());
+    putLe<std::uint32_t>(out, kBinaryTraceVersion);
+    putLe<std::uint32_t>(
+        out, static_cast<std::uint32_t>(trace.name().size()));
+    out.write(trace.name().data(),
+              static_cast<std::streamsize>(trace.name().size()));
+    putLe<std::uint64_t>(out, trace.size());
+    for (const auto &record : trace) {
+        putLe<std::uint64_t>(out, record.timestampUs);
+        putLe<std::uint8_t>(
+            out, static_cast<std::uint8_t>(record.type));
+        putLe<std::uint64_t>(out, record.extent.start);
+        putLe<std::uint64_t>(out, record.extent.count);
+    }
+    if (!out)
+        fatal("binary trace: write failed");
+}
+
+void
+writeBinaryTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot create trace file: " + path);
+    writeBinaryTrace(out, trace);
+}
+
+Trace
+readBinaryTrace(std::istream &in)
+{
+    std::array<char, 4> magic;
+    if (!in.read(magic.data(), magic.size()) || magic != kMagic)
+        fatal("binary trace: bad magic");
+
+    std::uint32_t version = 0;
+    if (!getLe(in, version))
+        fatal("binary trace: truncated header");
+    if (version != kBinaryTraceVersion)
+        fatal("binary trace: unsupported version " +
+              std::to_string(version));
+
+    std::uint32_t name_len = 0;
+    if (!getLe(in, name_len))
+        fatal("binary trace: truncated header");
+    std::string name(name_len, '\0');
+    if (name_len > 0 &&
+        !in.read(name.data(), static_cast<std::streamsize>(name_len)))
+        fatal("binary trace: truncated name");
+
+    std::uint64_t count = 0;
+    if (!getLe(in, count))
+        fatal("binary trace: truncated header");
+
+    Trace trace(name);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t timestamp = 0;
+        std::uint8_t type = 0;
+        std::uint64_t lba = 0;
+        std::uint64_t sectors = 0;
+        if (!getLe(in, timestamp) || !getLe(in, type) ||
+            !getLe(in, lba) || !getLe(in, sectors)) {
+            fatal("binary trace: truncated at record " +
+                  std::to_string(i));
+        }
+        if (type > 1)
+            fatal("binary trace: invalid record type");
+        if (sectors == 0)
+            fatal("binary trace: zero-length record");
+        trace.append(IoRecord{timestamp,
+                              type == 0 ? IoType::Read
+                                        : IoType::Write,
+                              SectorExtent{lba, sectors}});
+    }
+    return trace;
+}
+
+Trace
+readBinaryTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open trace file: " + path);
+    return readBinaryTrace(in);
+}
+
+} // namespace logseek::trace

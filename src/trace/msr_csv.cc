@@ -1,0 +1,169 @@
+#include "msr_csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace logseek::trace
+{
+
+namespace
+{
+
+/** Filetime ticks (100 ns) per microsecond. */
+constexpr std::uint64_t kTicksPerUs = 10;
+
+/** Split a CSV line into fields (no quoting in MSR traces). */
+std::vector<std::string_view>
+splitCsv(std::string_view line)
+{
+    std::vector<std::string_view> fields;
+    std::size_t begin = 0;
+    while (true) {
+        const std::size_t comma = line.find(',', begin);
+        if (comma == std::string_view::npos) {
+            fields.push_back(line.substr(begin));
+            break;
+        }
+        fields.push_back(line.substr(begin, comma - begin));
+        begin = comma + 1;
+    }
+    return fields;
+}
+
+bool
+parseUint(std::string_view text, std::uint64_t &out)
+{
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc{} && ptr == last;
+}
+
+bool
+parseInt(std::string_view text, int &out)
+{
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc{} && ptr == last;
+}
+
+} // namespace
+
+Trace
+parseMsrCsv(std::istream &in, const std::string &name,
+            const MsrCsvOptions &options)
+{
+    Trace out(name);
+    std::string line;
+    std::uint64_t line_number = 0;
+    bool have_epoch = false;
+    std::uint64_t epoch_ticks = 0;
+
+    auto reject = [&](const std::string &why) {
+        if (options.skipMalformed) {
+            warn("msr csv line " + std::to_string(line_number) +
+                 " skipped: " + why);
+            return;
+        }
+        fatal("msr csv line " + std::to_string(line_number) + ": " +
+              why);
+    };
+
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+
+        const auto fields = splitCsv(line);
+        if (fields.size() < 6) {
+            reject("expected at least 6 fields, got " +
+                   std::to_string(fields.size()));
+            continue;
+        }
+
+        std::uint64_t ticks = 0;
+        int disk = 0;
+        std::uint64_t offset_bytes = 0;
+        std::uint64_t length_bytes = 0;
+        if (!parseUint(fields[0], ticks)) {
+            reject("bad timestamp");
+            continue;
+        }
+        if (!parseInt(fields[2], disk)) {
+            reject("bad disk number");
+            continue;
+        }
+        IoType type;
+        if (fields[3] == "Read" || fields[3] == "read") {
+            type = IoType::Read;
+        } else if (fields[3] == "Write" || fields[3] == "write") {
+            type = IoType::Write;
+        } else {
+            reject("bad request type");
+            continue;
+        }
+        if (!parseUint(fields[4], offset_bytes)) {
+            reject("bad offset");
+            continue;
+        }
+        if (!parseUint(fields[5], length_bytes)) {
+            reject("bad length");
+            continue;
+        }
+        if (length_bytes == 0) {
+            reject("zero-length request");
+            continue;
+        }
+
+        if (options.diskFilter >= 0 && disk != options.diskFilter)
+            continue;
+
+        if (!have_epoch) {
+            epoch_ticks = ticks;
+            have_epoch = true;
+        }
+        const std::uint64_t rel_ticks =
+            ticks >= epoch_ticks ? ticks - epoch_ticks : 0;
+
+        const Lba lba = offset_bytes / kSectorBytes;
+        const std::uint64_t end_byte = offset_bytes + length_bytes;
+        const Lba end_lba =
+            (end_byte + kSectorBytes - 1) / kSectorBytes;
+        out.append(IoRecord{rel_ticks / kTicksPerUs, type,
+                            SectorExtent{lba, end_lba - lba}});
+    }
+    return out;
+}
+
+Trace
+parseMsrCsvFile(const std::string &path, const std::string &name,
+                const MsrCsvOptions &options)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file: " + path);
+    return parseMsrCsv(in, name, options);
+}
+
+void
+writeMsrCsv(std::ostream &out, const Trace &trace,
+            const std::string &hostname, int disk_number)
+{
+    for (const auto &record : trace) {
+        out << record.timestampUs * kTicksPerUs << ',' << hostname
+            << ',' << disk_number << ',' << toString(record.type)
+            << ',' << sectorsToBytes(record.extent.start) << ','
+            << record.extent.bytes() << ",0\n";
+    }
+}
+
+} // namespace logseek::trace

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A single block-level I/O request, as found in block traces.
+ */
+
+#ifndef LOGSEEK_TRACE_RECORD_H
+#define LOGSEEK_TRACE_RECORD_H
+
+#include <cstdint>
+
+#include "util/extent.h"
+
+namespace logseek::trace
+{
+
+/** Direction of a block request. */
+enum class IoType : std::uint8_t { Read, Write };
+
+/** Printable name of an IoType ("Read"/"Write"). */
+const char *toString(IoType type);
+
+/**
+ * One block I/O request. Addresses are in 512-byte sectors (the
+ * extent's start is the LBA of the first sector).
+ */
+struct IoRecord
+{
+    /** Request issue time in microseconds from trace start. */
+    std::uint64_t timestampUs = 0;
+
+    /** Read or write. */
+    IoType type = IoType::Read;
+
+    /** Logical sector range touched. */
+    SectorExtent extent;
+
+    bool isRead() const { return type == IoType::Read; }
+    bool isWrite() const { return type == IoType::Write; }
+
+    bool operator==(const IoRecord &other) const = default;
+};
+
+/** Construct a read record. */
+inline IoRecord
+makeRead(Lba lba, SectorCount sectors, std::uint64_t time_us = 0)
+{
+    return IoRecord{time_us, IoType::Read, SectorExtent{lba, sectors}};
+}
+
+/** Construct a write record. */
+inline IoRecord
+makeWrite(Lba lba, SectorCount sectors, std::uint64_t time_us = 0)
+{
+    return IoRecord{time_us, IoType::Write, SectorExtent{lba, sectors}};
+}
+
+} // namespace logseek::trace
+
+#endif // LOGSEEK_TRACE_RECORD_H

@@ -1,0 +1,70 @@
+#include "reorder.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace logseek::trace
+{
+
+Trace
+reorderElevator(const Trace &input, const ReorderOptions &options)
+{
+    panicIf(options.queueDepth == 0,
+            "reorderElevator: queue depth must be at least 1");
+
+    Trace out(input.name());
+    std::vector<std::size_t> pending;
+    pending.reserve(options.queueDepth);
+
+    std::size_t next_in = 0;
+    std::uint64_t head = 0;
+
+    auto oldest_pending_ts = [&]() {
+        std::uint64_t oldest = ~std::uint64_t{0};
+        for (const std::size_t index : pending)
+            oldest = std::min(oldest, input[index].timestampUs);
+        return oldest;
+    };
+
+    while (next_in < input.size() || !pending.empty()) {
+        // Admit requests into the queue; a request only joins if it
+        // arrived within the window of the oldest resident request
+        // (they must have been outstanding together).
+        while (next_in < input.size() &&
+               pending.size() < options.queueDepth) {
+            if (!pending.empty() && options.windowUs != 0 &&
+                input[next_in].timestampUs >
+                    oldest_pending_ts() + options.windowUs) {
+                break;
+            }
+            pending.push_back(next_in++);
+        }
+
+        // C-LOOK: serve the smallest start at or beyond the head;
+        // if none, sweep back to the smallest start overall.
+        std::size_t best = pending.size();
+        std::size_t wrap = pending.size();
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            const Lba start = input[pending[i]].extent.start;
+            if (start >= head &&
+                (best == pending.size() ||
+                 start < input[pending[best]].extent.start)) {
+                best = i;
+            }
+            if (wrap == pending.size() ||
+                start < input[pending[wrap]].extent.start) {
+                wrap = i;
+            }
+        }
+        const std::size_t pick = best != pending.size() ? best : wrap;
+        const IoRecord &record = input[pending[pick]];
+        out.append(record);
+        head = record.extent.end();
+        pending[pick] = pending.back();
+        pending.pop_back();
+    }
+    return out;
+}
+
+} // namespace logseek::trace

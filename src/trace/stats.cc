@@ -1,0 +1,69 @@
+#include "stats.h"
+
+namespace logseek::trace
+{
+
+double
+TraceStats::meanWriteSizeKiB() const
+{
+    if (writeCount == 0)
+        return 0.0;
+    return static_cast<double>(writtenBytes) /
+           static_cast<double>(writeCount) /
+           static_cast<double>(kKiB);
+}
+
+double
+TraceStats::meanReadSizeKiB() const
+{
+    if (readCount == 0)
+        return 0.0;
+    return static_cast<double>(readBytes) /
+           static_cast<double>(readCount) /
+           static_cast<double>(kKiB);
+}
+
+double
+TraceStats::readGiB() const
+{
+    return static_cast<double>(readBytes) /
+           static_cast<double>(kGiB);
+}
+
+double
+TraceStats::writtenGiB() const
+{
+    return static_cast<double>(writtenBytes) /
+           static_cast<double>(kGiB);
+}
+
+double
+TraceStats::writeFraction() const
+{
+    const std::uint64_t total = readCount + writeCount;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(writeCount) /
+           static_cast<double>(total);
+}
+
+TraceStats
+computeStats(const Trace &trace)
+{
+    TraceStats stats;
+    stats.name = trace.name();
+    for (const auto &record : trace) {
+        if (record.isRead()) {
+            ++stats.readCount;
+            stats.readBytes += record.extent.bytes();
+        } else {
+            ++stats.writeCount;
+            stats.writtenBytes += record.extent.bytes();
+        }
+    }
+    stats.addressSpaceEnd = trace.addressSpaceEnd();
+    stats.durationUs = trace.durationUs();
+    return stats;
+}
+
+} // namespace logseek::trace

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Aggregate workload characteristics in the shape of the paper's
+ * Table I (request counts, transferred volumes, mean write size).
+ */
+
+#ifndef LOGSEEK_TRACE_STATS_H
+#define LOGSEEK_TRACE_STATS_H
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace logseek::trace
+{
+
+/** Table-I style summary of a block trace. */
+struct TraceStats
+{
+    std::string name;
+    std::uint64_t readCount = 0;
+    std::uint64_t writeCount = 0;
+    std::uint64_t readBytes = 0;
+    std::uint64_t writtenBytes = 0;
+    Lba addressSpaceEnd = 0;
+    std::uint64_t durationUs = 0;
+
+    /** Mean write request size in KiB (0 if no writes). */
+    double meanWriteSizeKiB() const;
+
+    /** Mean read request size in KiB (0 if no reads). */
+    double meanReadSizeKiB() const;
+
+    /** Read volume in GiB. */
+    double readGiB() const;
+
+    /** Written volume in GiB. */
+    double writtenGiB() const;
+
+    /** Fraction of requests that are writes (0 if empty). */
+    double writeFraction() const;
+};
+
+/** Compute summary statistics for a trace in one pass. */
+TraceStats computeStats(const Trace &trace);
+
+} // namespace logseek::trace
+
+#endif // LOGSEEK_TRACE_STATS_H

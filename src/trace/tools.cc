@@ -1,0 +1,101 @@
+#include "tools.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace logseek::trace
+{
+
+Trace
+sliceByTime(const Trace &input, std::uint64_t begin_us,
+            std::uint64_t end_us)
+{
+    panicIf(begin_us > end_us, "sliceByTime: begin after end");
+    Trace out(input.name());
+    for (const auto &record : input) {
+        if (record.timestampUs >= begin_us &&
+            record.timestampUs < end_us)
+            out.append(record);
+    }
+    return out;
+}
+
+Trace
+sliceByIndex(const Trace &input, std::size_t begin, std::size_t end)
+{
+    panicIf(begin > end, "sliceByIndex: begin after end");
+    Trace out(input.name());
+    const std::size_t limit = std::min(end, input.size());
+    for (std::size_t i = begin; i < limit; ++i)
+        out.append(input[i]);
+    return out;
+}
+
+Trace
+mergeByTimestamp(const std::vector<const Trace *> &inputs,
+                 const std::string &name)
+{
+    for (const Trace *trace : inputs)
+        panicIf(trace == nullptr, "mergeByTimestamp: null trace");
+
+    // K-way merge keyed by (timestamp, input index) for stability.
+    using Head = std::tuple<std::uint64_t, std::size_t, std::size_t>;
+    std::priority_queue<Head, std::vector<Head>, std::greater<>>
+        heads;
+    for (std::size_t t = 0; t < inputs.size(); ++t) {
+        if (!inputs[t]->empty())
+            heads.emplace((*inputs[t])[0].timestampUs, t, 0);
+    }
+
+    Trace out(name);
+    while (!heads.empty()) {
+        const auto [ts, t, i] = heads.top();
+        heads.pop();
+        out.append((*inputs[t])[i]);
+        if (i + 1 < inputs[t]->size())
+            heads.emplace((*inputs[t])[i + 1].timestampUs, t, i + 1);
+    }
+    return out;
+}
+
+Trace
+filter(const Trace &input,
+       const std::function<bool(const IoRecord &)> &keep)
+{
+    Trace out(input.name());
+    for (const auto &record : input) {
+        if (keep(record))
+            out.append(record);
+    }
+    return out;
+}
+
+Trace
+readsOnly(const Trace &input)
+{
+    return filter(input, [](const IoRecord &record) {
+        return record.isRead();
+    });
+}
+
+Trace
+writesOnly(const Trace &input)
+{
+    return filter(input, [](const IoRecord &record) {
+        return record.isWrite();
+    });
+}
+
+Trace
+sampleEveryNth(const Trace &input, std::size_t n, std::size_t offset)
+{
+    panicIf(n == 0, "sampleEveryNth: n must be at least 1");
+    Trace out(input.name());
+    for (std::size_t i = offset; i < input.size(); i += n)
+        out.append(input[i]);
+    return out;
+}
+
+} // namespace logseek::trace

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Trace manipulation utilities: time/index slicing, timestamp
+ * merging and request filtering.
+ *
+ * Real block-trace studies constantly need these operations — the
+ * paper samples its traces ("we sample the traces and select
+ * some..."), merges per-disk streams into one volume view, and
+ * examines read-only or write-only behavior. These helpers keep
+ * such preprocessing inside the library instead of ad-hoc scripts.
+ */
+
+#ifndef LOGSEEK_TRACE_TOOLS_H
+#define LOGSEEK_TRACE_TOOLS_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace logseek::trace
+{
+
+/**
+ * Requests with timestamps in [begin_us, end_us), preserving order
+ * and timestamps.
+ */
+Trace sliceByTime(const Trace &input, std::uint64_t begin_us,
+                  std::uint64_t end_us);
+
+/** Requests with indices in [begin, end), clamped to the trace. */
+Trace sliceByIndex(const Trace &input, std::size_t begin,
+                   std::size_t end);
+
+/**
+ * Merge multiple traces into one stream ordered by timestamp
+ * (stable: ties keep the input-list order). Used to combine
+ * per-disk traces into a single volume view.
+ */
+Trace mergeByTimestamp(const std::vector<const Trace *> &inputs,
+                       const std::string &name);
+
+/** Keep only the requests for which keep returns true. */
+Trace filter(const Trace &input,
+             const std::function<bool(const IoRecord &)> &keep);
+
+/** Keep only reads. */
+Trace readsOnly(const Trace &input);
+
+/** Keep only writes. */
+Trace writesOnly(const Trace &input);
+
+/**
+ * Keep every nth request starting at offset — the simple sampling
+ * the paper applies to its trace corpus.
+ */
+Trace sampleEveryNth(const Trace &input, std::size_t n,
+                     std::size_t offset = 0);
+
+} // namespace logseek::trace
+
+#endif // LOGSEEK_TRACE_TOOLS_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Half-open sector extents and overlap arithmetic.
+ *
+ * SectorExtent is the lingua franca of logseek: logical requests,
+ * physical segments, map entries, cache keys and prefetch regions
+ * are all expressed as [start, start + count) sector ranges.
+ */
+
+#ifndef LOGSEEK_UTIL_EXTENT_H
+#define LOGSEEK_UTIL_EXTENT_H
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "units.h"
+
+namespace logseek
+{
+
+/** A half-open range of sectors [start, start + count). */
+struct SectorExtent
+{
+    std::uint64_t start = 0;
+    SectorCount count = 0;
+
+    /** One-past-the-end sector. */
+    std::uint64_t end() const { return start + count; }
+
+    /** True if the extent contains no sectors. */
+    bool empty() const { return count == 0; }
+
+    /** Size in bytes. */
+    std::uint64_t bytes() const { return sectorsToBytes(count); }
+
+    /** True if sector is inside the extent. */
+    bool
+    contains(std::uint64_t sector) const
+    {
+        return sector >= start && sector < end();
+    }
+
+    /** True if other is fully inside this extent. */
+    bool
+    covers(const SectorExtent &other) const
+    {
+        return other.empty() ||
+               (other.start >= start && other.end() <= end());
+    }
+
+    /** True if the two extents share at least one sector. */
+    bool
+    overlaps(const SectorExtent &other) const
+    {
+        return start < other.end() && other.start < end();
+    }
+
+    /** True if other begins exactly where this extent ends. */
+    bool
+    precedes(const SectorExtent &other) const
+    {
+        return end() == other.start;
+    }
+
+    bool operator==(const SectorExtent &other) const = default;
+};
+
+/** Intersection of two extents, if non-empty. */
+inline std::optional<SectorExtent>
+intersect(const SectorExtent &a, const SectorExtent &b)
+{
+    const std::uint64_t lo = std::max(a.start, b.start);
+    const std::uint64_t hi = std::min(a.end(), b.end());
+    if (lo >= hi)
+        return std::nullopt;
+    return SectorExtent{lo, hi - lo};
+}
+
+} // namespace logseek
+
+#endif // LOGSEEK_UTIL_EXTENT_H

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Empirical distributions: sample-based CDFs and fixed-bin histograms.
+ *
+ * Both are used to regenerate the paper's CDF figures (access
+ * distances, fragmented-read fragment counts, cache-size curves).
+ */
+
+#ifndef LOGSEEK_UTIL_HISTOGRAM_H
+#define LOGSEEK_UTIL_HISTOGRAM_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace logseek
+{
+
+/**
+ * Empirical CDF over double-valued samples.
+ *
+ * Samples are accumulated with add(); queries sort lazily.
+ */
+class EmpiricalCdf
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Number of samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Fraction of samples <= x; 0 if empty. */
+    double fractionAtOrBelow(double x) const;
+
+    /**
+     * Value at quantile p in [0, 1] (nearest-rank). Requires at
+     * least one sample.
+     */
+    double percentile(double p) const;
+
+    /** Smallest sample; requires at least one sample. */
+    double min() const;
+
+    /** Largest sample; requires at least one sample. */
+    double max() const;
+
+    /** Arithmetic mean; 0 if empty. */
+    double mean() const;
+
+    /**
+     * Evaluate the CDF curve at n evenly spaced x positions between
+     * lo and hi (inclusive). Returns (x, F(x)) pairs; useful for
+     * printing plot-ready series.
+     */
+    std::vector<std::pair<double, double>>
+    curve(double lo, double hi, std::size_t n) const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Fixed-width-bin histogram over unsigned integer samples, with an
+ * overflow bin for samples past the last edge.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bin_width Width of each bin (> 0).
+     * @param bin_count Number of regular bins (> 0).
+     */
+    Histogram(std::uint64_t bin_width, std::size_t bin_count);
+
+    /** Add one sample with weight 1. */
+    void add(std::uint64_t sample) { add(sample, 1); }
+
+    /** Add one sample with a given weight. */
+    void add(std::uint64_t sample, std::uint64_t weight);
+
+    /** Total weight added. */
+    std::uint64_t totalWeight() const { return total_; }
+
+    /** Weight in regular bin i. */
+    std::uint64_t binWeight(std::size_t i) const;
+
+    /** Weight of samples beyond the last regular bin. */
+    std::uint64_t overflowWeight() const { return overflow_; }
+
+    /** Number of regular bins. */
+    std::size_t binCount() const { return bins_.size(); }
+
+    /** Inclusive lower edge of regular bin i. */
+    std::uint64_t binLowerEdge(std::size_t i) const;
+
+  private:
+    std::uint64_t binWidth_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace logseek
+
+#endif // LOGSEEK_UTIL_HISTOGRAM_H

@@ -1,0 +1,34 @@
+#include "logging.h"
+
+#include <iostream>
+
+namespace logseek
+{
+
+void
+inform(const std::string &msg)
+{
+    std::cerr << "info: " << msg << "\n";
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n";
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n";
+    throw PanicError(msg);
+}
+
+} // namespace logseek

@@ -1,0 +1,59 @@
+#include "time_series.h"
+
+#include <numeric>
+
+#include "logging.h"
+
+namespace logseek
+{
+
+BinnedSeries::BinnedSeries(std::uint64_t bin_width)
+    : binWidth_(bin_width)
+{
+    panicIf(bin_width == 0, "BinnedSeries: bin width must be > 0");
+}
+
+void
+BinnedSeries::add(std::uint64_t index, std::int64_t value)
+{
+    const auto bin = static_cast<std::size_t>(index / binWidth_);
+    if (bin >= bins_.size())
+        bins_.resize(bin + 1, 0);
+    bins_[bin] += value;
+}
+
+std::int64_t
+BinnedSeries::binValue(std::size_t i) const
+{
+    return i < bins_.size() ? bins_[i] : 0;
+}
+
+std::uint64_t
+BinnedSeries::binLowerEdge(std::size_t i) const
+{
+    return static_cast<std::uint64_t>(i) * binWidth_;
+}
+
+std::int64_t
+BinnedSeries::total() const
+{
+    return std::accumulate(bins_.begin(), bins_.end(),
+                           std::int64_t{0});
+}
+
+BinnedSeries
+difference(const BinnedSeries &a, const BinnedSeries &b)
+{
+    panicIf(a.binWidth() != b.binWidth(),
+            "BinnedSeries difference: mismatched bin widths");
+    BinnedSeries out(a.binWidth());
+    const std::size_t n = std::max(a.binCount(), b.binCount());
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t delta = a.binValue(i) - b.binValue(i);
+        if (delta != 0 || i + 1 == n)
+            out.add(out.binWidth() * i, delta);
+    }
+    return out;
+}
+
+} // namespace logseek

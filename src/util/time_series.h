@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Binned accumulation series for "metric over time" figures.
+ *
+ * The paper plots seek-overhead differences against operation number
+ * (Figure 3); BinnedSeries accumulates signed values into fixed-width
+ * index bins so such series can be regenerated directly.
+ */
+
+#ifndef LOGSEEK_UTIL_TIME_SERIES_H
+#define LOGSEEK_UTIL_TIME_SERIES_H
+
+#include <cstdint>
+#include <vector>
+
+namespace logseek
+{
+
+/**
+ * Accumulates signed samples into fixed-width bins keyed by a
+ * monotonically unbounded index (e.g. operation number). Bins grow
+ * on demand.
+ */
+class BinnedSeries
+{
+  public:
+    /** @param bin_width Indices per bin (> 0). */
+    explicit BinnedSeries(std::uint64_t bin_width);
+
+    /** Add value to the bin containing index. */
+    void add(std::uint64_t index, std::int64_t value);
+
+    /** Number of allocated bins (highest touched bin + 1). */
+    std::size_t binCount() const { return bins_.size(); }
+
+    /** Accumulated value of bin i (0 if never touched). */
+    std::int64_t binValue(std::size_t i) const;
+
+    /** Inclusive lower index edge of bin i. */
+    std::uint64_t binLowerEdge(std::size_t i) const;
+
+    /** Width configured at construction. */
+    std::uint64_t binWidth() const { return binWidth_; }
+
+    /** Sum over all bins. */
+    std::int64_t total() const;
+
+  private:
+    std::uint64_t binWidth_;
+    std::vector<std::int64_t> bins_;
+};
+
+/**
+ * Element-wise difference of two BinnedSeries with equal bin width
+ * (a - b), sized to the longer of the two.
+ */
+BinnedSeries difference(const BinnedSeries &a, const BinnedSeries &b);
+
+} // namespace logseek
+
+#endif // LOGSEEK_UTIL_TIME_SERIES_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Basic storage units and address types used throughout logseek.
+ *
+ * The simulator works in 512-byte sectors. Logical block addresses
+ * (Lba) name sectors in the address space exposed to the host;
+ * physical block addresses (Pba) name sectors on the (infinite)
+ * physical medium of the disk model. Both are plain 64-bit integers;
+ * the distinct aliases exist to keep interfaces self-documenting.
+ */
+
+#ifndef LOGSEEK_UTIL_UNITS_H
+#define LOGSEEK_UTIL_UNITS_H
+
+#include <cstdint>
+
+namespace logseek
+{
+
+/** Logical block (sector) address, host-visible. */
+using Lba = std::uint64_t;
+
+/** Physical block (sector) address on the medium. */
+using Pba = std::uint64_t;
+
+/** A count of sectors. */
+using SectorCount = std::uint64_t;
+
+/** Bytes of a 512-byte sector. */
+inline constexpr std::uint64_t kSectorBytes = 512;
+
+/** Convenience byte multiples. */
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/** Round a byte count down to whole sectors. */
+constexpr SectorCount
+bytesToSectors(std::uint64_t bytes)
+{
+    return bytes / kSectorBytes;
+}
+
+/** Convert a sector count to bytes. */
+constexpr std::uint64_t
+sectorsToBytes(SectorCount sectors)
+{
+    return sectors * kSectorBytes;
+}
+
+/**
+ * Signed distance in bytes between two sector addresses
+ * (to - from), used for seek-length accounting.
+ */
+constexpr std::int64_t
+sectorDistanceBytes(std::uint64_t from, std::uint64_t to)
+{
+    return (static_cast<std::int64_t>(to) -
+            static_cast<std::int64_t>(from)) *
+           static_cast<std::int64_t>(kSectorBytes);
+}
+
+} // namespace logseek
+
+#endif // LOGSEEK_UTIL_UNITS_H

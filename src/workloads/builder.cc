@@ -1,0 +1,30 @@
+#include "builder.h"
+
+#include "util/logging.h"
+
+namespace logseek::workloads
+{
+
+TraceBuilder::TraceBuilder(std::string name,
+                           std::uint64_t interarrival_us)
+    : trace_(std::move(name)), interarrivalUs_(interarrival_us)
+{
+    panicIf(interarrival_us == 0,
+            "TraceBuilder: inter-arrival time must be positive");
+}
+
+void
+TraceBuilder::read(Lba lba, SectorCount count)
+{
+    trace_.appendRead(lba, count, clockUs_);
+    clockUs_ += interarrivalUs_;
+}
+
+void
+TraceBuilder::write(Lba lba, SectorCount count)
+{
+    trace_.appendWrite(lba, count, clockUs_);
+    clockUs_ += interarrivalUs_;
+}
+
+} // namespace logseek::workloads

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * TraceBuilder: clocked construction of synthetic block traces.
+ *
+ * Phases append requests through the builder, which assigns
+ * monotonically increasing timestamps from a configurable
+ * inter-arrival time; idle() inserts longer gaps (e.g. between
+ * simulated days) so time-series analyses see realistic structure.
+ */
+
+#ifndef LOGSEEK_WORKLOADS_BUILDER_H
+#define LOGSEEK_WORKLOADS_BUILDER_H
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace logseek::workloads
+{
+
+/** Incremental builder for synthetic traces. */
+class TraceBuilder
+{
+  public:
+    /**
+     * @param name Workload name for the resulting trace.
+     * @param interarrival_us Clock advance per request.
+     */
+    explicit TraceBuilder(std::string name,
+                          std::uint64_t interarrival_us = 1000);
+
+    /** Append a read of count sectors at lba. */
+    void read(Lba lba, SectorCount count);
+
+    /** Append a write of count sectors at lba. */
+    void write(Lba lba, SectorCount count);
+
+    /** Advance the clock without issuing a request. */
+    void idle(std::uint64_t us) { clockUs_ += us; }
+
+    /** Requests appended so far. */
+    std::size_t size() const { return trace_.size(); }
+
+    /** Current clock value in microseconds. */
+    std::uint64_t clockUs() const { return clockUs_; }
+
+    /** Finish building and take the trace. */
+    trace::Trace take() { return std::move(trace_); }
+
+    /** Read-only view of the trace under construction. */
+    const trace::Trace &peek() const { return trace_; }
+
+  private:
+    trace::Trace trace_;
+    std::uint64_t clockUs_ = 0;
+    std::uint64_t interarrivalUs_;
+};
+
+} // namespace logseek::workloads
+
+#endif // LOGSEEK_WORKLOADS_BUILDER_H

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the analysis observers (SeekCounter, CDFs,
+ * fragment popularity).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include "analysis/observers.h"
+#include "stl/simulator.h"
+
+namespace logseek::analysis
+{
+namespace
+{
+
+using stl::SimConfig;
+using stl::Simulator;
+using stl::TranslationKind;
+
+SimConfig
+ls()
+{
+    SimConfig config;
+    config.translation = TranslationKind::LogStructured;
+    return config;
+}
+
+trace::Trace
+fragmentingTrace()
+{
+    trace::Trace trace("t");
+    trace.appendWrite(0, 10);
+    trace.appendWrite(4, 2);
+    trace.appendRead(0, 10); // 3 fragments under LS
+    trace.appendRead(0, 10);
+    return trace;
+}
+
+TEST(SeekCounter, MatchesSimResultTotals)
+{
+    SeekCounter counter;
+    Simulator simulator(ls());
+    simulator.addObserver(&counter);
+    const stl::SimResult result = simulator.run(fragmentingTrace());
+    EXPECT_EQ(counter.readSeeks(), result.readSeeks);
+    EXPECT_EQ(counter.writeSeeks(), result.writeSeeks);
+    EXPECT_EQ(counter.totalSeeks(), result.totalSeeks());
+}
+
+TEST(SeekCounter, LongSeekThresholdFilters)
+{
+    trace::Trace trace("t");
+    trace.appendWrite(0, 8);
+    // ~0.9 MB away: long; then 16 KB away: short.
+    trace.appendWrite(2000, 8);
+    trace.appendWrite(2040, 8);
+
+    SeekCounter counter(/*ops_per_bin=*/1,
+                        /*long_seek_bytes=*/500 * 1000);
+    SimConfig config;
+    config.translation = TranslationKind::Conventional;
+    Simulator simulator(config);
+    simulator.addObserver(&counter);
+    simulator.run(trace);
+
+    EXPECT_EQ(counter.writeSeeks(), 2u);
+    EXPECT_EQ(counter.longSeeks(), 1u);
+    EXPECT_EQ(counter.longSeekSeries().binValue(1), 1);
+    EXPECT_EQ(counter.longSeekSeries().binValue(2), 0);
+}
+
+TEST(SeekCounter, SeriesBinsByOpIndex)
+{
+    trace::Trace trace("t");
+    for (int i = 0; i < 100; ++i)
+        trace.appendWrite(static_cast<Lba>(i) * 100000, 8);
+    SeekCounter counter(/*ops_per_bin=*/10);
+    SimConfig config;
+    config.translation = TranslationKind::Conventional;
+    Simulator simulator(config);
+    simulator.addObserver(&counter);
+    simulator.run(trace);
+    EXPECT_EQ(counter.longSeekSeries().binCount(), 10u);
+}
+
+TEST(AccessDistanceCdf, SequentialAccessesContributeZero)
+{
+    trace::Trace trace("t");
+    trace.appendWrite(0, 8);
+    trace.appendWrite(8, 8);
+    trace.appendWrite(16, 8);
+    AccessDistanceCdf cdf;
+    SimConfig config;
+    config.translation = TranslationKind::Conventional;
+    Simulator simulator(config);
+    simulator.addObserver(&cdf);
+    simulator.run(trace);
+    EXPECT_EQ(cdf.distancesGb().count(), 3u);
+    EXPECT_DOUBLE_EQ(cdf.distancesGb().max(), 0.0);
+}
+
+TEST(AccessDistanceCdf, BackwardSeekIsNegative)
+{
+    trace::Trace trace("t");
+    trace.appendWrite(100000, 8);
+    trace.appendWrite(0, 8);
+    AccessDistanceCdf cdf;
+    SimConfig config;
+    config.translation = TranslationKind::Conventional;
+    Simulator simulator(config);
+    simulator.addObserver(&cdf);
+    simulator.run(trace);
+    EXPECT_LT(cdf.distancesGb().min(), 0.0);
+}
+
+TEST(FragmentedReadCdf, CountsOnlyFragmentedReads)
+{
+    FragmentedReadCdf cdf;
+    Simulator simulator(ls());
+    simulator.addObserver(&cdf);
+    simulator.run(fragmentingTrace());
+    EXPECT_EQ(cdf.totalReads(), 2u);
+    EXPECT_EQ(cdf.fragmentedReads(), 2u);
+    EXPECT_EQ(cdf.totalFragments(), 6u);
+    EXPECT_EQ(cdf.fragmentsPerRead().count(), 2u);
+    EXPECT_DOUBLE_EQ(cdf.fragmentsPerRead().max(), 3.0);
+}
+
+TEST(FragmentedReadCdf, IgnoresUnfragmentedAndWrites)
+{
+    trace::Trace trace("t");
+    trace.appendWrite(0, 10);
+    trace.appendRead(0, 10); // single fragment
+    FragmentedReadCdf cdf;
+    Simulator simulator(ls());
+    simulator.addObserver(&cdf);
+    simulator.run(trace);
+    EXPECT_EQ(cdf.totalReads(), 1u);
+    EXPECT_EQ(cdf.fragmentedReads(), 0u);
+    EXPECT_EQ(cdf.fragmentsPerRead().count(), 0u);
+}
+
+TEST(FragmentPopularity, CountsAccessesPerFragment)
+{
+    FragmentPopularity popularity;
+    Simulator simulator(ls());
+    simulator.addObserver(&popularity);
+    simulator.run(fragmentingTrace());
+    // 3 fragments, read twice each.
+    EXPECT_EQ(popularity.fragmentCount(), 3u);
+    EXPECT_EQ(popularity.totalAccesses(), 6u);
+    const auto sorted = popularity.sortedByPopularity();
+    ASSERT_EQ(sorted.size(), 3u);
+    for (const auto &stat : sorted)
+        EXPECT_EQ(stat.accesses, 2u);
+}
+
+TEST(FragmentPopularity, SortedDescendingByAccessCount)
+{
+    trace::Trace trace("t");
+    trace.appendWrite(0, 10);
+    trace.appendWrite(4, 2);   // fragments 0..9
+    trace.appendWrite(20, 10);
+    trace.appendWrite(24, 2);  // fragments 20..29
+    for (int i = 0; i < 5; ++i)
+        trace.appendRead(0, 10);
+    trace.appendRead(20, 10);
+
+    FragmentPopularity popularity;
+    Simulator simulator(ls());
+    simulator.addObserver(&popularity);
+    simulator.run(trace);
+
+    const auto sorted = popularity.sortedByPopularity();
+    ASSERT_GE(sorted.size(), 2u);
+    for (std::size_t i = 1; i < sorted.size(); ++i)
+        EXPECT_LE(sorted[i].accesses, sorted[i - 1].accesses);
+    EXPECT_EQ(sorted.front().accesses, 5u);
+}
+
+TEST(FragmentPopularity, BytesForAccessFraction)
+{
+    trace::Trace trace("t");
+    trace.appendWrite(0, 10);
+    trace.appendWrite(4, 2);
+    for (int i = 0; i < 10; ++i)
+        trace.appendRead(0, 10);
+
+    FragmentPopularity popularity;
+    Simulator simulator(ls());
+    simulator.addObserver(&popularity);
+    simulator.run(trace);
+
+    const std::uint64_t all = popularity.bytesForAccessFraction(1.0);
+    const std::uint64_t none = popularity.bytesForAccessFraction(0.0);
+    EXPECT_EQ(none, 0u);
+    EXPECT_EQ(all, 10 * kSectorBytes); // three fragments, 10 sectors
+    EXPECT_LE(popularity.bytesForAccessFraction(0.5), all);
+    EXPECT_THROW(popularity.bytesForAccessFraction(1.5), PanicError);
+}
+
+TEST(FragmentPopularity, IgnoresWritesAndCleanReads)
+{
+    trace::Trace trace("t");
+    trace.appendWrite(0, 10);
+    trace.appendRead(0, 10);
+    FragmentPopularity popularity;
+    Simulator simulator(ls());
+    simulator.addObserver(&popularity);
+    simulator.run(trace);
+    EXPECT_EQ(popularity.fragmentCount(), 0u);
+}
+
+} // namespace
+} // namespace logseek::analysis

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the analytic seek-time model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "disk/seek_time.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace logseek::disk
+{
+namespace
+{
+
+TEST(SeekTimeModel, NoSeekCostsNothing)
+{
+    const SeekTimeModel model;
+    EXPECT_DOUBLE_EQ(model.seekSeconds(0), 0.0);
+}
+
+TEST(SeekTimeModel, ShortForwardSeekIsTransferEquivalent)
+{
+    const SeekTimeModel model;
+    const std::int64_t distance = 100 * 1024;
+    EXPECT_DOUBLE_EQ(
+        model.seekSeconds(distance),
+        model.transferSeconds(static_cast<std::uint64_t>(distance)));
+}
+
+TEST(SeekTimeModel, ShortBackwardSeekIsMissedRotation)
+{
+    const SeekTimeModel model;
+    EXPECT_DOUBLE_EQ(model.seekSeconds(-4096),
+                     model.rotationSeconds());
+}
+
+TEST(SeekTimeModel, RotationAt7200Rpm)
+{
+    const SeekTimeModel model;
+    EXPECT_NEAR(model.rotationSeconds(), 1.0 / 120.0, 1e-12);
+}
+
+TEST(SeekTimeModel, LongSeekIncludesHalfRotation)
+{
+    const SeekTimeModel model;
+    const double cost =
+        model.seekSeconds(static_cast<std::int64_t>(10 * kMiB));
+    EXPECT_GT(cost, 0.5 * model.rotationSeconds());
+    EXPECT_GE(cost, model.params().minHeadMoveSec);
+}
+
+TEST(SeekTimeModel, LongSeekGrowsWithDistance)
+{
+    const SeekTimeModel model;
+    const double near = model.seekSeconds(
+        static_cast<std::int64_t>(10 * kMiB));
+    const double mid = model.seekSeconds(
+        static_cast<std::int64_t>(10 * kGiB));
+    const double far = model.seekSeconds(
+        static_cast<std::int64_t>(4000 * kGiB));
+    EXPECT_LT(near, mid);
+    EXPECT_LT(mid, far);
+}
+
+TEST(SeekTimeModel, LongSeekIsCappedAtFullStroke)
+{
+    const SeekTimeModel model;
+    const double full = model.seekSeconds(
+        static_cast<std::int64_t>(model.params().fullStrokeBytes));
+    const double beyond = model.seekSeconds(
+        static_cast<std::int64_t>(model.params().fullStrokeBytes) *
+        2);
+    EXPECT_DOUBLE_EQ(full, beyond);
+    EXPECT_NEAR(full,
+                model.params().maxHeadMoveSec +
+                    0.5 * model.rotationSeconds(),
+                1e-9);
+}
+
+TEST(SeekTimeModel, SymmetricForLongSeeks)
+{
+    const SeekTimeModel model;
+    const auto distance = static_cast<std::int64_t>(kGiB);
+    EXPECT_DOUBLE_EQ(model.seekSeconds(distance),
+                     model.seekSeconds(-distance));
+}
+
+TEST(SeekTimeModel, TransferTimeScalesLinearly)
+{
+    const SeekTimeModel model;
+    EXPECT_DOUBLE_EQ(model.transferSeconds(2 * kMiB),
+                     2.0 * model.transferSeconds(kMiB));
+}
+
+TEST(SeekTimeModel, ThresholdBoundaryBehavior)
+{
+    const SeekTimeModel model;
+    const std::uint64_t threshold = model.params().shortSeekBytes;
+    const double at = model.seekSeconds(
+        static_cast<std::int64_t>(threshold));
+    const double above = model.seekSeconds(
+        static_cast<std::int64_t>(threshold + 1));
+    // Long seeks cost strictly more than the short-seek regime at
+    // the boundary (head move + half rotation dominates transfer).
+    EXPECT_GT(above, at);
+}
+
+TEST(SeekTimeModel, InvalidParamsAreFatalToConstruction)
+{
+    SeekTimeParams bad;
+    bad.transferBytesPerSec = 0.0;
+    EXPECT_THROW(SeekTimeModel{bad}, PanicError);
+
+    SeekTimeParams inverted;
+    inverted.minHeadMoveSec = 30e-3;
+    inverted.maxHeadMoveSec = 10e-3;
+    EXPECT_THROW(SeekTimeModel{inverted}, PanicError);
+}
+
+TEST(SeekTimeModel, CustomSpindleSpeed)
+{
+    SeekTimeParams params;
+    params.rotationsPerSec = 250.0; // 15k rpm
+    const SeekTimeModel model(params);
+    EXPECT_NEAR(model.rotationSeconds(), 0.004, 1e-12);
+}
+
+} // namespace
+} // namespace logseek::disk

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * End-to-end integration tests: named workloads driven through the
+ * full stack, asserting the paper's qualitative results (Figure 11
+ * shapes, mechanism signs, Figure 8 ordering) at a reduced scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include <map>
+
+#include "analysis/misordered.h"
+#include "analysis/observers.h"
+#include "stl/simulator.h"
+#include "trace/msr_csv.h"
+#include "workloads/profiles.h"
+
+#include <sstream>
+
+namespace logseek
+{
+namespace
+{
+
+workloads::ProfileOptions
+testOptions()
+{
+    workloads::ProfileOptions options;
+    options.scale = 0.008;
+    return options;
+}
+
+struct SafSet
+{
+    double ls = 0.0;
+    double defrag = 0.0;
+    double prefetch = 0.0;
+    double cache = 0.0;
+};
+
+SafSet
+runAll(const std::string &name)
+{
+    const trace::Trace trace =
+        workloads::makeWorkload(name, testOptions());
+
+    stl::SimConfig baseline;
+    baseline.translation = stl::TranslationKind::Conventional;
+    const stl::SimResult nols =
+        stl::Simulator(baseline).run(trace);
+
+    auto saf = [&](bool defrag, bool prefetch, bool cache) {
+        stl::SimConfig config;
+        config.translation = stl::TranslationKind::LogStructured;
+        if (defrag)
+            config.defrag = stl::DefragConfig{};
+        if (prefetch)
+            config.prefetch = stl::PrefetchConfig{};
+        if (cache)
+            config.cache = stl::SelectiveCacheConfig{64 * kMiB};
+        return stl::seekAmplification(
+            nols, stl::Simulator(config).run(trace));
+    };
+
+    SafSet out;
+    out.ls = saf(false, false, false);
+    out.defrag = saf(true, false, false);
+    out.prefetch = saf(false, true, false);
+    out.cache = saf(false, false, true);
+    return out;
+}
+
+TEST(EndToEnd, WriteDominantWorkloadsBenefitFromLogStructure)
+{
+    // Paper Fig. 11a: MSR workloads other than usr_1 and hm_1 show
+    // SAF < 1.
+    for (const char *name : {"src2_2", "web_0", "wdev_0", "ts_0"}) {
+        const SafSet saf = runAll(name);
+        EXPECT_LT(saf.ls, 1.0) << name;
+    }
+}
+
+TEST(EndToEnd, LogSensitiveWorkloadsAmplify)
+{
+    // Paper: usr_1 and hm_1 (MSR) and w91 (CloudPhysics) exceed 1.
+    for (const char *name : {"usr_1", "hm_1", "w91"}) {
+        const SafSet saf = runAll(name);
+        EXPECT_GT(saf.ls, 1.0) << name;
+    }
+}
+
+TEST(EndToEnd, W91IsTheWorstCloudPhysicsCase)
+{
+    const SafSet w91 = runAll("w91");
+    EXPECT_GT(w91.ls, 2.5);
+    // All three mechanisms improve w91 substantially.
+    EXPECT_LT(w91.defrag, w91.ls / 1.5);
+    EXPECT_LT(w91.prefetch, w91.ls / 1.5);
+    EXPECT_LT(w91.cache, w91.ls / 1.5);
+    // Selective caching is the best of the three (paper: 3.7->0.2).
+    EXPECT_LT(w91.cache, w91.defrag);
+    EXPECT_LT(w91.cache, w91.prefetch * 1.2);
+}
+
+TEST(EndToEnd, DefragmentationHurtsScanOnceWorkloads)
+{
+    // Paper §V: "opportunistic defragmentation ... SAF is worsened"
+    // for src2_2, w93 and w20.
+    for (const char *name : {"w20", "w93", "src2_2"}) {
+        const SafSet saf = runAll(name);
+        EXPECT_GT(saf.defrag, saf.ls) << name;
+    }
+}
+
+TEST(EndToEnd, PrefetchingHelpsMisorderedWorkloads)
+{
+    // Paper §V: significant improvement for w84, w95, w91.
+    for (const char *name : {"w84", "w95", "w91"}) {
+        const SafSet saf = runAll(name);
+        EXPECT_LT(saf.prefetch, 0.6 * saf.ls) << name;
+    }
+}
+
+TEST(EndToEnd, CachingIsBestOnAverage)
+{
+    // Paper §V: selective caching gives the lowest SAF for most
+    // workloads.
+    const std::vector<std::string> sample{
+        "hm_1", "web_0", "w93", "w55", "w33", "w89"};
+    int cache_wins = 0;
+    for (const auto &name : sample) {
+        const SafSet saf = runAll(name);
+        if (saf.cache <= saf.defrag && saf.cache <= saf.prefetch)
+            ++cache_wins;
+    }
+    EXPECT_GE(cache_wins, 4);
+}
+
+TEST(EndToEnd, MisorderedWriteFractionsDifferByDesign)
+{
+    // Paper Fig. 8: src2_2 and w106 have the highest mis-ordered
+    // fractions (about 1 in 20/25); usr_1 is low.
+    const auto options = testOptions();
+    std::map<std::string, double> fraction;
+    for (const char *name : {"src2_2", "w106", "usr_1", "hm_1"}) {
+        const trace::Trace trace =
+            workloads::makeWorkload(name, options);
+        fraction[name] =
+            analysis::countMisorderedWrites(trace).fraction();
+    }
+    EXPECT_GT(fraction["src2_2"], fraction["usr_1"]);
+    EXPECT_GT(fraction["w106"], fraction["usr_1"]);
+    EXPECT_GT(fraction["hm_1"], 0.0);
+}
+
+TEST(EndToEnd, MsrRoundTripPreservesSimulationResults)
+{
+    // Serialize a named workload to MSR CSV, parse it back, and
+    // check the simulation is bit-identical — the paper's pipeline
+    // from on-disk traces to seek counts.
+    const trace::Trace original =
+        workloads::makeWorkload("hm_1", testOptions());
+    std::stringstream buffer;
+    trace::writeMsrCsv(buffer, original);
+    const trace::Trace reparsed =
+        trace::parseMsrCsv(buffer, "hm_1");
+
+    stl::SimConfig config;
+    config.translation = stl::TranslationKind::LogStructured;
+    const stl::SimResult a = stl::Simulator(config).run(original);
+    const stl::SimResult b = stl::Simulator(config).run(reparsed);
+    EXPECT_EQ(a.totalSeeks(), b.totalSeeks());
+    EXPECT_EQ(a.readFragments, b.readFragments);
+}
+
+TEST(EndToEnd, ObserversAgreeAcrossConfigs)
+{
+    const trace::Trace trace =
+        workloads::makeWorkload("w95", testOptions());
+    stl::SimConfig config;
+    config.translation = stl::TranslationKind::LogStructured;
+
+    analysis::SeekCounter counter;
+    analysis::FragmentedReadCdf frag_cdf;
+    stl::Simulator simulator(config);
+    simulator.addObserver(&counter);
+    simulator.addObserver(&frag_cdf);
+    const stl::SimResult result = simulator.run(trace);
+
+    EXPECT_EQ(counter.totalSeeks(), result.totalSeeks());
+    EXPECT_EQ(frag_cdf.fragmentedReads(), result.fragmentedReads);
+    EXPECT_EQ(frag_cdf.totalFragments(), result.readFragments);
+}
+
+TEST(EndToEnd, CombinedMechanismsDoNotBreakCorrectness)
+{
+    const trace::Trace trace =
+        workloads::makeWorkload("w55", testOptions());
+    stl::SimConfig config;
+    config.translation = stl::TranslationKind::LogStructured;
+    config.defrag = stl::DefragConfig{};
+    config.prefetch = stl::PrefetchConfig{};
+    config.cache = stl::SelectiveCacheConfig{64 * kMiB};
+    const stl::SimResult result = stl::Simulator(config).run(trace);
+    EXPECT_EQ(result.reads + result.writes, trace.size());
+    EXPECT_GT(result.totalSeeks(), 0u);
+}
+
+} // namespace
+} // namespace logseek

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Regression guard over the whole workload registry: every named
+ * profile must keep the seek-amplification direction documented in
+ * the paper (Figure 11) and in DESIGN.md. These are the invariants
+ * the workload tuning was calibrated to; a profile edit that flips
+ * one of them silently breaks the reproduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "stl/simulator.h"
+#include "util/logging.h"
+#include "workloads/profiles.h"
+
+namespace logseek
+{
+namespace
+{
+
+/** Paper-documented SAF direction for plain LS translation. */
+enum class Direction
+{
+    Below,      ///< SAF clearly below 1 (log-friendly)
+    Above,      ///< SAF clearly above 1 (log-sensitive)
+    Borderline, ///< near 1; only sanity-checked
+};
+
+const std::map<std::string, Direction> &
+expectations()
+{
+    static const std::map<std::string, Direction> table{
+        // MSR: all below 1 except usr_1 and hm_1 (paper Fig. 11a).
+        {"usr_0", Direction::Borderline},
+        {"usr_1", Direction::Above},
+        {"src2_2", Direction::Below},
+        {"hm_1", Direction::Above},
+        {"web_0", Direction::Below},
+        {"wdev_0", Direction::Below},
+        {"mds_0", Direction::Below},
+        {"rsrch_0", Direction::Below},
+        {"ts_0", Direction::Below},
+        // CloudPhysics: majority above 1 (paper Fig. 11b).
+        {"w84", Direction::Borderline},
+        {"w95", Direction::Above},
+        {"w64", Direction::Above},
+        {"w93", Direction::Above},
+        {"w20", Direction::Above},
+        {"w91", Direction::Above},
+        {"w76", Direction::Below},
+        {"w36", Direction::Below},
+        {"w89", Direction::Above},
+        {"w106", Direction::Below},
+        {"w55", Direction::Above},
+        {"w33", Direction::Above},
+    };
+    return table;
+}
+
+class SafRegression : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static double
+    plainLsSaf(const std::string &name)
+    {
+        workloads::ProfileOptions options;
+        options.scale = 0.008;
+        const trace::Trace trace =
+            workloads::makeWorkload(name, options);
+        stl::SimConfig ls;
+        ls.translation = stl::TranslationKind::LogStructured;
+        const auto [nols, log] = stl::runWithBaseline(trace, ls);
+        return stl::seekAmplification(nols, log);
+    }
+};
+
+TEST_P(SafRegression, LsDirectionMatchesPaper)
+{
+    const std::string &name = GetParam();
+    const auto it = expectations().find(name);
+    ASSERT_NE(it, expectations().end())
+        << "workload missing from the expectation table";
+
+    const double saf = plainLsSaf(name);
+    switch (it->second) {
+      case Direction::Below:
+        EXPECT_LT(saf, 0.95) << name;
+        break;
+      case Direction::Above:
+        EXPECT_GT(saf, 1.05) << name;
+        break;
+      case Direction::Borderline:
+        EXPECT_GT(saf, 0.3) << name;
+        EXPECT_LT(saf, 2.0) << name;
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SafRegression,
+    ::testing::ValuesIn(workloads::allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &param_info) {
+        return param_info.param;
+    });
+
+TEST(SafRegression, ExpectationTableCoversRegistry)
+{
+    for (const auto &name : workloads::allWorkloadNames())
+        EXPECT_TRUE(expectations().contains(name)) << name;
+    EXPECT_EQ(expectations().size(),
+              workloads::allWorkloadNames().size());
+}
+
+} // namespace
+} // namespace logseek

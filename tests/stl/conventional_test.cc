@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for the conventional (NoLS) translation layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stl/conventional.h"
+#include "util/logging.h"
+
+namespace logseek::stl
+{
+namespace
+{
+
+TEST(ConventionalLayer, ReadsAreIdentity)
+{
+    const ConventionalLayer layer;
+    const auto segments = layer.translateRead({123, 45});
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].pba, 123u);
+    EXPECT_EQ(segments[0].logical, (SectorExtent{123, 45}));
+    EXPECT_TRUE(segments[0].mapped);
+}
+
+TEST(ConventionalLayer, WritesAreIdentity)
+{
+    ConventionalLayer layer;
+    const auto segments = layer.placeWrite({99, 7});
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].pba, 99u);
+}
+
+TEST(ConventionalLayer, WritesDoNotAffectReads)
+{
+    ConventionalLayer layer;
+    layer.placeWrite({0, 100});
+    layer.placeWrite({50, 10});
+    const auto segments = layer.translateRead({0, 100});
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].pba, 0u);
+}
+
+TEST(ConventionalLayer, NeverFragmented)
+{
+    ConventionalLayer layer;
+    for (int i = 0; i < 100; ++i)
+        layer.placeWrite({static_cast<Lba>(i * 3), 2});
+    EXPECT_EQ(layer.staticFragmentCount(), 0u);
+}
+
+TEST(ConventionalLayer, NameAndEmptyExtentHandling)
+{
+    ConventionalLayer layer;
+    EXPECT_EQ(layer.name(), "conventional");
+    EXPECT_THROW(layer.translateRead({0, 0}), PanicError);
+    EXPECT_THROW(layer.placeWrite({0, 0}), PanicError);
+}
+
+} // namespace
+} // namespace logseek::stl

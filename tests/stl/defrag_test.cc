@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the opportunistic defragmentation policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stl/defrag.h"
+#include "util/logging.h"
+
+namespace logseek::stl
+{
+namespace
+{
+
+TEST(Defragmenter, DefaultRewritesAnyFragmentedRead)
+{
+    Defragmenter defrag;
+    EXPECT_FALSE(defrag.onRead({0, 10}, 1)); // unfragmented
+    EXPECT_TRUE(defrag.onRead({0, 10}, 2));
+    EXPECT_TRUE(defrag.onRead({0, 10}, 7));
+    EXPECT_EQ(defrag.rewriteCount(), 2u);
+}
+
+TEST(Defragmenter, MinFragmentsThresholdFilters)
+{
+    Defragmenter defrag(DefragConfig{.minFragments = 4,
+                                     .minAccesses = 1});
+    EXPECT_FALSE(defrag.onRead({0, 10}, 2));
+    EXPECT_FALSE(defrag.onRead({0, 10}, 3));
+    EXPECT_TRUE(defrag.onRead({0, 10}, 4));
+}
+
+TEST(Defragmenter, MinAccessesWaitsForRepeats)
+{
+    Defragmenter defrag(DefragConfig{.minFragments = 2,
+                                     .minAccesses = 3});
+    EXPECT_FALSE(defrag.onRead({0, 10}, 2)); // access 1
+    EXPECT_FALSE(defrag.onRead({0, 10}, 2)); // access 2
+    EXPECT_TRUE(defrag.onRead({0, 10}, 2));  // access 3
+}
+
+TEST(Defragmenter, AccessCountsArePerRange)
+{
+    Defragmenter defrag(DefragConfig{.minFragments = 2,
+                                     .minAccesses = 2});
+    EXPECT_FALSE(defrag.onRead({0, 10}, 2));
+    EXPECT_FALSE(defrag.onRead({100, 10}, 2)); // different range
+    EXPECT_TRUE(defrag.onRead({0, 10}, 2));
+    EXPECT_TRUE(defrag.onRead({100, 10}, 2));
+}
+
+TEST(Defragmenter, CountResetsAfterRewrite)
+{
+    Defragmenter defrag(DefragConfig{.minFragments = 2,
+                                     .minAccesses = 2});
+    EXPECT_FALSE(defrag.onRead({0, 10}, 2));
+    EXPECT_TRUE(defrag.onRead({0, 10}, 2));
+    // After the rewrite the counter starts over.
+    EXPECT_FALSE(defrag.onRead({0, 10}, 2));
+    EXPECT_TRUE(defrag.onRead({0, 10}, 2));
+}
+
+TEST(Defragmenter, UnfragmentedReadsDoNotAdvanceCounts)
+{
+    Defragmenter defrag(DefragConfig{.minFragments = 2,
+                                     .minAccesses = 2});
+    EXPECT_FALSE(defrag.onRead({0, 10}, 1));
+    EXPECT_FALSE(defrag.onRead({0, 10}, 1));
+    EXPECT_FALSE(defrag.onRead({0, 10}, 2)); // first fragmented access
+}
+
+TEST(Defragmenter, RangesWithDifferentSizesAreDistinct)
+{
+    Defragmenter defrag(DefragConfig{.minFragments = 2,
+                                     .minAccesses = 2});
+    EXPECT_FALSE(defrag.onRead({0, 10}, 2));
+    EXPECT_FALSE(defrag.onRead({0, 20}, 2)); // same start, other size
+    EXPECT_TRUE(defrag.onRead({0, 10}, 2));
+}
+
+TEST(Defragmenter, InvalidConfigPanics)
+{
+    EXPECT_THROW(Defragmenter(DefragConfig{.minFragments = 1,
+                                           .minAccesses = 1}),
+                 PanicError);
+    EXPECT_THROW(Defragmenter(DefragConfig{.minFragments = 2,
+                                           .minAccesses = 0}),
+                 PanicError);
+}
+
+} // namespace
+} // namespace logseek::stl

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Unit tests for ExtentMap: interval mapping, splitting on partial
+ * overwrite, coalescing, and hole-aware translation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stl/extent_map.h"
+#include "stl/translation_layer.h"
+#include "util/logging.h"
+
+namespace logseek::stl
+{
+namespace
+{
+
+std::vector<Segment>
+xlate(const ExtentMap &map, Lba lba, SectorCount count)
+{
+    return map.translate({lba, count});
+}
+
+TEST(ExtentMap, EmptyMapTranslatesToIdentityHole)
+{
+    const ExtentMap map;
+    const auto segments = xlate(map, 100, 20);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_FALSE(segments[0].mapped);
+    EXPECT_EQ(segments[0].logical, (SectorExtent{100, 20}));
+    EXPECT_EQ(segments[0].pba, 100u); // identity placement
+}
+
+TEST(ExtentMap, EmptyExtentTranslatesToNothing)
+{
+    const ExtentMap map;
+    EXPECT_TRUE(map.translate({50, 0}).empty());
+}
+
+TEST(ExtentMap, SimpleMappingRoundTrip)
+{
+    ExtentMap map;
+    map.mapRange(100, 5000, 10);
+    const auto segments = xlate(map, 100, 10);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_TRUE(segments[0].mapped);
+    EXPECT_EQ(segments[0].pba, 5000u);
+    EXPECT_EQ(segments[0].physical(), (SectorExtent{5000, 10}));
+    EXPECT_EQ(map.entryCount(), 1u);
+    EXPECT_EQ(map.mappedSectors(), 10u);
+}
+
+TEST(ExtentMap, PartialReadOffsetsPba)
+{
+    ExtentMap map;
+    map.mapRange(100, 5000, 10);
+    const auto segments = xlate(map, 104, 3);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].pba, 5004u);
+    EXPECT_EQ(segments[0].logical, (SectorExtent{104, 3}));
+}
+
+TEST(ExtentMap, ReadSpanningMappedAndHole)
+{
+    ExtentMap map;
+    map.mapRange(10, 1000, 5);
+    const auto segments = xlate(map, 5, 15);
+    ASSERT_EQ(segments.size(), 3u);
+    EXPECT_FALSE(segments[0].mapped);
+    EXPECT_EQ(segments[0].logical, (SectorExtent{5, 5}));
+    EXPECT_TRUE(segments[1].mapped);
+    EXPECT_EQ(segments[1].logical, (SectorExtent{10, 5}));
+    EXPECT_EQ(segments[1].pba, 1000u);
+    EXPECT_FALSE(segments[2].mapped);
+    EXPECT_EQ(segments[2].logical, (SectorExtent{15, 5}));
+    EXPECT_EQ(segments[2].pba, 15u);
+}
+
+TEST(ExtentMap, FullOverwriteReplacesMapping)
+{
+    ExtentMap map;
+    map.mapRange(10, 1000, 8);
+    map.mapRange(10, 2000, 8);
+    const auto segments = xlate(map, 10, 8);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].pba, 2000u);
+    EXPECT_EQ(map.entryCount(), 1u);
+    EXPECT_EQ(map.mappedSectors(), 8u);
+}
+
+TEST(ExtentMap, PartialOverwriteSplitsEntry)
+{
+    ExtentMap map;
+    map.mapRange(0, 1000, 10);
+    map.mapRange(4, 2000, 2); // middle overwrite
+    const auto segments = xlate(map, 0, 10);
+    ASSERT_EQ(segments.size(), 3u);
+    EXPECT_EQ(segments[0].pba, 1000u);
+    EXPECT_EQ(segments[0].logical, (SectorExtent{0, 4}));
+    EXPECT_EQ(segments[1].pba, 2000u);
+    EXPECT_EQ(segments[1].logical, (SectorExtent{4, 2}));
+    EXPECT_EQ(segments[2].pba, 1006u); // tail keeps its offset pba
+    EXPECT_EQ(segments[2].logical, (SectorExtent{6, 4}));
+    EXPECT_EQ(map.entryCount(), 3u);
+    EXPECT_EQ(map.mappedSectors(), 10u);
+}
+
+TEST(ExtentMap, OverwriteHeadOfEntry)
+{
+    ExtentMap map;
+    map.mapRange(0, 1000, 10);
+    map.mapRange(0, 2000, 4);
+    const auto segments = xlate(map, 0, 10);
+    ASSERT_EQ(segments.size(), 2u);
+    EXPECT_EQ(segments[0].pba, 2000u);
+    EXPECT_EQ(segments[1].pba, 1004u);
+}
+
+TEST(ExtentMap, OverwriteTailOfEntry)
+{
+    ExtentMap map;
+    map.mapRange(0, 1000, 10);
+    map.mapRange(6, 2000, 4);
+    const auto segments = xlate(map, 0, 10);
+    ASSERT_EQ(segments.size(), 2u);
+    EXPECT_EQ(segments[0].pba, 1000u);
+    EXPECT_EQ(segments[0].logical.count, 6u);
+    EXPECT_EQ(segments[1].pba, 2000u);
+}
+
+TEST(ExtentMap, OverwriteSpanningMultipleEntries)
+{
+    ExtentMap map;
+    map.mapRange(0, 1000, 4);
+    map.mapRange(4, 2000, 4);
+    map.mapRange(8, 3000, 4);
+    map.mapRange(2, 5000, 8); // covers tail of 1st through head of 3rd
+    const auto segments = xlate(map, 0, 12);
+    ASSERT_EQ(segments.size(), 3u);
+    EXPECT_EQ(segments[0].pba, 1000u);
+    EXPECT_EQ(segments[0].logical.count, 2u);
+    EXPECT_EQ(segments[1].pba, 5000u);
+    EXPECT_EQ(segments[1].logical.count, 8u);
+    EXPECT_EQ(segments[2].pba, 3002u);
+    EXPECT_EQ(segments[2].logical.count, 2u);
+    EXPECT_EQ(map.mappedSectors(), 12u);
+}
+
+TEST(ExtentMap, CoalescesLogicallyAndPhysicallyAdjacent)
+{
+    ExtentMap map;
+    map.mapRange(0, 1000, 4);
+    map.mapRange(4, 1004, 4); // continues both spaces
+    EXPECT_EQ(map.entryCount(), 1u);
+    const auto segments = xlate(map, 0, 8);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].pba, 1000u);
+}
+
+TEST(ExtentMap, DoesNotCoalescePhysicallyDisjoint)
+{
+    ExtentMap map;
+    map.mapRange(0, 1000, 4);
+    map.mapRange(4, 9000, 4); // logically adjacent, physically not
+    EXPECT_EQ(map.entryCount(), 2u);
+}
+
+TEST(ExtentMap, DoesNotCoalesceLogicallyDisjoint)
+{
+    ExtentMap map;
+    map.mapRange(0, 1000, 4);
+    map.mapRange(8, 1004, 4); // physically adjacent, logically not
+    EXPECT_EQ(map.entryCount(), 2u);
+}
+
+TEST(ExtentMap, CoalescesWithSuccessor)
+{
+    ExtentMap map;
+    map.mapRange(4, 1004, 4);
+    map.mapRange(0, 1000, 4); // inserted before, continues into it
+    EXPECT_EQ(map.entryCount(), 1u);
+}
+
+TEST(ExtentMap, MiddleInsertMergesBothNeighbors)
+{
+    ExtentMap map;
+    map.mapRange(0, 1000, 4);
+    map.mapRange(8, 1008, 4);
+    map.mapRange(4, 1004, 4); // bridges them
+    EXPECT_EQ(map.entryCount(), 1u);
+    EXPECT_EQ(map.mappedSectors(), 12u);
+}
+
+TEST(ExtentMap, FragmentCountCountsRunsAndHoles)
+{
+    ExtentMap map;
+    map.mapRange(10, 1000, 2);
+    map.mapRange(14, 2000, 2);
+    // [8,10) hole, [10,12) run, [12,14) hole, [14,16) run, [16,18) hole
+    EXPECT_EQ(map.fragmentCount({8, 10}), 5u);
+    EXPECT_EQ(map.fragmentCount({10, 2}), 1u);
+}
+
+TEST(ExtentMap, ZeroCountMapPanics)
+{
+    ExtentMap map;
+    EXPECT_THROW(map.mapRange(0, 0, 0), PanicError);
+}
+
+TEST(ExtentMap, ForEachEntryVisitsInLbaOrder)
+{
+    ExtentMap map;
+    map.mapRange(100, 5000, 4);
+    map.mapRange(0, 6000, 4);
+    map.mapRange(50, 7000, 4);
+    std::vector<Lba> lbas;
+    map.forEachEntry([&](Lba lba, Pba, SectorCount) {
+        lbas.push_back(lba);
+    });
+    ASSERT_EQ(lbas.size(), 3u);
+    EXPECT_EQ(lbas[0], 0u);
+    EXPECT_EQ(lbas[1], 50u);
+    EXPECT_EQ(lbas[2], 100u);
+}
+
+TEST(ExtentMap, RewriteRestoresContiguity)
+{
+    // The defragmentation primitive: scatter a range, then remap it
+    // contiguously; translation collapses back to one segment.
+    ExtentMap map;
+    map.mapRange(0, 1000, 2);
+    map.mapRange(2, 2000, 2);
+    map.mapRange(4, 3000, 2);
+    EXPECT_EQ(xlate(map, 0, 6).size(), 3u);
+    map.mapRange(0, 9000, 6);
+    const auto segments = xlate(map, 0, 6);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].pba, 9000u);
+    EXPECT_EQ(map.entryCount(), 1u);
+}
+
+TEST(MergePhysicallyContiguous, MergesAdjacentRuns)
+{
+    std::vector<Segment> segments{
+        {{0, 4}, 100, true},
+        {{4, 4}, 104, false}, // physically continues
+        {{8, 4}, 500, true},  // jump
+    };
+    const auto merged = mergePhysicallyContiguous(segments);
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged[0].logical, (SectorExtent{0, 8}));
+    EXPECT_EQ(merged[0].pba, 100u);
+    EXPECT_TRUE(merged[0].mapped);
+    EXPECT_EQ(merged[1].pba, 500u);
+}
+
+TEST(MergePhysicallyContiguous, LeavesDisjointAlone)
+{
+    std::vector<Segment> segments{
+        {{0, 4}, 100, true},
+        {{4, 4}, 300, true},
+    };
+    EXPECT_EQ(mergePhysicallyContiguous(segments).size(), 2u);
+}
+
+TEST(MergePhysicallyContiguous, HandlesEmptyAndSingle)
+{
+    EXPECT_TRUE(mergePhysicallyContiguous({}).empty());
+    const std::vector<Segment> one{{{0, 4}, 9, true}};
+    EXPECT_EQ(mergePhysicallyContiguous(one).size(), 1u);
+}
+
+} // namespace
+} // namespace logseek::stl

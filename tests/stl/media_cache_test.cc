@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Unit tests for the media-cache translation layer (the paper §II
+ * "simple STL" comparator) and its cleaning accounting in the
+ * simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stl/media_cache.h"
+#include "stl/simulator.h"
+#include "util/logging.h"
+
+namespace logseek::stl
+{
+namespace
+{
+
+MediaCacheConfig
+smallConfig()
+{
+    MediaCacheConfig config;
+    config.cacheBytes = 64 * kSectorBytes; // 64 sectors
+    config.mergeThreshold = 0.5;           // merge at 32 dirty
+    config.bandBytes = 32 * kSectorBytes;  // 32-sector bands
+    return config;
+}
+
+TEST(MediaCacheLayer, WritesAppendToCacheRegion)
+{
+    MediaCacheLayer layer(1000, smallConfig());
+    EXPECT_EQ(layer.cacheStart(), 1000u);
+    const auto first = layer.placeWrite({10, 4});
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].pba, 1000u);
+    const auto second = layer.placeWrite({500, 8});
+    EXPECT_EQ(second[0].pba, 1004u);
+    EXPECT_EQ(layer.cacheUsedSectors(), 12u);
+}
+
+TEST(MediaCacheLayer, ReadsFindCacheResidentData)
+{
+    MediaCacheLayer layer(1000, smallConfig());
+    layer.placeWrite({10, 4});
+    const auto segments = layer.translateRead({10, 4});
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].pba, 1000u);
+    EXPECT_TRUE(segments[0].mapped);
+}
+
+TEST(MediaCacheLayer, UnwrittenDataReadsAtIdentity)
+{
+    MediaCacheLayer layer(1000, smallConfig());
+    const auto segments = layer.translateRead({50, 10});
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_FALSE(segments[0].mapped);
+    EXPECT_EQ(segments[0].pba, 50u);
+}
+
+TEST(MediaCacheLayer, NoMaintenanceBelowThreshold)
+{
+    MediaCacheLayer layer(1000, smallConfig());
+    layer.placeWrite({0, 16}); // 16 < 32 threshold
+    EXPECT_TRUE(layer.maintenance().empty());
+    EXPECT_EQ(layer.mergeCount(), 0u);
+}
+
+TEST(MediaCacheLayer, MergeTriggersAtThreshold)
+{
+    MediaCacheLayer layer(1000, smallConfig());
+    layer.placeWrite({0, 16});
+    layer.placeWrite({100, 16}); // 32 dirty = threshold
+    const auto accesses = layer.maintenance();
+    EXPECT_FALSE(accesses.empty());
+    EXPECT_EQ(layer.mergeCount(), 1u);
+    EXPECT_EQ(layer.cacheUsedSectors(), 0u);
+}
+
+TEST(MediaCacheLayer, MergeIsBandReadModifyWrite)
+{
+    MediaCacheLayer layer(1000, smallConfig());
+    layer.placeWrite({0, 16});  // band 0 (sectors 0..31)
+    layer.placeWrite({40, 16}); // band 1 (sectors 32..63)
+    const auto accesses = layer.maintenance();
+
+    // Per band: band read, cache-fragment read, band write.
+    ASSERT_EQ(accesses.size(), 6u);
+    EXPECT_EQ(accesses[0].physical, (SectorExtent{0, 32}));
+    EXPECT_EQ(accesses[0].type, trace::IoType::Read);
+    EXPECT_EQ(accesses[1].physical, (SectorExtent{1000, 16}));
+    EXPECT_EQ(accesses[1].type, trace::IoType::Read);
+    EXPECT_EQ(accesses[2].physical, (SectorExtent{0, 32}));
+    EXPECT_EQ(accesses[2].type, trace::IoType::Write);
+    EXPECT_EQ(accesses[3].physical, (SectorExtent{32, 32}));
+    EXPECT_EQ(accesses[4].physical, (SectorExtent{1016, 16}));
+    EXPECT_EQ(accesses[5].type, trace::IoType::Write);
+}
+
+TEST(MediaCacheLayer, AdjacentCacheFragmentsCoalesceInMerge)
+{
+    MediaCacheLayer layer(1000, smallConfig());
+    layer.placeWrite({0, 8});
+    layer.placeWrite({8, 8});
+    layer.placeWrite({16, 16}); // all one band, contiguous in cache
+    const auto accesses = layer.maintenance();
+    // band read + ONE coalesced cache read + band write.
+    ASSERT_EQ(accesses.size(), 3u);
+    EXPECT_EQ(accesses[1].physical, (SectorExtent{1000, 32}));
+}
+
+TEST(MediaCacheLayer, EntryStraddlingBandBoundaryIsSplit)
+{
+    MediaCacheLayer layer(1000, smallConfig());
+    layer.placeWrite({24, 16}); // sectors 24..39: bands 0 and 1
+    layer.placeWrite({100, 16});
+    const auto accesses = layer.maintenance();
+    // Bands 0, 1 and 3 are dirty -> three RMW groups.
+    int band_writes = 0;
+    for (const auto &access : accesses) {
+        if (access.type == trace::IoType::Write)
+            ++band_writes;
+    }
+    EXPECT_EQ(band_writes, 3);
+}
+
+TEST(MediaCacheLayer, ReadsAfterMergeAreIdentity)
+{
+    MediaCacheLayer layer(1000, smallConfig());
+    layer.placeWrite({0, 32});
+    (void)layer.maintenance();
+    const auto segments = layer.translateRead({0, 32});
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_FALSE(segments[0].mapped);
+    EXPECT_EQ(segments[0].pba, 0u);
+    EXPECT_EQ(layer.staticFragmentCount(), 0u);
+}
+
+TEST(MediaCacheLayer, CachePointerRewindsAfterMerge)
+{
+    MediaCacheLayer layer(1000, smallConfig());
+    layer.placeWrite({0, 32});
+    (void)layer.maintenance();
+    const auto placed = layer.placeWrite({5, 4});
+    EXPECT_EQ(placed[0].pba, 1000u);
+}
+
+TEST(MediaCacheLayer, LastBandClampedToDataZoneEnd)
+{
+    MediaCacheLayer layer(40, smallConfig()); // 40-sector space
+    layer.placeWrite({36, 4}); // band 1, clamped to 8 sectors
+    layer.placeWrite({0, 28});
+    const auto accesses = layer.maintenance();
+    bool found_clamped = false;
+    for (const auto &access : accesses) {
+        if (access.physical.start == 32)
+            found_clamped = access.physical.count == 8;
+    }
+    EXPECT_TRUE(found_clamped);
+}
+
+TEST(MediaCacheLayer, InvalidConfigPanics)
+{
+    MediaCacheConfig zero_cache = smallConfig();
+    zero_cache.cacheBytes = 0;
+    EXPECT_THROW(MediaCacheLayer(1000, zero_cache), PanicError);
+
+    MediaCacheConfig bad_threshold = smallConfig();
+    bad_threshold.mergeThreshold = 0.0;
+    EXPECT_THROW(MediaCacheLayer(1000, bad_threshold), PanicError);
+
+    MediaCacheConfig zero_band = smallConfig();
+    zero_band.bandBytes = 0;
+    EXPECT_THROW(MediaCacheLayer(1000, zero_band), PanicError);
+}
+
+TEST(MediaCacheLayer, WriteBeyondDataZonesPanics)
+{
+    MediaCacheLayer layer(100, smallConfig());
+    EXPECT_THROW(layer.placeWrite({98, 4}), PanicError);
+}
+
+// ---- Simulator integration ----
+
+SimConfig
+mediaCacheSim()
+{
+    SimConfig config;
+    config.translation = TranslationKind::MediaCache;
+    config.mediaCache = smallConfig();
+    return config;
+}
+
+TEST(MediaCacheSim, LabelAndBasicRun)
+{
+    trace::Trace trace("t");
+    trace.appendWrite(0, 8);
+    trace.appendRead(0, 8);
+    const SimResult result = Simulator(mediaCacheSim()).run(trace);
+    EXPECT_EQ(result.configLabel, "MediaCache");
+    EXPECT_EQ(result.reads, 1u);
+    EXPECT_EQ(result.writes, 1u);
+}
+
+TEST(MediaCacheSim, CleaningTrafficIsAccountedSeparately)
+{
+    trace::Trace trace("t");
+    // Enough writes to force a merge (threshold = 32 sectors).
+    for (int i = 0; i < 8; ++i)
+        trace.appendWrite(static_cast<Lba>(i * 100), 8);
+
+    const SimResult result = Simulator(mediaCacheSim()).run(trace);
+    EXPECT_GE(result.cleaningMerges, 1u);
+    EXPECT_GT(result.cleaningReadBytes, 0u);
+    EXPECT_GT(result.cleaningWriteBytes, 0u);
+    EXPECT_GT(result.cleaningSeeks, 0u);
+    // Host-visible byte accounting excludes cleaning.
+    EXPECT_EQ(result.hostWriteBytes, 64 * kSectorBytes);
+    EXPECT_EQ(result.mediaWriteBytes, 64 * kSectorBytes);
+}
+
+TEST(MediaCacheSim, WriteAmplificationAboveOne)
+{
+    trace::Trace trace("t");
+    for (int i = 0; i < 8; ++i)
+        trace.appendWrite(static_cast<Lba>(i * 100), 8);
+    const SimResult result = Simulator(mediaCacheSim()).run(trace);
+    // 64 host sectors trigger band rewrites of 32 sectors per dirty
+    // band: WAF must exceed 1.
+    EXPECT_GT(result.writeAmplification(), 1.0);
+
+    // The full-map log-structured layer never cleans: WAF == 1.
+    SimConfig ls;
+    ls.translation = TranslationKind::LogStructured;
+    const SimResult ls_result = Simulator(ls).run(trace);
+    EXPECT_DOUBLE_EQ(ls_result.writeAmplification(), 1.0);
+    EXPECT_EQ(ls_result.cleaningSeeks, 0u);
+}
+
+TEST(MediaCacheSim, ReadSeekAmplificationStaysLow)
+{
+    // The §II tradeoff: after merges, data is in LBA order, so
+    // sequential reads of previously random-written data do not
+    // fragment — unlike the full-map log.
+    trace::Trace trace("t");
+    Lba lba = 0;
+    for (int i = 0; i < 8; ++i) {
+        trace.appendWrite((lba * 37) % 120, 8);
+        lba += 8;
+    }
+    // Merge has certainly happened (64 sectors > threshold).
+    trace.appendRead(0, 120);
+
+    SimConfig nols;
+    nols.translation = TranslationKind::Conventional;
+    const SimResult base = Simulator(nols).run(trace);
+    const SimResult mc = Simulator(mediaCacheSim()).run(trace);
+
+    SimConfig ls;
+    ls.translation = TranslationKind::LogStructured;
+    const SimResult log = Simulator(ls).run(trace);
+
+    EXPECT_LE(mc.readSeeks, log.readSeeks);
+    EXPECT_LE(mc.readSeeks, base.readSeeks + 1);
+}
+
+TEST(MediaCacheSim, EventsCarryCleaningSeeks)
+{
+    trace::Trace trace("t");
+    for (int i = 0; i < 8; ++i)
+        trace.appendWrite(static_cast<Lba>(i * 100), 8);
+
+    class CleaningRecorder : public SimObserver
+    {
+      public:
+        void onEvent(const IoEvent &event) override
+        {
+            total += event.cleaningSeeks;
+        }
+        std::uint32_t total = 0;
+    } recorder;
+
+    Simulator simulator(mediaCacheSim());
+    simulator.addObserver(&recorder);
+    const SimResult result = simulator.run(trace);
+    EXPECT_EQ(recorder.total, result.cleaningSeeks);
+}
+
+} // namespace
+} // namespace logseek::stl

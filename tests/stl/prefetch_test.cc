@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the look-ahead-behind prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stl/prefetch.h"
+
+namespace logseek::stl
+{
+namespace
+{
+
+PrefetchConfig
+smallConfig()
+{
+    PrefetchConfig config;
+    config.lookAheadBytes = 4 * kSectorBytes;
+    config.lookBehindBytes = 4 * kSectorBytes;
+    config.bufferBytes = kMiB;
+    return config;
+}
+
+TEST(Prefetcher, FetchRegionExpandsBothDirections)
+{
+    const Prefetcher prefetcher(smallConfig());
+    const SectorExtent region = prefetcher.fetchRegion({100, 8});
+    EXPECT_EQ(region, (SectorExtent{96, 16}));
+}
+
+TEST(Prefetcher, FetchRegionClampsAtSectorZero)
+{
+    const Prefetcher prefetcher(smallConfig());
+    const SectorExtent region = prefetcher.fetchRegion({2, 8});
+    EXPECT_EQ(region.start, 0u);
+    EXPECT_EQ(region.end(), 14u); // 2 + 8 + 4 ahead
+}
+
+TEST(Prefetcher, LookupMissesBeforeAdmit)
+{
+    Prefetcher prefetcher(smallConfig());
+    EXPECT_FALSE(prefetcher.lookup({100, 8}));
+    EXPECT_EQ(prefetcher.misses(), 1u);
+    EXPECT_EQ(prefetcher.hits(), 0u);
+}
+
+TEST(Prefetcher, AdmittedRegionServesNeighbors)
+{
+    Prefetcher prefetcher(smallConfig());
+    const SectorExtent region = prefetcher.fetchRegion({100, 8});
+    prefetcher.admit(region);
+    // Fragment just behind (look-behind win).
+    EXPECT_TRUE(prefetcher.lookup({96, 4}));
+    // Fragment just ahead (look-ahead win).
+    EXPECT_TRUE(prefetcher.lookup({108, 4}));
+    // Outside the region.
+    EXPECT_FALSE(prefetcher.lookup({112, 4}));
+    EXPECT_EQ(prefetcher.hits(), 2u);
+}
+
+TEST(Prefetcher, MissedRotationScenario)
+{
+    // Mis-ordered writes put LBA n at pba 101 and LBA n+1 at pba
+    // 100; reading them in LBA order means a backward step. With
+    // look-behind the first fetch covers both.
+    Prefetcher prefetcher(smallConfig());
+    const SectorExtent first_fragment{101, 1};
+    prefetcher.admit(prefetcher.fetchRegion(first_fragment));
+    EXPECT_TRUE(prefetcher.lookup({100, 1}));
+}
+
+TEST(Prefetcher, BufferEvictsOldRegionsFifo)
+{
+    PrefetchConfig config = smallConfig();
+    // Room for exactly two 16-sector fetch regions.
+    config.bufferBytes = 32 * kSectorBytes;
+    Prefetcher prefetcher(config);
+    prefetcher.admit(prefetcher.fetchRegion({100, 8}));
+    prefetcher.admit(prefetcher.fetchRegion({1000, 8}));
+    prefetcher.admit(prefetcher.fetchRegion({2000, 8}));
+    EXPECT_FALSE(prefetcher.lookup({100, 8}));   // evicted
+    EXPECT_TRUE(prefetcher.lookup({1000, 8}));
+    EXPECT_TRUE(prefetcher.lookup({2000, 8}));
+}
+
+TEST(Prefetcher, ZeroWindowsDegenerateToFragmentOnly)
+{
+    PrefetchConfig config;
+    config.lookAheadBytes = 0;
+    config.lookBehindBytes = 0;
+    Prefetcher prefetcher(config);
+    EXPECT_EQ(prefetcher.fetchRegion({50, 4}), (SectorExtent{50, 4}));
+}
+
+TEST(Prefetcher, UsedBytesTracksAdmissions)
+{
+    Prefetcher prefetcher(smallConfig());
+    EXPECT_EQ(prefetcher.usedBytes(), 0u);
+    prefetcher.admit({0, 16});
+    EXPECT_EQ(prefetcher.usedBytes(), 16 * kSectorBytes);
+}
+
+TEST(Prefetcher, ConfigAccessible)
+{
+    const Prefetcher prefetcher(smallConfig());
+    EXPECT_EQ(prefetcher.config().lookAheadBytes,
+              4 * kSectorBytes);
+}
+
+} // namespace
+} // namespace logseek::stl

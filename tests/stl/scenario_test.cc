@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Integration tests reproducing the paper's worked examples:
+ * Figure 6 (opportunistic defragmentation) and Figure 9
+ * (look-ahead-behind prefetching), with seek counts checked
+ * step by step.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+#include <vector>
+
+#include "stl/simulator.h"
+
+namespace logseek::stl
+{
+namespace
+{
+
+/** Observer collecting per-op seek counts. */
+class SeeksPerOp : public SimObserver
+{
+  public:
+    void onEvent(const IoEvent &event) override
+    {
+        seeks.push_back(event.seeks.size());
+        fragments.push_back(event.segments.size());
+    }
+
+    std::vector<std::size_t> seeks;
+    std::vector<std::size_t> fragments;
+};
+
+/**
+ * Figure 6 setup: LBAs 1..6 live contiguously in the log, then
+ * LBAs 3 and 5 are updated, fragmenting the range 2..5.
+ */
+trace::Trace
+figure6Trace(bool with_final_reads)
+{
+    trace::Trace trace("fig6");
+    trace.appendWrite(1, 6); // t0: establish 1..6 in the log
+    trace.appendWrite(3, 1); // tA
+    trace.appendWrite(5, 1); // tB
+    trace.appendRead(2, 4);  // tC: Rd 2-5, fragmented
+    if (with_final_reads) {
+        for (int i = 0; i < 5; ++i)
+            trace.appendRead(2, 4); // tE: Rd 2-5 x5
+        trace.appendRead(1, 2);     // tF: Rd 1-2
+    }
+    return trace;
+}
+
+TEST(Figure6, FragmentedReadIncursThreeExtraSeeks)
+{
+    SeeksPerOp observer;
+    SimConfig config;
+    config.translation = TranslationKind::LogStructured;
+    Simulator simulator(config);
+    simulator.addObserver(&observer);
+    simulator.run(figure6Trace(false));
+
+    // Rd 2-5 resolves to four fragments: 2 (original run), 3 (log),
+    // 4 (original run), 5 (log) = 4 seeks, i.e. 3 more than the
+    // single seek an unfragmented read would pay.
+    ASSERT_EQ(observer.fragments.size(), 4u);
+    EXPECT_EQ(observer.fragments[3], 4u);
+    EXPECT_EQ(observer.seeks[3], 4u);
+}
+
+TEST(Figure6, DefragmentationMakesRepeatReadsSeekFree)
+{
+    SeeksPerOp observer;
+    SimConfig config;
+    config.translation = TranslationKind::LogStructured;
+    config.defrag = DefragConfig{};
+    Simulator simulator(config);
+    simulator.addObserver(&observer);
+    const SimResult result = simulator.run(figure6Trace(true));
+
+    // Two rewrites: the first fragmented Rd 2-5 (tD) and the final
+    // Rd 1-2, which the earlier relocation itself fragmented.
+    EXPECT_EQ(result.defragRewrites, 2u);
+
+    // tD: the defragmenting rewrite happened inside op 3; ops 4..8
+    // (Rd 2-5 x5) now read one contiguous extent each: exactly one
+    // seek (back from the frontier), no fragmentation seeks.
+    for (std::size_t op = 4; op <= 8; ++op) {
+        EXPECT_EQ(observer.fragments[op], 1u) << "op " << op;
+        EXPECT_EQ(observer.seeks[op], 1u) << "op " << op;
+    }
+
+    // tF: Rd 1-2 now pays an extra seek *because of* the earlier
+    // defragmentation: LBA 1 is still in the original run, LBA 2
+    // moved to the log head. Being fragmented, it is rewritten in
+    // turn, adding one defrag write seek: 2 read + 1 write.
+    EXPECT_EQ(observer.fragments[9], 2u);
+    EXPECT_EQ(observer.seeks[9], 3u);
+}
+
+TEST(Figure6, WithoutDefragEveryRepeatReadPaysFragmentation)
+{
+    SeeksPerOp observer;
+    SimConfig config;
+    config.translation = TranslationKind::LogStructured;
+    Simulator simulator(config);
+    simulator.addObserver(&observer);
+    simulator.run(figure6Trace(true));
+
+    for (std::size_t op = 4; op <= 8; ++op)
+        EXPECT_EQ(observer.seeks[op], 4u) << "op " << op;
+    // Rd 1-2 is NOT fragmented without defrag: LBAs 1 and 2 are
+    // both still in the original contiguous run.
+    EXPECT_EQ(observer.fragments[9], 1u);
+}
+
+/**
+ * Figure 9 setup: LBAs 1..6 in the log, then 3, 2, 4 updated in
+ * that order. Rd 1-5 becomes five fragments.
+ */
+trace::Trace
+figure9Trace()
+{
+    trace::Trace trace("fig9");
+    trace.appendWrite(1, 6); // initial state
+    trace.appendWrite(3, 1); // tA
+    trace.appendWrite(2, 1); // tB
+    trace.appendWrite(4, 1); // tC
+    trace.appendRead(1, 5);  // tD: Rd 1-5
+    trace.appendRead(1, 5);  // tD': Rd 1-5 again
+    return trace;
+}
+
+TEST(Figure9, WithoutPrefetchingFiveSeeksPerRead)
+{
+    SeeksPerOp observer;
+    SimConfig config;
+    config.translation = TranslationKind::LogStructured;
+    Simulator simulator(config);
+    simulator.addObserver(&observer);
+    simulator.run(figure9Trace());
+
+    // Rd 1-5 = fragments 1 (run), 2 (log), 3 (log, *behind* 2),
+    // 4 (log), 5 (run): five seeks, including the missed rotation
+    // stepping back from LBA 2's to LBA 3's log position.
+    EXPECT_EQ(observer.fragments[4], 5u);
+    EXPECT_EQ(observer.seeks[4], 5u);
+    EXPECT_EQ(observer.seeks[5], 5u); // no better on the re-read
+}
+
+TEST(Figure9, LookAheadBehindCutsSeeksToThree)
+{
+    SeeksPerOp observer;
+    SimConfig config;
+    config.translation = TranslationKind::LogStructured;
+    config.prefetch = PrefetchConfig{
+        .lookAheadBytes = kSectorBytes,
+        .lookBehindBytes = kSectorBytes,
+        .bufferBytes = kMiB,
+    };
+    Simulator simulator(config);
+    simulator.addObserver(&observer);
+    const SimResult result = simulator.run(figure9Trace());
+
+    // Reading LBA 2's fragment fetches one sector each side, which
+    // is exactly LBA 3 (behind) and LBA 4 (ahead): the paper's
+    // "LBA 3 and 4 are prefetched upon reading LBA 2".
+    EXPECT_EQ(observer.seeks[4], 3u);
+    EXPECT_GE(result.prefetchHits, 2u);
+}
+
+TEST(Figure9, ConventionalBaselinePaysOneSeekPerRead)
+{
+    SeeksPerOp observer;
+    SimConfig config;
+    config.translation = TranslationKind::Conventional;
+    Simulator simulator(config);
+    simulator.addObserver(&observer);
+    simulator.run(figure9Trace());
+
+    EXPECT_EQ(observer.fragments[4], 1u);
+    EXPECT_LE(observer.seeks[4], 1u);
+}
+
+} // namespace
+} // namespace logseek::stl

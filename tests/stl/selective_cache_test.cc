@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the translation-aware selective cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stl/selective_cache.h"
+
+namespace logseek::stl
+{
+namespace
+{
+
+TEST(SelectiveCache, MissThenHit)
+{
+    SelectiveCache cache;
+    EXPECT_FALSE(cache.lookup({100, 8}));
+    cache.admit({100, 8});
+    EXPECT_TRUE(cache.lookup({100, 8}));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SelectiveCache, DefaultCapacityIs64MiB)
+{
+    const SelectiveCache cache;
+    EXPECT_EQ(cache.capacityBytes(), 64 * kMiB);
+}
+
+TEST(SelectiveCache, SubRangeOfCachedFragmentHits)
+{
+    SelectiveCache cache;
+    cache.admit({100, 64});
+    EXPECT_TRUE(cache.lookup({120, 8}));
+}
+
+TEST(SelectiveCache, LruEvictionUnderPressure)
+{
+    SelectiveCacheConfig config;
+    config.capacityBytes = 16 * kSectorBytes;
+    SelectiveCache cache(config);
+    cache.admit({0, 8});
+    cache.admit({100, 8});
+    EXPECT_TRUE(cache.lookup({0, 8}));  // refresh
+    cache.admit({200, 8});              // evicts 100
+    EXPECT_TRUE(cache.lookup({0, 8}));
+    EXPECT_FALSE(cache.lookup({100, 8}));
+    EXPECT_GE(cache.evictionCount(), 1u);
+}
+
+TEST(SelectiveCache, UsedBytesNeverExceedsCapacity)
+{
+    SelectiveCacheConfig config;
+    config.capacityBytes = 64 * kSectorBytes;
+    SelectiveCache cache(config);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        cache.admit({i * 1000, 16});
+    EXPECT_LE(cache.usedBytes(), config.capacityBytes);
+}
+
+TEST(SelectiveCache, CountersAccumulate)
+{
+    SelectiveCache cache;
+    cache.admit({0, 4});
+    for (int i = 0; i < 5; ++i)
+        cache.lookup({0, 4});
+    for (int i = 0; i < 3; ++i)
+        cache.lookup({999, 4});
+    EXPECT_EQ(cache.hits(), 5u);
+    EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(SelectiveCache, DisabledByZeroCapacity)
+{
+    SelectiveCacheConfig config;
+    config.capacityBytes = 0;
+    SelectiveCache cache(config);
+    cache.admit({0, 8});
+    EXPECT_FALSE(cache.lookup({0, 8}));
+}
+
+} // namespace
+} // namespace logseek::stl

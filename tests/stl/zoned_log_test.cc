@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for zone/guard support in the log-structured layer
+ * (paper §II: zones separated by guard tracks, each written
+ * sequentially).
+ */
+
+#include <gtest/gtest.h>
+
+#include "stl/log_structured.h"
+#include "stl/simulator.h"
+#include "util/logging.h"
+
+namespace logseek::stl
+{
+namespace
+{
+
+ZoneConfig
+tinyZones()
+{
+    ZoneConfig zones;
+    zones.zoneBytes = 32 * kSectorBytes;  // 32-sector zones
+    zones.guardBytes = 8 * kSectorBytes;  // 8-sector guards
+    return zones;
+}
+
+TEST(ZonedLog, WritesWithinZoneAreContiguous)
+{
+    LogStructuredLayer layer(1000, tinyZones());
+    const auto a = layer.placeWrite({0, 16});
+    const auto b = layer.placeWrite({100, 16});
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(a[0].pba, 1000u);
+    EXPECT_EQ(b[0].pba, 1016u);
+    EXPECT_EQ(layer.zoneCrossings(), 1u); // zone filled exactly
+}
+
+TEST(ZonedLog, FrontierSkipsGuardAtZoneBoundary)
+{
+    LogStructuredLayer layer(1000, tinyZones());
+    layer.placeWrite({0, 32}); // fills zone 0 exactly
+    EXPECT_EQ(layer.writeFrontier(), 1040u); // 1000+32+8 guard
+    const auto next = layer.placeWrite({100, 4});
+    EXPECT_EQ(next[0].pba, 1040u);
+}
+
+TEST(ZonedLog, WriteStraddlingBoundaryIsSplit)
+{
+    LogStructuredLayer layer(1000, tinyZones());
+    layer.placeWrite({0, 24});
+    const auto placed = layer.placeWrite({100, 16}); // 8 left in zone
+    ASSERT_EQ(placed.size(), 2u);
+    EXPECT_EQ(placed[0].logical, (SectorExtent{100, 8}));
+    EXPECT_EQ(placed[0].pba, 1024u);
+    EXPECT_EQ(placed[1].logical, (SectorExtent{108, 8}));
+    EXPECT_EQ(placed[1].pba, 1040u); // after the guard
+    EXPECT_EQ(layer.zoneCrossings(), 1u);
+}
+
+TEST(ZonedLog, SplitWriteReadsBackAsTwoFragments)
+{
+    LogStructuredLayer layer(1000, tinyZones());
+    layer.placeWrite({0, 24});
+    layer.placeWrite({100, 16});
+    const auto segments = layer.translateRead({100, 16});
+    ASSERT_EQ(segments.size(), 2u);
+    EXPECT_EQ(segments[0].pba, 1024u);
+    EXPECT_EQ(segments[1].pba, 1040u);
+}
+
+TEST(ZonedLog, WriteLargerThanZoneSpansSeveral)
+{
+    LogStructuredLayer layer(1000, tinyZones());
+    const auto placed = layer.placeWrite({0, 80}); // 2.5 zones
+    ASSERT_EQ(placed.size(), 3u);
+    EXPECT_EQ(placed[0].physical(), (SectorExtent{1000, 32}));
+    EXPECT_EQ(placed[1].physical(), (SectorExtent{1040, 32}));
+    EXPECT_EQ(placed[2].physical(), (SectorExtent{1080, 16}));
+    EXPECT_EQ(layer.zoneCrossings(), 2u);
+}
+
+TEST(ZonedLog, UnzonedLayerNeverCrosses)
+{
+    LogStructuredLayer layer(100000);
+    layer.placeWrite({0, 10000});
+    EXPECT_EQ(layer.zoneCrossings(), 0u);
+    const auto segments = layer.translateRead({0, 10000});
+    EXPECT_EQ(segments.size(), 1u);
+}
+
+TEST(ZonedLog, ZeroZoneSizePanics)
+{
+    ZoneConfig zones;
+    zones.zoneBytes = 0;
+    EXPECT_THROW(LogStructuredLayer(1000, zones), PanicError);
+}
+
+TEST(ZonedLogSim, GuardSkipsCostOneSeekPerCrossing)
+{
+    // Pure sequential log writes: unzoned LS has only the initial
+    // seek; each zone crossing adds exactly one more.
+    trace::Trace trace("t");
+    for (Lba lba = 0; lba < 320; lba += 16)
+        trace.appendWrite(lba, 16); // 320 sectors = 10 tiny zones
+
+    SimConfig unzoned;
+    unzoned.translation = TranslationKind::LogStructured;
+    const SimResult plain = Simulator(unzoned).run(trace);
+
+    SimConfig zoned = unzoned;
+    zoned.zones = tinyZones();
+    const SimResult result = Simulator(zoned).run(trace);
+
+    EXPECT_EQ(plain.writeSeeks, 1u);
+    // The initial jump plus one guard skip between consecutive
+    // zones (the skip after the final zone has no following write).
+    EXPECT_EQ(result.writeSeeks, 1u + (320 / 32 - 1));
+}
+
+TEST(ZonedLogSim, MechanismsStillWorkWithZones)
+{
+    trace::Trace trace("t");
+    trace.appendWrite(0, 10);
+    trace.appendWrite(4, 2);
+    trace.appendRead(0, 10);
+    trace.appendRead(0, 10);
+
+    SimConfig config;
+    config.translation = TranslationKind::LogStructured;
+    config.zones = tinyZones();
+    config.cache = SelectiveCacheConfig{};
+    const SimResult result = Simulator(config).run(trace);
+    EXPECT_GT(result.cacheHits, 0u);
+
+    SimConfig with_defrag = config;
+    with_defrag.cache.reset();
+    with_defrag.defrag = DefragConfig{};
+    const SimResult defragged =
+        Simulator(with_defrag).run(trace);
+    EXPECT_GE(defragged.defragRewrites, 1u);
+}
+
+TEST(ZonedLogSim, ZonedMatchesUnzonedTranslationResults)
+{
+    // Zones change physical placement but never which data a read
+    // sees; fragment counts can only grow (splits at boundaries).
+    trace::Trace trace("t");
+    for (int i = 0; i < 200; ++i)
+        trace.appendWrite(static_cast<Lba>((i * 37) % 500), 8);
+    trace.appendRead(0, 500);
+
+    SimConfig unzoned;
+    unzoned.translation = TranslationKind::LogStructured;
+    SimConfig zoned = unzoned;
+    zoned.zones = tinyZones();
+
+    const SimResult a = Simulator(unzoned).run(trace);
+    const SimResult b = Simulator(zoned).run(trace);
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_GE(b.readFragments, a.readFragments);
+}
+
+} // namespace
+} // namespace logseek::stl

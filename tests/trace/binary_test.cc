@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the LSKT binary trace format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/binary.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace logseek::trace
+{
+namespace
+{
+
+Trace
+sampleTrace()
+{
+    Trace trace("sample");
+    trace.appendRead(100, 8, 0);
+    trace.appendWrite(5000, 64, 1234);
+    trace.appendRead(0, 1, 99999);
+    return trace;
+}
+
+TEST(BinaryTrace, RoundTripsRecordsExactly)
+{
+    const Trace original = sampleTrace();
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinaryTrace(buffer, original);
+    const Trace parsed = readBinaryTrace(buffer);
+
+    EXPECT_EQ(parsed.name(), original.name());
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i)
+        EXPECT_EQ(parsed[i], original[i]) << "record " << i;
+    EXPECT_EQ(parsed.addressSpaceEnd(), original.addressSpaceEnd());
+}
+
+TEST(BinaryTrace, RoundTripsEmptyTrace)
+{
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinaryTrace(buffer, Trace("empty"));
+    const Trace parsed = readBinaryTrace(buffer);
+    EXPECT_EQ(parsed.name(), "empty");
+    EXPECT_TRUE(parsed.empty());
+}
+
+TEST(BinaryTrace, RoundTripsLargeRandomTrace)
+{
+    Rng rng(3);
+    Trace original("fuzz");
+    for (int i = 0; i < 5000; ++i) {
+        const SectorCount count = 1 + rng.nextUint(128);
+        const Lba lba = rng.nextUint(1ULL << 40);
+        if (rng.nextBool(0.5))
+            original.appendWrite(lba, count, rng.nextUint(1u << 30));
+        else
+            original.appendRead(lba, count, rng.nextUint(1u << 30));
+    }
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinaryTrace(buffer, original);
+    const Trace parsed = readBinaryTrace(buffer);
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < parsed.size(); i += 97)
+        EXPECT_EQ(parsed[i], original[i]);
+}
+
+TEST(BinaryTrace, RejectsBadMagic)
+{
+    std::stringstream buffer("NOPE and then some garbage");
+    EXPECT_THROW(readBinaryTrace(buffer), FatalError);
+}
+
+TEST(BinaryTrace, RejectsWrongVersion)
+{
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinaryTrace(buffer, sampleTrace());
+    std::string bytes = buffer.str();
+    bytes[4] = 99; // bump version field
+    std::istringstream in(bytes);
+    EXPECT_THROW(readBinaryTrace(in), FatalError);
+}
+
+TEST(BinaryTrace, RejectsTruncation)
+{
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinaryTrace(buffer, sampleTrace());
+    const std::string bytes = buffer.str();
+    // Chop mid-record.
+    std::istringstream in(bytes.substr(0, bytes.size() - 5));
+    EXPECT_THROW(readBinaryTrace(in), FatalError);
+}
+
+TEST(BinaryTrace, RejectsInvalidRecordType)
+{
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    Trace one("t");
+    one.appendRead(0, 1, 0);
+    writeBinaryTrace(buffer, one);
+    std::string bytes = buffer.str();
+    // The type byte sits 8 bytes into the first record; the record
+    // section starts after 4 magic + 4 version + 4 namelen + 1 name
+    // + 8 count = 21 bytes.
+    bytes[21 + 8] = 7;
+    std::istringstream in(bytes);
+    EXPECT_THROW(readBinaryTrace(in), FatalError);
+}
+
+TEST(BinaryTrace, FileRoundTrip)
+{
+    const std::string path = "/tmp/logseek_binary_test.lskt";
+    writeBinaryTraceFile(path, sampleTrace());
+    const Trace parsed = readBinaryTraceFile(path);
+    EXPECT_EQ(parsed.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, MissingFileIsFatal)
+{
+    EXPECT_THROW(readBinaryTraceFile("/nonexistent/x.lskt"),
+                 FatalError);
+}
+
+TEST(BinaryTrace, MoreCompactThanCsv)
+{
+    Rng rng(9);
+    Trace trace("size");
+    for (int i = 0; i < 1000; ++i)
+        trace.appendWrite(rng.nextUint(1ULL << 35),
+                          1 + rng.nextUint(64),
+                          rng.nextUint(1u << 30));
+    std::stringstream binary(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinaryTrace(binary, trace);
+    // 25 bytes per record plus a small header.
+    EXPECT_LT(binary.str().size(), 1000 * 25 + 64);
+}
+
+} // namespace
+} // namespace logseek::trace

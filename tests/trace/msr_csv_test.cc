@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the MSR CSV trace parser/writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/msr_csv.h"
+#include "util/logging.h"
+
+namespace logseek::trace
+{
+namespace
+{
+
+TEST(MsrCsv, ParsesBasicRecords)
+{
+    std::istringstream in(
+        "128166372003061629,hm,0,Read,383496192,32768,1331\n"
+        "128166372003071629,hm,0,Write,1024,512,90\n");
+    const Trace trace = parseMsrCsv(in, "hm_0");
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.name(), "hm_0");
+
+    EXPECT_TRUE(trace[0].isRead());
+    EXPECT_EQ(trace[0].extent.start, 383496192u / kSectorBytes);
+    EXPECT_EQ(trace[0].extent.count, 32768u / kSectorBytes);
+    EXPECT_EQ(trace[0].timestampUs, 0u); // epoch-relative
+
+    EXPECT_TRUE(trace[1].isWrite());
+    EXPECT_EQ(trace[1].extent, (SectorExtent{2, 1}));
+    EXPECT_EQ(trace[1].timestampUs, 1000u); // 10000 ticks = 1 ms
+}
+
+TEST(MsrCsv, RoundsPartialSectorsOutward)
+{
+    // Offset 100 (inside sector 0), length 600 -> covers sectors 0-1.
+    std::istringstream in("0,h,0,Read,100,600,0\n");
+    const Trace trace = parseMsrCsv(in, "t");
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0].extent, (SectorExtent{0, 2}));
+}
+
+TEST(MsrCsv, SkipsBlankLinesAndCarriageReturns)
+{
+    std::istringstream in("\n0,h,0,Read,0,512,0\r\n\n");
+    const Trace trace = parseMsrCsv(in, "t");
+    EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(MsrCsv, DiskFilterKeepsOnlyMatching)
+{
+    std::istringstream in("0,h,0,Read,0,512,0\n"
+                          "10,h,1,Read,512,512,0\n"
+                          "20,h,0,Write,1024,512,0\n");
+    MsrCsvOptions options;
+    options.diskFilter = 0;
+    const Trace trace = parseMsrCsv(in, "t", options);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_TRUE(trace[0].isRead());
+    EXPECT_TRUE(trace[1].isWrite());
+}
+
+TEST(MsrCsv, MalformedLineIsFatalByDefault)
+{
+    std::istringstream in("not,a,valid,msr,line\n");
+    EXPECT_THROW(parseMsrCsv(in, "t"), FatalError);
+}
+
+TEST(MsrCsv, MalformedTypeIsFatal)
+{
+    std::istringstream in("0,h,0,Trim,0,512,0\n");
+    EXPECT_THROW(parseMsrCsv(in, "t"), FatalError);
+}
+
+TEST(MsrCsv, ZeroLengthIsFatal)
+{
+    std::istringstream in("0,h,0,Read,0,0,0\n");
+    EXPECT_THROW(parseMsrCsv(in, "t"), FatalError);
+}
+
+TEST(MsrCsv, SkipMalformedKeepsGoodLines)
+{
+    std::istringstream in("garbage\n"
+                          "0,h,0,Read,0,512,0\n"
+                          "0,h,0,BadType,0,512,0\n"
+                          "10,h,0,Write,512,512,0\n");
+    MsrCsvOptions options;
+    options.skipMalformed = true;
+    const Trace trace = parseMsrCsv(in, "t", options);
+    EXPECT_EQ(trace.size(), 2u);
+}
+
+TEST(MsrCsv, LowercaseTypeAccepted)
+{
+    std::istringstream in("0,h,0,read,0,512,0\n"
+                          "0,h,0,write,512,512,0\n");
+    const Trace trace = parseMsrCsv(in, "t");
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_TRUE(trace[0].isRead());
+    EXPECT_TRUE(trace[1].isWrite());
+}
+
+TEST(MsrCsv, TimestampsAreEpochRelative)
+{
+    std::istringstream in("5000000,h,0,Read,0,512,0\n"
+                          "5000100,h,0,Read,512,512,0\n");
+    const Trace trace = parseMsrCsv(in, "t");
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].timestampUs, 0u);
+    EXPECT_EQ(trace[1].timestampUs, 10u); // 100 ticks = 10 us
+}
+
+TEST(MsrCsv, WriteThenParseRoundTrips)
+{
+    Trace original("rt");
+    original.appendRead(100, 8, 0);
+    original.appendWrite(5000, 64, 1234);
+    original.appendRead(0, 1, 99999);
+
+    std::ostringstream out;
+    writeMsrCsv(out, original, "host", 3);
+
+    std::istringstream in(out.str());
+    const Trace parsed = parseMsrCsv(in, "rt");
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        EXPECT_EQ(parsed[i].type, original[i].type) << "record " << i;
+        EXPECT_EQ(parsed[i].extent, original[i].extent)
+            << "record " << i;
+        EXPECT_EQ(parsed[i].timestampUs, original[i].timestampUs)
+            << "record " << i;
+    }
+}
+
+TEST(MsrCsv, WriterEmitsSevenFields)
+{
+    Trace trace("t");
+    trace.appendWrite(10, 2, 7);
+    std::ostringstream out;
+    writeMsrCsv(out, trace);
+    const std::string line = out.str();
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 6);
+    EXPECT_NE(line.find("Write"), std::string::npos);
+}
+
+TEST(MsrCsv, MissingFileIsFatal)
+{
+    EXPECT_THROW(
+        parseMsrCsvFile("/nonexistent/path/trace.csv", "x"),
+        FatalError);
+}
+
+TEST(MsrCsv, ExtraFieldsTolerated)
+{
+    std::istringstream in("0,h,0,Read,0,512,0,extra,fields\n");
+    const Trace trace = parseMsrCsv(in, "t");
+    EXPECT_EQ(trace.size(), 1u);
+}
+
+} // namespace
+} // namespace logseek::trace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for NCQ/elevator request reordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "trace/reorder.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "workloads/builder.h"
+#include "workloads/phases.h"
+
+namespace logseek::trace
+{
+namespace
+{
+
+ReorderOptions
+noWindow(std::uint32_t depth)
+{
+    ReorderOptions options;
+    options.queueDepth = depth;
+    options.windowUs = 0;
+    return options;
+}
+
+TEST(ReorderElevator, EmptyTrace)
+{
+    const Trace out = reorderElevator(Trace("empty"));
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(ReorderElevator, PreservesRequestMultiset)
+{
+    Rng rng(1);
+    Trace input("t");
+    for (int i = 0; i < 500; ++i)
+        input.append(IoRecord{static_cast<std::uint64_t>(i) * 10,
+                              rng.nextBool(0.5) ? IoType::Read
+                                                : IoType::Write,
+                              {rng.nextUint(10000),
+                               1 + rng.nextUint(16)}});
+    const Trace out = reorderElevator(input, noWindow(32));
+    ASSERT_EQ(out.size(), input.size());
+
+    auto census = [](const Trace &trace) {
+        std::map<std::tuple<std::uint64_t, int, Lba, SectorCount>,
+                 int>
+            counts;
+        for (const auto &record : trace) {
+            ++counts[{record.timestampUs,
+                      static_cast<int>(record.type),
+                      record.extent.start, record.extent.count}];
+        }
+        return counts;
+    };
+    EXPECT_EQ(census(input), census(out));
+}
+
+TEST(ReorderElevator, DepthOneIsIdentity)
+{
+    Trace input("t");
+    input.appendWrite(50, 10, 0);
+    input.appendWrite(10, 10, 1);
+    input.appendWrite(90, 10, 2);
+    const Trace out = reorderElevator(input, noWindow(1));
+    for (std::size_t i = 0; i < input.size(); ++i)
+        EXPECT_EQ(out[i], input[i]);
+}
+
+TEST(ReorderElevator, SortsDescendingBurstAscending)
+{
+    // The paper's observation: a descending burst dispatched
+    // together completes in ascending order.
+    Trace input("t");
+    for (Lba lba = 90; lba != static_cast<Lba>(-10); lba -= 10)
+        input.appendWrite(lba, 10, 0); // all at the same instant
+    const Trace out = reorderElevator(input, noWindow(32));
+    for (std::size_t i = 1; i < out.size(); ++i)
+        EXPECT_EQ(out[i].extent.start,
+                  out[i - 1].extent.end());
+}
+
+TEST(ReorderElevator, QueueDepthLimitsReordering)
+{
+    // With depth 2, only adjacent pairs can swap: a fully reversed
+    // run cannot become fully sorted.
+    Trace input("t");
+    for (Lba lba = 90; lba != static_cast<Lba>(-10); lba -= 10)
+        input.appendWrite(lba, 10, 0);
+    const Trace out = reorderElevator(input, noWindow(2));
+    bool fully_sorted = true;
+    for (std::size_t i = 1; i < out.size(); ++i)
+        fully_sorted &= out[i].extent.start >
+                        out[i - 1].extent.start;
+    EXPECT_FALSE(fully_sorted);
+}
+
+TEST(ReorderElevator, TimeWindowPreventsDistantReordering)
+{
+    // Two descending pairs issued far apart in time must not merge
+    // into one sorted sweep.
+    Trace input("t");
+    input.appendWrite(100, 10, 0);
+    input.appendWrite(0, 10, 1);
+    input.appendWrite(300, 10, 1000000); // 1 s later
+    input.appendWrite(200, 10, 1000001);
+
+    ReorderOptions options;
+    options.queueDepth = 32;
+    options.windowUs = 1000;
+    const Trace out = reorderElevator(input, options);
+    ASSERT_EQ(out.size(), 4u);
+    // First pair served (sorted) before the second pair is even
+    // admitted.
+    EXPECT_EQ(out[0].extent.start, 0u);
+    EXPECT_EQ(out[1].extent.start, 100u);
+    EXPECT_EQ(out[2].extent.start, 200u);
+    EXPECT_EQ(out[3].extent.start, 300u);
+}
+
+TEST(ReorderElevator, CLookServesForwardFirst)
+{
+    // Head starts at 0; the sweep serves ascending starts, then
+    // wraps to the smallest remaining.
+    Trace input("t");
+    input.appendWrite(50, 10, 0);
+    input.appendWrite(20, 10, 0);
+    input.appendWrite(80, 10, 0);
+    const Trace out = reorderElevator(input, noWindow(8));
+    EXPECT_EQ(out[0].extent.start, 20u);
+    EXPECT_EQ(out[1].extent.start, 50u);
+    EXPECT_EQ(out[2].extent.start, 80u);
+}
+
+TEST(ReorderElevator, ReducesMisorderedWriteSeeks)
+{
+    // A mis-ordered burst costs one seek per io raw, but almost
+    // nothing after elevator reordering — the §IV-B observation.
+    workloads::TraceBuilder builder("t", /*interarrival_us=*/1);
+    workloads::misorderedWrite(builder, {0, 512}, 16,
+                               workloads::MisorderPattern::Descending);
+    const Trace raw = builder.take();
+    const Trace sorted = reorderElevator(raw, noWindow(32));
+
+    auto count_breaks = [](const Trace &trace) {
+        int breaks = 0;
+        for (std::size_t i = 1; i < trace.size(); ++i) {
+            if (trace[i].extent.start != trace[i - 1].extent.end())
+                ++breaks;
+        }
+        return breaks;
+    };
+    EXPECT_GT(count_breaks(raw), 20);
+    EXPECT_EQ(count_breaks(sorted), 0);
+}
+
+TEST(ReorderElevator, ZeroDepthPanics)
+{
+    EXPECT_THROW(reorderElevator(Trace("t"), noWindow(0)),
+                 PanicError);
+}
+
+} // namespace
+} // namespace logseek::trace

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for Table-I style trace statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/stats.h"
+
+namespace logseek::trace
+{
+namespace
+{
+
+Trace
+sampleTrace()
+{
+    Trace trace("sample");
+    trace.appendRead(0, bytesToSectors(64 * kKiB), 10);
+    trace.appendWrite(1000, bytesToSectors(16 * kKiB), 20);
+    trace.appendWrite(2000, bytesToSectors(48 * kKiB), 30);
+    trace.appendRead(5000, bytesToSectors(128 * kKiB), 40);
+    return trace;
+}
+
+TEST(TraceStats, CountsReadsAndWrites)
+{
+    const TraceStats stats = computeStats(sampleTrace());
+    EXPECT_EQ(stats.readCount, 2u);
+    EXPECT_EQ(stats.writeCount, 2u);
+    EXPECT_EQ(stats.name, "sample");
+}
+
+TEST(TraceStats, VolumesSumRequestBytes)
+{
+    const TraceStats stats = computeStats(sampleTrace());
+    EXPECT_EQ(stats.readBytes, (64 + 128) * kKiB);
+    EXPECT_EQ(stats.writtenBytes, (16 + 48) * kKiB);
+}
+
+TEST(TraceStats, MeanWriteSize)
+{
+    const TraceStats stats = computeStats(sampleTrace());
+    EXPECT_DOUBLE_EQ(stats.meanWriteSizeKiB(), 32.0);
+    EXPECT_DOUBLE_EQ(stats.meanReadSizeKiB(), 96.0);
+}
+
+TEST(TraceStats, GiBConversions)
+{
+    Trace trace("big");
+    trace.appendWrite(0, bytesToSectors(2 * kGiB));
+    const TraceStats stats = computeStats(trace);
+    EXPECT_DOUBLE_EQ(stats.writtenGiB(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.readGiB(), 0.0);
+}
+
+TEST(TraceStats, WriteFraction)
+{
+    const TraceStats stats = computeStats(sampleTrace());
+    EXPECT_DOUBLE_EQ(stats.writeFraction(), 0.5);
+}
+
+TEST(TraceStats, EmptyTraceIsAllZero)
+{
+    const TraceStats stats = computeStats(Trace("empty"));
+    EXPECT_EQ(stats.readCount, 0u);
+    EXPECT_EQ(stats.writeCount, 0u);
+    EXPECT_DOUBLE_EQ(stats.meanWriteSizeKiB(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.meanReadSizeKiB(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.writeFraction(), 0.0);
+}
+
+TEST(TraceStats, CarriesAddressSpaceAndDuration)
+{
+    const TraceStats stats = computeStats(sampleTrace());
+    EXPECT_EQ(stats.addressSpaceEnd,
+              5000 + bytesToSectors(128 * kKiB));
+    EXPECT_EQ(stats.durationUs, 40u);
+}
+
+TEST(TraceStats, ReadOnlyTrace)
+{
+    Trace trace("ro");
+    trace.appendRead(0, 8);
+    const TraceStats stats = computeStats(trace);
+    EXPECT_EQ(stats.writeCount, 0u);
+    EXPECT_DOUBLE_EQ(stats.writeFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.meanWriteSizeKiB(), 0.0);
+}
+
+} // namespace
+} // namespace logseek::trace

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the trace manipulation utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/tools.h"
+#include "util/logging.h"
+
+namespace logseek::trace
+{
+namespace
+{
+
+Trace
+sample()
+{
+    Trace trace("t");
+    trace.appendWrite(0, 4, 100);
+    trace.appendRead(10, 4, 200);
+    trace.appendWrite(20, 4, 300);
+    trace.appendRead(30, 4, 400);
+    trace.appendWrite(40, 4, 500);
+    return trace;
+}
+
+TEST(SliceByTime, HalfOpenWindow)
+{
+    const Trace out = sliceByTime(sample(), 200, 400);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].timestampUs, 200u);
+    EXPECT_EQ(out[1].timestampUs, 300u);
+    EXPECT_EQ(out.name(), "t");
+}
+
+TEST(SliceByTime, EmptyWindowAndValidation)
+{
+    EXPECT_TRUE(sliceByTime(sample(), 201, 201).empty());
+    EXPECT_THROW(sliceByTime(sample(), 300, 200), PanicError);
+}
+
+TEST(SliceByIndex, ClampsToTraceEnd)
+{
+    const Trace out = sliceByIndex(sample(), 3, 100);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].timestampUs, 400u);
+    EXPECT_THROW(sliceByIndex(sample(), 5, 2), PanicError);
+}
+
+TEST(MergeByTimestamp, InterleavesStreams)
+{
+    Trace a("a");
+    a.appendWrite(0, 1, 100);
+    a.appendWrite(1, 1, 300);
+    Trace b("b");
+    b.appendRead(2, 1, 200);
+    b.appendRead(3, 1, 400);
+
+    const Trace out = mergeByTimestamp({&a, &b}, "merged");
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0].timestampUs, 100u);
+    EXPECT_EQ(out[1].timestampUs, 200u);
+    EXPECT_EQ(out[2].timestampUs, 300u);
+    EXPECT_EQ(out[3].timestampUs, 400u);
+    EXPECT_EQ(out.name(), "merged");
+}
+
+TEST(MergeByTimestamp, TiesAreStableByInputOrder)
+{
+    Trace a("a");
+    a.appendWrite(1, 1, 100);
+    Trace b("b");
+    b.appendRead(2, 1, 100);
+    const Trace out = mergeByTimestamp({&a, &b}, "m");
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0].isWrite()); // a's record first
+    EXPECT_TRUE(out[1].isRead());
+}
+
+TEST(MergeByTimestamp, HandlesEmptyInputsAndNulls)
+{
+    Trace a("a");
+    const Trace empty("e");
+    EXPECT_EQ(mergeByTimestamp({&a, &empty}, "m").size(), 0u);
+    EXPECT_THROW(mergeByTimestamp({nullptr}, "m"), PanicError);
+}
+
+TEST(Filter, KeepsMatchingRecords)
+{
+    const Trace out =
+        filter(sample(), [](const IoRecord &record) {
+            return record.extent.start >= 20;
+        });
+    EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(ReadsAndWritesOnly, SplitByType)
+{
+    const Trace reads = readsOnly(sample());
+    const Trace writes = writesOnly(sample());
+    EXPECT_EQ(reads.size(), 2u);
+    EXPECT_EQ(writes.size(), 3u);
+    EXPECT_EQ(reads.size() + writes.size(), sample().size());
+    for (const auto &record : reads)
+        EXPECT_TRUE(record.isRead());
+    for (const auto &record : writes)
+        EXPECT_TRUE(record.isWrite());
+}
+
+TEST(SampleEveryNth, PicksStride)
+{
+    const Trace out = sampleEveryNth(sample(), 2);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].timestampUs, 100u);
+    EXPECT_EQ(out[1].timestampUs, 300u);
+    EXPECT_EQ(out[2].timestampUs, 500u);
+}
+
+TEST(SampleEveryNth, OffsetAndValidation)
+{
+    const Trace out = sampleEveryNth(sample(), 2, 1);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].timestampUs, 200u);
+    EXPECT_THROW(sampleEveryNth(sample(), 0), PanicError);
+}
+
+TEST(Tools, ComposeForPerDiskVolumeView)
+{
+    // The documented preprocessing pipeline: merge two disks, trim
+    // to a window, keep writes.
+    Trace disk0("d0");
+    disk0.appendWrite(0, 8, 10);
+    disk0.appendRead(8, 8, 30);
+    Trace disk1("d1");
+    disk1.appendWrite(100, 8, 20);
+
+    const Trace merged = mergeByTimestamp({&disk0, &disk1}, "vol");
+    const Trace window = sliceByTime(merged, 10, 25);
+    const Trace writes = writesOnly(window);
+    ASSERT_EQ(writes.size(), 2u);
+    EXPECT_EQ(writes[0].extent.start, 0u);
+    EXPECT_EQ(writes[1].extent.start, 100u);
+}
+
+} // namespace
+} // namespace logseek::trace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for SectorExtent interval arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/extent.h"
+
+namespace logseek
+{
+namespace
+{
+
+TEST(SectorExtent, EndIsStartPlusCount)
+{
+    const SectorExtent extent{100, 50};
+    EXPECT_EQ(extent.end(), 150u);
+}
+
+TEST(SectorExtent, EmptyWhenCountZero)
+{
+    EXPECT_TRUE((SectorExtent{42, 0}).empty());
+    EXPECT_FALSE((SectorExtent{42, 1}).empty());
+}
+
+TEST(SectorExtent, BytesUsesSectorSize)
+{
+    EXPECT_EQ((SectorExtent{0, 4}).bytes(), 4 * kSectorBytes);
+}
+
+TEST(SectorExtent, ContainsIsHalfOpen)
+{
+    const SectorExtent extent{10, 5};
+    EXPECT_FALSE(extent.contains(9));
+    EXPECT_TRUE(extent.contains(10));
+    EXPECT_TRUE(extent.contains(14));
+    EXPECT_FALSE(extent.contains(15));
+}
+
+TEST(SectorExtent, CoversSubRange)
+{
+    const SectorExtent outer{10, 10};
+    EXPECT_TRUE(outer.covers({10, 10}));
+    EXPECT_TRUE(outer.covers({12, 3}));
+    EXPECT_FALSE(outer.covers({12, 9}));
+    EXPECT_FALSE(outer.covers({5, 10}));
+}
+
+TEST(SectorExtent, CoversEmptyExtent)
+{
+    const SectorExtent outer{10, 10};
+    EXPECT_TRUE(outer.covers({0, 0}));
+    EXPECT_TRUE(outer.covers({999, 0}));
+}
+
+TEST(SectorExtent, OverlapsDetectsSharedSectors)
+{
+    const SectorExtent a{10, 10};
+    EXPECT_TRUE(a.overlaps({15, 10}));
+    EXPECT_TRUE(a.overlaps({5, 6}));
+    EXPECT_TRUE(a.overlaps({12, 2}));
+    EXPECT_FALSE(a.overlaps({20, 5}));
+    EXPECT_FALSE(a.overlaps({0, 10}));
+}
+
+TEST(SectorExtent, PrecedesIsExactAdjacency)
+{
+    const SectorExtent a{10, 10};
+    EXPECT_TRUE(a.precedes({20, 5}));
+    EXPECT_FALSE(a.precedes({21, 5}));
+    EXPECT_FALSE(a.precedes({19, 5}));
+}
+
+TEST(SectorExtent, EqualityComparesBothFields)
+{
+    EXPECT_EQ((SectorExtent{1, 2}), (SectorExtent{1, 2}));
+    EXPECT_NE((SectorExtent{1, 2}), (SectorExtent{1, 3}));
+    EXPECT_NE((SectorExtent{1, 2}), (SectorExtent{2, 2}));
+}
+
+TEST(Intersect, ReturnsOverlapRegion)
+{
+    const auto result = intersect({10, 10}, {15, 10});
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result, (SectorExtent{15, 5}));
+}
+
+TEST(Intersect, FullContainment)
+{
+    const auto result = intersect({10, 10}, {12, 3});
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result, (SectorExtent{12, 3}));
+}
+
+TEST(Intersect, DisjointReturnsNullopt)
+{
+    EXPECT_FALSE(intersect({10, 10}, {20, 5}).has_value());
+    EXPECT_FALSE(intersect({20, 5}, {10, 10}).has_value());
+}
+
+TEST(Intersect, AdjacentExtentsDoNotIntersect)
+{
+    EXPECT_FALSE(intersect({10, 10}, {20, 10}).has_value());
+}
+
+TEST(Units, SectorByteConversionsRoundTrip)
+{
+    EXPECT_EQ(bytesToSectors(kSectorBytes * 7), 7u);
+    EXPECT_EQ(sectorsToBytes(7), kSectorBytes * 7);
+    EXPECT_EQ(bytesToSectors(kMiB), kMiB / kSectorBytes);
+}
+
+TEST(Units, SectorDistanceIsSignedBytes)
+{
+    EXPECT_EQ(sectorDistanceBytes(10, 14),
+              static_cast<std::int64_t>(4 * kSectorBytes));
+    EXPECT_EQ(sectorDistanceBytes(14, 10),
+              -static_cast<std::int64_t>(4 * kSectorBytes));
+    EXPECT_EQ(sectorDistanceBytes(5, 5), 0);
+}
+
+} // namespace
+} // namespace logseek

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the logging/error helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace logseek
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Logging, FatalCarriesMessage)
+{
+    try {
+        fatal("bad config value");
+        FAIL() << "fatal() must throw";
+    } catch (const FatalError &error) {
+        EXPECT_STREQ(error.what(), "bad config value");
+    }
+}
+
+TEST(Logging, PanicCarriesMessage)
+{
+    try {
+        panic("invariant violated");
+        FAIL() << "panic() must throw";
+    } catch (const PanicError &error) {
+        EXPECT_STREQ(error.what(), "invariant violated");
+    }
+}
+
+TEST(Logging, PanicIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(panicIf(false, "fine"));
+    EXPECT_THROW(panicIf(true, "boom"), PanicError);
+}
+
+TEST(Logging, FatalAndPanicAreDistinctTypes)
+{
+    // fatal() = user error, panic() = internal bug; a handler for
+    // one must not swallow the other.
+    EXPECT_THROW(
+        {
+            try {
+                fatal("user");
+            } catch (const PanicError &) {
+                FAIL() << "FatalError caught as PanicError";
+            }
+        },
+        FatalError);
+}
+
+TEST(Logging, InformAndWarnDoNotThrow)
+{
+    EXPECT_NO_THROW(inform("status"));
+    EXPECT_NO_THROW(warn("heads up"));
+}
+
+} // namespace
+} // namespace logseek

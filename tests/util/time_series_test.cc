@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for BinnedSeries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/time_series.h"
+
+namespace logseek
+{
+namespace
+{
+
+TEST(BinnedSeries, AccumulatesIntoCorrectBins)
+{
+    BinnedSeries series(10);
+    series.add(0, 1);
+    series.add(9, 2);
+    series.add(10, 5);
+    series.add(25, -3);
+    EXPECT_EQ(series.binValue(0), 3);
+    EXPECT_EQ(series.binValue(1), 5);
+    EXPECT_EQ(series.binValue(2), -3);
+    EXPECT_EQ(series.binCount(), 3u);
+}
+
+TEST(BinnedSeries, UntouchedBinsReadZero)
+{
+    BinnedSeries series(10);
+    series.add(35, 4);
+    EXPECT_EQ(series.binValue(0), 0);
+    EXPECT_EQ(series.binValue(2), 0);
+    EXPECT_EQ(series.binValue(3), 4);
+    EXPECT_EQ(series.binValue(99), 0); // past the end
+}
+
+TEST(BinnedSeries, TotalSumsAllBins)
+{
+    BinnedSeries series(5);
+    series.add(1, 10);
+    series.add(7, -4);
+    series.add(100, 1);
+    EXPECT_EQ(series.total(), 7);
+}
+
+TEST(BinnedSeries, BinLowerEdge)
+{
+    const BinnedSeries series(250);
+    EXPECT_EQ(series.binLowerEdge(0), 0u);
+    EXPECT_EQ(series.binLowerEdge(3), 750u);
+}
+
+TEST(BinnedSeries, ZeroWidthPanics)
+{
+    EXPECT_THROW(BinnedSeries(0), PanicError);
+}
+
+TEST(BinnedSeriesDifference, SubtractsBinwise)
+{
+    BinnedSeries a(10);
+    BinnedSeries b(10);
+    a.add(0, 5);
+    a.add(10, 3);
+    b.add(0, 2);
+    b.add(20, 7);
+    const BinnedSeries diff = difference(a, b);
+    EXPECT_EQ(diff.binValue(0), 3);
+    EXPECT_EQ(diff.binValue(1), 3);
+    EXPECT_EQ(diff.binValue(2), -7);
+}
+
+TEST(BinnedSeriesDifference, LengthIsMaxOfInputs)
+{
+    BinnedSeries a(10);
+    BinnedSeries b(10);
+    a.add(5, 1);
+    b.add(55, 1);
+    const BinnedSeries diff = difference(a, b);
+    EXPECT_EQ(diff.binCount(), 6u);
+}
+
+TEST(BinnedSeriesDifference, MismatchedWidthsPanic)
+{
+    const BinnedSeries a(10);
+    const BinnedSeries b(20);
+    EXPECT_THROW(difference(a, b), PanicError);
+}
+
+TEST(BinnedSeriesDifference, IdenticalSeriesIsZero)
+{
+    BinnedSeries a(10);
+    a.add(3, 4);
+    a.add(13, -2);
+    const BinnedSeries diff = difference(a, a);
+    EXPECT_EQ(diff.total(), 0);
+}
+
+} // namespace
+} // namespace logseek

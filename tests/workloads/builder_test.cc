@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for TraceBuilder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "workloads/builder.h"
+
+namespace logseek::workloads
+{
+namespace
+{
+
+TEST(TraceBuilder, AssignsMonotonicTimestamps)
+{
+    TraceBuilder builder("t", 100);
+    builder.read(0, 1);
+    builder.write(10, 2);
+    builder.read(20, 1);
+    const trace::Trace trace = builder.take();
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace[0].timestampUs, 0u);
+    EXPECT_EQ(trace[1].timestampUs, 100u);
+    EXPECT_EQ(trace[2].timestampUs, 200u);
+}
+
+TEST(TraceBuilder, IdleAdvancesClock)
+{
+    TraceBuilder builder("t", 100);
+    builder.read(0, 1);
+    builder.idle(5000);
+    builder.read(0, 1);
+    const trace::Trace trace = builder.take();
+    EXPECT_EQ(trace[1].timestampUs, 5100u);
+}
+
+TEST(TraceBuilder, RecordsTypesAndExtents)
+{
+    TraceBuilder builder("t");
+    builder.write(42, 8);
+    builder.read(100, 16);
+    const trace::Trace trace = builder.take();
+    EXPECT_TRUE(trace[0].isWrite());
+    EXPECT_EQ(trace[0].extent, (SectorExtent{42, 8}));
+    EXPECT_TRUE(trace[1].isRead());
+    EXPECT_EQ(trace[1].extent, (SectorExtent{100, 16}));
+}
+
+TEST(TraceBuilder, NamePropagates)
+{
+    TraceBuilder builder("myload");
+    builder.read(0, 1);
+    EXPECT_EQ(builder.take().name(), "myload");
+}
+
+TEST(TraceBuilder, SizeAndPeek)
+{
+    TraceBuilder builder("t");
+    EXPECT_EQ(builder.size(), 0u);
+    builder.read(0, 1);
+    builder.read(1, 1);
+    EXPECT_EQ(builder.size(), 2u);
+    EXPECT_EQ(builder.peek().size(), 2u);
+}
+
+TEST(TraceBuilder, ZeroInterarrivalPanics)
+{
+    EXPECT_THROW(TraceBuilder("t", 0), PanicError);
+}
+
+} // namespace
+} // namespace logseek::workloads

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Behavioral tests for the named profiles: the structural trace
+ * properties each figure depends on (capacity probes, scan-once
+ * sizing, mis-ordered content, hot-set re-reads) observed directly
+ * on the generated traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "analysis/misordered.h"
+#include "trace/stats.h"
+#include "util/logging.h"
+#include "workloads/profiles.h"
+
+namespace logseek::workloads
+{
+namespace
+{
+
+ProfileOptions
+quick()
+{
+    ProfileOptions options;
+    options.scale = 0.004;
+    return options;
+}
+
+TEST(ProfileBehavior, CloudPhysicsProfilesProbeLargeVolumes)
+{
+    // The diskGiB capacity probe places the log far above the data
+    // (paper Fig. 4's large-volume seek distances). MSR profiles
+    // stay compact.
+    const trace::Trace w64 = makeWorkload("w64", quick());
+    EXPECT_GE(w64.addressSpaceEnd(), bytesToSectors(6 * kGiB) - 1);
+
+    const trace::Trace usr0 = makeWorkload("usr_0", quick());
+    EXPECT_LT(usr0.addressSpaceEnd(), bytesToSectors(2 * kGiB));
+}
+
+TEST(ProfileBehavior, CapacityProbeIsOneTinyRead)
+{
+    const trace::Trace trace = makeWorkload("w95", quick());
+    const Lba top = trace.addressSpaceEnd();
+    std::size_t touching_top = 0;
+    for (const auto &record : trace) {
+        if (record.extent.end() == top) {
+            ++touching_top;
+            EXPECT_TRUE(record.isRead());
+            EXPECT_EQ(record.extent.count, 1u);
+        }
+    }
+    EXPECT_EQ(touching_top, 1u);
+}
+
+TEST(ProfileBehavior, MisorderedProfilesContainDescendingAdjacency)
+{
+    // Profiles with mis-ordered bursts (hm_1, w84) contain writes
+    // whose successor ends exactly at their start — the raw
+    // material of paper Fig. 8.
+    for (const char *name : {"hm_1", "w84", "src2_2", "w106"}) {
+        const trace::Trace trace = makeWorkload(name, quick());
+        const auto stats = analysis::countMisorderedWrites(trace);
+        EXPECT_GT(stats.fraction(), 0.01) << name;
+    }
+}
+
+TEST(ProfileBehavior, ScanProfilesRereadTheSameSectors)
+{
+    // w91's scans revisit the same region; per-sector read counts
+    // must show heavy reuse (this is what defrag/cache exploit).
+    const trace::Trace trace = makeWorkload("w91", quick());
+    std::map<Lba, int> read_counts;
+    for (const auto &record : trace) {
+        if (record.isRead() && record.extent.count > 1)
+            ++read_counts[record.extent.start];
+    }
+    int max_count = 0;
+    for (const auto &[lba, count] : read_counts)
+        max_count = std::max(max_count, count);
+    EXPECT_GE(max_count, 3);
+}
+
+TEST(ProfileBehavior, ScanOnceProfilesDoNotRevisitScans)
+{
+    // w20's scans sweep fresh ground: the modal per-offset scan
+    // count must be 1 (defragmentation then has nothing to earn).
+    const trace::Trace trace = makeWorkload("w20", quick());
+    std::map<Lba, int> read_counts;
+    std::size_t repeated = 0;
+    std::size_t total = 0;
+    for (const auto &record : trace) {
+        if (!record.isRead())
+            continue;
+        ++total;
+        if (++read_counts[record.extent.start] == 2)
+            ++repeated;
+    }
+    ASSERT_GT(total, 0u);
+    // Less than a third of distinct read offsets are revisited
+    // (the hot pool is, the scans are not).
+    EXPECT_LT(static_cast<double>(repeated),
+              0.34 * static_cast<double>(read_counts.size()));
+}
+
+TEST(ProfileBehavior, HotPoolProfilesHaveSkewedReads)
+{
+    // web_0's hot chunks concentrate reads (paper Fig. 10).
+    const trace::Trace trace = makeWorkload("web_0", quick());
+    std::map<Lba, int> counts;
+    int reads = 0;
+    for (const auto &record : trace) {
+        if (record.isRead()) {
+            ++counts[record.extent.start];
+            ++reads;
+        }
+    }
+    int best = 0;
+    for (const auto &[lba, count] : counts)
+        best = std::max(best, count);
+    // The single most popular offset collects far more than a
+    // uniform share.
+    EXPECT_GT(best * static_cast<int>(counts.size()), 4 * reads);
+}
+
+TEST(ProfileBehavior, WriteDominantProfilesScatterWrites)
+{
+    // w76's writes must be spatially scattered (NoLS write seeks
+    // are what the log saves).
+    const trace::Trace trace = makeWorkload("w76", quick());
+    std::size_t breaks = 0;
+    std::size_t writes = 0;
+    const trace::IoRecord *prev = nullptr;
+    for (const auto &record : trace) {
+        if (!record.isWrite())
+            continue;
+        if (prev != nullptr &&
+            record.extent.start != prev->extent.end())
+            ++breaks;
+        prev = &record;
+        ++writes;
+    }
+    ASSERT_GT(writes, 100u);
+    EXPECT_GT(static_cast<double>(breaks),
+              0.5 * static_cast<double>(writes));
+}
+
+TEST(ProfileBehavior, DayStructureLeavesIdleGaps)
+{
+    // Multi-day profiles must contain large idle gaps (the diurnal
+    // structure behind paper Fig. 3).
+    const trace::Trace trace = makeWorkload("w55", quick());
+    std::size_t long_gaps = 0;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        if (trace[i].timestampUs - trace[i - 1].timestampUs >
+            3600ULL * 1000 * 1000)
+            ++long_gaps;
+    }
+    EXPECT_GE(long_gaps, 13u); // 14 days -> >= 13 overnight gaps
+}
+
+TEST(ProfileBehavior, ScaleChangesCountsNotCharacter)
+{
+    ProfileOptions small = quick();
+    ProfileOptions larger = quick();
+    larger.scale = 0.008;
+    const trace::TraceStats a =
+        trace::computeStats(makeWorkload("w95", small));
+    const trace::TraceStats b =
+        trace::computeStats(makeWorkload("w95", larger));
+    EXPECT_GT(b.readCount, a.readCount);
+    EXPECT_GT(b.writeCount, a.writeCount);
+    // Mean write size is scale-invariant.
+    EXPECT_NEAR(a.meanWriteSizeKiB(), b.meanWriteSizeKiB(), 2.0);
+}
+
+} // namespace
+} // namespace logseek::workloads

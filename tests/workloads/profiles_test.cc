@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the 21 named workload profiles: registry integrity,
+ * determinism, scaled request counts, and per-archetype structural
+ * properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/stats.h"
+#include "util/logging.h"
+#include "workloads/profiles.h"
+
+namespace logseek::workloads
+{
+namespace
+{
+
+ProfileOptions
+quickOptions()
+{
+    ProfileOptions options;
+    options.scale = 0.004; // keep per-test generation fast
+    return options;
+}
+
+TEST(ProfileRegistry, HasTwentyOneWorkloads)
+{
+    EXPECT_EQ(workloadTable().size(), 21u);
+    EXPECT_EQ(allWorkloadNames().size(), 21u);
+    EXPECT_EQ(msrWorkloadNames().size(), 9u);
+    EXPECT_EQ(cloudPhysicsWorkloadNames().size(), 12u);
+}
+
+TEST(ProfileRegistry, NamesMatchThePaper)
+{
+    for (const char *name :
+         {"usr_0", "usr_1", "src2_2", "hm_1", "web_0", "wdev_0",
+          "mds_0", "rsrch_0", "ts_0", "w84", "w95", "w64", "w93",
+          "w20", "w91", "w76", "w36", "w89", "w106", "w55", "w33"}) {
+        EXPECT_TRUE(isKnownWorkload(name)) << name;
+    }
+    EXPECT_FALSE(isKnownWorkload("nonesuch"));
+}
+
+TEST(ProfileRegistry, InfoCarriesTableOneData)
+{
+    const WorkloadInfo &info = workloadInfo("w36");
+    EXPECT_EQ(info.suite, "CloudPhysics");
+    EXPECT_EQ(info.tableReads, 113090u);
+    EXPECT_EQ(info.tableWrites, 18802536u);
+    EXPECT_DOUBLE_EQ(info.tableMeanWriteKiB, 141.8);
+    EXPECT_FALSE(info.behavior.empty());
+    EXPECT_FALSE(info.os.empty());
+}
+
+TEST(ProfileRegistry, UnknownWorkloadIsFatal)
+{
+    EXPECT_THROW(workloadInfo("bogus"), FatalError);
+    EXPECT_THROW(makeWorkload("bogus"), FatalError);
+}
+
+TEST(Profiles, GenerationIsDeterministic)
+{
+    const trace::Trace a = makeWorkload("hm_1", quickOptions());
+    const trace::Trace b = makeWorkload("hm_1", quickOptions());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "record " << i;
+}
+
+TEST(Profiles, SeedChangesTheTrace)
+{
+    ProfileOptions other = quickOptions();
+    other.seed = 777;
+    const trace::Trace a = makeWorkload("hm_1", quickOptions());
+    const trace::Trace b = makeWorkload("hm_1", other);
+    bool differs = a.size() != b.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = !(a[i] == b[i]);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Profiles, InvalidScaleIsRejected)
+{
+    ProfileOptions bad;
+    bad.scale = 0.0;
+    EXPECT_THROW(makeWorkload("hm_1", bad), PanicError);
+}
+
+/** Parameterized structural checks over every named profile. */
+class AllProfiles : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllProfiles, GeneratesNonTrivialTrace)
+{
+    const trace::Trace trace =
+        makeWorkload(GetParam(), quickOptions());
+    EXPECT_GT(trace.size(), 500u);
+    EXPECT_GT(trace.addressSpaceEnd(), 0u);
+    EXPECT_EQ(trace.name(), GetParam());
+}
+
+TEST_P(AllProfiles, TimestampsAreMonotonic)
+{
+    const trace::Trace trace =
+        makeWorkload(GetParam(), quickOptions());
+    std::uint64_t prev = 0;
+    for (const auto &record : trace) {
+        ASSERT_GE(record.timestampUs, prev);
+        prev = record.timestampUs;
+    }
+}
+
+TEST_P(AllProfiles, RequestCountsTrackTableOne)
+{
+    const WorkloadInfo &info = workloadInfo(GetParam());
+    ProfileOptions options;
+    options.scale = 0.01;
+    const trace::TraceStats stats =
+        trace::computeStats(makeWorkload(GetParam(), options));
+
+    // Counts follow scale * Table I within 35% slack (prep phases,
+    // run rounding and the 400-op floor shift small profiles) —
+    // behavioral shape matters more than exact counts.
+    const auto expect_near = [](std::uint64_t actual,
+                                double expected, const char *what) {
+        const double floor_adjusted = std::max(expected, 400.0);
+        EXPECT_GT(static_cast<double>(actual),
+                  0.65 * floor_adjusted)
+            << what;
+        EXPECT_LT(static_cast<double>(actual),
+                  1.6 * floor_adjusted + 600.0)
+            << what;
+    };
+    expect_near(stats.readCount,
+                0.01 * static_cast<double>(info.tableReads), "reads");
+    expect_near(stats.writeCount,
+                0.01 * static_cast<double>(info.tableWrites),
+                "writes");
+}
+
+TEST_P(AllProfiles, ReadWriteBalanceMatchesArchetype)
+{
+    const WorkloadInfo &info = workloadInfo(GetParam());
+    const trace::TraceStats stats =
+        trace::computeStats(makeWorkload(GetParam(), quickOptions()));
+    const bool table_write_heavy =
+        info.tableWrites > info.tableReads;
+    // Small profiles hit the 400-op floor on both sides; only check
+    // direction when Table I is lopsided by at least 2x.
+    if (info.tableWrites > 2 * info.tableReads)
+        EXPECT_GT(stats.writeCount, stats.readCount);
+    else if (info.tableReads > 2 * info.tableWrites)
+        EXPECT_GT(stats.readCount, stats.writeCount);
+    else
+        (void)table_write_heavy;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Named, AllProfiles,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &param_info) {
+        std::string name = param_info.param;
+        for (auto &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace logseek::workloads
