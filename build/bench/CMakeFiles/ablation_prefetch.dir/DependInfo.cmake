@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_prefetch.cc" "bench/CMakeFiles/ablation_prefetch.dir/ablation_prefetch.cc.o" "gcc" "bench/CMakeFiles/ablation_prefetch.dir/ablation_prefetch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stl/CMakeFiles/logseek_stl.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/logseek_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/logseek_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logseek_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/logseek_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logseek_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

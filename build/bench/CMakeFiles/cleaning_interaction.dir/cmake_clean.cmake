@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaning_interaction.dir/cleaning_interaction.cc.o"
+  "CMakeFiles/cleaning_interaction.dir/cleaning_interaction.cc.o.d"
+  "cleaning_interaction"
+  "cleaning_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaning_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

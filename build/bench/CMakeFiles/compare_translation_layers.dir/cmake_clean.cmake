@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_translation_layers.dir/compare_translation_layers.cc.o"
+  "CMakeFiles/compare_translation_layers.dir/compare_translation_layers.cc.o.d"
+  "compare_translation_layers"
+  "compare_translation_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_translation_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fragment_popularity.dir/fig10_fragment_popularity.cc.o"
+  "CMakeFiles/fig10_fragment_popularity.dir/fig10_fragment_popularity.cc.o.d"
+  "fig10_fragment_popularity"
+  "fig10_fragment_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fragment_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_saf.dir/fig11_saf.cc.o"
+  "CMakeFiles/fig11_saf.dir/fig11_saf.cc.o.d"
+  "fig11_saf"
+  "fig11_saf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_saf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_seek_counts.dir/fig2_seek_counts.cc.o"
+  "CMakeFiles/fig2_seek_counts.dir/fig2_seek_counts.cc.o.d"
+  "fig2_seek_counts"
+  "fig2_seek_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_seek_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

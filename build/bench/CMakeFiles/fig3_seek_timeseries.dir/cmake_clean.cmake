@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_seek_timeseries.dir/fig3_seek_timeseries.cc.o"
+  "CMakeFiles/fig3_seek_timeseries.dir/fig3_seek_timeseries.cc.o.d"
+  "fig3_seek_timeseries"
+  "fig3_seek_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_seek_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

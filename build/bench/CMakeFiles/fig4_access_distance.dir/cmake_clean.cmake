@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_access_distance.dir/fig4_access_distance.cc.o"
+  "CMakeFiles/fig4_access_distance.dir/fig4_access_distance.cc.o.d"
+  "fig4_access_distance"
+  "fig4_access_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_access_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

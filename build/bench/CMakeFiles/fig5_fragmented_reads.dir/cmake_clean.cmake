@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fragmented_reads.dir/fig5_fragmented_reads.cc.o"
+  "CMakeFiles/fig5_fragmented_reads.dir/fig5_fragmented_reads.cc.o.d"
+  "fig5_fragmented_reads"
+  "fig5_fragmented_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fragmented_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_misordered.dir/fig8_misordered.cc.o"
+  "CMakeFiles/fig8_misordered.dir/fig8_misordered.cc.o.d"
+  "fig8_misordered"
+  "fig8_misordered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_misordered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncq_baseline.dir/ncq_baseline.cc.o"
+  "CMakeFiles/ncq_baseline.dir/ncq_baseline.cc.o.d"
+  "ncq_baseline"
+  "ncq_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncq_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

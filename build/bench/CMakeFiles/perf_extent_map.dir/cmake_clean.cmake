@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_extent_map.dir/perf_extent_map.cc.o"
+  "CMakeFiles/perf_extent_map.dir/perf_extent_map.cc.o.d"
+  "perf_extent_map"
+  "perf_extent_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_extent_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

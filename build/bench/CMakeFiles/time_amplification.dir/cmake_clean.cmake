@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_amplification.dir/time_amplification.cc.o"
+  "CMakeFiles/time_amplification.dir/time_amplification.cc.o.d"
+  "time_amplification"
+  "time_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archival_smr.dir/archival_smr.cpp.o"
+  "CMakeFiles/archival_smr.dir/archival_smr.cpp.o.d"
+  "archival_smr"
+  "archival_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archival_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logseek_analysis.dir/misordered.cc.o"
+  "CMakeFiles/logseek_analysis.dir/misordered.cc.o.d"
+  "CMakeFiles/logseek_analysis.dir/observers.cc.o"
+  "CMakeFiles/logseek_analysis.dir/observers.cc.o.d"
+  "CMakeFiles/logseek_analysis.dir/report.cc.o"
+  "CMakeFiles/logseek_analysis.dir/report.cc.o.d"
+  "liblogseek_analysis.a"
+  "liblogseek_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logseek_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/head.cc" "src/disk/CMakeFiles/logseek_disk.dir/head.cc.o" "gcc" "src/disk/CMakeFiles/logseek_disk.dir/head.cc.o.d"
+  "/root/repo/src/disk/pba_cache.cc" "src/disk/CMakeFiles/logseek_disk.dir/pba_cache.cc.o" "gcc" "src/disk/CMakeFiles/logseek_disk.dir/pba_cache.cc.o.d"
+  "/root/repo/src/disk/seek_time.cc" "src/disk/CMakeFiles/logseek_disk.dir/seek_time.cc.o" "gcc" "src/disk/CMakeFiles/logseek_disk.dir/seek_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logseek_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logseek_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

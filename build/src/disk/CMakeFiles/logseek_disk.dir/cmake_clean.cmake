@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logseek_disk.dir/head.cc.o"
+  "CMakeFiles/logseek_disk.dir/head.cc.o.d"
+  "CMakeFiles/logseek_disk.dir/pba_cache.cc.o"
+  "CMakeFiles/logseek_disk.dir/pba_cache.cc.o.d"
+  "CMakeFiles/logseek_disk.dir/seek_time.cc.o"
+  "CMakeFiles/logseek_disk.dir/seek_time.cc.o.d"
+  "liblogseek_disk.a"
+  "liblogseek_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logseek_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stl/conventional.cc" "src/stl/CMakeFiles/logseek_stl.dir/conventional.cc.o" "gcc" "src/stl/CMakeFiles/logseek_stl.dir/conventional.cc.o.d"
+  "/root/repo/src/stl/defrag.cc" "src/stl/CMakeFiles/logseek_stl.dir/defrag.cc.o" "gcc" "src/stl/CMakeFiles/logseek_stl.dir/defrag.cc.o.d"
+  "/root/repo/src/stl/extent_map.cc" "src/stl/CMakeFiles/logseek_stl.dir/extent_map.cc.o" "gcc" "src/stl/CMakeFiles/logseek_stl.dir/extent_map.cc.o.d"
+  "/root/repo/src/stl/finite_log.cc" "src/stl/CMakeFiles/logseek_stl.dir/finite_log.cc.o" "gcc" "src/stl/CMakeFiles/logseek_stl.dir/finite_log.cc.o.d"
+  "/root/repo/src/stl/log_structured.cc" "src/stl/CMakeFiles/logseek_stl.dir/log_structured.cc.o" "gcc" "src/stl/CMakeFiles/logseek_stl.dir/log_structured.cc.o.d"
+  "/root/repo/src/stl/media_cache.cc" "src/stl/CMakeFiles/logseek_stl.dir/media_cache.cc.o" "gcc" "src/stl/CMakeFiles/logseek_stl.dir/media_cache.cc.o.d"
+  "/root/repo/src/stl/prefetch.cc" "src/stl/CMakeFiles/logseek_stl.dir/prefetch.cc.o" "gcc" "src/stl/CMakeFiles/logseek_stl.dir/prefetch.cc.o.d"
+  "/root/repo/src/stl/selective_cache.cc" "src/stl/CMakeFiles/logseek_stl.dir/selective_cache.cc.o" "gcc" "src/stl/CMakeFiles/logseek_stl.dir/selective_cache.cc.o.d"
+  "/root/repo/src/stl/simulator.cc" "src/stl/CMakeFiles/logseek_stl.dir/simulator.cc.o" "gcc" "src/stl/CMakeFiles/logseek_stl.dir/simulator.cc.o.d"
+  "/root/repo/src/stl/translation_layer.cc" "src/stl/CMakeFiles/logseek_stl.dir/translation_layer.cc.o" "gcc" "src/stl/CMakeFiles/logseek_stl.dir/translation_layer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logseek_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logseek_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/logseek_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logseek_stl.dir/conventional.cc.o"
+  "CMakeFiles/logseek_stl.dir/conventional.cc.o.d"
+  "CMakeFiles/logseek_stl.dir/defrag.cc.o"
+  "CMakeFiles/logseek_stl.dir/defrag.cc.o.d"
+  "CMakeFiles/logseek_stl.dir/extent_map.cc.o"
+  "CMakeFiles/logseek_stl.dir/extent_map.cc.o.d"
+  "CMakeFiles/logseek_stl.dir/finite_log.cc.o"
+  "CMakeFiles/logseek_stl.dir/finite_log.cc.o.d"
+  "CMakeFiles/logseek_stl.dir/log_structured.cc.o"
+  "CMakeFiles/logseek_stl.dir/log_structured.cc.o.d"
+  "CMakeFiles/logseek_stl.dir/media_cache.cc.o"
+  "CMakeFiles/logseek_stl.dir/media_cache.cc.o.d"
+  "CMakeFiles/logseek_stl.dir/prefetch.cc.o"
+  "CMakeFiles/logseek_stl.dir/prefetch.cc.o.d"
+  "CMakeFiles/logseek_stl.dir/selective_cache.cc.o"
+  "CMakeFiles/logseek_stl.dir/selective_cache.cc.o.d"
+  "CMakeFiles/logseek_stl.dir/simulator.cc.o"
+  "CMakeFiles/logseek_stl.dir/simulator.cc.o.d"
+  "CMakeFiles/logseek_stl.dir/translation_layer.cc.o"
+  "CMakeFiles/logseek_stl.dir/translation_layer.cc.o.d"
+  "liblogseek_stl.a"
+  "liblogseek_stl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logseek_stl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblogseek_stl.a"
+)

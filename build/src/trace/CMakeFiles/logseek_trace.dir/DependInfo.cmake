@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/binary.cc" "src/trace/CMakeFiles/logseek_trace.dir/binary.cc.o" "gcc" "src/trace/CMakeFiles/logseek_trace.dir/binary.cc.o.d"
+  "/root/repo/src/trace/msr_csv.cc" "src/trace/CMakeFiles/logseek_trace.dir/msr_csv.cc.o" "gcc" "src/trace/CMakeFiles/logseek_trace.dir/msr_csv.cc.o.d"
+  "/root/repo/src/trace/reorder.cc" "src/trace/CMakeFiles/logseek_trace.dir/reorder.cc.o" "gcc" "src/trace/CMakeFiles/logseek_trace.dir/reorder.cc.o.d"
+  "/root/repo/src/trace/stats.cc" "src/trace/CMakeFiles/logseek_trace.dir/stats.cc.o" "gcc" "src/trace/CMakeFiles/logseek_trace.dir/stats.cc.o.d"
+  "/root/repo/src/trace/tools.cc" "src/trace/CMakeFiles/logseek_trace.dir/tools.cc.o" "gcc" "src/trace/CMakeFiles/logseek_trace.dir/tools.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/logseek_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/logseek_trace.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logseek_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logseek_trace.dir/binary.cc.o"
+  "CMakeFiles/logseek_trace.dir/binary.cc.o.d"
+  "CMakeFiles/logseek_trace.dir/msr_csv.cc.o"
+  "CMakeFiles/logseek_trace.dir/msr_csv.cc.o.d"
+  "CMakeFiles/logseek_trace.dir/reorder.cc.o"
+  "CMakeFiles/logseek_trace.dir/reorder.cc.o.d"
+  "CMakeFiles/logseek_trace.dir/stats.cc.o"
+  "CMakeFiles/logseek_trace.dir/stats.cc.o.d"
+  "CMakeFiles/logseek_trace.dir/tools.cc.o"
+  "CMakeFiles/logseek_trace.dir/tools.cc.o.d"
+  "CMakeFiles/logseek_trace.dir/trace.cc.o"
+  "CMakeFiles/logseek_trace.dir/trace.cc.o.d"
+  "liblogseek_trace.a"
+  "liblogseek_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logseek_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

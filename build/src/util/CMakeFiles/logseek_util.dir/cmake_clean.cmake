@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logseek_util.dir/histogram.cc.o"
+  "CMakeFiles/logseek_util.dir/histogram.cc.o.d"
+  "CMakeFiles/logseek_util.dir/logging.cc.o"
+  "CMakeFiles/logseek_util.dir/logging.cc.o.d"
+  "CMakeFiles/logseek_util.dir/random.cc.o"
+  "CMakeFiles/logseek_util.dir/random.cc.o.d"
+  "CMakeFiles/logseek_util.dir/time_series.cc.o"
+  "CMakeFiles/logseek_util.dir/time_series.cc.o.d"
+  "liblogseek_util.a"
+  "liblogseek_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logseek_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

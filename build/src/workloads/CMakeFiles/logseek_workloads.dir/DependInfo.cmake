@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/builder.cc" "src/workloads/CMakeFiles/logseek_workloads.dir/builder.cc.o" "gcc" "src/workloads/CMakeFiles/logseek_workloads.dir/builder.cc.o.d"
+  "/root/repo/src/workloads/phases.cc" "src/workloads/CMakeFiles/logseek_workloads.dir/phases.cc.o" "gcc" "src/workloads/CMakeFiles/logseek_workloads.dir/phases.cc.o.d"
+  "/root/repo/src/workloads/profiles.cc" "src/workloads/CMakeFiles/logseek_workloads.dir/profiles.cc.o" "gcc" "src/workloads/CMakeFiles/logseek_workloads.dir/profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/logseek_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logseek_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logseek_workloads.dir/builder.cc.o"
+  "CMakeFiles/logseek_workloads.dir/builder.cc.o.d"
+  "CMakeFiles/logseek_workloads.dir/phases.cc.o"
+  "CMakeFiles/logseek_workloads.dir/phases.cc.o.d"
+  "CMakeFiles/logseek_workloads.dir/profiles.cc.o"
+  "CMakeFiles/logseek_workloads.dir/profiles.cc.o.d"
+  "liblogseek_workloads.a"
+  "liblogseek_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logseek_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

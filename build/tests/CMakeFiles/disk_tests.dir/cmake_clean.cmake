@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_tests.dir/disk/head_test.cc.o"
+  "CMakeFiles/disk_tests.dir/disk/head_test.cc.o.d"
+  "CMakeFiles/disk_tests.dir/disk/pba_cache_property_test.cc.o"
+  "CMakeFiles/disk_tests.dir/disk/pba_cache_property_test.cc.o.d"
+  "CMakeFiles/disk_tests.dir/disk/pba_cache_test.cc.o"
+  "CMakeFiles/disk_tests.dir/disk/pba_cache_test.cc.o.d"
+  "CMakeFiles/disk_tests.dir/disk/seek_time_test.cc.o"
+  "CMakeFiles/disk_tests.dir/disk/seek_time_test.cc.o.d"
+  "disk_tests"
+  "disk_tests.pdb"
+  "disk_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

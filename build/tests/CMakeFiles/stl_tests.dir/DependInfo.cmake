@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stl/conventional_test.cc" "tests/CMakeFiles/stl_tests.dir/stl/conventional_test.cc.o" "gcc" "tests/CMakeFiles/stl_tests.dir/stl/conventional_test.cc.o.d"
+  "/root/repo/tests/stl/defrag_test.cc" "tests/CMakeFiles/stl_tests.dir/stl/defrag_test.cc.o" "gcc" "tests/CMakeFiles/stl_tests.dir/stl/defrag_test.cc.o.d"
+  "/root/repo/tests/stl/extent_map_property_test.cc" "tests/CMakeFiles/stl_tests.dir/stl/extent_map_property_test.cc.o" "gcc" "tests/CMakeFiles/stl_tests.dir/stl/extent_map_property_test.cc.o.d"
+  "/root/repo/tests/stl/extent_map_test.cc" "tests/CMakeFiles/stl_tests.dir/stl/extent_map_test.cc.o" "gcc" "tests/CMakeFiles/stl_tests.dir/stl/extent_map_test.cc.o.d"
+  "/root/repo/tests/stl/finite_log_test.cc" "tests/CMakeFiles/stl_tests.dir/stl/finite_log_test.cc.o" "gcc" "tests/CMakeFiles/stl_tests.dir/stl/finite_log_test.cc.o.d"
+  "/root/repo/tests/stl/log_structured_test.cc" "tests/CMakeFiles/stl_tests.dir/stl/log_structured_test.cc.o" "gcc" "tests/CMakeFiles/stl_tests.dir/stl/log_structured_test.cc.o.d"
+  "/root/repo/tests/stl/media_cache_test.cc" "tests/CMakeFiles/stl_tests.dir/stl/media_cache_test.cc.o" "gcc" "tests/CMakeFiles/stl_tests.dir/stl/media_cache_test.cc.o.d"
+  "/root/repo/tests/stl/prefetch_test.cc" "tests/CMakeFiles/stl_tests.dir/stl/prefetch_test.cc.o" "gcc" "tests/CMakeFiles/stl_tests.dir/stl/prefetch_test.cc.o.d"
+  "/root/repo/tests/stl/scenario_test.cc" "tests/CMakeFiles/stl_tests.dir/stl/scenario_test.cc.o" "gcc" "tests/CMakeFiles/stl_tests.dir/stl/scenario_test.cc.o.d"
+  "/root/repo/tests/stl/selective_cache_test.cc" "tests/CMakeFiles/stl_tests.dir/stl/selective_cache_test.cc.o" "gcc" "tests/CMakeFiles/stl_tests.dir/stl/selective_cache_test.cc.o.d"
+  "/root/repo/tests/stl/simulator_property_test.cc" "tests/CMakeFiles/stl_tests.dir/stl/simulator_property_test.cc.o" "gcc" "tests/CMakeFiles/stl_tests.dir/stl/simulator_property_test.cc.o.d"
+  "/root/repo/tests/stl/simulator_test.cc" "tests/CMakeFiles/stl_tests.dir/stl/simulator_test.cc.o" "gcc" "tests/CMakeFiles/stl_tests.dir/stl/simulator_test.cc.o.d"
+  "/root/repo/tests/stl/zoned_log_test.cc" "tests/CMakeFiles/stl_tests.dir/stl/zoned_log_test.cc.o" "gcc" "tests/CMakeFiles/stl_tests.dir/stl/zoned_log_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stl/CMakeFiles/logseek_stl.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/logseek_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/logseek_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/logseek_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/logseek_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/logseek_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

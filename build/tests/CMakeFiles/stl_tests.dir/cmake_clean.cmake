@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stl_tests.dir/stl/conventional_test.cc.o"
+  "CMakeFiles/stl_tests.dir/stl/conventional_test.cc.o.d"
+  "CMakeFiles/stl_tests.dir/stl/defrag_test.cc.o"
+  "CMakeFiles/stl_tests.dir/stl/defrag_test.cc.o.d"
+  "CMakeFiles/stl_tests.dir/stl/extent_map_property_test.cc.o"
+  "CMakeFiles/stl_tests.dir/stl/extent_map_property_test.cc.o.d"
+  "CMakeFiles/stl_tests.dir/stl/extent_map_test.cc.o"
+  "CMakeFiles/stl_tests.dir/stl/extent_map_test.cc.o.d"
+  "CMakeFiles/stl_tests.dir/stl/finite_log_test.cc.o"
+  "CMakeFiles/stl_tests.dir/stl/finite_log_test.cc.o.d"
+  "CMakeFiles/stl_tests.dir/stl/log_structured_test.cc.o"
+  "CMakeFiles/stl_tests.dir/stl/log_structured_test.cc.o.d"
+  "CMakeFiles/stl_tests.dir/stl/media_cache_test.cc.o"
+  "CMakeFiles/stl_tests.dir/stl/media_cache_test.cc.o.d"
+  "CMakeFiles/stl_tests.dir/stl/prefetch_test.cc.o"
+  "CMakeFiles/stl_tests.dir/stl/prefetch_test.cc.o.d"
+  "CMakeFiles/stl_tests.dir/stl/scenario_test.cc.o"
+  "CMakeFiles/stl_tests.dir/stl/scenario_test.cc.o.d"
+  "CMakeFiles/stl_tests.dir/stl/selective_cache_test.cc.o"
+  "CMakeFiles/stl_tests.dir/stl/selective_cache_test.cc.o.d"
+  "CMakeFiles/stl_tests.dir/stl/simulator_property_test.cc.o"
+  "CMakeFiles/stl_tests.dir/stl/simulator_property_test.cc.o.d"
+  "CMakeFiles/stl_tests.dir/stl/simulator_test.cc.o"
+  "CMakeFiles/stl_tests.dir/stl/simulator_test.cc.o.d"
+  "CMakeFiles/stl_tests.dir/stl/zoned_log_test.cc.o"
+  "CMakeFiles/stl_tests.dir/stl/zoned_log_test.cc.o.d"
+  "stl_tests"
+  "stl_tests.pdb"
+  "stl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_tests.dir/trace/binary_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/binary_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/msr_csv_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/msr_csv_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/reorder_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/reorder_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/stats_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/stats_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/tools_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/tools_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/trace_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/trace_test.cc.o.d"
+  "trace_tests"
+  "trace_tests.pdb"
+  "trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

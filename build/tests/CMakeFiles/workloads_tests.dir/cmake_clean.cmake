@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_tests.dir/workloads/builder_test.cc.o"
+  "CMakeFiles/workloads_tests.dir/workloads/builder_test.cc.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/phases_test.cc.o"
+  "CMakeFiles/workloads_tests.dir/workloads/phases_test.cc.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/profile_behavior_test.cc.o"
+  "CMakeFiles/workloads_tests.dir/workloads/profile_behavior_test.cc.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/profiles_test.cc.o"
+  "CMakeFiles/workloads_tests.dir/workloads/profiles_test.cc.o.d"
+  "workloads_tests"
+  "workloads_tests.pdb"
+  "workloads_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
