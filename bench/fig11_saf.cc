@@ -6,15 +6,22 @@
  * workload sets. The selective cache is 64 MB, as in the paper's
  * evaluation (§V).
  *
- * Usage: fig11_saf [scale] [seed]
+ * Usage: fig11_saf [scale] [seed] [--paranoid]
+ *
+ * With --paranoid, every replay runs under a ValidatingObserver in
+ * paranoid mode: the first replay-invariant violation aborts the
+ * figure with the offending op, guaranteeing the published numbers
+ * came from a self-consistent replay.
  */
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/report.h"
+#include "analysis/validating_observer.h"
 #include "stl/simulator.h"
 #include "workloads/profiles.h"
 
@@ -22,6 +29,19 @@ namespace
 {
 
 using namespace logseek;
+
+/** Set by --paranoid: validate every replayed op. */
+bool g_paranoid = false;
+
+stl::SimResult
+runOne(const stl::SimConfig &config, const trace::Trace &trace)
+{
+    stl::Simulator simulator(config);
+    analysis::ValidatingObserver validator({.paranoid = true});
+    if (g_paranoid)
+        simulator.addObserver(&validator);
+    return simulator.run(trace);
+}
 
 stl::SimConfig
 makeConfig(bool defrag, bool prefetch, bool cache)
@@ -55,8 +75,7 @@ runSuite(const std::string &suite,
 
         stl::SimConfig baseline;
         baseline.translation = stl::TranslationKind::Conventional;
-        const stl::SimResult nols =
-            stl::Simulator(baseline).run(trace);
+        const stl::SimResult nols = runOne(baseline, trace);
 
         std::vector<std::string> row{name};
         for (const auto &config :
@@ -65,8 +84,7 @@ runSuite(const std::string &suite,
               makeConfig(false, true, false),
               makeConfig(false, false, true),
               makeConfig(true, true, true)}) {
-            const stl::SimResult result =
-                stl::Simulator(config).run(trace);
+            const stl::SimResult result = runOne(config, trace);
             row.push_back(analysis::formatDouble(
                 stl::seekAmplification(nols, result)));
         }
@@ -82,11 +100,27 @@ int
 main(int argc, char **argv)
 {
     workloads::ProfileOptions options;
-    if (argc > 1)
-        options.scale = std::atof(argv[1]);
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--paranoid") == 0) {
+            g_paranoid = true;
+        } else if (std::strncmp(argv[i], "--", 2) == 0) {
+            std::cerr << "unknown option: " << argv[i]
+                      << "\nusage: fig11_saf [scale] [seed] "
+                         "[--paranoid]\n";
+            return 2;
+        } else if (positional == 0) {
+            options.scale = std::atof(argv[i]);
+            ++positional;
+        } else {
+            options.seed =
+                static_cast<std::uint64_t>(std::atoll(argv[i]));
+            ++positional;
+        }
+    }
+    if (g_paranoid)
+        std::cout << "(paranoid mode: replay invariants checked "
+                     "on every op)\n\n";
 
     runSuite("MSR", workloads::msrWorkloadNames(), options);
     runSuite("CloudPhysics", workloads::cloudPhysicsWorkloadNames(),

@@ -1,0 +1,185 @@
+#include "validating_observer.h"
+
+#include "util/logging.h"
+
+namespace logseek::analysis
+{
+
+ValidatingObserver::ValidatingObserver() = default;
+
+ValidatingObserver::ValidatingObserver(Options options)
+    : options_(options)
+{
+}
+
+void
+ValidatingObserver::report(const stl::IoEvent &event,
+                           const std::string &what)
+{
+    const std::string message =
+        "replay invariant violated at op " +
+        std::to_string(event.opIndex) + ": " + what;
+    if (options_.paranoid)
+        panic(message);
+    ++violations_;
+    if (recorded_.size() < options_.maxRecorded)
+        recorded_.push_back(message);
+}
+
+void
+ValidatingObserver::checkCoverage(
+    const stl::IoEvent &event,
+    const std::vector<stl::Segment> &segments,
+    const SectorExtent &extent, const char *label)
+{
+    if (segments.empty()) {
+        report(event, std::string(label) + " empty");
+        return;
+    }
+    std::uint64_t expected = extent.start;
+    for (const auto &segment : segments) {
+        if (segment.logical.empty()) {
+            report(event, std::string(label) +
+                              " contain an empty segment");
+            return;
+        }
+        if (segment.logical.start != expected) {
+            report(event,
+                   std::string(label) + " leave a gap or overlap at "
+                   "sector " + std::to_string(segment.logical.start) +
+                   " (expected " + std::to_string(expected) + ")");
+            return;
+        }
+        expected = segment.logical.end();
+    }
+    if (expected != extent.end()) {
+        report(event, std::string(label) + " cover sectors up to " +
+                          std::to_string(expected) +
+                          " but the extent ends at " +
+                          std::to_string(extent.end()));
+    }
+}
+
+void
+ValidatingObserver::onEvent(const stl::IoEvent &event)
+{
+    // Events must arrive in trace order. opIndex restarts at 0 when
+    // the same observer is attached across several run() calls.
+    if (events_ > 0 && event.opIndex != 0 &&
+        event.opIndex != lastOpIndex_ + 1)
+        report(event, "op index " + std::to_string(event.opIndex) +
+                          " does not follow " +
+                          std::to_string(lastOpIndex_));
+    lastOpIndex_ = event.opIndex;
+    ++events_;
+
+    const auto &record = event.record;
+    if (record.extent.empty())
+        report(event, "request extent is empty");
+
+    // Segments exactly cover the request extent, in LBA order.
+    checkCoverage(event, event.segments, record.extent, "segments");
+
+    const std::uint64_t hits = event.cacheHits + event.prefetchHits;
+    std::uint64_t media_accesses = 0;
+
+    if (record.isWrite()) {
+        // Writes never consult the read-side caches and never
+        // trigger defragmentation.
+        if (hits != 0)
+            report(event, "write reported cache/prefetch hits");
+        if (event.defragRewrite || !event.defragSegments.empty())
+            report(event, "write reported a defrag rewrite");
+        media_accesses = event.segments.size();
+        for (const auto &seek : event.seeks) {
+            if (seek.type != trace::IoType::Write) {
+                report(event, "write incurred a read-classified "
+                              "seek");
+                break;
+            }
+        }
+    } else {
+        // Cache/prefetch can serve at most one hit per fragment.
+        if (hits > event.segments.size())
+            report(event,
+                   "cache+prefetch hits (" + std::to_string(hits) +
+                       ") exceed the fragment count (" +
+                       std::to_string(event.segments.size()) + ")");
+
+        if (event.defragRewrite != !event.defragSegments.empty())
+            report(event, "defragRewrite flag disagrees with the "
+                          "defrag segment list");
+        if (event.defragRewrite) {
+            checkCoverage(event, event.defragSegments, record.extent,
+                          "defrag segments");
+            // Relocation appends at the write frontier, so the
+            // physical runs advance monotonically (gaps only at
+            // zone-guard crossings).
+            for (std::size_t i = 1;
+                 i < event.defragSegments.size(); ++i) {
+                const auto &prev = event.defragSegments[i - 1];
+                const auto &next = event.defragSegments[i];
+                if (next.pba < prev.pba + prev.logical.count) {
+                    report(event, "defrag segments are not in "
+                                  "ascending physical order");
+                    break;
+                }
+            }
+        }
+
+        const std::uint64_t read_accesses =
+            event.segments.size() >= hits
+                ? event.segments.size() - hits
+                : 0;
+        media_accesses = read_accesses + event.defragSegments.size();
+
+        std::uint64_t read_seeks = 0;
+        std::uint64_t write_seeks = 0;
+        for (const auto &seek : event.seeks) {
+            if (seek.type == trace::IoType::Read)
+                ++read_seeks;
+            else
+                ++write_seeks;
+        }
+        if (read_seeks > read_accesses)
+            report(event,
+                   "read seeks (" + std::to_string(read_seeks) +
+                       ") exceed media read accesses (" +
+                       std::to_string(read_accesses) + ")");
+        if (write_seeks > event.defragSegments.size())
+            report(event,
+                   "write seeks (" + std::to_string(write_seeks) +
+                       ") exceed defrag segments (" +
+                       std::to_string(event.defragSegments.size()) +
+                       ")");
+    }
+
+    // At most one seek per media access, and recorded seeks must
+    // be real (flagged, non-zero distance).
+    if (event.seeks.size() > media_accesses)
+        report(event,
+               "seek count (" + std::to_string(event.seeks.size()) +
+                   ") exceeds media accesses (" +
+                   std::to_string(media_accesses) + ")");
+    for (const auto &seek : event.seeks) {
+        if (!seek.seeked || seek.distanceBytes == 0) {
+            report(event, "recorded seek is not an actual seek");
+            break;
+        }
+    }
+}
+
+Status
+ValidatingObserver::status() const
+{
+    if (violations_ == 0)
+        return Status();
+    const std::string first =
+        recorded_.empty() ? std::string("(not recorded)")
+                          : recorded_.front();
+    return failedPreconditionError(
+        std::to_string(violations_) +
+        " replay invariant violations; first: " + first);
+}
+
+} // namespace logseek::analysis

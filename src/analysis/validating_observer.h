@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Runtime invariant checking over the replay event stream.
+ *
+ * The simulator promises a precise contract for every IoEvent it
+ * emits (segments exactly cover the request in LBA order, seek
+ * counts consistent with segment adjacency, cache/prefetch hits
+ * bounded by the fragment count, defrag rewrites covering the read
+ * extent). ValidatingObserver re-checks that contract on every
+ * event, independently of the engine, so a translation-layer or
+ * mechanism bug surfaces at the first bad event instead of as a
+ * subtly wrong figure. Integration tests run it in paranoid mode,
+ * where the first violation panics with the offending op index.
+ */
+
+#ifndef LOGSEEK_ANALYSIS_VALIDATING_OBSERVER_H
+#define LOGSEEK_ANALYSIS_VALIDATING_OBSERVER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stl/simulator.h"
+#include "util/status.h"
+
+namespace logseek::analysis
+{
+
+/**
+ * A SimObserver that cross-checks replay invariants on every event.
+ * Violations are counted (and the first few recorded); in paranoid
+ * mode the first violation panics immediately.
+ */
+class ValidatingObserver : public stl::SimObserver
+{
+  public:
+    struct Options
+    {
+        /** Panic on the first violation instead of recording it. */
+        bool paranoid = false;
+
+        /** How many violation messages to keep verbatim. */
+        std::size_t maxRecorded = 16;
+    };
+
+    /** Non-paranoid observer with default options. */
+    ValidatingObserver();
+
+    explicit ValidatingObserver(Options options);
+
+    void onEvent(const stl::IoEvent &event) override;
+
+    /** Events checked so far. */
+    std::uint64_t eventCount() const { return events_; }
+
+    /** Invariant violations seen so far. */
+    std::uint64_t violationCount() const { return violations_; }
+
+    /** The first maxRecorded violation messages. */
+    const std::vector<std::string> &recorded() const
+    {
+        return recorded_;
+    }
+
+    /**
+     * Ok after a clean run; FailedPrecondition carrying the first
+     * violation message (and the total count) otherwise.
+     */
+    Status status() const;
+
+  private:
+    /** Record (or panic on) one violation. */
+    void report(const stl::IoEvent &event, const std::string &what);
+
+    /**
+     * Check that segments exactly cover extent in LBA order:
+     * non-empty, gap- and overlap-free, first starts and last ends
+     * on the extent's bounds. `label` names the segment list in
+     * violation messages ("segments", "defrag segments").
+     */
+    void checkCoverage(const stl::IoEvent &event,
+                       const std::vector<stl::Segment> &segments,
+                       const SectorExtent &extent,
+                       const char *label);
+
+    Options options_;
+    std::uint64_t events_ = 0;
+    std::uint64_t violations_ = 0;
+    std::uint64_t lastOpIndex_ = 0;
+    std::vector<std::string> recorded_;
+};
+
+} // namespace logseek::analysis
+
+#endif // LOGSEEK_ANALYSIS_VALIDATING_OBSERVER_H

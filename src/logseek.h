@@ -13,6 +13,7 @@
 #include "analysis/misordered.h"
 #include "analysis/observers.h"
 #include "analysis/report.h"
+#include "analysis/validating_observer.h"
 #include "disk/head.h"
 #include "disk/pba_cache.h"
 #include "disk/seek_time.h"
@@ -33,9 +34,11 @@
 #include "trace/tools.h"
 #include "trace/trace.h"
 #include "util/extent.h"
+#include "util/fault.h"
 #include "util/histogram.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/status.h"
 #include "util/time_series.h"
 #include "util/units.h"
 #include "workloads/builder.h"

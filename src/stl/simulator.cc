@@ -57,8 +57,55 @@ Simulator::clearObservers()
     observers_.clear();
 }
 
+Status
+Simulator::validateTrace(const trace::Trace &trace)
+{
+    std::uint64_t index = 0;
+    for (const auto &record : trace) {
+        if (record.extent.empty())
+            return invalidArgumentError(
+                "trace '" + trace.name() + "': record " +
+                std::to_string(index) + " has an empty extent");
+        if (record.extent.start + record.extent.count <
+            record.extent.start)
+            return invalidArgumentError(
+                "trace '" + trace.name() + "': record " +
+                std::to_string(index) +
+                " sector range overflows the address space");
+        ++index;
+    }
+    return Status();
+}
+
 SimResult
 Simulator::run(const trace::Trace &trace)
+{
+    StatusOr<SimResult> result = tryRun(trace);
+    if (!result.ok())
+        result.status().orFatal();
+    return std::move(result).value();
+}
+
+StatusOr<SimResult>
+Simulator::tryRun(const trace::Trace &trace)
+{
+    Status valid = validateTrace(trace);
+    if (!valid.ok())
+        return valid;
+    try {
+        return replay(trace);
+    } catch (const PanicError &e) {
+        return internalError("replay of trace '" + trace.name() +
+                             "' hit an internal bug: " + e.what());
+    } catch (const FatalError &e) {
+        return invalidArgumentError("replay of trace '" +
+                                    trace.name() +
+                                    "' failed: " + e.what());
+    }
+}
+
+SimResult
+Simulator::replay(const trace::Trace &trace)
 {
     SimResult result;
     result.workload = trace.name();
@@ -233,7 +280,8 @@ Simulator::run(const trace::Trace &trace)
 }
 
 std::pair<SimResult, SimResult>
-runWithBaseline(const trace::Trace &trace, const SimConfig &ls_config)
+runWithBaseline(const trace::Trace &trace, const SimConfig &ls_config,
+                const std::vector<SimObserver *> &observers)
 {
     SimConfig baseline_config;
     baseline_config.translation = TranslationKind::Conventional;
@@ -241,6 +289,10 @@ runWithBaseline(const trace::Trace &trace, const SimConfig &ls_config)
 
     Simulator baseline(baseline_config);
     Simulator log_structured(ls_config);
+    for (SimObserver *observer : observers) {
+        baseline.addObserver(observer);
+        log_structured.addObserver(observer);
+    }
     return {baseline.run(trace), log_structured.run(trace)};
 }
 

@@ -30,6 +30,7 @@
 #include "stl/selective_cache.h"
 #include "stl/translation_layer.h"
 #include "trace/trace.h"
+#include "util/status.h"
 
 namespace logseek::stl
 {
@@ -221,12 +222,35 @@ class Simulator
     /** Remove all registered observers. */
     void clearObservers();
 
-    /** Replay a trace and return aggregate results. */
+    /**
+     * Replay a trace and return aggregate results.
+     * @throws FatalError / PanicError on a non-replayable trace or
+     *         configuration (thin wrapper around tryRun).
+     */
     SimResult run(const trace::Trace &trace);
+
+    /**
+     * Typed-error replay entry point: validates the trace up front
+     * (InvalidArgument on a malformed record), then replays it,
+     * converting any escaped FatalError into InvalidArgument and
+     * any PanicError into Internal so one bad trace cannot take
+     * down a batch sweep.
+     */
+    StatusOr<SimResult> tryRun(const trace::Trace &trace);
+
+    /**
+     * Check that a trace is replayable: every record has a
+     * non-empty extent whose sector range does not overflow.
+     * Returns InvalidArgument naming the first offending record.
+     */
+    static Status validateTrace(const trace::Trace &trace);
 
     const SimConfig &config() const { return config_; }
 
   private:
+    /** The replay engine behind run()/tryRun(). */
+    SimResult replay(const trace::Trace &trace);
+
     SimConfig config_;
     std::vector<SimObserver *> observers_;
 };
@@ -235,9 +259,12 @@ class Simulator
  * Convenience: run the same trace under the conventional baseline
  * and under a log-structured configuration, returning
  * (baseline, logStructured). The baseline ignores cfg's mechanisms.
+ * The optional observers are registered on both runs (e.g. a
+ * paranoid ValidatingObserver in integration tests).
  */
 std::pair<SimResult, SimResult>
-runWithBaseline(const trace::Trace &trace, const SimConfig &ls_config);
+runWithBaseline(const trace::Trace &trace, const SimConfig &ls_config,
+                const std::vector<SimObserver *> &observers = {});
 
 /**
  * Seek amplification factor: total seeks of ls divided by total

@@ -1,6 +1,7 @@
 #include "binary.h"
 
 #include <array>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -70,36 +71,44 @@ void
 writeBinaryTraceFile(const std::string &path, const Trace &trace)
 {
     std::ofstream out(path, std::ios::binary);
-    if (!out)
-        fatal("cannot create trace file: " + path);
+    if (!out) {
+        const int saved_errno = errno;
+        fatal("cannot create trace file: " + path + ": " +
+              std::strerror(saved_errno));
+    }
     writeBinaryTrace(out, trace);
 }
 
-Trace
-readBinaryTrace(std::istream &in)
+StatusOr<Trace>
+tryReadBinaryTrace(std::istream &in)
 {
     std::array<char, 4> magic;
     if (!in.read(magic.data(), magic.size()) || magic != kMagic)
-        fatal("binary trace: bad magic");
+        return dataLossError("binary trace: bad magic");
 
     std::uint32_t version = 0;
     if (!getLe(in, version))
-        fatal("binary trace: truncated header");
+        return dataLossError("binary trace: truncated header");
     if (version != kBinaryTraceVersion)
-        fatal("binary trace: unsupported version " +
-              std::to_string(version));
+        return invalidArgumentError(
+            "binary trace: unsupported version " +
+            std::to_string(version));
 
     std::uint32_t name_len = 0;
     if (!getLe(in, name_len))
-        fatal("binary trace: truncated header");
+        return dataLossError("binary trace: truncated header");
+    if (name_len > kMaxTraceNameBytes)
+        return dataLossError(
+            "binary trace: implausible name length " +
+            std::to_string(name_len));
     std::string name(name_len, '\0');
     if (name_len > 0 &&
         !in.read(name.data(), static_cast<std::streamsize>(name_len)))
-        fatal("binary trace: truncated name");
+        return dataLossError("binary trace: truncated name");
 
     std::uint64_t count = 0;
     if (!getLe(in, count))
-        fatal("binary trace: truncated header");
+        return dataLossError("binary trace: truncated header");
 
     Trace trace(name);
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -109,13 +118,22 @@ readBinaryTrace(std::istream &in)
         std::uint64_t sectors = 0;
         if (!getLe(in, timestamp) || !getLe(in, type) ||
             !getLe(in, lba) || !getLe(in, sectors)) {
-            fatal("binary trace: truncated at record " +
-                  std::to_string(i));
+            return dataLossError(
+                "binary trace: truncated at record " +
+                std::to_string(i) + " of " + std::to_string(count));
         }
         if (type > 1)
-            fatal("binary trace: invalid record type");
+            return dataLossError(
+                "binary trace: invalid record type at record " +
+                std::to_string(i));
         if (sectors == 0)
-            fatal("binary trace: zero-length record");
+            return dataLossError(
+                "binary trace: zero-length record at record " +
+                std::to_string(i));
+        if (lba + sectors < lba)
+            return dataLossError(
+                "binary trace: sector range overflow at record " +
+                std::to_string(i));
         trace.append(IoRecord{timestamp,
                               type == 0 ? IoType::Read
                                         : IoType::Write,
@@ -124,13 +142,34 @@ readBinaryTrace(std::istream &in)
     return trace;
 }
 
+StatusOr<Trace>
+tryReadBinaryTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        const int saved_errno = errno;
+        return notFoundError("cannot open trace file: " + path +
+                             ": " + std::strerror(saved_errno));
+    }
+    return tryReadBinaryTrace(in);
+}
+
+Trace
+readBinaryTrace(std::istream &in)
+{
+    StatusOr<Trace> trace = tryReadBinaryTrace(in);
+    if (!trace.ok())
+        trace.status().orFatal();
+    return std::move(trace).value();
+}
+
 Trace
 readBinaryTraceFile(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        fatal("cannot open trace file: " + path);
-    return readBinaryTrace(in);
+    StatusOr<Trace> trace = tryReadBinaryTraceFile(path);
+    if (!trace.ok())
+        trace.status().orFatal();
+    return std::move(trace).value();
 }
 
 } // namespace logseek::trace

@@ -12,8 +12,11 @@
  *   count   u64
  *   records count x { timestampUs u64, type u8, lba u64, count u64 }
  *
- * All integers little-endian; readers reject bad magic/version and
- * truncated files.
+ * All integers little-endian. The tryRead* entry points return
+ * typed Status errors (DataLoss for corruption/truncation,
+ * InvalidArgument for an unsupported version, NotFound for a
+ * missing file); the historical read/write entry points are thin
+ * wrappers that throw FatalError on a non-OK status.
  */
 
 #ifndef LOGSEEK_TRACE_BINARY_H
@@ -23,12 +26,27 @@
 #include <string>
 
 #include "trace/trace.h"
+#include "util/status.h"
 
 namespace logseek::trace
 {
 
 /** Current binary trace format version. */
 inline constexpr std::uint32_t kBinaryTraceVersion = 1;
+
+/** Bytes of preamble before the name: magic + version + nameLen. */
+inline constexpr std::size_t kBinaryTraceHeaderBytes = 4 + 4 + 4;
+
+/** Fixed width of one serialized record. */
+inline constexpr std::size_t kBinaryTraceRecordBytes =
+    8 + 1 + 8 + 8;
+
+/**
+ * Upper bound on a plausible trace name. A length above this is
+ * treated as corruption (it would otherwise let one flipped bit in
+ * the nameLen field demand a multi-GB allocation).
+ */
+inline constexpr std::uint32_t kMaxTraceNameBytes = 64 * 1024;
 
 /** Serialize a trace to the LSKT binary format. */
 void writeBinaryTrace(std::ostream &out, const Trace &trace);
@@ -38,13 +56,23 @@ void writeBinaryTraceFile(const std::string &path,
                           const Trace &trace);
 
 /**
- * Parse an LSKT stream.
- * @throws FatalError on bad magic, unsupported version or
- *         truncation.
+ * Parse an LSKT stream, returning DataLoss on bad magic, an
+ * implausible name length, an invalid record, or truncation, and
+ * InvalidArgument on an unsupported version.
+ */
+StatusOr<Trace> tryReadBinaryTrace(std::istream &in);
+
+/** Parse an LSKT file; NotFound (with strerror detail) when it
+ *  cannot be opened, otherwise as tryReadBinaryTrace. */
+StatusOr<Trace> tryReadBinaryTraceFile(const std::string &path);
+
+/**
+ * Throwing wrapper around tryReadBinaryTrace.
+ * @throws FatalError on any non-OK status.
  */
 Trace readBinaryTrace(std::istream &in);
 
-/** Parse an LSKT file; fatal() if it cannot be opened. */
+/** Throwing wrapper around tryReadBinaryTraceFile. */
 Trace readBinaryTraceFile(const std::string &path);
 
 } // namespace logseek::trace

@@ -1,6 +1,8 @@
 #include "msr_csv.h"
 
+#include <cerrno>
 #include <charconv>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -56,24 +58,40 @@ parseInt(std::string_view text, int &out)
 
 } // namespace
 
-Trace
-parseMsrCsv(std::istream &in, const std::string &name,
-            const MsrCsvOptions &options)
+StatusOr<MsrParseResult>
+tryParseMsrCsv(std::istream &in, const std::string &name,
+               const MsrCsvOptions &options)
 {
-    Trace out(name);
+    MsrParseResult result;
+    result.trace.setName(name);
+    MsrParseSummary &summary = result.summary;
     std::string line;
     std::uint64_t line_number = 0;
     bool have_epoch = false;
     std::uint64_t epoch_ticks = 0;
+    Status error;
 
+    // Returns false when the parse must stop with `error` set.
     auto reject = [&](const std::string &why) {
-        if (options.skipMalformed) {
+        if (!options.skipMalformed) {
+            error = dataLossError(
+                "msr csv line " + std::to_string(line_number) +
+                ": " + why);
+            return false;
+        }
+        ++summary.skipped;
+        if (summary.skipped <= options.maxWarnings)
             warn("msr csv line " + std::to_string(line_number) +
                  " skipped: " + why);
-            return;
+        if (summary.skipped > options.errorBudget) {
+            error = resourceExhaustedError(
+                "msr csv '" + name + "': error budget exceeded: " +
+                std::to_string(summary.skipped) +
+                " malformed lines (budget " +
+                std::to_string(options.errorBudget) + ")");
+            return false;
         }
-        fatal("msr csv line " + std::to_string(line_number) + ": " +
-              why);
+        return true;
     };
 
     while (std::getline(in, line)) {
@@ -82,11 +100,13 @@ parseMsrCsv(std::istream &in, const std::string &name,
             line.pop_back();
         if (line.empty())
             continue;
+        ++summary.lines;
 
         const auto fields = splitCsv(line);
         if (fields.size() < 6) {
-            reject("expected at least 6 fields, got " +
-                   std::to_string(fields.size()));
+            if (!reject("expected at least 6 fields, got " +
+                        std::to_string(fields.size())))
+                return error;
             continue;
         }
 
@@ -95,11 +115,13 @@ parseMsrCsv(std::istream &in, const std::string &name,
         std::uint64_t offset_bytes = 0;
         std::uint64_t length_bytes = 0;
         if (!parseUint(fields[0], ticks)) {
-            reject("bad timestamp");
+            if (!reject("bad timestamp"))
+                return error;
             continue;
         }
         if (!parseInt(fields[2], disk)) {
-            reject("bad disk number");
+            if (!reject("bad disk number"))
+                return error;
             continue;
         }
         IoType type;
@@ -108,28 +130,44 @@ parseMsrCsv(std::istream &in, const std::string &name,
         } else if (fields[3] == "Write" || fields[3] == "write") {
             type = IoType::Write;
         } else {
-            reject("bad request type");
+            if (!reject("bad request type"))
+                return error;
             continue;
         }
         if (!parseUint(fields[4], offset_bytes)) {
-            reject("bad offset");
+            if (!reject("bad offset"))
+                return error;
             continue;
         }
         if (!parseUint(fields[5], length_bytes)) {
-            reject("bad length");
+            if (!reject("bad length"))
+                return error;
             continue;
         }
         if (length_bytes == 0) {
-            reject("zero-length request");
+            if (!reject("zero-length request"))
+                return error;
             continue;
         }
 
-        if (options.diskFilter >= 0 && disk != options.diskFilter)
+        if (options.diskFilter >= 0 && disk != options.diskFilter) {
+            ++summary.filtered;
             continue;
+        }
 
         if (!have_epoch) {
             epoch_ticks = ticks;
             have_epoch = true;
+        }
+        if (ticks < epoch_ticks) {
+            // Non-monotonic clock: clamp to the epoch but make the
+            // anomaly visible instead of silently flattening it.
+            if (summary.timestampUnderflows == 0)
+                warn("msr csv line " +
+                     std::to_string(line_number) +
+                     ": timestamp precedes the first record's; "
+                     "clamping to 0 (counted in the summary)");
+            ++summary.timestampUnderflows;
         }
         const std::uint64_t rel_ticks =
             ticks >= epoch_ticks ? ticks - epoch_ticks : 0;
@@ -138,20 +176,58 @@ parseMsrCsv(std::istream &in, const std::string &name,
         const std::uint64_t end_byte = offset_bytes + length_bytes;
         const Lba end_lba =
             (end_byte + kSectorBytes - 1) / kSectorBytes;
-        out.append(IoRecord{rel_ticks / kTicksPerUs, type,
-                            SectorExtent{lba, end_lba - lba}});
+        result.trace.append(IoRecord{rel_ticks / kTicksPerUs, type,
+                                     SectorExtent{lba,
+                                                  end_lba - lba}});
+        ++summary.parsed;
     }
-    return out;
+
+    if (in.bad()) {
+        return dataLossError("msr csv '" + name +
+                             "': stream read error after line " +
+                             std::to_string(line_number));
+    }
+    if (summary.skipped > 0) {
+        warn("msr csv '" + name + "': skipped " +
+             std::to_string(summary.skipped) + " of " +
+             std::to_string(summary.lines) + " lines");
+    }
+    return result;
+}
+
+StatusOr<MsrParseResult>
+tryParseMsrCsvFile(const std::string &path, const std::string &name,
+                   const MsrCsvOptions &options)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        const int saved_errno = errno;
+        return notFoundError("cannot open trace file: " + path +
+                             ": " + std::strerror(saved_errno));
+    }
+    return tryParseMsrCsv(in, name, options);
+}
+
+Trace
+parseMsrCsv(std::istream &in, const std::string &name,
+            const MsrCsvOptions &options)
+{
+    StatusOr<MsrParseResult> result =
+        tryParseMsrCsv(in, name, options);
+    if (!result.ok())
+        result.status().orFatal();
+    return std::move(result).value().trace;
 }
 
 Trace
 parseMsrCsvFile(const std::string &path, const std::string &name,
                 const MsrCsvOptions &options)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("cannot open trace file: " + path);
-    return parseMsrCsv(in, name, options);
+    StatusOr<MsrParseResult> result =
+        tryParseMsrCsvFile(path, name, options);
+    if (!result.ok())
+        result.status().orFatal();
+    return std::move(result).value().trace;
 }
 
 void

@@ -12,15 +12,22 @@
  * the first record and byte offsets/lengths to 512-byte sectors
  * (offsets are rounded down, lengths rounded up, matching how the
  * traces were consumed in the paper's simple sector model).
+ *
+ * The tryParse* entry points return typed Status errors so one
+ * corrupt trace degrades a single workload instead of a batch; the
+ * historical parse* names are thin wrappers that throw FatalError
+ * on a non-OK status.
  */
 
 #ifndef LOGSEEK_TRACE_MSR_CSV_H
 #define LOGSEEK_TRACE_MSR_CSV_H
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
 #include "trace/trace.h"
+#include "util/status.h"
 
 namespace logseek::trace
 {
@@ -36,6 +43,51 @@ struct MsrCsvOptions
 
     /** Skip malformed lines instead of failing. */
     bool skipMalformed = false;
+
+    /**
+     * Error budget in skipMalformed mode: the maximum number of
+     * malformed lines tolerated before the whole trace is rejected
+     * with ResourceExhausted. A trace that is mostly garbage should
+     * not silently shrink to its few parseable lines.
+     */
+    std::uint64_t errorBudget = 1000;
+
+    /**
+     * Cap on per-line warn() emissions for skipped lines; once
+     * exceeded, skipping continues silently and a single summary
+     * warning is emitted at the end. Keeps a corrupt multi-million
+     * line trace from flooding stderr.
+     */
+    std::uint64_t maxWarnings = 10;
+};
+
+/** Per-parse accounting returned alongside the trace. */
+struct MsrParseSummary
+{
+    /** Non-blank lines examined. */
+    std::uint64_t lines = 0;
+
+    /** Records appended to the trace. */
+    std::uint64_t parsed = 0;
+
+    /** Malformed lines skipped (skipMalformed mode only). */
+    std::uint64_t skipped = 0;
+
+    /** Lines dropped by the disk filter. */
+    std::uint64_t filtered = 0;
+
+    /**
+     * Records whose timestamp preceded the first record's (clock
+     * went backwards); their relative timestamp is clamped to 0.
+     */
+    std::uint64_t timestampUnderflows = 0;
+};
+
+/** A parsed trace plus its parse accounting. */
+struct MsrParseResult
+{
+    Trace trace;
+    MsrParseSummary summary;
 };
 
 /**
@@ -44,13 +96,33 @@ struct MsrCsvOptions
  * @param in Input stream positioned at the first line.
  * @param name Workload name to give the resulting trace.
  * @param options Parse options.
- * @return The parsed trace, records in file order.
- * @throws FatalError on malformed input unless skipMalformed is set.
+ * @return The parsed trace and summary, or a typed error:
+ *         DataLoss for a malformed line (strict mode) or a stream
+ *         I/O failure, ResourceExhausted when skipMalformed skips
+ *         more than options.errorBudget lines.
+ */
+StatusOr<MsrParseResult>
+tryParseMsrCsv(std::istream &in, const std::string &name,
+               const MsrCsvOptions &options = {});
+
+/**
+ * Parse an MSR-format CSV file. The file is opened in binary mode
+ * (the parser strips CR itself, so CRLF traces parse identically on
+ * every platform). Returns NotFound with strerror detail when the
+ * file cannot be opened.
+ */
+StatusOr<MsrParseResult>
+tryParseMsrCsvFile(const std::string &path, const std::string &name,
+                   const MsrCsvOptions &options = {});
+
+/**
+ * Throwing wrapper around tryParseMsrCsv.
+ * @throws FatalError on any non-OK parse status.
  */
 Trace parseMsrCsv(std::istream &in, const std::string &name,
                   const MsrCsvOptions &options = {});
 
-/** Parse an MSR-format CSV file (convenience wrapper). */
+/** Throwing wrapper around tryParseMsrCsvFile. */
 Trace parseMsrCsvFile(const std::string &path, const std::string &name,
                       const MsrCsvOptions &options = {});
 

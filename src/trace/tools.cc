@@ -8,11 +8,27 @@
 namespace logseek::trace
 {
 
-Trace
-sliceByTime(const Trace &input, std::uint64_t begin_us,
-            std::uint64_t end_us)
+namespace
 {
-    panicIf(begin_us > end_us, "sliceByTime: begin after end");
+
+/** Unwrap a StatusOr<Trace>, panicking on error — the bridge the
+ *  historical panic-on-misuse entry points are built on. */
+Trace
+orPanic(StatusOr<Trace> result)
+{
+    if (!result.ok())
+        panic(result.status().message());
+    return std::move(result).value();
+}
+
+} // namespace
+
+StatusOr<Trace>
+trySliceByTime(const Trace &input, std::uint64_t begin_us,
+               std::uint64_t end_us)
+{
+    if (begin_us > end_us)
+        return invalidArgumentError("sliceByTime: begin after end");
     Trace out(input.name());
     for (const auto &record : input) {
         if (record.timestampUs >= begin_us &&
@@ -22,10 +38,12 @@ sliceByTime(const Trace &input, std::uint64_t begin_us,
     return out;
 }
 
-Trace
-sliceByIndex(const Trace &input, std::size_t begin, std::size_t end)
+StatusOr<Trace>
+trySliceByIndex(const Trace &input, std::size_t begin,
+                std::size_t end)
 {
-    panicIf(begin > end, "sliceByIndex: begin after end");
+    if (begin > end)
+        return invalidArgumentError("sliceByIndex: begin after end");
     Trace out(input.name());
     const std::size_t limit = std::min(end, input.size());
     for (std::size_t i = begin; i < limit; ++i)
@@ -33,12 +51,15 @@ sliceByIndex(const Trace &input, std::size_t begin, std::size_t end)
     return out;
 }
 
-Trace
-mergeByTimestamp(const std::vector<const Trace *> &inputs,
-                 const std::string &name)
+StatusOr<Trace>
+tryMergeByTimestamp(const std::vector<const Trace *> &inputs,
+                    const std::string &name)
 {
-    for (const Trace *trace : inputs)
-        panicIf(trace == nullptr, "mergeByTimestamp: null trace");
+    for (const Trace *trace : inputs) {
+        if (trace == nullptr)
+            return invalidArgumentError(
+                "mergeByTimestamp: null trace");
+    }
 
     // K-way merge keyed by (timestamp, input index) for stability.
     using Head = std::tuple<std::uint64_t, std::size_t, std::size_t>;
@@ -58,6 +79,39 @@ mergeByTimestamp(const std::vector<const Trace *> &inputs,
             heads.emplace((*inputs[t])[i + 1].timestampUs, t, i + 1);
     }
     return out;
+}
+
+StatusOr<Trace>
+trySampleEveryNth(const Trace &input, std::size_t n,
+                  std::size_t offset)
+{
+    if (n == 0)
+        return invalidArgumentError(
+            "sampleEveryNth: n must be at least 1");
+    Trace out(input.name());
+    for (std::size_t i = offset; i < input.size(); i += n)
+        out.append(input[i]);
+    return out;
+}
+
+Trace
+sliceByTime(const Trace &input, std::uint64_t begin_us,
+            std::uint64_t end_us)
+{
+    return orPanic(trySliceByTime(input, begin_us, end_us));
+}
+
+Trace
+sliceByIndex(const Trace &input, std::size_t begin, std::size_t end)
+{
+    return orPanic(trySliceByIndex(input, begin, end));
+}
+
+Trace
+mergeByTimestamp(const std::vector<const Trace *> &inputs,
+                 const std::string &name)
+{
+    return orPanic(tryMergeByTimestamp(inputs, name));
 }
 
 Trace
@@ -91,11 +145,7 @@ writesOnly(const Trace &input)
 Trace
 sampleEveryNth(const Trace &input, std::size_t n, std::size_t offset)
 {
-    panicIf(n == 0, "sampleEveryNth: n must be at least 1");
-    Trace out(input.name());
-    for (std::size_t i = offset; i < input.size(); i += n)
-        out.append(input[i]);
-    return out;
+    return orPanic(trySampleEveryNth(input, n, offset));
 }
 
 } // namespace logseek::trace

@@ -18,25 +18,53 @@
 #include <vector>
 
 #include "trace/trace.h"
+#include "util/status.h"
 
 namespace logseek::trace
 {
 
 /**
  * Requests with timestamps in [begin_us, end_us), preserving order
- * and timestamps.
+ * and timestamps. InvalidArgument if begin_us > end_us.
  */
+StatusOr<Trace> trySliceByTime(const Trace &input,
+                               std::uint64_t begin_us,
+                               std::uint64_t end_us);
+
+/**
+ * Requests with indices in [begin, end), clamped to the trace.
+ * InvalidArgument if begin > end.
+ */
+StatusOr<Trace> trySliceByIndex(const Trace &input,
+                                std::size_t begin, std::size_t end);
+
+/**
+ * Merge multiple traces into one stream ordered by timestamp
+ * (stable: ties keep the input-list order). InvalidArgument on a
+ * null input pointer.
+ */
+StatusOr<Trace>
+tryMergeByTimestamp(const std::vector<const Trace *> &inputs,
+                    const std::string &name);
+
+/**
+ * Keep every nth request starting at offset. InvalidArgument if
+ * n == 0.
+ */
+StatusOr<Trace> trySampleEveryNth(const Trace &input, std::size_t n,
+                                  std::size_t offset = 0);
+
+/** Throwing wrapper around trySliceByTime; panics on bad bounds. */
 Trace sliceByTime(const Trace &input, std::uint64_t begin_us,
                   std::uint64_t end_us);
 
-/** Requests with indices in [begin, end), clamped to the trace. */
+/** Throwing wrapper around trySliceByIndex; panics on bad bounds. */
 Trace sliceByIndex(const Trace &input, std::size_t begin,
                    std::size_t end);
 
 /**
- * Merge multiple traces into one stream ordered by timestamp
- * (stable: ties keep the input-list order). Used to combine
- * per-disk traces into a single volume view.
+ * Throwing wrapper around tryMergeByTimestamp; panics on a null
+ * input. Used to combine per-disk traces into a single volume view.
  */
 Trace mergeByTimestamp(const std::vector<const Trace *> &inputs,
                        const std::string &name);
@@ -53,7 +81,8 @@ Trace writesOnly(const Trace &input);
 
 /**
  * Keep every nth request starting at offset — the simple sampling
- * the paper applies to its trace corpus.
+ * the paper applies to its trace corpus. Throwing wrapper around
+ * trySampleEveryNth; panics if n == 0.
  */
 Trace sampleEveryNth(const Trace &input, std::size_t n,
                      std::size_t offset = 0);

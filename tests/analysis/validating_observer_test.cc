@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the ValidatingObserver replay-invariant checker:
+ * clean simulator runs must report zero violations, synthetic bad
+ * events must be caught, and paranoid mode must panic immediately.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/validating_observer.h"
+#include "stl/simulator.h"
+#include "util/logging.h"
+#include "workloads/profiles.h"
+
+namespace logseek::analysis
+{
+namespace
+{
+
+/** A well-formed single-fragment read event. */
+stl::IoEvent
+cleanReadEvent(std::uint64_t op_index = 0)
+{
+    stl::IoEvent event;
+    event.opIndex = op_index;
+    event.record = trace::makeRead(100, 8);
+    event.segments.push_back(
+        stl::Segment{SectorExtent{100, 8}, 5000, true});
+    event.seeks.push_back(
+        disk::SeekInfo{true, 4096, trace::IoType::Read});
+    return event;
+}
+
+TEST(ValidatingObserver, AcceptsCleanEvent)
+{
+    ValidatingObserver observer;
+    observer.onEvent(cleanReadEvent());
+    EXPECT_EQ(observer.eventCount(), 1u);
+    EXPECT_EQ(observer.violationCount(), 0u);
+    EXPECT_TRUE(observer.status().ok());
+}
+
+TEST(ValidatingObserver, CatchesEmptySegments)
+{
+    ValidatingObserver observer;
+    stl::IoEvent event = cleanReadEvent();
+    event.segments.clear();
+    event.seeks.clear();
+    observer.onEvent(event);
+    EXPECT_GT(observer.violationCount(), 0u);
+    EXPECT_EQ(observer.status().code(),
+              StatusCode::FailedPrecondition);
+}
+
+TEST(ValidatingObserver, CatchesCoverageGap)
+{
+    ValidatingObserver observer;
+    stl::IoEvent event = cleanReadEvent();
+    // Segment covers only half of the 8-sector extent.
+    event.segments.front().logical = SectorExtent{100, 4};
+    observer.onEvent(event);
+    EXPECT_EQ(observer.violationCount(), 1u);
+    ASSERT_FALSE(observer.recorded().empty());
+    EXPECT_NE(observer.recorded().front().find("cover"),
+              std::string::npos);
+}
+
+TEST(ValidatingObserver, CatchesOutOfOrderSegments)
+{
+    ValidatingObserver observer;
+    stl::IoEvent event = cleanReadEvent();
+    event.segments.front().logical = SectorExtent{104, 4};
+    event.segments.push_back(
+        stl::Segment{SectorExtent{100, 4}, 6000, true});
+    observer.onEvent(event);
+    EXPECT_GT(observer.violationCount(), 0u);
+}
+
+TEST(ValidatingObserver, CatchesExcessHits)
+{
+    ValidatingObserver observer;
+    stl::IoEvent event = cleanReadEvent();
+    event.seeks.clear();
+    event.cacheHits = 1;
+    event.prefetchHits = 1; // 2 hits on a 1-fragment read
+    observer.onEvent(event);
+    EXPECT_GT(observer.violationCount(), 0u);
+}
+
+TEST(ValidatingObserver, CatchesExcessSeeks)
+{
+    ValidatingObserver observer;
+    stl::IoEvent event = cleanReadEvent();
+    event.seeks.push_back(
+        disk::SeekInfo{true, 4096, trace::IoType::Read});
+    observer.onEvent(event); // 2 seeks, 1 media access
+    EXPECT_GT(observer.violationCount(), 0u);
+}
+
+TEST(ValidatingObserver, CatchesPhantomSeek)
+{
+    ValidatingObserver observer;
+    stl::IoEvent event = cleanReadEvent();
+    event.seeks.front().seeked = false;
+    event.seeks.front().distanceBytes = 0;
+    observer.onEvent(event);
+    EXPECT_GT(observer.violationCount(), 0u);
+}
+
+TEST(ValidatingObserver, CatchesWriteWithCacheHits)
+{
+    ValidatingObserver observer;
+    stl::IoEvent event;
+    event.record = trace::makeWrite(0, 8);
+    event.segments.push_back(
+        stl::Segment{SectorExtent{0, 8}, 0, true});
+    event.cacheHits = 1;
+    observer.onEvent(event);
+    EXPECT_GT(observer.violationCount(), 0u);
+}
+
+TEST(ValidatingObserver, CatchesDefragFlagMismatch)
+{
+    ValidatingObserver observer;
+    stl::IoEvent event = cleanReadEvent();
+    event.defragRewrite = true; // but no defrag segments
+    observer.onEvent(event);
+    EXPECT_GT(observer.violationCount(), 0u);
+}
+
+TEST(ValidatingObserver, ParanoidModePanicsOnFirstViolation)
+{
+    ValidatingObserver observer({.paranoid = true});
+    stl::IoEvent event = cleanReadEvent();
+    event.segments.clear();
+    event.seeks.clear();
+    EXPECT_THROW(observer.onEvent(event), PanicError);
+}
+
+TEST(ValidatingObserver, RecordingIsBounded)
+{
+    ValidatingObserver observer({.paranoid = false,
+                                 .maxRecorded = 2});
+    stl::IoEvent bad = cleanReadEvent();
+    bad.segments.clear();
+    bad.seeks.clear();
+    for (int i = 0; i < 5; ++i)
+        observer.onEvent(bad);
+    EXPECT_EQ(observer.violationCount(), 5u);
+    EXPECT_EQ(observer.recorded().size(), 2u);
+}
+
+TEST(ValidatingObserver, StatusMessageCountsViolations)
+{
+    ValidatingObserver observer;
+    stl::IoEvent bad = cleanReadEvent();
+    bad.segments.clear();
+    bad.seeks.clear();
+    observer.onEvent(bad);
+    observer.onEvent(bad);
+    const Status status = observer.status();
+    EXPECT_NE(status.message().find("2 replay invariant"),
+              std::string::npos);
+}
+
+/**
+ * The real engine must satisfy the validator: replay a workload
+ * under every translation kind and mechanism combination in paranoid
+ * mode (first violation would panic and fail the test).
+ */
+TEST(ValidatingObserver, CleanOnRealReplayAllConfigs)
+{
+    const trace::Trace trace =
+        workloads::makeWorkload("hm_1", {.scale = 0.004, .seed = 7});
+
+    std::vector<stl::SimConfig> configs;
+    for (const auto kind :
+         {stl::TranslationKind::Conventional,
+          stl::TranslationKind::LogStructured,
+          stl::TranslationKind::FiniteLogStructured,
+          stl::TranslationKind::MediaCache}) {
+        stl::SimConfig config;
+        config.translation = kind;
+        configs.push_back(config);
+    }
+    stl::SimConfig all;
+    all.translation = stl::TranslationKind::LogStructured;
+    all.defrag = stl::DefragConfig{};
+    all.prefetch = stl::PrefetchConfig{};
+    all.cache = stl::SelectiveCacheConfig{16 * kMiB};
+    configs.push_back(all);
+
+    for (const auto &config : configs) {
+        ValidatingObserver observer({.paranoid = true});
+        stl::Simulator simulator(config);
+        simulator.addObserver(&observer);
+        const stl::SimResult result = simulator.run(trace);
+        EXPECT_EQ(observer.eventCount(), trace.size())
+            << result.configLabel;
+        EXPECT_EQ(observer.violationCount(), 0u)
+            << result.configLabel;
+    }
+}
+
+} // namespace
+} // namespace logseek::analysis

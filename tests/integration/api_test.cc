@@ -18,7 +18,8 @@ namespace
 
 TEST(Api, ReadmeQuickstartFlow)
 {
-    // The exact flow documented in README.md.
+    // The exact flow documented in README.md, replayed under a
+    // paranoid invariant checker (first violation panics).
     trace::Trace trace =
         workloads::makeWorkload("hm_1", {.scale = 0.004, .seed = 1});
 
@@ -26,11 +27,15 @@ TEST(Api, ReadmeQuickstartFlow)
     config.translation = stl::TranslationKind::LogStructured;
     config.cache = stl::SelectiveCacheConfig{64 * kMiB};
 
-    const auto [baseline, ls] = stl::runWithBaseline(trace, config);
+    analysis::ValidatingObserver validator({.paranoid = true});
+    const auto [baseline, ls] =
+        stl::runWithBaseline(trace, config, {&validator});
     const double saf = stl::seekAmplification(baseline, ls);
     EXPECT_GT(saf, 0.0);
     EXPECT_EQ(baseline.configLabel, "NoLS");
     EXPECT_EQ(ls.configLabel, "LS+cache");
+    EXPECT_EQ(validator.eventCount(), 2 * trace.size());
+    EXPECT_EQ(validator.violationCount(), 0u);
 }
 
 TEST(Api, PrintResultRendersAllSections)
@@ -86,10 +91,14 @@ TEST(Api, AllTranslationKindsRunTheSameTrace)
         // cleaning target (4) well below the segment count.
         config.finiteLog.capacityBytes = 16 * kMiB;
         config.finiteLog.segmentBytes = kMiB;
-        const stl::SimResult result =
-            stl::Simulator(config).run(trace);
+        analysis::ValidatingObserver validator({.paranoid = true});
+        stl::Simulator simulator(config);
+        simulator.addObserver(&validator);
+        const stl::SimResult result = simulator.run(trace);
         EXPECT_EQ(result.reads, 1u) << result.configLabel;
         EXPECT_EQ(result.writes, 50u) << result.configLabel;
+        EXPECT_EQ(validator.violationCount(), 0u)
+            << result.configLabel;
     }
 }
 

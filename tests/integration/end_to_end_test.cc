@@ -13,6 +13,7 @@
 
 #include "analysis/misordered.h"
 #include "analysis/observers.h"
+#include "analysis/validating_observer.h"
 #include "stl/simulator.h"
 #include "trace/msr_csv.h"
 #include "workloads/profiles.h"
@@ -32,6 +33,20 @@ testOptions()
     return options;
 }
 
+/**
+ * Replay under a paranoid invariant checker: any replay-contract
+ * violation panics and fails the test at the offending op.
+ */
+stl::SimResult
+runValidated(const stl::SimConfig &config,
+             const trace::Trace &trace)
+{
+    analysis::ValidatingObserver validator({.paranoid = true});
+    stl::Simulator simulator(config);
+    simulator.addObserver(&validator);
+    return simulator.run(trace);
+}
+
 struct SafSet
 {
     double ls = 0.0;
@@ -48,8 +63,7 @@ runAll(const std::string &name)
 
     stl::SimConfig baseline;
     baseline.translation = stl::TranslationKind::Conventional;
-    const stl::SimResult nols =
-        stl::Simulator(baseline).run(trace);
+    const stl::SimResult nols = runValidated(baseline, trace);
 
     auto saf = [&](bool defrag, bool prefetch, bool cache) {
         stl::SimConfig config;
@@ -61,7 +75,7 @@ runAll(const std::string &name)
         if (cache)
             config.cache = stl::SelectiveCacheConfig{64 * kMiB};
         return stl::seekAmplification(
-            nols, stl::Simulator(config).run(trace));
+            nols, runValidated(config, trace));
     };
 
     SafSet out;
@@ -169,8 +183,8 @@ TEST(EndToEnd, MsrRoundTripPreservesSimulationResults)
 
     stl::SimConfig config;
     config.translation = stl::TranslationKind::LogStructured;
-    const stl::SimResult a = stl::Simulator(config).run(original);
-    const stl::SimResult b = stl::Simulator(config).run(reparsed);
+    const stl::SimResult a = runValidated(config, original);
+    const stl::SimResult b = runValidated(config, reparsed);
     EXPECT_EQ(a.totalSeeks(), b.totalSeeks());
     EXPECT_EQ(a.readFragments, b.readFragments);
 }
@@ -184,9 +198,11 @@ TEST(EndToEnd, ObserversAgreeAcrossConfigs)
 
     analysis::SeekCounter counter;
     analysis::FragmentedReadCdf frag_cdf;
+    analysis::ValidatingObserver validator({.paranoid = true});
     stl::Simulator simulator(config);
     simulator.addObserver(&counter);
     simulator.addObserver(&frag_cdf);
+    simulator.addObserver(&validator);
     const stl::SimResult result = simulator.run(trace);
 
     EXPECT_EQ(counter.totalSeeks(), result.totalSeeks());
@@ -203,7 +219,7 @@ TEST(EndToEnd, CombinedMechanismsDoNotBreakCorrectness)
     config.defrag = stl::DefragConfig{};
     config.prefetch = stl::PrefetchConfig{};
     config.cache = stl::SelectiveCacheConfig{64 * kMiB};
-    const stl::SimResult result = stl::Simulator(config).run(trace);
+    const stl::SimResult result = runValidated(config, trace);
     EXPECT_EQ(result.reads + result.writes, trace.size());
     EXPECT_GT(result.totalSeeks(), 0u);
 }

@@ -12,6 +12,7 @@
 #include <map>
 #include <string>
 
+#include "analysis/validating_observer.h"
 #include "stl/simulator.h"
 #include "util/logging.h"
 #include "workloads/profiles.h"
@@ -72,7 +73,11 @@ class SafRegression : public ::testing::TestWithParam<std::string>
             workloads::makeWorkload(name, options);
         stl::SimConfig ls;
         ls.translation = stl::TranslationKind::LogStructured;
-        const auto [nols, log] = stl::runWithBaseline(trace, ls);
+        // Paranoid invariant checking on every replayed op: a
+        // contract violation panics instead of skewing the SAF.
+        analysis::ValidatingObserver validator({.paranoid = true});
+        const auto [nols, log] =
+            stl::runWithBaseline(trace, ls, {&validator});
         return stl::seekAmplification(nols, log);
     }
 };

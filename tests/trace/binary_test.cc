@@ -131,6 +131,85 @@ TEST(BinaryTrace, MissingFileIsFatal)
                  FatalError);
 }
 
+TEST(BinaryTrace, EveryPrefixTruncationIsTypedError)
+{
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinaryTrace(buffer, sampleTrace());
+    const std::string bytes = buffer.str();
+    // The record count in the header promises more bytes than any
+    // strict prefix delivers, so every truncation point — inside
+    // the magic, the name, the count, or a record — must yield a
+    // typed DataLoss, never a crash or a silently shorter trace.
+    for (std::size_t length = 0; length < bytes.size(); ++length) {
+        std::istringstream in(bytes.substr(0, length));
+        const StatusOr<Trace> result = tryReadBinaryTrace(in);
+        ASSERT_FALSE(result.ok()) << "prefix length " << length;
+        EXPECT_EQ(result.status().code(), StatusCode::DataLoss)
+            << "prefix length " << length;
+    }
+}
+
+TEST(BinaryTrace, ExhaustiveBitFlipsNeverCrash)
+{
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinaryTrace(buffer, sampleTrace());
+    const std::string bytes = buffer.str();
+    // Flip every bit of the serialized trace in turn: the reader
+    // must return a trace or a typed error for each, never throw.
+    for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+        std::string flipped = bytes;
+        flipped[bit / 8] = static_cast<char>(
+            static_cast<unsigned char>(flipped[bit / 8]) ^
+            (1u << (bit % 8)));
+        std::istringstream in(flipped);
+        EXPECT_NO_THROW(tryReadBinaryTrace(in)) << "bit " << bit;
+    }
+}
+
+TEST(BinaryTrace, WrongVersionIsInvalidArgument)
+{
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinaryTrace(buffer, sampleTrace());
+    std::string bytes = buffer.str();
+    bytes[4] = 99;
+    std::istringstream in(bytes);
+    const StatusOr<Trace> result = tryReadBinaryTrace(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(BinaryTrace, ImplausibleNameLengthIsDataLoss)
+{
+    std::stringstream buffer(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    writeBinaryTrace(buffer, sampleTrace());
+    std::string bytes = buffer.str();
+    // Set the high byte of nameLen: a >16M name must be rejected as
+    // corruption before any allocation is attempted.
+    bytes[11] = static_cast<char>(0xff);
+    std::istringstream in(bytes);
+    const StatusOr<Trace> result = tryReadBinaryTrace(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::DataLoss);
+    EXPECT_NE(result.status().message().find("name length"),
+              std::string::npos);
+}
+
+TEST(BinaryTrace, MissingFileIsTypedNotFoundWithDetail)
+{
+    const StatusOr<Trace> result =
+        tryReadBinaryTraceFile("/nonexistent/x.lskt");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::NotFound);
+    // The message must carry the strerror(errno) detail.
+    EXPECT_NE(result.status().message().find("No such file"),
+              std::string::npos)
+        << result.status().message();
+}
+
 TEST(BinaryTrace, MoreCompactThanCsv)
 {
     Rng rng(9);

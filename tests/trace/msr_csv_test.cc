@@ -15,6 +15,18 @@ namespace logseek::trace
 namespace
 {
 
+int
+countOccurrences(const std::string &haystack,
+                 const std::string &needle)
+{
+    int count = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
 TEST(MsrCsv, ParsesBasicRecords)
 {
     std::istringstream in(
@@ -158,6 +170,122 @@ TEST(MsrCsv, ExtraFieldsTolerated)
     std::istringstream in("0,h,0,Read,0,512,0,extra,fields\n");
     const Trace trace = parseMsrCsv(in, "t");
     EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(MsrCsv, MalformedLineIsTypedDataLoss)
+{
+    std::istringstream in("not,a,valid,msr,line\n");
+    const StatusOr<MsrParseResult> result =
+        tryParseMsrCsv(in, "t");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::DataLoss);
+    // The message names the offending line.
+    EXPECT_NE(result.status().message().find("line 1"),
+              std::string::npos);
+}
+
+TEST(MsrCsv, MissingFileIsTypedNotFoundWithDetail)
+{
+    const StatusOr<MsrParseResult> result =
+        tryParseMsrCsvFile("/nonexistent/path/trace.csv", "x");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::NotFound);
+    // The message must carry the strerror(errno) detail.
+    EXPECT_NE(result.status().message().find("No such file"),
+              std::string::npos)
+        << result.status().message();
+}
+
+TEST(MsrCsv, TimestampUnderflowClampedAndCounted)
+{
+    // The second record's clock runs backwards; it must clamp to
+    // the epoch, warn once, and be counted in the parse summary
+    // instead of silently flattening.
+    std::istringstream in("5000,h,0,Read,0,512,0\n"
+                          "4000,h,0,Read,512,512,0\n"
+                          "3000,h,0,Read,1024,512,0\n"
+                          "6000,h,0,Read,1536,512,0\n");
+    ::testing::internal::CaptureStderr();
+    const StatusOr<MsrParseResult> result =
+        tryParseMsrCsv(in, "t");
+    const std::string log =
+        ::testing::internal::GetCapturedStderr();
+    ASSERT_TRUE(result.ok());
+    const MsrParseResult &parsed = result.value();
+    EXPECT_EQ(parsed.summary.timestampUnderflows, 2u);
+    ASSERT_EQ(parsed.trace.size(), 4u);
+    EXPECT_EQ(parsed.trace[1].timestampUs, 0u);
+    EXPECT_EQ(parsed.trace[2].timestampUs, 0u);
+    EXPECT_EQ(parsed.trace[3].timestampUs, 100u);
+    // One warning for the first underflow only.
+    EXPECT_EQ(countOccurrences(log, "precedes the first record"),
+              1);
+}
+
+TEST(MsrCsv, SkippedLineWarningsAreCapped)
+{
+    // 30 malformed lines with a 10-warning cap: at most 10 per-line
+    // warnings plus one final summary, so a corrupt multi-million
+    // line trace cannot flood stderr.
+    std::string bytes;
+    for (int i = 0; i < 30; ++i)
+        bytes += "garbage\n";
+    bytes += "0,h,0,Read,0,512,0\n";
+    MsrCsvOptions options;
+    options.skipMalformed = true;
+    options.maxWarnings = 10;
+    std::istringstream in(bytes);
+    ::testing::internal::CaptureStderr();
+    const StatusOr<MsrParseResult> result =
+        tryParseMsrCsv(in, "t", options);
+    const std::string log =
+        ::testing::internal::GetCapturedStderr();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().summary.skipped, 30u);
+    EXPECT_EQ(result.value().summary.parsed, 1u);
+    EXPECT_EQ(countOccurrences(log, "skipped:"), 10);
+    EXPECT_NE(log.find("skipped 30 of 31 lines"),
+              std::string::npos);
+}
+
+TEST(MsrCsv, ErrorBudgetExceededIsResourceExhausted)
+{
+    std::string bytes;
+    for (int i = 0; i < 20; ++i)
+        bytes += "garbage\n";
+    MsrCsvOptions options;
+    options.skipMalformed = true;
+    options.errorBudget = 5;
+    options.maxWarnings = 0;
+    std::istringstream in(bytes);
+    const StatusOr<MsrParseResult> result =
+        tryParseMsrCsv(in, "t", options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(),
+              StatusCode::ResourceExhausted);
+    EXPECT_NE(result.status().message().find("error budget"),
+              std::string::npos);
+}
+
+TEST(MsrCsv, SummaryAccountsForEveryLine)
+{
+    std::istringstream in("0,h,0,Read,0,512,0\n"
+                          "garbage\n"
+                          "\n"
+                          "10,h,1,Read,512,512,0\n"
+                          "20,h,0,Write,1024,512,0\n");
+    MsrCsvOptions options;
+    options.skipMalformed = true;
+    options.maxWarnings = 0;
+    options.diskFilter = 0;
+    const StatusOr<MsrParseResult> result =
+        tryParseMsrCsv(in, "t", options);
+    ASSERT_TRUE(result.ok());
+    const MsrParseSummary &summary = result.value().summary;
+    EXPECT_EQ(summary.lines, 4u); // blank line not counted
+    EXPECT_EQ(summary.parsed, 2u);
+    EXPECT_EQ(summary.skipped, 1u);
+    EXPECT_EQ(summary.filtered, 1u);
 }
 
 } // namespace

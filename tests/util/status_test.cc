@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the Status / StatusOr<T> typed error layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace logseek
+{
+namespace
+{
+
+TEST(Status, DefaultIsOk)
+{
+    const Status status;
+    EXPECT_TRUE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::Ok);
+    EXPECT_EQ(status.message(), "");
+    EXPECT_EQ(status.toString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage)
+{
+    const std::vector<std::pair<Status, StatusCode>> cases{
+        {invalidArgumentError("m"), StatusCode::InvalidArgument},
+        {notFoundError("m"), StatusCode::NotFound},
+        {outOfRangeError("m"), StatusCode::OutOfRange},
+        {dataLossError("m"), StatusCode::DataLoss},
+        {failedPreconditionError("m"),
+         StatusCode::FailedPrecondition},
+        {resourceExhaustedError("m"),
+         StatusCode::ResourceExhausted},
+        {internalError("m"), StatusCode::Internal},
+    };
+    for (const auto &[status, code] : cases) {
+        EXPECT_FALSE(status.ok()) << toString(code);
+        EXPECT_EQ(status.code(), code);
+        EXPECT_EQ(status.message(), "m");
+    }
+}
+
+TEST(Status, ToStringNamesTheCode)
+{
+    EXPECT_EQ(dataLossError("truncated header").toString(),
+              "DATA_LOSS: truncated header");
+    EXPECT_EQ(resourceExhaustedError("budget").toString(),
+              "RESOURCE_EXHAUSTED: budget");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage)
+{
+    EXPECT_EQ(dataLossError("x"), dataLossError("x"));
+    EXPECT_NE(dataLossError("x"), dataLossError("y"));
+    EXPECT_NE(dataLossError("x"), internalError("x"));
+    EXPECT_EQ(Status(), Status());
+}
+
+TEST(Status, OrFatalThrowsOnlyOnError)
+{
+    EXPECT_NO_THROW(Status().orFatal());
+    EXPECT_THROW(dataLossError("boom").orFatal(), FatalError);
+}
+
+TEST(StatusOr, HoldsValue)
+{
+    StatusOr<int> result(42);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value(), 42);
+    EXPECT_EQ(*result, 42);
+    EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOr, HoldsError)
+{
+    const StatusOr<int> result(notFoundError("missing"));
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::NotFound);
+    EXPECT_EQ(result.status().message(), "missing");
+}
+
+TEST(StatusOr, ValueOnErrorPanics)
+{
+    const StatusOr<int> result(dataLossError("corrupt"));
+    EXPECT_THROW(result.value(), PanicError);
+}
+
+TEST(StatusOr, OkStatusWithoutValuePanics)
+{
+    EXPECT_THROW(StatusOr<int>{Status()}, PanicError);
+}
+
+TEST(StatusOr, ValueOrFallsBackOnError)
+{
+    EXPECT_EQ(StatusOr<int>(7).valueOr(-1), 7);
+    EXPECT_EQ(StatusOr<int>(internalError("bug")).valueOr(-1), -1);
+}
+
+TEST(StatusOr, MoveValueOutOfRvalue)
+{
+    StatusOr<std::string> result(std::string("payload"));
+    const std::string moved = std::move(result).value();
+    EXPECT_EQ(moved, "payload");
+}
+
+TEST(StatusOr, ArrowAccessesMembers)
+{
+    StatusOr<std::string> result(std::string("abc"));
+    EXPECT_EQ(result->size(), 3u);
+}
+
+} // namespace
+} // namespace logseek
