@@ -5,63 +5,52 @@
  * (hot fragments total a few tens of MB). This sweep shows SAF as
  * the cache shrinks and grows around that point.
  *
- * Usage: ablation_cache_size [scale] [seed]
+ * Usage: ablation_cache_size [scale] [seed] [--jobs N]
+ *        [--json[=path]] [--csv[=path]] [--paranoid]
  */
 
-#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "analysis/report.h"
-#include "stl/simulator.h"
-#include "workloads/profiles.h"
+#include "saf_sweep.h"
 
 int
 main(int argc, char **argv)
 {
     using namespace logseek;
 
-    workloads::ProfileOptions options;
-    options.scale = argc > 1 ? std::atof(argv[1]) : 0.01;
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "ablation_cache_size [scale] [seed] [--jobs N] "
+        "[--json[=path]] [--csv[=path]] [--paranoid]",
+        0.01);
+    if (!cli)
+        return 2;
 
     const std::vector<std::uint64_t> sizes_mib{4, 16, 64, 256};
 
     std::cout << "Selective-cache capacity ablation (SAF)\n\n";
-    std::vector<std::string> headers{"workload", "LS"};
-    for (const std::uint64_t mib : sizes_mib)
-        headers.push_back(std::to_string(mib) + " MiB");
-    analysis::TextTable table(headers);
 
-    for (const char *name : {"w91", "hm_1", "w33", "w20", "w55"}) {
-        const trace::Trace trace =
-            workloads::makeWorkload(name, options);
-
-        stl::SimConfig baseline;
-        baseline.translation = stl::TranslationKind::Conventional;
-        const stl::SimResult nols =
-            stl::Simulator(baseline).run(trace);
-
-        stl::SimConfig plain;
-        plain.translation = stl::TranslationKind::LogStructured;
-        std::vector<std::string> row{
-            name, analysis::formatDouble(stl::seekAmplification(
-                      nols, stl::Simulator(plain).run(trace)))};
-
-        for (const std::uint64_t mib : sizes_mib) {
-            stl::SimConfig config = plain;
-            config.cache = stl::SelectiveCacheConfig{mib * kMiB};
-            row.push_back(analysis::formatDouble(
-                stl::seekAmplification(
-                    nols, stl::Simulator(config).run(trace))));
-        }
-        table.addRow(std::move(row));
+    std::vector<sweep::ConfigSpec> configs{
+        bench::conventionalBaseline(),
+        sweep::ConfigSpec::fixed("LS", bench::logStructured())};
+    for (const std::uint64_t mib : sizes_mib) {
+        stl::SimConfig config = bench::logStructured();
+        config.cache = stl::SelectiveCacheConfig{mib * kMiB};
+        configs.push_back(sweep::ConfigSpec::fixed(
+            std::to_string(mib) + " MiB", std::move(config)));
     }
-    table.print(std::cout);
+
+    const sweep::SweepResult sweep = bench::runSafTable(
+        {"w91", "hm_1", "w33", "w20", "w55"}, std::move(configs),
+        *cli);
+
     std::cout << "\nExpected shape: SAF falls until the hot "
                  "fragment set fits (a few tens of MB, per Fig. "
                  "10), then flattens — the paper's 64 MB sits at "
                  "the knee.\n";
+    cli->emitReports(sweep);
     return 0;
 }

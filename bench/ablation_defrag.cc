@@ -7,70 +7,57 @@
  * workloads where defragmentation helps (w91, usr_1, hm_1) and
  * where it hurts (w20, w93, src2_2).
  *
- * Usage: ablation_defrag [scale] [seed]
+ * Usage: ablation_defrag [scale] [seed] [--jobs N] [--json[=path]]
+ *        [--csv[=path]] [--paranoid]
  */
 
-#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "analysis/report.h"
-#include "stl/simulator.h"
-#include "workloads/profiles.h"
+#include "saf_sweep.h"
 
 int
 main(int argc, char **argv)
 {
     using namespace logseek;
 
-    workloads::ProfileOptions options;
-    options.scale = argc > 1 ? std::atof(argv[1]) : 0.01;
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "ablation_defrag [scale] [seed] [--jobs N] [--json[=path]] "
+        "[--csv[=path]] [--paranoid]",
+        0.01);
+    if (!cli)
+        return 2;
 
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>
         settings{{2, 1}, {4, 1}, {8, 1}, {2, 2}, {2, 4}, {4, 2}};
 
     std::cout << "Defragmentation threshold ablation "
                  "(SAF; N = min fragments, k = min accesses)\n\n";
-    std::vector<std::string> headers{"workload", "LS"};
-    for (const auto &[n, k] : settings)
-        headers.push_back("N=" + std::to_string(n) +
-                          ",k=" + std::to_string(k));
-    analysis::TextTable table(headers);
 
-    for (const char *name :
-         {"w91", "usr_1", "hm_1", "w20", "w93", "src2_2"}) {
-        const trace::Trace trace =
-            workloads::makeWorkload(name, options);
-
-        stl::SimConfig baseline;
-        baseline.translation = stl::TranslationKind::Conventional;
-        const stl::SimResult nols =
-            stl::Simulator(baseline).run(trace);
-
-        stl::SimConfig plain;
-        plain.translation = stl::TranslationKind::LogStructured;
-        std::vector<std::string> row{
-            name, analysis::formatDouble(stl::seekAmplification(
-                      nols, stl::Simulator(plain).run(trace)))};
-
-        for (const auto &[n, k] : settings) {
-            stl::SimConfig config = plain;
-            config.defrag =
-                stl::DefragConfig{.minFragments = n,
-                                  .minAccesses = k};
-            row.push_back(analysis::formatDouble(
-                stl::seekAmplification(
-                    nols, stl::Simulator(config).run(trace))));
-        }
-        table.addRow(std::move(row));
+    std::vector<sweep::ConfigSpec> configs{
+        bench::conventionalBaseline(),
+        sweep::ConfigSpec::fixed("LS", bench::logStructured())};
+    for (const auto &[n, k] : settings) {
+        stl::SimConfig config = bench::logStructured();
+        config.defrag =
+            stl::DefragConfig{.minFragments = n, .minAccesses = k};
+        configs.push_back(sweep::ConfigSpec::fixed(
+            "N=" + std::to_string(n) + ",k=" + std::to_string(k),
+            std::move(config)));
     }
-    table.print(std::cout);
+
+    const sweep::SweepResult sweep = bench::runSafTable(
+        {"w91", "usr_1", "hm_1", "w20", "w93", "src2_2"},
+        std::move(configs), *cli);
+
     std::cout << "\nExpected shape: thresholds trade rewrite "
                  "overhead against payback — raising k protects "
                  "scan-once workloads (w20, w93, src2_2) while "
                  "keeping most of the benefit on re-read workloads "
                  "(w91, hm_1).\n";
+    cli->emitReports(sweep);
     return 0;
 }

@@ -5,75 +5,71 @@
  * sweep varies the per-side window to show where the mis-ordered
  * write neighborhoods of w84/w95/w91/w106 are captured.
  *
- * Usage: ablation_prefetch [scale] [seed]
+ * Usage: ablation_prefetch [scale] [seed] [--jobs N]
+ *        [--json[=path]] [--csv[=path]] [--paranoid]
  */
 
-#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "analysis/report.h"
-#include "stl/simulator.h"
-#include "workloads/profiles.h"
+#include "saf_sweep.h"
+
+namespace
+{
+
+using namespace logseek;
+
+sweep::ConfigSpec
+prefetchConfig(std::string label, std::uint64_t ahead_kib,
+               std::uint64_t behind_kib)
+{
+    stl::SimConfig config = bench::logStructured();
+    config.prefetch = stl::PrefetchConfig{
+        .lookAheadBytes = ahead_kib * kKiB,
+        .lookBehindBytes = behind_kib * kKiB,
+        .bufferBytes = 2 * kMiB,
+    };
+    return sweep::ConfigSpec::fixed(std::move(label),
+                                    std::move(config));
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    using namespace logseek;
-
-    workloads::ProfileOptions options;
-    options.scale = argc > 1 ? std::atof(argv[1]) : 0.01;
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "ablation_prefetch [scale] [seed] [--jobs N] "
+        "[--json[=path]] [--csv[=path]] [--paranoid]",
+        0.01);
+    if (!cli)
+        return 2;
 
     const std::vector<std::uint64_t> windows_kib{16, 64, 128, 512};
 
     std::cout << "Look-ahead-behind window ablation (SAF; window "
                  "applies per side)\n\n";
-    std::vector<std::string> headers{"workload", "LS"};
+
+    std::vector<sweep::ConfigSpec> configs{
+        bench::conventionalBaseline(),
+        sweep::ConfigSpec::fixed("LS", bench::logStructured())};
     for (const std::uint64_t kib : windows_kib)
-        headers.push_back(std::to_string(kib) + " KiB");
-    headers.push_back("ahead-only 128");
-    headers.push_back("behind-only 128");
-    analysis::TextTable table(headers);
+        configs.push_back(prefetchConfig(
+            std::to_string(kib) + " KiB", kib, kib));
+    configs.push_back(prefetchConfig("ahead-only 128", 128, 0));
+    configs.push_back(prefetchConfig("behind-only 128", 0, 128));
 
-    for (const char *name : {"w84", "w95", "w91", "w106", "hm_1"}) {
-        const trace::Trace trace =
-            workloads::makeWorkload(name, options);
+    const sweep::SweepResult sweep = bench::runSafTable(
+        {"w84", "w95", "w91", "w106", "hm_1"}, std::move(configs),
+        *cli);
 
-        stl::SimConfig baseline;
-        baseline.translation = stl::TranslationKind::Conventional;
-        const stl::SimResult nols =
-            stl::Simulator(baseline).run(trace);
-
-        stl::SimConfig plain;
-        plain.translation = stl::TranslationKind::LogStructured;
-        std::vector<std::string> row{
-            name, analysis::formatDouble(stl::seekAmplification(
-                      nols, stl::Simulator(plain).run(trace)))};
-
-        auto run_with = [&](std::uint64_t ahead_kib,
-                            std::uint64_t behind_kib) {
-            stl::SimConfig config = plain;
-            config.prefetch = stl::PrefetchConfig{
-                .lookAheadBytes = ahead_kib * kKiB,
-                .lookBehindBytes = behind_kib * kKiB,
-                .bufferBytes = 2 * kMiB,
-            };
-            return analysis::formatDouble(stl::seekAmplification(
-                nols, stl::Simulator(config).run(trace)));
-        };
-
-        for (const std::uint64_t kib : windows_kib)
-            row.push_back(run_with(kib, kib));
-        row.push_back(run_with(128, 0));
-        row.push_back(run_with(0, 128));
-        table.addRow(std::move(row));
-    }
-    table.print(std::cout);
     std::cout << "\nExpected shape: SAF drops once the window "
                  "covers the write-reorder neighborhood; look-"
                  "behind is the half that repairs missed rotations "
                  "from descending writes (paper §IV-B).\n";
+    cli->emitReports(sweep);
     return 0;
 }

@@ -11,17 +11,21 @@
  * reports host SAF, cleaning seeks and WAF with and without
  * defragmentation.
  *
- * Usage: cleaning_interaction [scale] [seed]
+ * Usage: cleaning_interaction [scale] [seed] [--jobs N]
+ *        [--json[=path]] [--csv[=path]] [--paranoid]
  */
 
 #include <algorithm>
-#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "analysis/report.h"
-#include "util/logging.h"
 #include "stl/simulator.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
 #include "trace/stats.h"
+#include "util/logging.h"
 #include "workloads/profiles.h"
 
 namespace
@@ -50,16 +54,68 @@ sizedLog(const trace::Trace &trace, double overprovision)
     return config;
 }
 
+/** Finite-log config sized per trace, optionally defragmenting. */
+sweep::ConfigSpec
+finiteConfig(const std::string &label, double overprovision,
+             bool defrag)
+{
+    return sweep::ConfigSpec::deferred(
+        label, [overprovision, defrag](const trace::Trace &trace) {
+            stl::SimConfig config;
+            config.translation =
+                stl::TranslationKind::FiniteLogStructured;
+            config.finiteLog = sizedLog(trace, overprovision);
+            if (defrag)
+                config.defrag = stl::DefragConfig{};
+            return config;
+        });
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    workloads::ProfileOptions options;
-    options.scale = argc > 1 ? std::atof(argv[1]) : 0.01;
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "cleaning_interaction [scale] [seed] [--jobs N] "
+        "[--json[=path]] [--csv[=path]] [--paranoid]",
+        0.01);
+    if (!cli)
+        return 2;
+
+    const std::vector<std::string> names{"w91", "hm_1", "w33"};
+    const std::vector<double> overprovisions{1.2, 1.5, 2.0, 4.0};
+
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : names)
+        specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
+
+    // One baseline column plus, per over-provisioning point, the
+    // finite log with and without defragmentation. A log that is
+    // feasible without defragmentation can be pushed into
+    // overcommitment *by* defragmentation's rewrites — itself a
+    // result worth showing, so the two run independently and an
+    // overcommitted run simply fails its own cell.
+    stl::SimConfig baseline;
+    baseline.translation = stl::TranslationKind::Conventional;
+    std::vector<sweep::ConfigSpec> configs{
+        sweep::ConfigSpec::fixed("NoLS", baseline)};
+    for (const double overprovision : overprovisions) {
+        const std::string tag =
+            analysis::formatDouble(overprovision, 1);
+        configs.push_back(
+            finiteConfig("finite x" + tag, overprovision, false));
+        configs.push_back(finiteConfig("finite x" + tag + "+defrag",
+                                       overprovision, true));
+    }
+
+    sweep::SweepOptions options;
+    options.jobs = cli->resolvedJobs();
+    options.observerFactory = cli->observerFactory();
+    sweep::SweepRunner runner(std::move(specs), std::move(configs),
+                              std::move(options));
+    const sweep::SweepResult sweep = runner.run();
 
     std::cout << "Defragmentation under finite-log cleaning "
                  "(greedy GC; capacity = overprovision x written "
@@ -70,54 +126,35 @@ main(int argc, char **argv)
          "SAF+defrag", "clean seeks+defrag", "WAF+defrag",
          "rewrites"});
 
-    for (const char *name : {"w91", "hm_1", "w33"}) {
-        const trace::Trace trace =
-            workloads::makeWorkload(name, options);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        for (std::size_t p = 0; p < overprovisions.size(); ++p) {
+            const sweep::RunRow &plain = sweep.row(w, 1 + 2 * p);
+            const sweep::RunRow &defragged =
+                sweep.row(w, 2 + 2 * p);
 
-        stl::SimConfig baseline;
-        baseline.translation = stl::TranslationKind::Conventional;
-        const stl::SimResult nols =
-            stl::Simulator(baseline).run(trace);
-
-        for (const double overprovision : {1.2, 1.5, 2.0, 4.0}) {
-            stl::SimConfig finite;
-            finite.translation =
-                stl::TranslationKind::FiniteLogStructured;
-            finite.finiteLog = sizedLog(trace, overprovision);
-
-            // Run the two configs independently: a log that is
-            // feasible without defragmentation can be pushed into
-            // overcommitment *by* defragmentation's rewrites —
-            // itself a result worth showing.
             std::vector<std::string> row{
-                name, analysis::formatDouble(overprovision, 1)};
-            try {
-                const stl::SimResult plain =
-                    stl::Simulator(finite).run(trace);
-                row.push_back(analysis::formatDouble(
-                    stl::seekAmplification(nols, plain)));
+                names[w],
+                analysis::formatDouble(overprovisions[p], 1)};
+            if (plain.status.ok()) {
+                row.push_back(analysis::formatRatio(
+                    sweep.safVs(w, 1 + 2 * p)));
                 row.push_back(
-                    std::to_string(plain.cleaningSeeks));
+                    std::to_string(plain.result.cleaningSeeks));
                 row.push_back(analysis::formatDouble(
-                    plain.writeAmplification()));
-            } catch (const FatalError &) {
-                row.insert(row.end(),
-                           {"overcommitted", "-", "-"});
+                    plain.result.writeAmplification()));
+            } else {
+                row.insert(row.end(), {"overcommitted", "-", "-"});
             }
-            try {
-                stl::SimConfig with_defrag = finite;
-                with_defrag.defrag = stl::DefragConfig{};
-                const stl::SimResult defragged =
-                    stl::Simulator(with_defrag).run(trace);
-                row.push_back(analysis::formatDouble(
-                    stl::seekAmplification(nols, defragged)));
+            if (defragged.status.ok()) {
+                row.push_back(analysis::formatRatio(
+                    sweep.safVs(w, 2 + 2 * p)));
                 row.push_back(
-                    std::to_string(defragged.cleaningSeeks));
+                    std::to_string(defragged.result.cleaningSeeks));
                 row.push_back(analysis::formatDouble(
-                    defragged.writeAmplification()));
+                    defragged.result.writeAmplification()));
                 row.push_back(
-                    std::to_string(defragged.defragRewrites));
-            } catch (const FatalError &) {
+                    std::to_string(defragged.result.defragRewrites));
+            } else {
                 row.insert(row.end(),
                            {"overcommitted", "-", "-", "-"});
             }
@@ -131,5 +168,6 @@ main(int argc, char **argv)
            "but its rewrites raise WAF and cleaning seeks — and the "
            "tighter the over-provisioning, the more cleaning it "
            "induces (the paper's §IV-A caveat made concrete).\n";
+    cli->emitReports(sweep);
     return 0;
 }

@@ -10,14 +10,18 @@
  * paper's three mechanisms are what lets the full-map design keep
  * its WAF advantage without paying the seek penalty.
  *
- * Usage: compare_translation_layers [scale] [seed]
+ * Usage: compare_translation_layers [scale] [seed] [--jobs N]
+ *        [--json[=path]] [--csv[=path]] [--paranoid]
  */
 
-#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "analysis/report.h"
 #include "stl/simulator.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
 #include "workloads/profiles.h"
 
 int
@@ -25,11 +29,41 @@ main(int argc, char **argv)
 {
     using namespace logseek;
 
-    workloads::ProfileOptions options;
-    options.scale = argc > 1 ? std::atof(argv[1]) : 0.01;
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "compare_translation_layers [scale] [seed] [--jobs N] "
+        "[--json[=path]] [--csv[=path]] [--paranoid]",
+        0.01);
+    if (!cli)
+        return 2;
+
+    const std::vector<std::string> names{"w91", "usr_1", "hm_1",
+                                         "w20", "src2_2", "w76",
+                                         "w33"};
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : names)
+        specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
+
+    stl::SimConfig baseline;
+    baseline.translation = stl::TranslationKind::Conventional;
+    stl::SimConfig ls;
+    ls.translation = stl::TranslationKind::LogStructured;
+    stl::SimConfig mc;
+    mc.translation = stl::TranslationKind::MediaCache;
+    stl::SimConfig cached = ls;
+    cached.cache = stl::SelectiveCacheConfig{64 * kMiB};
+
+    sweep::SweepOptions options;
+    options.jobs = cli->resolvedJobs();
+    options.observerFactory = cli->observerFactory();
+    sweep::SweepRunner runner(
+        std::move(specs),
+        {sweep::ConfigSpec::fixed("NoLS", baseline),
+         sweep::ConfigSpec::fixed("LS", ls),
+         sweep::ConfigSpec::fixed("MC", mc),
+         sweep::ConfigSpec::fixed("LS+cache(64MB)", cached)},
+        std::move(options));
+    const sweep::SweepResult sweep = runner.run();
 
     std::cout << "Translation-layer tradeoff: media-cache STL vs "
                  "full-map log-structured STL\n"
@@ -41,30 +75,13 @@ main(int argc, char **argv)
         {"workload", "LS SAF", "LS WAF", "MC SAF", "MC SAF+clean",
          "MC WAF", "MC merges", "LS+cache SAF"});
 
-    for (const char *name :
-         {"w91", "usr_1", "hm_1", "w20", "src2_2", "w76", "w33"}) {
-        const trace::Trace trace =
-            workloads::makeWorkload(name, options);
-
-        stl::SimConfig baseline;
-        baseline.translation = stl::TranslationKind::Conventional;
-        const stl::SimResult nols =
-            stl::Simulator(baseline).run(trace);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const stl::SimResult &nols = sweep.row(w, 0).result;
+        const stl::SimResult &log = sweep.row(w, 1).result;
+        const stl::SimResult &media = sweep.row(w, 2).result;
+        const stl::SimResult &ls_cache = sweep.row(w, 3).result;
         const double base_seeks =
             static_cast<double>(nols.totalSeeks());
-
-        stl::SimConfig ls;
-        ls.translation = stl::TranslationKind::LogStructured;
-        const stl::SimResult log = stl::Simulator(ls).run(trace);
-
-        stl::SimConfig mc;
-        mc.translation = stl::TranslationKind::MediaCache;
-        const stl::SimResult media = stl::Simulator(mc).run(trace);
-
-        stl::SimConfig cached = ls;
-        cached.cache = stl::SelectiveCacheConfig{64 * kMiB};
-        const stl::SimResult ls_cache =
-            stl::Simulator(cached).run(trace);
 
         auto ratio = [&](std::uint64_t seeks) {
             return base_seeks == 0.0
@@ -73,7 +90,7 @@ main(int argc, char **argv)
         };
 
         table.addRow(
-            {name,
+            {names[w],
              analysis::formatDouble(ratio(log.totalSeeks())),
              analysis::formatDouble(log.writeAmplification()),
              analysis::formatDouble(ratio(media.totalSeeks())),
@@ -92,5 +109,6 @@ main(int argc, char **argv)
            "with selective caching, loses most of its seek "
            "penalty — the paper's argument for eliminating both "
            "SMR overheads at once.\n";
+    cli->emitReports(sweep);
     return 0;
 }

@@ -7,89 +7,101 @@
  * tens of MB — small enough for an on-host (or future on-drive)
  * RAM cache, which motivates translation-aware selective caching.
  *
- * Usage: fig10_fragment_popularity [scale] [seed]
+ * Usage: fig10_fragment_popularity [scale] [seed] [--jobs N]
+ *        [--json[=path]] [--csv[=path]] [--paranoid]
  */
 
-#include <cstdlib>
+#include <algorithm>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "analysis/observers.h"
 #include "analysis/report.h"
 #include "stl/simulator.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
 #include "workloads/profiles.h"
-
-namespace
-{
-
-using namespace logseek;
-
-void
-runWorkload(const std::string &name,
-            const workloads::ProfileOptions &options)
-{
-    const trace::Trace trace = workloads::makeWorkload(name, options);
-
-    analysis::FragmentPopularity popularity;
-    stl::SimConfig config;
-    config.translation = stl::TranslationKind::LogStructured;
-    stl::Simulator simulator(config);
-    simulator.addObserver(&popularity);
-    simulator.run(trace);
-
-    std::cout << "# Figure 10: " << name << " fragment popularity\n";
-    const auto sorted = popularity.sortedByPopularity();
-    if (sorted.empty()) {
-        std::cout << "# (no fragmented reads)\n\n";
-        return;
-    }
-
-    std::cout << "# fragments: " << sorted.size()
-              << ", fragment accesses: " << popularity.totalAccesses()
-              << "\n";
-    std::cout << "# rank\taccess_count\tcumulative_MiB\n";
-    std::uint64_t cumulative = 0;
-    const std::size_t step =
-        std::max<std::size_t>(1, sorted.size() / 24);
-    std::uint64_t printed_until = 0;
-    for (std::size_t i = 0; i < sorted.size(); ++i) {
-        cumulative += sorted[i].bytes;
-        if (i % step == 0 || i + 1 == sorted.size()) {
-            std::cout << i << "\t" << sorted[i].accesses << "\t"
-                      << analysis::formatDouble(
-                             static_cast<double>(cumulative) /
-                                 static_cast<double>(kMiB),
-                             2)
-                      << "\n";
-            printed_until = i;
-        }
-    }
-    (void)printed_until;
-
-    for (const double fraction : {0.5, 0.8, 0.9, 0.99}) {
-        std::cout << "# cache needed for "
-                  << analysis::formatDouble(fraction * 100.0, 0)
-                  << "% of fragment accesses: "
-                  << analysis::formatBytes(
-                         popularity.bytesForAccessFraction(fraction))
-                  << "\n";
-    }
-    std::cout << "\n";
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    workloads::ProfileOptions options;
-    if (argc > 1)
-        options.scale = std::atof(argv[1]);
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    using namespace logseek;
 
-    for (const char *name : {"usr_1", "hm_1", "web_0", "src2_2",
-                             "w20", "w33", "w55", "w106"})
-        runWorkload(name, options);
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "fig10_fragment_popularity [scale] [seed] [--jobs N] "
+        "[--json[=path]] [--csv[=path]] [--paranoid]");
+    if (!cli)
+        return 2;
+
+    const std::vector<std::string> names{"usr_1", "hm_1", "web_0",
+                                         "src2_2", "w20", "w33",
+                                         "w55", "w106"};
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : names)
+        specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
+
+    stl::SimConfig ls_config;
+    ls_config.translation = stl::TranslationKind::LogStructured;
+
+    sweep::SweepOptions options;
+    options.jobs = cli->resolvedJobs();
+    options.observerFactory =
+        cli->observerFactory([](const sweep::RunKey &) {
+            std::vector<std::unique_ptr<stl::SimObserver>> obs;
+            obs.push_back(
+                std::make_unique<analysis::FragmentPopularity>());
+            return obs;
+        });
+    sweep::SweepRunner runner(
+        std::move(specs),
+        {sweep::ConfigSpec::fixed("LS", ls_config)},
+        std::move(options));
+    const sweep::SweepResult sweep = runner.run();
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const auto &popularity = *sweep::findObserver<
+            analysis::FragmentPopularity>(sweep.row(w, 0));
+
+        std::cout << "# Figure 10: " << names[w]
+                  << " fragment popularity\n";
+        const auto sorted = popularity.sortedByPopularity();
+        if (sorted.empty()) {
+            std::cout << "# (no fragmented reads)\n\n";
+            continue;
+        }
+
+        std::cout << "# fragments: " << sorted.size()
+                  << ", fragment accesses: "
+                  << popularity.totalAccesses() << "\n";
+        std::cout << "# rank\taccess_count\tcumulative_MiB\n";
+        std::uint64_t cumulative = 0;
+        const std::size_t step =
+            std::max<std::size_t>(1, sorted.size() / 24);
+        for (std::size_t i = 0; i < sorted.size(); ++i) {
+            cumulative += sorted[i].bytes;
+            if (i % step == 0 || i + 1 == sorted.size()) {
+                std::cout << i << "\t" << sorted[i].accesses << "\t"
+                          << analysis::formatDouble(
+                                 static_cast<double>(cumulative) /
+                                     static_cast<double>(kMiB),
+                                 2)
+                          << "\n";
+            }
+        }
+
+        for (const double fraction : {0.5, 0.8, 0.9, 0.99}) {
+            std::cout << "# cache needed for "
+                      << analysis::formatDouble(fraction * 100.0, 0)
+                      << "% of fragment accesses: "
+                      << analysis::formatBytes(
+                             popularity.bytesForAccessFraction(
+                                 fraction))
+                      << "\n";
+        }
+        std::cout << "\n";
+    }
+    cli->emitReports(sweep);
     return 0;
 }

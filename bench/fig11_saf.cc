@@ -6,7 +6,8 @@
  * workload sets. The selective cache is 64 MB, as in the paper's
  * evaluation (§V).
  *
- * Usage: fig11_saf [scale] [seed] [--paranoid]
+ * Usage: fig11_saf [scale] [seed] [--jobs N] [--json[=path]]
+ *        [--csv[=path]] [--paranoid]
  *
  * With --paranoid, every replay runs under a ValidatingObserver in
  * paranoid mode: the first replay-invariant violation aborts the
@@ -14,34 +15,20 @@
  * came from a self-consistent replay.
  */
 
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/report.h"
-#include "analysis/validating_observer.h"
 #include "stl/simulator.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
 #include "workloads/profiles.h"
 
 namespace
 {
 
 using namespace logseek;
-
-/** Set by --paranoid: validate every replayed op. */
-bool g_paranoid = false;
-
-stl::SimResult
-runOne(const stl::SimConfig &config, const trace::Trace &trace)
-{
-    stl::Simulator simulator(config);
-    analysis::ValidatingObserver validator({.paranoid = true});
-    if (g_paranoid)
-        simulator.addObserver(&validator);
-    return simulator.run(trace);
-}
 
 stl::SimConfig
 makeConfig(bool defrag, bool prefetch, bool cache)
@@ -57,10 +44,28 @@ makeConfig(bool defrag, bool prefetch, bool cache)
     return config;
 }
 
+std::vector<sweep::ConfigSpec>
+makeConfigs()
+{
+    stl::SimConfig baseline;
+    baseline.translation = stl::TranslationKind::Conventional;
+    return {
+        sweep::ConfigSpec::fixed("NoLS", baseline),
+        sweep::ConfigSpec::fixed("LS", makeConfig(false, false, false)),
+        sweep::ConfigSpec::fixed("LS+defrag",
+                                 makeConfig(true, false, false)),
+        sweep::ConfigSpec::fixed("LS+prefetch",
+                                 makeConfig(false, true, false)),
+        sweep::ConfigSpec::fixed("LS+cache(64MB)",
+                                 makeConfig(false, false, true)),
+        sweep::ConfigSpec::fixed("LS+all", makeConfig(true, true, true)),
+    };
+}
+
 void
-runSuite(const std::string &suite,
-         const std::vector<std::string> &names,
-         const workloads::ProfileOptions &options)
+printSuite(const std::string &suite,
+           const std::vector<std::string> &names, std::size_t offset,
+           const sweep::SweepResult &sweep)
 {
     std::cout << "Figure 11" << (suite == "MSR" ? "a" : "b") << ": "
               << suite << " workloads, seek amplification factor "
@@ -69,25 +74,11 @@ runSuite(const std::string &suite,
     analysis::TextTable table({"workload", "LS", "LS+defrag",
                                "LS+prefetch", "LS+cache(64MB)",
                                "LS+all"});
-    for (const auto &name : names) {
-        const trace::Trace trace =
-            workloads::makeWorkload(name, options);
-
-        stl::SimConfig baseline;
-        baseline.translation = stl::TranslationKind::Conventional;
-        const stl::SimResult nols = runOne(baseline, trace);
-
-        std::vector<std::string> row{name};
-        for (const auto &config :
-             {makeConfig(false, false, false),
-              makeConfig(true, false, false),
-              makeConfig(false, true, false),
-              makeConfig(false, false, true),
-              makeConfig(true, true, true)}) {
-            const stl::SimResult result = runOne(config, trace);
-            row.push_back(analysis::formatDouble(
-                stl::seekAmplification(nols, result)));
-        }
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row{names[w]};
+        for (std::size_t c = 1; c < sweep.configs.size(); ++c)
+            row.push_back(
+                analysis::formatRatio(sweep.safVs(offset + w, c)));
         table.addRow(std::move(row));
     }
     table.print(std::cout);
@@ -99,37 +90,44 @@ runSuite(const std::string &suite,
 int
 main(int argc, char **argv)
 {
-    workloads::ProfileOptions options;
-    int positional = 0;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--paranoid") == 0) {
-            g_paranoid = true;
-        } else if (std::strncmp(argv[i], "--", 2) == 0) {
-            std::cerr << "unknown option: " << argv[i]
-                      << "\nusage: fig11_saf [scale] [seed] "
-                         "[--paranoid]\n";
-            return 2;
-        } else if (positional == 0) {
-            options.scale = std::atof(argv[i]);
-            ++positional;
-        } else {
-            options.seed =
-                static_cast<std::uint64_t>(std::atoll(argv[i]));
-            ++positional;
-        }
-    }
-    if (g_paranoid)
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "fig11_saf [scale] [seed] [--jobs N] [--json[=path]] "
+        "[--csv[=path]] [--paranoid]");
+    if (!cli)
+        return 2;
+    if (cli->paranoid)
         std::cout << "(paranoid mode: replay invariants checked "
                      "on every op)\n\n";
 
-    runSuite("MSR", workloads::msrWorkloadNames(), options);
-    runSuite("CloudPhysics", workloads::cloudPhysicsWorkloadNames(),
-             options);
+    const std::vector<std::string> msr = workloads::msrWorkloadNames();
+    const std::vector<std::string> cloud =
+        workloads::cloudPhysicsWorkloadNames();
+
+    std::vector<sweep::WorkloadSpec> workload_specs;
+    for (const auto &name : msr)
+        workload_specs.push_back(
+            sweep::WorkloadSpec::profile(name, cli->profile));
+    for (const auto &name : cloud)
+        workload_specs.push_back(
+            sweep::WorkloadSpec::profile(name, cli->profile));
+
+    sweep::SweepOptions options;
+    options.jobs = cli->resolvedJobs();
+    options.observerFactory = cli->observerFactory();
+    sweep::SweepRunner runner(std::move(workload_specs), makeConfigs(),
+                              std::move(options));
+    const sweep::SweepResult sweep = runner.run();
+
+    printSuite("MSR", msr, 0, sweep);
+    printSuite("CloudPhysics", cloud, msr.size(), sweep);
 
     std::cout << "Paper reference shapes: MSR SAF < 1 except usr_1 "
                  "and hm_1; most CloudPhysics workloads SAF > 1 "
                  "(w91 worst); defragmentation can hurt (w20); "
                  "prefetching helps mis-ordered workloads (w84, "
                  "w95, w91); selective caching lowest on average.\n";
+
+    cli->emitReports(sweep);
     return 0;
 }

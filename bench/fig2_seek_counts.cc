@@ -7,14 +7,18 @@
  * workloads (w91, w33, w20), modestly for log-friendly ones
  * (src2_2, wdev_0, w36).
  *
- * Usage: fig2_seek_counts [scale] [seed]
+ * Usage: fig2_seek_counts [scale] [seed] [--jobs N] [--json[=path]]
+ *        [--csv[=path]] [--paranoid]
  */
 
-#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "analysis/report.h"
 #include "stl/simulator.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
 #include "workloads/profiles.h"
 
 namespace
@@ -23,21 +27,19 @@ namespace
 using namespace logseek;
 
 void
-runSuite(const char *figure, const char *suite,
-         const std::vector<std::string> &names,
-         const workloads::ProfileOptions &options)
+printSuite(const char *figure, const char *suite,
+           const std::vector<std::string> &names, std::size_t offset,
+           const sweep::SweepResult &sweep)
 {
     std::cout << "Figure 2" << figure << ": " << suite
               << " traces, seek counts (NoLS vs LS)\n\n";
     analysis::TextTable table({"workload", "NoLS read", "NoLS write",
                                "LS read", "LS write",
                                "read growth", "write reduction"});
-    for (const auto &name : names) {
-        const trace::Trace trace =
-            workloads::makeWorkload(name, options);
-        stl::SimConfig ls_config;
-        ls_config.translation = stl::TranslationKind::LogStructured;
-        const auto [nols, ls] = stl::runWithBaseline(trace, ls_config);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const stl::SimResult &nols =
+            sweep.row(offset + w, 0).result;
+        const stl::SimResult &ls = sweep.row(offset + w, 1).result;
 
         const double read_growth =
             nols.readSeeks == 0
@@ -49,7 +51,7 @@ runSuite(const char *figure, const char *suite,
                 ? static_cast<double>(nols.writeSeeks)
                 : static_cast<double>(nols.writeSeeks) /
                       static_cast<double>(ls.writeSeeks);
-        table.addRow({name, std::to_string(nols.readSeeks),
+        table.addRow({names[w], std::to_string(nols.readSeeks),
                       std::to_string(nols.writeSeeks),
                       std::to_string(ls.readSeeks),
                       std::to_string(ls.writeSeeks),
@@ -65,15 +67,40 @@ runSuite(const char *figure, const char *suite,
 int
 main(int argc, char **argv)
 {
-    workloads::ProfileOptions options;
-    if (argc > 1)
-        options.scale = std::atof(argv[1]);
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "fig2_seek_counts [scale] [seed] [--jobs N] [--json[=path]] "
+        "[--csv[=path]] [--paranoid]");
+    if (!cli)
+        return 2;
 
-    runSuite("a", "MSR", workloads::msrWorkloadNames(), options);
-    runSuite("b", "CloudPhysics",
-             workloads::cloudPhysicsWorkloadNames(), options);
+    const std::vector<std::string> msr = workloads::msrWorkloadNames();
+    const std::vector<std::string> cloud =
+        workloads::cloudPhysicsWorkloadNames();
+
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : msr)
+        specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
+    for (const auto &name : cloud)
+        specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
+
+    stl::SimConfig nols;
+    nols.translation = stl::TranslationKind::Conventional;
+    stl::SimConfig ls;
+    ls.translation = stl::TranslationKind::LogStructured;
+
+    sweep::SweepOptions options;
+    options.jobs = cli->resolvedJobs();
+    options.observerFactory = cli->observerFactory();
+    sweep::SweepRunner runner(
+        std::move(specs),
+        {sweep::ConfigSpec::fixed("NoLS", nols),
+         sweep::ConfigSpec::fixed("LS", ls)},
+        std::move(options));
+    const sweep::SweepResult sweep = runner.run();
+
+    printSuite("a", "MSR", msr, 0, sweep);
+    printSuite("b", "CloudPhysics", cloud, msr.size(), sweep);
+    cli->emitReports(sweep);
     return 0;
 }

@@ -6,15 +6,21 @@
  * web_0, w91 and w55. The paper's observation: strong temporal
  * (diurnal) swings — overhead concentrates in scan bursts.
  *
- * Usage: fig3_seek_timeseries [scale] [seed]
+ * Usage: fig3_seek_timeseries [scale] [seed] [--jobs N]
+ *        [--json[=path]] [--csv[=path]] [--paranoid]
  */
 
-#include <cstdlib>
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "analysis/observers.h"
 #include "analysis/report.h"
 #include "stl/simulator.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
 #include "workloads/profiles.h"
 
 namespace
@@ -22,59 +28,76 @@ namespace
 
 using namespace logseek;
 
-void
-runWorkload(const std::string &name,
-            const workloads::ProfileOptions &options)
-{
-    const trace::Trace trace = workloads::makeWorkload(name, options);
-    const std::uint64_t bin =
-        std::max<std::uint64_t>(1, trace.size() / 60);
-
-    analysis::SeekCounter nols_counter(bin);
-    stl::SimConfig nols_config;
-    nols_config.translation = stl::TranslationKind::Conventional;
-    stl::Simulator nols(nols_config);
-    nols.addObserver(&nols_counter);
-    nols.run(trace);
-
-    analysis::SeekCounter ls_counter(bin);
-    stl::SimConfig ls_config;
-    ls_config.translation = stl::TranslationKind::LogStructured;
-    stl::Simulator ls(ls_config);
-    ls.addObserver(&ls_counter);
-    ls.run(trace);
-
-    const BinnedSeries delta = difference(
-        ls_counter.longSeekSeries(), nols_counter.longSeekSeries());
-
-    std::cout << "# Figure 3 series: " << name
-              << " (long-seek count, LS - NoLS, per "
-              << bin << "-op bin)\n";
-    std::cout << "# op(x1000)\tdelta_long_seeks\n";
-    for (std::size_t i = 0; i < delta.binCount(); ++i) {
-        std::cout << analysis::formatDouble(
-                         static_cast<double>(delta.binLowerEdge(i)) /
-                             1000.0,
-                         1)
-                  << "\t" << delta.binValue(i) << "\n";
-    }
-    std::cout << "# total long-seek delta: " << delta.total()
-              << "\n\n";
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    workloads::ProfileOptions options;
-    if (argc > 1)
-        options.scale = std::atof(argv[1]);
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "fig3_seek_timeseries [scale] [seed] [--jobs N] "
+        "[--json[=path]] [--csv[=path]] [--paranoid]");
+    if (!cli)
+        return 2;
 
-    for (const char *name : {"usr_1", "web_0", "w91", "w55"})
-        runWorkload(name, options);
+    const std::vector<std::string> names{"usr_1", "web_0", "w91",
+                                         "w55"};
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : names)
+        specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
+
+    stl::SimConfig nols_config;
+    nols_config.translation = stl::TranslationKind::Conventional;
+    stl::SimConfig ls_config;
+    ls_config.translation = stl::TranslationKind::LogStructured;
+
+    // Bin width depends on each trace's length; the onTrace hook
+    // records it before any of that workload's runs execute.
+    std::vector<std::uint64_t> bins(names.size(), 1);
+    sweep::SweepOptions options;
+    options.jobs = cli->resolvedJobs();
+    options.observerFactory =
+        cli->observerFactory([&bins](const sweep::RunKey &key) {
+            std::vector<std::unique_ptr<stl::SimObserver>> obs;
+            obs.push_back(std::make_unique<analysis::SeekCounter>(
+                bins[key.workloadIndex]));
+            return obs;
+        });
+    options.onTrace = [&bins](std::size_t w,
+                              const trace::Trace &trace) {
+        bins[w] = std::max<std::uint64_t>(1, trace.size() / 60);
+    };
+    sweep::SweepRunner runner(
+        std::move(specs),
+        {sweep::ConfigSpec::fixed("NoLS", nols_config),
+         sweep::ConfigSpec::fixed("LS", ls_config)},
+        std::move(options));
+    const sweep::SweepResult sweep = runner.run();
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const auto *nols_counter =
+            sweep::findObserver<analysis::SeekCounter>(sweep.row(w, 0));
+        const auto *ls_counter =
+            sweep::findObserver<analysis::SeekCounter>(sweep.row(w, 1));
+        const BinnedSeries delta =
+            difference(ls_counter->longSeekSeries(),
+                       nols_counter->longSeekSeries());
+
+        std::cout << "# Figure 3 series: " << names[w]
+                  << " (long-seek count, LS - NoLS, per " << bins[w]
+                  << "-op bin)\n";
+        std::cout << "# op(x1000)\tdelta_long_seeks\n";
+        for (std::size_t i = 0; i < delta.binCount(); ++i) {
+            std::cout
+                << analysis::formatDouble(
+                       static_cast<double>(delta.binLowerEdge(i)) /
+                           1000.0,
+                       1)
+                << "\t" << delta.binValue(i) << "\n";
+        }
+        std::cout << "# total long-seek delta: " << delta.total()
+                  << "\n\n";
+    }
+    cli->emitReports(sweep);
     return 0;
 }

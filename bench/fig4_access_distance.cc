@@ -6,81 +6,92 @@
  * the older MSR traces most LS seeks stay within +/-1 GB, while in
  * the newer CloudPhysics traces less than half do.
  *
- * Usage: fig4_access_distance [scale] [seed]
+ * Usage: fig4_access_distance [scale] [seed] [--jobs N]
+ *        [--json[=path]] [--csv[=path]] [--paranoid]
  */
 
-#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "analysis/observers.h"
 #include "analysis/report.h"
 #include "stl/simulator.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
 #include "workloads/profiles.h"
-
-namespace
-{
-
-using namespace logseek;
-
-void
-runWorkload(const std::string &name,
-            const workloads::ProfileOptions &options)
-{
-    const trace::Trace trace = workloads::makeWorkload(name, options);
-
-    auto collect = [&](stl::TranslationKind kind) {
-        analysis::AccessDistanceCdf cdf;
-        stl::SimConfig config;
-        config.translation = kind;
-        stl::Simulator simulator(config);
-        simulator.addObserver(&cdf);
-        simulator.run(trace);
-        return cdf;
-    };
-
-    const analysis::AccessDistanceCdf nols =
-        collect(stl::TranslationKind::Conventional);
-    const analysis::AccessDistanceCdf ls =
-        collect(stl::TranslationKind::LogStructured);
-
-    std::cout << "# Figure 4: " << name
-              << " access-distance CDF (GB)\n";
-    std::cout << "# distance_gb\tNoLS\tLS\n";
-    constexpr int kPoints = 41;
-    for (int i = 0; i < kPoints; ++i) {
-        const double x = -2.0 + 4.0 * i / (kPoints - 1);
-        std::cout << analysis::formatDouble(x, 2) << "\t"
-                  << analysis::formatDouble(
-                         nols.distancesGb().fractionAtOrBelow(x), 4)
-                  << "\t"
-                  << analysis::formatDouble(
-                         ls.distancesGb().fractionAtOrBelow(x), 4)
-                  << "\n";
-    }
-    const double nols_in_window =
-        nols.distancesGb().fractionAtOrBelow(1.0) -
-        nols.distancesGb().fractionAtOrBelow(-1.0);
-    const double ls_in_window =
-        ls.distancesGb().fractionAtOrBelow(1.0) -
-        ls.distancesGb().fractionAtOrBelow(-1.0);
-    std::cout << "# fraction of accesses within +/-1 GB: NoLS "
-              << analysis::formatDouble(nols_in_window, 3) << ", LS "
-              << analysis::formatDouble(ls_in_window, 3) << "\n\n";
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    workloads::ProfileOptions options;
-    if (argc > 1)
-        options.scale = std::atof(argv[1]);
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    using namespace logseek;
 
-    for (const char *name : {"src2_2", "usr_0", "w84", "w64"})
-        runWorkload(name, options);
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "fig4_access_distance [scale] [seed] [--jobs N] "
+        "[--json[=path]] [--csv[=path]] [--paranoid]");
+    if (!cli)
+        return 2;
+
+    const std::vector<std::string> names{"src2_2", "usr_0", "w84",
+                                         "w64"};
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : names)
+        specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
+
+    stl::SimConfig nols_config;
+    nols_config.translation = stl::TranslationKind::Conventional;
+    stl::SimConfig ls_config;
+    ls_config.translation = stl::TranslationKind::LogStructured;
+
+    sweep::SweepOptions options;
+    options.jobs = cli->resolvedJobs();
+    options.observerFactory =
+        cli->observerFactory([](const sweep::RunKey &) {
+            std::vector<std::unique_ptr<stl::SimObserver>> obs;
+            obs.push_back(
+                std::make_unique<analysis::AccessDistanceCdf>());
+            return obs;
+        });
+    sweep::SweepRunner runner(
+        std::move(specs),
+        {sweep::ConfigSpec::fixed("NoLS", nols_config),
+         sweep::ConfigSpec::fixed("LS", ls_config)},
+        std::move(options));
+    const sweep::SweepResult sweep = runner.run();
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const auto &nols = *sweep::findObserver<
+            analysis::AccessDistanceCdf>(sweep.row(w, 0));
+        const auto &ls = *sweep::findObserver<
+            analysis::AccessDistanceCdf>(sweep.row(w, 1));
+
+        std::cout << "# Figure 4: " << names[w]
+                  << " access-distance CDF (GB)\n";
+        std::cout << "# distance_gb\tNoLS\tLS\n";
+        constexpr int kPoints = 41;
+        for (int i = 0; i < kPoints; ++i) {
+            const double x = -2.0 + 4.0 * i / (kPoints - 1);
+            std::cout
+                << analysis::formatDouble(x, 2) << "\t"
+                << analysis::formatDouble(
+                       nols.distancesGb().fractionAtOrBelow(x), 4)
+                << "\t"
+                << analysis::formatDouble(
+                       ls.distancesGb().fractionAtOrBelow(x), 4)
+                << "\n";
+        }
+        const double nols_in_window =
+            nols.distancesGb().fractionAtOrBelow(1.0) -
+            nols.distancesGb().fractionAtOrBelow(-1.0);
+        const double ls_in_window =
+            ls.distancesGb().fractionAtOrBelow(1.0) -
+            ls.distancesGb().fractionAtOrBelow(-1.0);
+        std::cout << "# fraction of accesses within +/-1 GB: NoLS "
+                  << analysis::formatDouble(nols_in_window, 3)
+                  << ", LS "
+                  << analysis::formatDouble(ls_in_window, 3) << "\n\n";
+    }
+    cli->emitReports(sweep);
     return 0;
 }

@@ -7,73 +7,86 @@
  * reads — for usr_0/hm_1/w20 about 20% of the operations hold over
  * half the fragments.
  *
- * Usage: fig5_fragmented_reads [scale] [seed]
+ * Usage: fig5_fragmented_reads [scale] [seed] [--jobs N]
+ *        [--json[=path]] [--csv[=path]] [--paranoid]
  */
 
-#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "analysis/observers.h"
 #include "analysis/report.h"
 #include "stl/simulator.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
 #include "workloads/profiles.h"
-
-namespace
-{
-
-using namespace logseek;
-
-void
-runWorkload(const std::string &name,
-            const workloads::ProfileOptions &options)
-{
-    const trace::Trace trace = workloads::makeWorkload(name, options);
-
-    analysis::FragmentedReadCdf cdf;
-    stl::SimConfig config;
-    config.translation = stl::TranslationKind::LogStructured;
-    stl::Simulator simulator(config);
-    simulator.addObserver(&cdf);
-    simulator.run(trace);
-
-    std::cout << "# Figure 5: " << name
-              << " fragments-per-fragmented-read CDF\n";
-    std::cout << "# fragmented reads: " << cdf.fragmentedReads()
-              << " of " << cdf.totalReads() << " reads, "
-              << cdf.totalFragments() << " fragments total\n";
-    if (cdf.fragmentedReads() == 0) {
-        std::cout << "# (no fragmented reads)\n\n";
-        return;
-    }
-    std::cout << "# fragments\tcdf\n";
-    const double max_fragments = cdf.fragmentsPerRead().max();
-    for (double f = 2.0; f <= max_fragments; f += 1.0) {
-        std::cout << analysis::formatDouble(f, 0) << "\t"
-                  << analysis::formatDouble(
-                         cdf.fragmentsPerRead().fractionAtOrBelow(f),
-                         4)
-                  << "\n";
-        if (f > 32)
-            break; // tail beyond 32 fragments is summarized below
-    }
-    std::cout << "# p50=" << cdf.fragmentsPerRead().percentile(0.5)
-              << " p90=" << cdf.fragmentsPerRead().percentile(0.9)
-              << " max=" << max_fragments << "\n\n";
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    workloads::ProfileOptions options;
-    if (argc > 1)
-        options.scale = std::atof(argv[1]);
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    using namespace logseek;
 
-    for (const char *name : {"usr_0", "hm_1", "w20", "w36"})
-        runWorkload(name, options);
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "fig5_fragmented_reads [scale] [seed] [--jobs N] "
+        "[--json[=path]] [--csv[=path]] [--paranoid]");
+    if (!cli)
+        return 2;
+
+    const std::vector<std::string> names{"usr_0", "hm_1", "w20",
+                                         "w36"};
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : names)
+        specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
+
+    stl::SimConfig ls_config;
+    ls_config.translation = stl::TranslationKind::LogStructured;
+
+    sweep::SweepOptions options;
+    options.jobs = cli->resolvedJobs();
+    options.observerFactory =
+        cli->observerFactory([](const sweep::RunKey &) {
+            std::vector<std::unique_ptr<stl::SimObserver>> obs;
+            obs.push_back(
+                std::make_unique<analysis::FragmentedReadCdf>());
+            return obs;
+        });
+    sweep::SweepRunner runner(
+        std::move(specs),
+        {sweep::ConfigSpec::fixed("LS", ls_config)},
+        std::move(options));
+    const sweep::SweepResult sweep = runner.run();
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const auto &cdf = *sweep::findObserver<
+            analysis::FragmentedReadCdf>(sweep.row(w, 0));
+
+        std::cout << "# Figure 5: " << names[w]
+                  << " fragments-per-fragmented-read CDF\n";
+        std::cout << "# fragmented reads: " << cdf.fragmentedReads()
+                  << " of " << cdf.totalReads() << " reads, "
+                  << cdf.totalFragments() << " fragments total\n";
+        if (cdf.fragmentedReads() == 0) {
+            std::cout << "# (no fragmented reads)\n\n";
+            continue;
+        }
+        std::cout << "# fragments\tcdf\n";
+        const double max_fragments = cdf.fragmentsPerRead().max();
+        for (double f = 2.0; f <= max_fragments; f += 1.0) {
+            std::cout
+                << analysis::formatDouble(f, 0) << "\t"
+                << analysis::formatDouble(
+                       cdf.fragmentsPerRead().fractionAtOrBelow(f), 4)
+                << "\n";
+            if (f > 32)
+                break; // tail beyond 32 fragments is summarized below
+        }
+        std::cout << "# p50="
+                  << cdf.fragmentsPerRead().percentile(0.5)
+                  << " p90=" << cdf.fragmentsPerRead().percentile(0.9)
+                  << " max=" << max_fragments << "\n\n";
+    }
+    cli->emitReports(sweep);
     return 0;
 }

@@ -7,14 +7,19 @@
  * pairs from each generated trace — the raw series behind the
  * scatter plots.
  *
- * Usage: fig7_write_patterns [scale] [seed]
+ * Usage: fig7_write_patterns [scale] [seed] [--jobs N]
  */
 
-#include <cstdlib>
+#include <algorithm>
 #include <iostream>
+#include <sstream>
+#include <utility>
+#include <vector>
 
 #include "analysis/misordered.h"
 #include "analysis/report.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
 #include "workloads/profiles.h"
 
 namespace
@@ -23,12 +28,9 @@ namespace
 using namespace logseek;
 
 void
-runWorkload(const std::string &name,
-            const workloads::ProfileOptions &options,
-            std::size_t window)
+excerptWrites(std::ostream &out, const std::string &name,
+              const trace::Trace &trace, std::size_t window)
 {
-    const trace::Trace trace = workloads::makeWorkload(name, options);
-
     // Find the densest run of mis-ordered writes to excerpt: scan
     // write ops and pick the first window that contains a
     // descending adjacent pair.
@@ -48,18 +50,17 @@ runWorkload(const std::string &name,
         }
     }
 
-    std::cout << "# Figure 7: " << name
-              << " write-operation LBA series (excerpt)\n";
-    std::cout << "# write_op\tlba\n";
+    out << "# Figure 7: " << name
+        << " write-operation LBA series (excerpt)\n";
+    out << "# write_op\tlba\n";
     const std::size_t end = std::min(begin + window, writes.size());
     for (std::size_t i = begin; i < end; ++i)
-        std::cout << writes[i].first << "\t" << writes[i].second
-                  << "\n";
+        out << writes[i].first << "\t" << writes[i].second << "\n";
 
     const auto stats = analysis::countMisorderedWrites(trace);
-    std::cout << "# mis-ordered write fraction over whole trace: "
-              << analysis::formatDouble(stats.fraction() * 100.0, 2)
-              << "%\n\n";
+    out << "# mis-ordered write fraction over whole trace: "
+        << analysis::formatDouble(stats.fraction() * 100.0, 2)
+        << "%\n\n";
 }
 
 } // namespace
@@ -67,14 +68,31 @@ runWorkload(const std::string &name,
 int
 main(int argc, char **argv)
 {
-    workloads::ProfileOptions options;
-    if (argc > 1)
-        options.scale = std::atof(argv[1]);
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const auto cli = sweep::parseBenchCli(
+        argc, argv, "fig7_write_patterns [scale] [seed] [--jobs N]");
+    if (!cli)
+        return 2;
 
-    runWorkload("hm_1", options, 64);
-    runWorkload("w106", options, 64);
+    const std::vector<std::string> names{"hm_1", "w106"};
+    constexpr std::size_t kWindow = 64;
+
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : names)
+        specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
+
+    // Trace-only sweep: each workload's excerpt renders into its own
+    // buffer so the printed order stays fixed whatever the job count.
+    std::vector<std::ostringstream> reports(names.size());
+    sweep::SweepOptions options;
+    options.jobs = cli->resolvedJobs();
+    options.onTrace = [&](std::size_t w, const trace::Trace &trace) {
+        excerptWrites(reports[w], names[w], trace, kWindow);
+    };
+    sweep::SweepRunner runner(std::move(specs), {},
+                              std::move(options));
+    runner.run();
+
+    for (const auto &report : reports)
+        std::cout << report.str();
     return 0;
 }

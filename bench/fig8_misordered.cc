@@ -6,14 +6,16 @@
  * paper's observation: up to one in 20 (src2_2) / one in 25 (w106)
  * writes are mis-ordered.
  *
- * Usage: fig8_misordered [scale] [seed]
+ * Usage: fig8_misordered [scale] [seed] [--jobs N]
  */
 
-#include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "analysis/misordered.h"
 #include "analysis/report.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
 #include "workloads/profiles.h"
 
 int
@@ -21,28 +23,38 @@ main(int argc, char **argv)
 {
     using namespace logseek;
 
-    workloads::ProfileOptions options;
-    if (argc > 1)
-        options.scale = std::atof(argv[1]);
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const auto cli = sweep::parseBenchCli(
+        argc, argv, "fig8_misordered [scale] [seed] [--jobs N]");
+    if (!cli)
+        return 2;
+
+    const std::vector<std::string> names{"usr_0", "usr_1", "src2_2",
+                                         "hm_1",  "web_0", "w84",
+                                         "w95",   "w91",   "w106",
+                                         "w55",   "w33",   "w20"};
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : names)
+        specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
+
+    std::vector<analysis::MisorderedWriteStats> stats(names.size());
+    sweep::SweepOptions options;
+    options.jobs = cli->resolvedJobs();
+    options.onTrace = [&stats](std::size_t w,
+                               const trace::Trace &trace) {
+        stats[w] = analysis::countMisorderedWrites(trace);
+    };
+    sweep::SweepRunner runner(std::move(specs), {},
+                              std::move(options));
+    runner.run();
 
     std::cout << "Figure 8: mis-ordered writes within 256 KB\n\n";
     analysis::TextTable table(
         {"workload", "writes", "mis-ordered", "fraction"});
-
-    for (const char *name :
-         {"usr_0", "usr_1", "src2_2", "hm_1", "web_0", "w84", "w95",
-          "w91", "w106", "w55", "w33", "w20"}) {
-        const trace::Trace trace =
-            workloads::makeWorkload(name, options);
-        const analysis::MisorderedWriteStats stats =
-            analysis::countMisorderedWrites(trace);
-        table.addRow({name, std::to_string(stats.writes),
-                      std::to_string(stats.misordered),
-                      analysis::formatDouble(stats.fraction() * 100.0,
-                                             2) +
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        table.addRow({names[w], std::to_string(stats[w].writes),
+                      std::to_string(stats[w].misordered),
+                      analysis::formatDouble(
+                          stats[w].fraction() * 100.0, 2) +
                           "%"});
     }
     table.print(std::cout);

@@ -11,15 +11,19 @@
  * any fragmented read ever touches — the paper's "some
  * fragmentation may never affect a read operation".
  *
- * Usage: fragmentation_study [scale] [seed]
+ * Usage: fragmentation_study [scale] [seed] [--jobs N]
+ *        [--json[=path]] [--csv[=path]] [--paranoid]
  */
 
-#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "analysis/observers.h"
 #include "analysis/report.h"
 #include "stl/simulator.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
 #include "workloads/profiles.h"
 
 int
@@ -27,12 +31,39 @@ main(int argc, char **argv)
 {
     using namespace logseek;
 
-    workloads::ProfileOptions options;
-    if (argc > 1)
-        options.scale = std::atof(argv[1]);
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "fragmentation_study [scale] [seed] [--jobs N] "
+        "[--json[=path]] [--csv[=path]] [--paranoid]");
+    if (!cli)
+        return 2;
+
+    const std::vector<std::string> names{"usr_0", "usr_1", "hm_1",
+                                         "src2_2", "w20", "w91",
+                                         "w36", "w33"};
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : names)
+        specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
+
+    stl::SimConfig ls_config;
+    ls_config.translation = stl::TranslationKind::LogStructured;
+
+    sweep::SweepOptions options;
+    options.jobs = cli->resolvedJobs();
+    options.observerFactory =
+        cli->observerFactory([](const sweep::RunKey &) {
+            std::vector<std::unique_ptr<stl::SimObserver>> obs;
+            obs.push_back(
+                std::make_unique<analysis::FragmentPopularity>());
+            obs.push_back(
+                std::make_unique<analysis::FragmentedReadCdf>());
+            return obs;
+        });
+    sweep::SweepRunner runner(
+        std::move(specs),
+        {sweep::ConfigSpec::fixed("LS", ls_config)},
+        std::move(options));
+    const sweep::SweepResult sweep = runner.run();
 
     std::cout << "Static vs dynamic fragmentation under LS "
                  "translation\n\n";
@@ -41,19 +72,13 @@ main(int argc, char **argv)
          "touched/static", "fragmented reads", "frags/frag-read (p50)",
          "fragment accesses"});
 
-    for (const char *name : {"usr_0", "usr_1", "hm_1", "src2_2",
-                             "w20", "w91", "w36", "w33"}) {
-        const trace::Trace trace =
-            workloads::makeWorkload(name, options);
-
-        analysis::FragmentPopularity popularity;
-        analysis::FragmentedReadCdf frag_cdf;
-        stl::SimConfig config;
-        config.translation = stl::TranslationKind::LogStructured;
-        stl::Simulator simulator(config);
-        simulator.addObserver(&popularity);
-        simulator.addObserver(&frag_cdf);
-        const stl::SimResult result = simulator.run(trace);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const sweep::RunRow &row = sweep.row(w, 0);
+        const stl::SimResult &result = row.result;
+        const auto &popularity =
+            *sweep::findObserver<analysis::FragmentPopularity>(row);
+        const auto &frag_cdf =
+            *sweep::findObserver<analysis::FragmentedReadCdf>(row);
 
         // Ratio of fragments ever touched by a fragmented read to
         // the final static fragment count. Above 1.0 means the
@@ -70,7 +95,8 @@ main(int argc, char **argv)
                 ? "-"
                 : analysis::formatDouble(
                       frag_cdf.fragmentsPerRead().percentile(0.5), 0);
-        table.addRow({name, std::to_string(result.staticFragments),
+        table.addRow({names[w],
+                      std::to_string(result.staticFragments),
                       std::to_string(popularity.fragmentCount()),
                       analysis::formatDouble(touched_ratio, 2),
                       std::to_string(frag_cdf.fragmentedReads()),
@@ -86,5 +112,6 @@ main(int argc, char **argv)
            "opportunistic (read-triggered) defragmentation beats "
            "wholesale defragmentation on overhead; ratios above 1 "
            "mean the map churned during the run.\n";
+    cli->emitReports(sweep);
     return 0;
 }

@@ -15,14 +15,18 @@
  * the log itself (a queueing front-end absorbs mis-ordering before
  * it is frozen into the log).
  *
- * Usage: ncq_baseline [scale] [seed]
+ * Usage: ncq_baseline [scale] [seed] [--jobs N] [--json[=path]]
+ *        [--csv[=path]] [--paranoid]
  */
 
-#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "analysis/report.h"
 #include "stl/simulator.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
 #include "trace/reorder.h"
 #include "workloads/profiles.h"
 
@@ -31,11 +35,44 @@ main(int argc, char **argv)
 {
     using namespace logseek;
 
-    workloads::ProfileOptions options;
-    options.scale = argc > 1 ? std::atof(argv[1]) : 0.01;
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "ncq_baseline [scale] [seed] [--jobs N] [--json[=path]] "
+        "[--csv[=path]] [--paranoid]",
+        0.01);
+    if (!cli)
+        return 2;
+
+    const std::vector<std::string> names{"hm_1", "src2_2", "w84",
+                                         "w95", "w106", "usr_1",
+                                         "w91"};
+
+    // Two workload rows per name: the trace in arrival order and
+    // its elevator-reordered twin (what an NCQ drive would see).
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : names) {
+        specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
+        specs.push_back(sweep::WorkloadSpec::derived(
+            name + " (NCQ)", name, cli->profile,
+            [](const trace::Trace &trace) {
+                return trace::reorderElevator(trace);
+            }));
+    }
+
+    stl::SimConfig nols_config;
+    nols_config.translation = stl::TranslationKind::Conventional;
+    stl::SimConfig ls_config;
+    ls_config.translation = stl::TranslationKind::LogStructured;
+
+    sweep::SweepOptions options;
+    options.jobs = cli->resolvedJobs();
+    options.observerFactory = cli->observerFactory();
+    sweep::SweepRunner runner(
+        std::move(specs),
+        {sweep::ConfigSpec::fixed("NoLS", nols_config),
+         sweep::ConfigSpec::fixed("LS", ls_config)},
+        std::move(options));
+    const sweep::SweepResult sweep = runner.run();
 
     std::cout << "Queue-aware baselines (C-LOOK elevator, depth 32, "
                  "2 ms window)\n\n";
@@ -43,31 +80,19 @@ main(int argc, char **argv)
         {"workload", "NoLS seeks", "NoLS+NCQ seeks", "SAF (naive)",
          "SAF (vs NCQ)", "LS seeks", "LS-on-NCQ seeks"});
 
-    for (const char *name :
-         {"hm_1", "src2_2", "w84", "w95", "w106", "usr_1", "w91"}) {
-        const trace::Trace trace =
-            workloads::makeWorkload(name, options);
-        const trace::Trace sorted = trace::reorderElevator(trace);
-
-        stl::SimConfig nols_config;
-        nols_config.translation = stl::TranslationKind::Conventional;
-        const stl::SimResult nols =
-            stl::Simulator(nols_config).run(trace);
-        const stl::SimResult nols_ncq =
-            stl::Simulator(nols_config).run(sorted);
-
-        stl::SimConfig ls_config;
-        ls_config.translation = stl::TranslationKind::LogStructured;
-        const stl::SimResult ls =
-            stl::Simulator(ls_config).run(trace);
-        const stl::SimResult ls_ncq =
-            stl::Simulator(ls_config).run(sorted);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const stl::SimResult &nols = sweep.row(2 * w, 0).result;
+        const stl::SimResult &ls = sweep.row(2 * w, 1).result;
+        const stl::SimResult &nols_ncq =
+            sweep.row(2 * w + 1, 0).result;
+        const stl::SimResult &ls_ncq =
+            sweep.row(2 * w + 1, 1).result;
 
         table.addRow(
-            {name, std::to_string(nols.totalSeeks()),
+            {names[w], std::to_string(nols.totalSeeks()),
              std::to_string(nols_ncq.totalSeeks()),
-             analysis::formatDouble(stl::seekAmplification(nols, ls)),
-             analysis::formatDouble(
+             analysis::formatRatio(stl::seekAmplification(nols, ls)),
+             analysis::formatRatio(
                  stl::seekAmplification(nols_ncq, ls)),
              std::to_string(ls.totalSeeks()),
              std::to_string(ls_ncq.totalSeeks())});
@@ -82,5 +107,6 @@ main(int argc, char **argv)
            "feeding the reordered stream to the log (last column) "
            "shows a queueing front-end also removes most of the "
            "mis-ordering before it reaches the medium.\n";
+    cli->emitReports(sweep);
     return 0;
 }

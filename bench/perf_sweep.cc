@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Smoke benchmark for the parallel sweep runner: replays the
+ * Figure 11 sweep (all 21 workloads × 6 configs) serially and with
+ * a worker pool, checks the two produce byte-identical simulation
+ * results, and writes the throughput comparison to a JSON file
+ * (default BENCH_sweep.json) for tracking.
+ *
+ * Usage: perf_sweep [scale] [seed] [--jobs N] [--json=path]
+ *
+ * --jobs selects the parallel worker count (0 or default = hardware
+ * concurrency); the serial leg always runs with one worker.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stl/simulator.h"
+#include "sweep/cli.h"
+#include "sweep/report.h"
+#include "sweep/sweep_runner.h"
+#include "workloads/profiles.h"
+
+namespace
+{
+
+using namespace logseek;
+
+std::vector<sweep::ConfigSpec>
+fig11Configs()
+{
+    auto ls = [](bool defrag, bool prefetch, bool cache) {
+        stl::SimConfig config;
+        config.translation = stl::TranslationKind::LogStructured;
+        if (defrag)
+            config.defrag = stl::DefragConfig{};
+        if (prefetch)
+            config.prefetch = stl::PrefetchConfig{};
+        if (cache)
+            config.cache = stl::SelectiveCacheConfig{64 * kMiB};
+        return config;
+    };
+    stl::SimConfig baseline;
+    baseline.translation = stl::TranslationKind::Conventional;
+    return {
+        sweep::ConfigSpec::fixed("NoLS", baseline),
+        sweep::ConfigSpec::fixed("LS", ls(false, false, false)),
+        sweep::ConfigSpec::fixed("LS+defrag", ls(true, false, false)),
+        sweep::ConfigSpec::fixed("LS+prefetch",
+                                 ls(false, true, false)),
+        sweep::ConfigSpec::fixed("LS+cache(64MB)",
+                                 ls(false, false, true)),
+        sweep::ConfigSpec::fixed("LS+all", ls(true, true, true)),
+    };
+}
+
+std::vector<sweep::WorkloadSpec>
+allWorkloads(const workloads::ProfileOptions &profile)
+{
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : workloads::msrWorkloadNames())
+        specs.push_back(sweep::WorkloadSpec::profile(name, profile));
+    for (const auto &name : workloads::cloudPhysicsWorkloadNames())
+        specs.push_back(sweep::WorkloadSpec::profile(name, profile));
+    return specs;
+}
+
+sweep::SweepResult
+runOnce(const workloads::ProfileOptions &profile, int jobs)
+{
+    sweep::SweepOptions options;
+    options.jobs = jobs;
+    sweep::SweepRunner runner(allWorkloads(profile), fig11Configs(),
+                              std::move(options));
+    return runner.run();
+}
+
+std::string
+deterministicForm(const sweep::SweepResult &sweep)
+{
+    std::ostringstream out;
+    sweep::writeJson(out, sweep, /*with_telemetry=*/false);
+    return out.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "perf_sweep [scale] [seed] [--jobs N] [--json=path]");
+    if (!cli)
+        return 2;
+    // Default the parallel leg to hardware concurrency (an
+    // explicit --jobs overrides) and the report to BENCH_sweep.json
+    // unless told otherwise.
+    const int hardware =
+        static_cast<int>(std::thread::hardware_concurrency());
+    const int parallel_jobs =
+        cli->jobs != 1 ? cli->resolvedJobs()
+                       : (hardware > 1 ? hardware : 1);
+    const std::string path =
+        cli->jsonPath && *cli->jsonPath != "-" ? *cli->jsonPath
+                                               : "BENCH_sweep.json";
+
+    std::cout << "perf_sweep: Figure 11 sweep at scale "
+              << cli->profile.scale << ", serial vs " << parallel_jobs
+              << " jobs\n";
+
+    const sweep::SweepResult serial = runOnce(cli->profile, 1);
+    const sweep::SweepResult parallel =
+        runOnce(cli->profile, parallel_jobs);
+
+    const bool deterministic =
+        deterministicForm(serial) == deterministicForm(parallel);
+    const double speedup =
+        parallel.telemetry.wallSec > 0.0
+            ? serial.telemetry.wallSec / parallel.telemetry.wallSec
+            : 0.0;
+
+    std::ostringstream json;
+    json.precision(6);
+    json << "{\n"
+         << "  \"benchmark\": \"perf_sweep\",\n"
+         << "  \"scale\": " << cli->profile.scale << ",\n"
+         << "  \"workloads\": " << serial.workloads.size() << ",\n"
+         << "  \"configs\": " << serial.configs.size() << ",\n"
+         << "  \"runs\": " << serial.telemetry.runs << ",\n"
+         << "  \"opsPerRun\": " << serial.telemetry.ops << ",\n"
+         << "  \"hardwareConcurrency\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"deterministic\": "
+         << (deterministic ? "true" : "false") << ",\n"
+         << "  \"serial\": {\"jobs\": 1, \"wallSec\": "
+         << serial.telemetry.wallSec << ", \"opsPerSec\": "
+         << serial.telemetry.opsPerSec() << "},\n"
+         << "  \"parallel\": {\"jobs\": " << parallel.telemetry.jobs
+         << ", \"wallSec\": " << parallel.telemetry.wallSec
+         << ", \"opsPerSec\": " << parallel.telemetry.opsPerSec()
+         << ", \"steals\": " << parallel.telemetry.steals << "},\n"
+         << "  \"speedup\": " << speedup << "\n"
+         << "}\n";
+
+    std::ofstream file(path);
+    if (!file) {
+        std::cerr << "perf_sweep: cannot write " << path << "\n";
+        return 1;
+    }
+    file << json.str();
+
+    std::cout << json.str();
+    std::cout << (deterministic
+                      ? "serial and parallel sweeps byte-identical\n"
+                      : "MISMATCH between serial and parallel!\n");
+    return deterministic ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared driver for the SAF ablation tables. Every ablation in this
+ * directory has the same shape: a workload list, a conventional
+ * (NoLS) baseline, a plain log-structured column and a family of
+ * variant configurations, rendered as one SAF row per workload.
+ * This header holds that loop once; the individual harnesses only
+ * declare their workloads and configuration matrix.
+ */
+
+#ifndef LOGSEEK_BENCH_SAF_SWEEP_H
+#define LOGSEEK_BENCH_SAF_SWEEP_H
+
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/report.h"
+#include "stl/simulator.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
+#include "workloads/profiles.h"
+
+namespace logseek::bench
+{
+
+/** The conventional baseline column every SAF table divides by. */
+inline sweep::ConfigSpec
+conventionalBaseline()
+{
+    stl::SimConfig config;
+    config.translation = stl::TranslationKind::Conventional;
+    return sweep::ConfigSpec::fixed("NoLS", std::move(config));
+}
+
+/** Plain full-map log-structured translation. */
+inline stl::SimConfig
+logStructured()
+{
+    stl::SimConfig config;
+    config.translation = stl::TranslationKind::LogStructured;
+    return config;
+}
+
+/**
+ * Run a (workload × config) sweep whose configs[0] is the NoLS
+ * baseline and print one SAF row per workload, with one column per
+ * remaining config, titled by its label. Returns the sweep so the
+ * caller can emit the machine-readable reports.
+ */
+inline sweep::SweepResult
+runSafTable(const std::vector<std::string> &names,
+            std::vector<sweep::ConfigSpec> configs,
+            const sweep::BenchCli &cli)
+{
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : names)
+        specs.push_back(
+            sweep::WorkloadSpec::profile(name, cli.profile));
+
+    sweep::SweepOptions options;
+    options.jobs = cli.resolvedJobs();
+    options.observerFactory = cli.observerFactory();
+    sweep::SweepRunner runner(std::move(specs), std::move(configs),
+                              std::move(options));
+    sweep::SweepResult sweep = runner.run();
+
+    std::vector<std::string> headers{"workload"};
+    for (std::size_t c = 1; c < sweep.configs.size(); ++c)
+        headers.push_back(sweep.configs[c]);
+    analysis::TextTable table(std::move(headers));
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row{names[w]};
+        for (std::size_t c = 1; c < sweep.configs.size(); ++c)
+            row.push_back(analysis::formatRatio(sweep.safVs(w, c)));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    return sweep;
+}
+
+} // namespace logseek::bench
+
+#endif // LOGSEEK_BENCH_SAF_SWEEP_H

@@ -10,14 +10,18 @@
  * disk/seek_time.h) — showing where counting seeks under- or
  * over-states the real penalty.
  *
- * Usage: time_amplification [scale] [seed]
+ * Usage: time_amplification [scale] [seed] [--jobs N]
+ *        [--json[=path]] [--csv[=path]] [--paranoid]
  */
 
-#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "analysis/report.h"
 #include "stl/simulator.h"
+#include "sweep/cli.h"
+#include "sweep/sweep_runner.h"
 #include "workloads/profiles.h"
 
 int
@@ -25,11 +29,37 @@ main(int argc, char **argv)
 {
     using namespace logseek;
 
-    workloads::ProfileOptions options;
-    options.scale = argc > 1 ? std::atof(argv[1]) : 0.01;
-    if (argc > 2)
-        options.seed =
-            static_cast<std::uint64_t>(std::atoll(argv[2]));
+    const auto cli = sweep::parseBenchCli(
+        argc, argv,
+        "time_amplification [scale] [seed] [--jobs N] "
+        "[--json[=path]] [--csv[=path]] [--paranoid]",
+        0.01);
+    if (!cli)
+        return 2;
+
+    const std::vector<std::string> names{"usr_1", "hm_1", "w91",
+                                         "w84", "w20", "w36", "w55"};
+    std::vector<sweep::WorkloadSpec> specs;
+    for (const auto &name : names)
+        specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
+
+    stl::SimConfig baseline;
+    baseline.translation = stl::TranslationKind::Conventional;
+    stl::SimConfig ls;
+    ls.translation = stl::TranslationKind::LogStructured;
+    stl::SimConfig cached = ls;
+    cached.cache = stl::SelectiveCacheConfig{64 * kMiB};
+
+    sweep::SweepOptions options;
+    options.jobs = cli->resolvedJobs();
+    options.observerFactory = cli->observerFactory();
+    sweep::SweepRunner runner(
+        std::move(specs),
+        {sweep::ConfigSpec::fixed("NoLS", baseline),
+         sweep::ConfigSpec::fixed("LS", ls),
+         sweep::ConfigSpec::fixed("LS+cache(64MB)", cached)},
+        std::move(options));
+    const sweep::SweepResult sweep = runner.run();
 
     std::cout << "Seek-count vs seek-time amplification (time from "
                  "the analytic model: 180 MB/s, 7200 rpm, 1-25 ms "
@@ -38,24 +68,10 @@ main(int argc, char **argv)
         {"workload", "SAF (count)", "TAF (time)", "NoLS time (s)",
          "LS time (s)", "LS+cache TAF"});
 
-    for (const char *name : {"usr_1", "hm_1", "w91", "w84", "w20",
-                             "w36", "w55"}) {
-        const trace::Trace trace =
-            workloads::makeWorkload(name, options);
-
-        stl::SimConfig baseline;
-        baseline.translation = stl::TranslationKind::Conventional;
-        const stl::SimResult nols =
-            stl::Simulator(baseline).run(trace);
-
-        stl::SimConfig ls;
-        ls.translation = stl::TranslationKind::LogStructured;
-        const stl::SimResult log = stl::Simulator(ls).run(trace);
-
-        stl::SimConfig cached = ls;
-        cached.cache = stl::SelectiveCacheConfig{64 * kMiB};
-        const stl::SimResult ls_cache =
-            stl::Simulator(cached).run(trace);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const stl::SimResult &nols = sweep.row(w, 0).result;
+        const stl::SimResult &log = sweep.row(w, 1).result;
+        const stl::SimResult &ls_cache = sweep.row(w, 2).result;
 
         auto taf = [&](const stl::SimResult &result) {
             return nols.seekTimeSec == 0.0
@@ -63,9 +79,8 @@ main(int argc, char **argv)
                        : result.seekTimeSec / nols.seekTimeSec;
         };
         table.addRow(
-            {name,
-             analysis::formatDouble(
-                 stl::seekAmplification(nols, log)),
+            {names[w],
+             analysis::formatRatio(sweep.safVs(w, 1)),
              analysis::formatDouble(taf(log)),
              analysis::formatDouble(nols.seekTimeSec, 2),
              analysis::formatDouble(log.seekTimeSec, 2),
@@ -79,5 +94,6 @@ main(int argc, char **argv)
            "than seek-count amplification; when it adds missed "
            "rotations (backward hops), time amplification is "
            "harsher.\n";
+    cli->emitReports(sweep);
     return 0;
 }

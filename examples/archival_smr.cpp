@@ -89,7 +89,7 @@ main(int argc, char **argv)
         table.addRow({result.configLabel,
                       std::to_string(result.readSeeks),
                       std::to_string(result.writeSeeks),
-                      analysis::formatDouble(
+                      analysis::formatRatio(
                           stl::seekAmplification(nols, result)),
                       analysis::formatDouble(result.seekTimeSec,
                                              3)});

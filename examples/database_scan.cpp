@@ -16,6 +16,7 @@
  */
 
 #include <cstdlib>
+#include <optional>
 #include <iostream>
 
 #include "analysis/report.h"
@@ -56,7 +57,7 @@ makeDatabaseTrace(std::uint64_t table_mib, int update_rounds,
     return builder.take();
 }
 
-double
+std::optional<double>
 safFor(const trace::Trace &trace, bool defrag, bool prefetch,
        bool cache)
 {
@@ -93,13 +94,13 @@ main(int argc, char **argv)
             makeDatabaseTrace(table_mib, update_rounds, scans);
         table.addRow(
             {std::to_string(scans),
-             analysis::formatDouble(
+             analysis::formatRatio(
                  safFor(trace, false, false, false)),
-             analysis::formatDouble(safFor(trace, true, false,
+             analysis::formatRatio(safFor(trace, true, false,
                                            false)),
-             analysis::formatDouble(safFor(trace, false, true,
+             analysis::formatRatio(safFor(trace, false, true,
                                            false)),
-             analysis::formatDouble(
+             analysis::formatRatio(
                  safFor(trace, false, false, true))});
     }
     table.print(std::cout);

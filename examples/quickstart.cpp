@@ -85,7 +85,7 @@ main(int argc, char **argv)
                       std::to_string(result.readSeeks),
                       std::to_string(result.writeSeeks),
                       std::to_string(result.totalSeeks()),
-                      analysis::formatDouble(
+                      analysis::formatRatio(
                           stl::seekAmplification(nols, result))});
     }
     table.print(std::cout);

@@ -104,7 +104,7 @@ analyze(const trace::Trace &trace)
 
     std::cout << "Seek amplification (paper Fig. 11 view):\n";
     analysis::TextTable saf({"config", "SAF"});
-    saf.addRow({"LS", analysis::formatDouble(
+    saf.addRow({"LS", analysis::formatRatio(
                           stl::seekAmplification(nols, ls))});
     auto add = [&](const char *label, bool defrag, bool prefetch,
                    bool cache) {
@@ -116,7 +116,7 @@ analyze(const trace::Trace &trace)
         if (cache)
             config.cache = stl::SelectiveCacheConfig{64 * kMiB};
         saf.addRow({label,
-                    analysis::formatDouble(stl::seekAmplification(
+                    analysis::formatRatio(stl::seekAmplification(
                         nols, stl::Simulator(config).run(trace)))});
     };
     add("LS+defrag", true, false, false);

@@ -54,6 +54,12 @@ TextTable::print(std::ostream &out) const
 }
 
 std::string
+formatRatio(std::optional<double> value, int precision)
+{
+    return value ? formatDouble(*value, precision) : "-";
+}
+
+std::string
 formatDouble(double value, int precision)
 {
     std::ostringstream out;

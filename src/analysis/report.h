@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,14 @@ class TextTable
 
 /** Format a double with fixed precision. */
 std::string formatDouble(double value, int precision = 2);
+
+/**
+ * Format an optional ratio (e.g. stl::seekAmplification); renders
+ * "-" when the ratio is undefined (zero-seek baseline or failed
+ * run) so tables never print a misleading number.
+ */
+std::string formatRatio(std::optional<double> value,
+                        int precision = 2);
 
 /** Format a byte count as a human-readable KiB/MiB/GiB quantity. */
 std::string formatBytes(std::uint64_t bytes);

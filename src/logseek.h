@@ -17,15 +17,23 @@
 #include "disk/head.h"
 #include "disk/pba_cache.h"
 #include "disk/seek_time.h"
+#include "stl/accounting.h"
 #include "stl/conventional.h"
 #include "stl/defrag.h"
 #include "stl/extent_map.h"
+#include "stl/finite_log.h"
 #include "stl/log_structured.h"
 #include "stl/media_cache.h"
 #include "stl/prefetch.h"
+#include "stl/read_stage.h"
+#include "stl/replay_engine.h"
 #include "stl/selective_cache.h"
 #include "stl/simulator.h"
 #include "stl/translation_layer.h"
+#include "sweep/cli.h"
+#include "sweep/report.h"
+#include "sweep/sweep_runner.h"
+#include "sweep/task_pool.h"
 #include "trace/binary.h"
 #include "trace/msr_csv.h"
 #include "trace/record.h"

@@ -1,0 +1,112 @@
+#include "accounting.h"
+
+namespace logseek::stl
+{
+
+Accounting::Accounting(SimResult &result,
+                       const disk::SeekTimeParams &params)
+    : result_(result), timeModel_(params)
+{
+}
+
+void
+Accounting::beginRead()
+{
+    ++result_.reads;
+}
+
+void
+Accounting::beginWrite(std::uint64_t host_bytes)
+{
+    ++result_.writes;
+    result_.hostWriteBytes += host_bytes;
+}
+
+void
+Accounting::readFragmentation(std::size_t fragments)
+{
+    if (fragments >= 2) {
+        ++result_.fragmentedReads;
+        result_.readFragments += fragments;
+    }
+}
+
+void
+Accounting::hostAccess(IoEvent &event, const SectorExtent &extent,
+                       trace::IoType type)
+{
+    const disk::SeekInfo info = head_.access(extent, type);
+    event.mediaBytes += extent.bytes();
+    if (info.seeked) {
+        event.seeks.push_back(info);
+        if (type == trace::IoType::Read)
+            ++result_.readSeeks;
+        else
+            ++result_.writeSeeks;
+        result_.seekTimeSec +=
+            timeModel_.seekSeconds(info.distanceBytes);
+    }
+    if (type == trace::IoType::Read)
+        result_.mediaReadBytes += extent.bytes();
+    else
+        result_.mediaWriteBytes += extent.bytes();
+}
+
+void
+Accounting::cleaningAccess(IoEvent &event, const MediaAccess &access)
+{
+    const disk::SeekInfo info =
+        head_.access(access.physical, access.type);
+    if (info.seeked) {
+        ++result_.cleaningSeeks;
+        ++event.cleaningSeeks;
+        result_.seekTimeSec +=
+            timeModel_.seekSeconds(info.distanceBytes);
+    }
+    if (access.type == trace::IoType::Read)
+        result_.cleaningReadBytes += access.physical.bytes();
+    else
+        result_.cleaningWriteBytes += access.physical.bytes();
+}
+
+void
+Accounting::cacheHit(IoEvent &event)
+{
+    ++event.cacheHits;
+    ++result_.cacheHits;
+}
+
+void
+Accounting::cacheMiss()
+{
+    ++result_.cacheMisses;
+}
+
+void
+Accounting::prefetchHit(IoEvent &event)
+{
+    ++event.prefetchHits;
+    ++result_.prefetchHits;
+}
+
+void
+Accounting::defragRewrite(IoEvent &event, std::uint64_t bytes)
+{
+    event.defragRewrite = true;
+    ++result_.defragRewrites;
+    result_.defragBytes += bytes;
+}
+
+void
+Accounting::setCleaningMerges(std::uint64_t merges)
+{
+    result_.cleaningMerges = merges;
+}
+
+void
+Accounting::setStaticFragments(std::size_t fragments)
+{
+    result_.staticFragments = fragments;
+}
+
+} // namespace logseek::stl

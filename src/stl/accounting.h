@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The single accounting sink of the replay engine.
+ *
+ * Every SimResult mutation — seek counts, byte counters, seek-time
+ * accumulation, mechanism hit/miss tallies — flows through one
+ * Accounting instance per run. The disk head lives here too, so
+ * host-visible and cleaning accesses share one physical position
+ * and the seek definition (§II) is applied in exactly one place.
+ * Read stages and the replay engine report what happened; only
+ * Accounting decides how it shows up in the result.
+ */
+
+#ifndef LOGSEEK_STL_ACCOUNTING_H
+#define LOGSEEK_STL_ACCOUNTING_H
+
+#include <cstdint>
+
+#include "disk/head.h"
+#include "disk/seek_time.h"
+#include "stl/simulator.h"
+#include "stl/translation_layer.h"
+
+namespace logseek::stl
+{
+
+/** Per-run sink for all SimResult accounting. */
+class Accounting
+{
+  public:
+    /**
+     * @param result The result being built; must outlive this sink.
+     * @param params Seek-time model parameters.
+     */
+    Accounting(SimResult &result,
+               const disk::SeekTimeParams &params);
+
+    /** A host read request arrived. */
+    void beginRead();
+
+    /** A host write request of the given size arrived. */
+    void beginWrite(std::uint64_t host_bytes);
+
+    /** A read resolved to `fragments` physical runs (post-merge). */
+    void readFragmentation(std::size_t fragments);
+
+    /**
+     * One host-visible media access covering extent. Seeks are
+     * detected against the shared head position, classified by
+     * type, timed by the analytic model, and recorded on both the
+     * event and the result.
+     */
+    void hostAccess(IoEvent &event, const SectorExtent &extent,
+                    trace::IoType type);
+
+    /**
+     * One background cleaning access (media-cache merge or log
+     * garbage collection). Moves the shared head but is accounted
+     * separately from host-visible seeks.
+     */
+    void cleaningAccess(IoEvent &event, const MediaAccess &access);
+
+    /** A fragment was served from the selective cache. */
+    void cacheHit(IoEvent &event);
+
+    /** A fragmented-read fragment missed the selective cache. */
+    void cacheMiss();
+
+    /** A fragment was served from the drive prefetch buffer. */
+    void prefetchHit(IoEvent &event);
+
+    /** A defrag rewrite of `bytes` logical bytes was triggered. */
+    void defragRewrite(IoEvent &event, std::uint64_t bytes);
+
+    /** Sample the layer's cleaning-merge counter (end of run). */
+    void setCleaningMerges(std::uint64_t merges);
+
+    /** Sample the layer's static fragmentation (end of run). */
+    void setStaticFragments(std::size_t fragments);
+
+    const SimResult &result() const { return result_; }
+
+  private:
+    SimResult &result_;
+    disk::DiskHead head_;
+    disk::SeekTimeModel timeModel_;
+};
+
+} // namespace logseek::stl
+
+#endif // LOGSEEK_STL_ACCOUNTING_H

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The composable read path of the replay engine.
+ *
+ * A read request, after translation and contiguity merging, is a
+ * sequence of physical fragments. Each fragment flows down an
+ * ordered pipeline of ReadStage components until one serves it:
+ * the selective RAM cache (§IV-C), the drive prefetch buffer
+ * (§IV-B), and finally the media itself. A stage can also widen
+ * the media region fetched on a miss (look-ahead-behind), observe
+ * what was transferred (cache/buffer admission), and react to the
+ * completed read (the §IV-A defrag trigger). Adding a mechanism or
+ * a backend means adding a stage, not editing the engine.
+ */
+
+#ifndef LOGSEEK_STL_READ_STAGE_H
+#define LOGSEEK_STL_READ_STAGE_H
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "stl/simulator.h"
+#include "trace/record.h"
+#include "util/extent.h"
+
+namespace logseek::stl
+{
+
+/** One physical fragment of a read flowing down the pipeline. */
+struct ReadFragment
+{
+    /** Physical range of the fragment (after contiguity merging). */
+    SectorExtent physical;
+
+    /** True if the parent read resolved to two or more fragments. */
+    bool fragmented = false;
+
+    /**
+     * Media region a fetch would transfer: starts as `physical`,
+     * widened by the stages' widenFetch hooks before the serve
+     * pass (widening is side-effect free).
+     */
+    SectorExtent fetchRegion;
+};
+
+/** How a stage handled a fragment offered to it. */
+enum class ServeOutcome
+{
+    /** Not served here; offer it to the next stage. */
+    Miss,
+
+    /** Served from this stage's state; no media access happened. */
+    Hit,
+
+    /** Served by transferring fetchRegion from the media. */
+    Fetched,
+};
+
+/**
+ * One stage of the read path. Stages are per-run objects owned by
+ * the pipeline; they may hold mutable mechanism state (caches,
+ * buffers, trigger counters) and report into the run's Accounting
+ * sink.
+ */
+class ReadStage
+{
+  public:
+    virtual ~ReadStage() = default;
+
+    /** Stage name for diagnostics. */
+    virtual std::string_view name() const = 0;
+
+    /** Offer a fragment to this stage. */
+    virtual ServeOutcome serve(const ReadFragment &fragment,
+                               IoEvent &event) = 0;
+
+    /**
+     * Widen the region a media fetch of this fragment would
+     * transfer. Called on every stage, in pipeline order, before
+     * the serve pass; must be side-effect free.
+     */
+    virtual SectorExtent
+    widenFetch(const ReadFragment &fragment,
+               const SectorExtent &region) const
+    {
+        (void)fragment;
+        return region;
+    }
+
+    /**
+     * A lower stage fetched `region` from the media for this
+     * fragment. Called in reverse pipeline order (nearest the
+     * media first) so admissions see the transfer bottom-up.
+     */
+    virtual void onFetched(const ReadFragment &fragment,
+                           const SectorExtent &region)
+    {
+        (void)fragment;
+        (void)region;
+    }
+
+    /**
+     * The whole logical read completed (all fragments served).
+     * Called in pipeline order; this is where read-triggered
+     * write-back mechanisms (defragmentation) act.
+     */
+    virtual void onReadComplete(const trace::IoRecord &record,
+                                IoEvent &event)
+    {
+        (void)record;
+        (void)event;
+    }
+};
+
+/**
+ * The ordered read path. The engine offers each fragment to the
+ * stages front to back; the last stage (media access) always
+ * serves, so a fragment cannot fall through.
+ */
+class ReadPipeline
+{
+  public:
+    /** Append a stage; consulted after all earlier stages. */
+    void addStage(std::unique_ptr<ReadStage> stage);
+
+    /**
+     * Serve one fragment: pre-compute the fetch region, offer the
+     * fragment to each stage, and on a media fetch notify the
+     * stages in reverse order.
+     */
+    void serveFragment(ReadFragment fragment, IoEvent &event);
+
+    /** Notify all stages that a logical read completed. */
+    void completeRead(const trace::IoRecord &record, IoEvent &event);
+
+    std::size_t stageCount() const { return stages_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<ReadStage>> stages_;
+};
+
+} // namespace logseek::stl
+
+#endif // LOGSEEK_STL_READ_STAGE_H

@@ -1,0 +1,362 @@
+#include "replay_engine.h"
+
+#include <utility>
+
+#include "stl/conventional.h"
+#include "stl/defrag.h"
+#include "stl/finite_log.h"
+#include "stl/log_structured.h"
+#include "stl/media_cache.h"
+#include "stl/prefetch.h"
+#include "stl/selective_cache.h"
+#include "util/logging.h"
+
+namespace logseek::stl
+{
+
+namespace
+{
+
+/**
+ * Relocation callback for the defrag trigger: rewrites an LBA range
+ * contiguously at the layer's write frontier.
+ */
+using RelocateFn =
+    std::function<std::vector<Segment>(const SectorExtent &)>;
+
+/** §IV-C selective caching: serves fragments of fragmented reads. */
+class SelectiveCacheStage : public ReadStage
+{
+  public:
+    SelectiveCacheStage(const SelectiveCacheConfig &config,
+                        Accounting &accounting)
+        : cache_(config), accounting_(accounting)
+    {
+    }
+
+    std::string_view name() const override
+    {
+        return "selective-cache";
+    }
+
+    ServeOutcome
+    serve(const ReadFragment &fragment, IoEvent &event) override
+    {
+        // Algorithm 3 caches only fragments of fragmented reads;
+        // un-fragmented reads bypass the cache entirely.
+        if (!fragment.fragmented)
+            return ServeOutcome::Miss;
+        if (cache_.lookup(fragment.physical)) {
+            accounting_.cacheHit(event);
+            return ServeOutcome::Hit;
+        }
+        accounting_.cacheMiss();
+        return ServeOutcome::Miss;
+    }
+
+    void
+    onFetched(const ReadFragment &fragment,
+              const SectorExtent &region) override
+    {
+        (void)region;
+        // Admit the fragment itself, not the (possibly widened)
+        // fetch region: caching prefetch slack would conflate the
+        // two mechanisms.
+        if (fragment.fragmented)
+            cache_.admit(fragment.physical);
+    }
+
+  private:
+    SelectiveCache cache_;
+    Accounting &accounting_;
+};
+
+/** §IV-B look-ahead-behind prefetching via the drive buffer. */
+class PrefetchStage : public ReadStage
+{
+  public:
+    PrefetchStage(const PrefetchConfig &config,
+                  Accounting &accounting)
+        : prefetch_(config), accounting_(accounting)
+    {
+    }
+
+    std::string_view name() const override { return "prefetch"; }
+
+    ServeOutcome
+    serve(const ReadFragment &fragment, IoEvent &event) override
+    {
+        // The drive buffer is consulted for every read; it is only
+        // populated by look-ahead-behind fetches.
+        if (prefetch_.lookup(fragment.physical)) {
+            accounting_.prefetchHit(event);
+            return ServeOutcome::Hit;
+        }
+        return ServeOutcome::Miss;
+    }
+
+    SectorExtent
+    widenFetch(const ReadFragment &fragment,
+               const SectorExtent &region) const override
+    {
+        // Algorithm 2 fetches around fragments of fragmented reads
+        // only.
+        if (!fragment.fragmented)
+            return region;
+        return prefetch_.fetchRegion(fragment.physical);
+    }
+
+    void
+    onFetched(const ReadFragment &fragment,
+              const SectorExtent &region) override
+    {
+        if (fragment.fragmented)
+            prefetch_.admit(region);
+    }
+
+  private:
+    Prefetcher prefetch_;
+    Accounting &accounting_;
+};
+
+/** Terminal stage: transfer the fetch region from the media. */
+class MediaAccessStage : public ReadStage
+{
+  public:
+    explicit MediaAccessStage(Accounting &accounting)
+        : accounting_(accounting)
+    {
+    }
+
+    std::string_view name() const override { return "media"; }
+
+    ServeOutcome
+    serve(const ReadFragment &fragment, IoEvent &event) override
+    {
+        accounting_.hostAccess(event, fragment.fetchRegion,
+                               trace::IoType::Read);
+        return ServeOutcome::Fetched;
+    }
+
+  private:
+    Accounting &accounting_;
+};
+
+/**
+ * §IV-A opportunistic defragmentation: after a fragmented read is
+ * served, optionally rewrite the range at the write frontier.
+ */
+class DefragStage : public ReadStage
+{
+  public:
+    DefragStage(const DefragConfig &config, RelocateFn relocate,
+                Accounting &accounting)
+        : defrag_(config), relocate_(std::move(relocate)),
+          accounting_(accounting)
+    {
+    }
+
+    std::string_view name() const override { return "defrag"; }
+
+    ServeOutcome
+    serve(const ReadFragment &fragment, IoEvent &event) override
+    {
+        (void)fragment;
+        (void)event;
+        return ServeOutcome::Miss;
+    }
+
+    void
+    onReadComplete(const trace::IoRecord &record,
+                   IoEvent &event) override
+    {
+        // Algorithm 1: write back heavily fragmented ranges at the
+        // log head, paying one extra (write) seek.
+        if (!defrag_.onRead(record.extent, event.segments.size()))
+            return;
+        event.defragSegments = relocate_(record.extent);
+        accounting_.defragRewrite(event, record.extent.bytes());
+        for (const auto &segment : event.defragSegments)
+            accounting_.hostAccess(event, segment.physical(),
+                                   trace::IoType::Write);
+    }
+
+  private:
+    Defragmenter defrag_;
+    RelocateFn relocate_;
+    Accounting &accounting_;
+};
+
+} // namespace
+
+void
+ReadPipeline::addStage(std::unique_ptr<ReadStage> stage)
+{
+    panicIf(stage == nullptr, "ReadPipeline: null stage");
+    stages_.push_back(std::move(stage));
+}
+
+void
+ReadPipeline::serveFragment(ReadFragment fragment, IoEvent &event)
+{
+    fragment.fetchRegion = fragment.physical;
+    for (const auto &stage : stages_)
+        fragment.fetchRegion =
+            stage->widenFetch(fragment, fragment.fetchRegion);
+
+    for (const auto &stage : stages_) {
+        switch (stage->serve(fragment, event)) {
+        case ServeOutcome::Miss:
+            continue;
+        case ServeOutcome::Hit:
+            return;
+        case ServeOutcome::Fetched:
+            // The transfer populates the stages above the media;
+            // notify bottom-up so admission order matches the data
+            // flow.
+            for (auto it = stages_.rbegin(); it != stages_.rend();
+                 ++it)
+                (*it)->onFetched(fragment, fragment.fetchRegion);
+            return;
+        }
+    }
+    panic("ReadPipeline: fragment fell through every stage "
+          "(missing media-access stage?)");
+}
+
+void
+ReadPipeline::completeRead(const trace::IoRecord &record,
+                           IoEvent &event)
+{
+    for (const auto &stage : stages_)
+        stage->onReadComplete(record, event);
+}
+
+ReplayEngine::ReplayEngine(const SimConfig &config,
+                           const trace::Trace &trace,
+                           const std::vector<SimObserver *> &observers)
+    : config_(config), trace_(trace), observers_(observers),
+      accounting_(result_, config.seekTime)
+{
+    result_.workload = trace.name();
+    result_.configLabel = config_.label();
+
+    // Translation layer. Defragmentation needs a layer that can
+    // relocate ranges to the frontier; both log variants can.
+    RelocateFn relocate;
+    if (config_.translation == TranslationKind::LogStructured) {
+        auto ls = std::make_unique<LogStructuredLayer>(
+            trace.addressSpaceEnd(), config_.zones);
+        relocate = [raw = ls.get()](const SectorExtent &extent) {
+            return raw->relocate(extent);
+        };
+        layer_ = std::move(ls);
+    } else if (config_.translation ==
+               TranslationKind::FiniteLogStructured) {
+        auto fl = std::make_unique<FiniteLogStructuredLayer>(
+            trace.addressSpaceEnd(), config_.finiteLog);
+        relocate = [raw = fl.get()](const SectorExtent &extent) {
+            return raw->relocate(extent);
+        };
+        cleaningMerges_ = [raw = fl.get()] {
+            return raw->cleanings();
+        };
+        layer_ = std::move(fl);
+    } else if (config_.translation == TranslationKind::MediaCache) {
+        auto mc = std::make_unique<MediaCacheLayer>(
+            trace.addressSpaceEnd(), config_.mediaCache);
+        cleaningMerges_ = [raw = mc.get()] {
+            return raw->mergeCount();
+        };
+        layer_ = std::move(mc);
+    } else {
+        layer_ = std::make_unique<ConventionalLayer>();
+    }
+
+    // Read path: selective cache → prefetch buffer → media access
+    // → defrag trigger.
+    if (config_.cache)
+        pipeline_.addStage(std::make_unique<SelectiveCacheStage>(
+            *config_.cache, accounting_));
+    if (config_.prefetch)
+        pipeline_.addStage(std::make_unique<PrefetchStage>(
+            *config_.prefetch, accounting_));
+    pipeline_.addStage(
+        std::make_unique<MediaAccessStage>(accounting_));
+    if (config_.defrag && relocate)
+        pipeline_.addStage(std::make_unique<DefragStage>(
+            *config_.defrag, std::move(relocate), accounting_));
+}
+
+ReplayEngine::~ReplayEngine() = default;
+
+SimResult
+ReplayEngine::run()
+{
+    std::uint64_t op_index = 0;
+    for (const auto &record : trace_) {
+        IoEvent event;
+        event.opIndex = op_index++;
+        event.record = record;
+
+        if (record.isWrite())
+            handleWrite(record, event);
+        else
+            handleRead(record, event);
+
+        runMaintenance(event);
+
+        for (auto *observer : observers_)
+            observer->onEvent(event);
+    }
+
+    // Counters sampled once, after the loop: cleaningMerges only
+    // ever grows, so the post-loop value equals the value after the
+    // last request.
+    if (cleaningMerges_)
+        accounting_.setCleaningMerges(cleaningMerges_());
+    accounting_.setStaticFragments(layer_->staticFragmentCount());
+    return std::move(result_);
+}
+
+void
+ReplayEngine::handleWrite(const trace::IoRecord &record,
+                          IoEvent &event)
+{
+    accounting_.beginWrite(record.extent.bytes());
+    event.segments = layer_->placeWrite(record.extent);
+    for (const auto &segment : event.segments)
+        accounting_.hostAccess(event, segment.physical(),
+                               trace::IoType::Write);
+}
+
+void
+ReplayEngine::handleRead(const trace::IoRecord &record,
+                         IoEvent &event)
+{
+    accounting_.beginRead();
+    event.segments = mergePhysicallyContiguous(
+        layer_->translateRead(record.extent));
+    accounting_.readFragmentation(event.segments.size());
+    const bool fragmented = event.segments.size() >= 2;
+
+    for (const auto &segment : event.segments)
+        pipeline_.serveFragment(
+            ReadFragment{segment.physical(), fragmented,
+                         segment.physical()},
+            event);
+
+    pipeline_.completeRead(record, event);
+}
+
+void
+ReplayEngine::runMaintenance(IoEvent &event)
+{
+    // Background cleaning owed by the layer (media-cache merges,
+    // log garbage collection), accounted separately from
+    // host-visible seeks.
+    for (const MediaAccess &access : layer_->maintenance())
+        accounting_.cleaningAccess(event, access);
+}
+
+} // namespace logseek::stl

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-run trace-replay engine.
+ *
+ * A ReplayEngine is built fresh for one (trace, config) run: it
+ * instantiates the translation layer, assembles the read-path
+ * pipeline (selective cache → prefetch buffer → media access →
+ * defrag trigger), and routes every byte and seek through a single
+ * Accounting sink. The Simulator facade constructs one engine per
+ * run; tests and future backends can drive the engine directly.
+ */
+
+#ifndef LOGSEEK_STL_REPLAY_ENGINE_H
+#define LOGSEEK_STL_REPLAY_ENGINE_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "stl/accounting.h"
+#include "stl/read_stage.h"
+#include "stl/simulator.h"
+#include "stl/translation_layer.h"
+#include "trace/trace.h"
+
+namespace logseek::stl
+{
+
+/**
+ * Replays one trace under one configuration. The engine owns all
+ * per-run state (layer, mechanisms, head position, result), so an
+ * engine is used for exactly one run() and is never shared between
+ * threads.
+ */
+class ReplayEngine
+{
+  public:
+    /**
+     * @param config Simulation configuration (copied).
+     * @param trace The trace to replay; must outlive the engine.
+     * @param observers Observers notified once per logical request,
+     *        in trace order; not owned.
+     */
+    ReplayEngine(const SimConfig &config, const trace::Trace &trace,
+                 const std::vector<SimObserver *> &observers);
+
+    ~ReplayEngine();
+
+    ReplayEngine(const ReplayEngine &) = delete;
+    ReplayEngine &operator=(const ReplayEngine &) = delete;
+
+    /** Replay the whole trace and return the aggregate result. */
+    SimResult run();
+
+    /** The assembled read path (introspection for tests). */
+    const ReadPipeline &readPipeline() const { return pipeline_; }
+
+  private:
+    /** Serve one write request. */
+    void handleWrite(const trace::IoRecord &record, IoEvent &event);
+
+    /** Serve one read request through the pipeline. */
+    void handleRead(const trace::IoRecord &record, IoEvent &event);
+
+    /** Play the layer's owed background cleaning accesses. */
+    void runMaintenance(IoEvent &event);
+
+    SimConfig config_;
+    const trace::Trace &trace_;
+    std::vector<SimObserver *> observers_;
+
+    SimResult result_;
+    Accounting accounting_;
+    std::unique_ptr<TranslationLayer> layer_;
+    ReadPipeline pipeline_;
+
+    /** Samples the layer's merge/cleaning counter; may be empty. */
+    std::function<std::uint64_t()> cleaningMerges_;
+};
+
+} // namespace logseek::stl
+
+#endif // LOGSEEK_STL_REPLAY_ENGINE_H

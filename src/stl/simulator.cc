@@ -1,9 +1,6 @@
 #include "simulator.h"
 
-#include <functional>
-
-#include "stl/conventional.h"
-#include "stl/log_structured.h"
+#include "stl/replay_engine.h"
 #include "util/logging.h"
 
 namespace logseek::stl
@@ -107,176 +104,8 @@ Simulator::tryRun(const trace::Trace &trace)
 SimResult
 Simulator::replay(const trace::Trace &trace)
 {
-    SimResult result;
-    result.workload = trace.name();
-    result.configLabel = config_.label();
-
-    // Fresh per-run state.
-    std::unique_ptr<TranslationLayer> layer;
-    MediaCacheLayer *media_cache_layer = nullptr;
-    FiniteLogStructuredLayer *finite_layer = nullptr;
-    // Defragmentation needs a layer that can relocate ranges to
-    // the frontier; both log variants can.
-    std::function<std::vector<Segment>(const SectorExtent &)>
-        relocate;
-    if (config_.translation == TranslationKind::LogStructured) {
-        auto ls = std::make_unique<LogStructuredLayer>(
-            trace.addressSpaceEnd(), config_.zones);
-        auto *raw = ls.get();
-        relocate = [raw](const SectorExtent &extent) {
-            return raw->relocate(extent);
-        };
-        layer = std::move(ls);
-    } else if (config_.translation ==
-               TranslationKind::FiniteLogStructured) {
-        auto fl = std::make_unique<FiniteLogStructuredLayer>(
-            trace.addressSpaceEnd(), config_.finiteLog);
-        finite_layer = fl.get();
-        relocate = [raw = fl.get()](const SectorExtent &extent) {
-            return raw->relocate(extent);
-        };
-        layer = std::move(fl);
-    } else if (config_.translation == TranslationKind::MediaCache) {
-        auto mc = std::make_unique<MediaCacheLayer>(
-            trace.addressSpaceEnd(), config_.mediaCache);
-        media_cache_layer = mc.get();
-        layer = std::move(mc);
-    } else {
-        layer = std::make_unique<ConventionalLayer>();
-    }
-
-    disk::DiskHead head;
-    const disk::SeekTimeModel time_model(config_.seekTime);
-
-    std::optional<Defragmenter> defrag;
-    if (config_.defrag && relocate)
-        defrag.emplace(*config_.defrag);
-
-    std::optional<Prefetcher> prefetch;
-    if (config_.prefetch)
-        prefetch.emplace(*config_.prefetch);
-
-    std::optional<SelectiveCache> cache;
-    if (config_.cache)
-        cache.emplace(*config_.cache);
-
-    auto do_access = [&](IoEvent &event, const SectorExtent &extent,
-                         trace::IoType type) {
-        const disk::SeekInfo info = head.access(extent, type);
-        event.mediaBytes += extent.bytes();
-        if (info.seeked) {
-            event.seeks.push_back(info);
-            if (type == trace::IoType::Read)
-                ++result.readSeeks;
-            else
-                ++result.writeSeeks;
-            result.seekTimeSec +=
-                time_model.seekSeconds(info.distanceBytes);
-        }
-        if (type == trace::IoType::Read)
-            result.mediaReadBytes += extent.bytes();
-        else
-            result.mediaWriteBytes += extent.bytes();
-    };
-
-    std::uint64_t op_index = 0;
-    for (const auto &record : trace) {
-        IoEvent event;
-        event.opIndex = op_index++;
-        event.record = record;
-
-        if (record.isWrite()) {
-            ++result.writes;
-            result.hostWriteBytes += record.extent.bytes();
-            event.segments = layer->placeWrite(record.extent);
-            for (const auto &segment : event.segments)
-                do_access(event, segment.physical(),
-                          trace::IoType::Write);
-        } else {
-            ++result.reads;
-            event.segments = mergePhysicallyContiguous(
-                layer->translateRead(record.extent));
-            const bool fragmented = event.segments.size() >= 2;
-            if (fragmented) {
-                ++result.fragmentedReads;
-                result.readFragments += event.segments.size();
-            }
-
-            for (const auto &segment : event.segments) {
-                const SectorExtent physical = segment.physical();
-
-                // Algorithm 3: fragments of fragmented reads may be
-                // served from the selective RAM cache.
-                if (cache && fragmented && cache->lookup(physical)) {
-                    ++event.cacheHits;
-                    ++result.cacheHits;
-                    continue;
-                }
-                if (cache && fragmented)
-                    ++result.cacheMisses;
-
-                // The drive buffer is consulted for every read; it
-                // is only populated by look-ahead-behind fetches.
-                if (prefetch && prefetch->lookup(physical)) {
-                    ++event.prefetchHits;
-                    ++result.prefetchHits;
-                    continue;
-                }
-
-                // Media access, possibly widened by the prefetcher
-                // (Algorithm 2 fetches around fragments only).
-                SectorExtent region = physical;
-                if (prefetch && fragmented)
-                    region = prefetch->fetchRegion(physical);
-                do_access(event, region, trace::IoType::Read);
-                if (prefetch && fragmented)
-                    prefetch->admit(region);
-                if (cache && fragmented)
-                    cache->admit(physical);
-            }
-
-            // Algorithm 1: write back heavily fragmented ranges at
-            // the log head, paying one extra (write) seek.
-            if (defrag &&
-                defrag->onRead(record.extent, event.segments.size())) {
-                event.defragSegments = relocate(record.extent);
-                event.defragRewrite = true;
-                ++result.defragRewrites;
-                result.defragBytes += record.extent.bytes();
-                for (const auto &segment : event.defragSegments)
-                    do_access(event, segment.physical(),
-                              trace::IoType::Write);
-            }
-        }
-
-        // Background cleaning owed by the layer (media-cache
-        // merges, log garbage collection). Cleaning traffic is
-        // accounted separately from host-visible seeks.
-        for (const MediaAccess &access : layer->maintenance()) {
-            const disk::SeekInfo info =
-                head.access(access.physical, access.type);
-            if (info.seeked) {
-                ++result.cleaningSeeks;
-                ++event.cleaningSeeks;
-                result.seekTimeSec +=
-                    time_model.seekSeconds(info.distanceBytes);
-            }
-            if (access.type == trace::IoType::Read)
-                result.cleaningReadBytes += access.physical.bytes();
-            else
-                result.cleaningWriteBytes += access.physical.bytes();
-        }
-        if (media_cache_layer)
-            result.cleaningMerges = media_cache_layer->mergeCount();
-        if (finite_layer)
-            result.cleaningMerges = finite_layer->cleanings();
-
-        for (auto *observer : observers_)
-            observer->onEvent(event);
-    }
-
-    result.staticFragments = layer->staticFragmentCount();
-    return result;
+    ReplayEngine engine(config_, trace, observers_);
+    return engine.run();
 }
 
 std::pair<SimResult, SimResult>
@@ -296,11 +125,11 @@ runWithBaseline(const trace::Trace &trace, const SimConfig &ls_config,
     return {baseline.run(trace), log_structured.run(trace)};
 }
 
-double
+std::optional<double>
 seekAmplification(const SimResult &baseline, const SimResult &ls)
 {
     if (baseline.totalSeeks() == 0)
-        return 0.0;
+        return std::nullopt;
     return static_cast<double>(ls.totalSeeks()) /
            static_cast<double>(baseline.totalSeeks());
 }

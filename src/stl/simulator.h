@@ -248,7 +248,7 @@ class Simulator
     const SimConfig &config() const { return config_; }
 
   private:
-    /** The replay engine behind run()/tryRun(). */
+    /** Builds a per-run ReplayEngine and replays the trace. */
     SimResult replay(const trace::Trace &trace);
 
     SimConfig config_;
@@ -268,11 +268,13 @@ runWithBaseline(const trace::Trace &trace, const SimConfig &ls_config,
 
 /**
  * Seek amplification factor: total seeks of ls divided by total
- * seeks of the baseline (paper §II). Returns 0 if the baseline had
- * no seeks.
+ * seeks of the baseline (paper §II). Returns std::nullopt when the
+ * baseline had no seeks — the ratio is undefined there, and
+ * reporting it as 0 would read as "no amplification" when the
+ * comparison is actually meaningless.
  */
-double seekAmplification(const SimResult &baseline,
-                         const SimResult &ls);
+std::optional<double> seekAmplification(const SimResult &baseline,
+                                        const SimResult &ls);
 
 } // namespace logseek::stl
 

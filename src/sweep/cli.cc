@@ -1,0 +1,106 @@
+#include "cli.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "analysis/validating_observer.h"
+#include "sweep/report.h"
+
+namespace logseek::sweep
+{
+
+int
+BenchCli::resolvedJobs() const
+{
+    if (jobs > 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ObserverFactory
+BenchCli::observerFactory(ObserverFactory extra) const
+{
+    if (!paranoid && !extra)
+        return nullptr;
+    const bool add_validator = paranoid;
+    return [add_validator, extra = std::move(extra)](
+               const RunKey &key) {
+        std::vector<std::unique_ptr<stl::SimObserver>> observers;
+        if (add_validator)
+            observers.push_back(
+                std::make_unique<analysis::ValidatingObserver>(
+                    analysis::ValidatingObserver::Options{
+                        .paranoid = true, .maxRecorded = 16}));
+        if (extra) {
+            auto more = extra(key);
+            for (auto &observer : more)
+                observers.push_back(std::move(observer));
+        }
+        return observers;
+    };
+}
+
+void
+BenchCli::emitReports(const SweepResult &sweep) const
+{
+    if (jsonPath)
+        writeJsonFile(*jsonPath, sweep);
+    if (csvPath)
+        writeCsvFile(*csvPath, sweep);
+}
+
+std::optional<BenchCli>
+parseBenchCli(int argc, char **argv, const std::string &usage,
+              double default_scale)
+{
+    BenchCli cli;
+    cli.profile.scale = default_scale;
+
+    auto fail = [&usage](const std::string &what) {
+        std::cerr << what << "\nusage: " << usage << "\n";
+        return std::nullopt;
+    };
+
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--paranoid") == 0) {
+            cli.paranoid = true;
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc)
+                return fail("--jobs requires a value");
+            cli.jobs = std::atoi(argv[++i]);
+            if (cli.jobs < 0)
+                return fail("--jobs must be >= 0");
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            cli.jobs = std::atoi(arg + 7);
+            if (cli.jobs < 0)
+                return fail("--jobs must be >= 0");
+        } else if (std::strcmp(arg, "--json") == 0) {
+            cli.jsonPath = "-";
+        } else if (std::strncmp(arg, "--json=", 7) == 0) {
+            cli.jsonPath = std::string(arg + 7);
+        } else if (std::strcmp(arg, "--csv") == 0) {
+            cli.csvPath = "-";
+        } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+            cli.csvPath = std::string(arg + 6);
+        } else if (std::strncmp(arg, "--", 2) == 0) {
+            return fail(std::string("unknown option: ") + arg);
+        } else if (positional == 0) {
+            cli.profile.scale = std::atof(arg);
+            ++positional;
+        } else if (positional == 1) {
+            cli.profile.seed =
+                static_cast<std::uint64_t>(std::atoll(arg));
+            ++positional;
+        } else {
+            return fail(std::string("unexpected argument: ") + arg);
+        }
+    }
+    return cli;
+}
+
+} // namespace logseek::sweep

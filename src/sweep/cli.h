@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared command-line front end for the bench harnesses.
+ *
+ * Every figure/ablation binary takes the same surface:
+ *
+ *   harness [scale] [seed] [--jobs N] [--json[=path]]
+ *           [--csv[=path]] [--paranoid]
+ *
+ * scale/seed feed the synthetic workload profiles; --jobs sets the
+ * sweep worker count (0 = hardware concurrency); --json/--csv emit
+ * the uniform machine-readable report next to the human-readable
+ * tables (default path "-" = stdout); --paranoid replays every run
+ * under a fresh ValidatingObserver in paranoid mode.
+ */
+
+#ifndef LOGSEEK_SWEEP_CLI_H
+#define LOGSEEK_SWEEP_CLI_H
+
+#include <optional>
+#include <string>
+
+#include "sweep/sweep_runner.h"
+#include "workloads/profiles.h"
+
+namespace logseek::sweep
+{
+
+/** Parsed common bench options. */
+struct BenchCli
+{
+    /** Workload scale/seed (positional arguments). */
+    workloads::ProfileOptions profile;
+
+    /** Sweep worker threads (--jobs; 0 = hardware concurrency). */
+    int jobs = 1;
+
+    /** Replay under a paranoid ValidatingObserver (--paranoid). */
+    bool paranoid = false;
+
+    /** Report destinations; "-" means stdout. */
+    std::optional<std::string> jsonPath;
+    std::optional<std::string> csvPath;
+
+    /** Worker count with 0 resolved to hardware concurrency. */
+    int resolvedJobs() const;
+
+    /**
+     * Observer factory combining --paranoid with a bench-specific
+     * factory (may be null): paranoid validators come first, the
+     * extra factory's observers after.
+     */
+    ObserverFactory
+    observerFactory(ObserverFactory extra = nullptr) const;
+
+    /** Write the sweep to the requested --json/--csv outputs. */
+    void emitReports(const SweepResult &sweep) const;
+};
+
+/**
+ * Parse the shared bench surface. Unknown options print usage to
+ * stderr and return nullopt (callers exit 2); positional arguments
+ * beyond scale and seed are rejected the same way.
+ *
+ * @param argc,argv main()'s arguments.
+ * @param usage One-line usage string, e.g. "fig11_saf [scale]
+ *        [seed] [--jobs N] [--json[=path]] [--csv[=path]]
+ *        [--paranoid]".
+ * @param default_scale Profile scale when no positional scale is
+ *        given (benches historically default to 0.02 or 0.01).
+ */
+std::optional<BenchCli> parseBenchCli(int argc, char **argv,
+                                      const std::string &usage,
+                                      double default_scale = 0.02);
+
+} // namespace logseek::sweep
+
+#endif // LOGSEEK_SWEEP_CLI_H

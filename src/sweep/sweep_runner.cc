@@ -1,0 +1,201 @@
+#include "sweep_runner.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "sweep/task_pool.h"
+#include "util/logging.h"
+
+namespace logseek::sweep
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+WorkloadSpec
+WorkloadSpec::profile(const std::string &name,
+                      const workloads::ProfileOptions &options)
+{
+    return {name, [name, options] {
+                return workloads::makeWorkload(name, options);
+            }};
+}
+
+WorkloadSpec
+WorkloadSpec::derived(
+    const std::string &label, const std::string &profile_name,
+    const workloads::ProfileOptions &options,
+    std::function<trace::Trace(const trace::Trace &)> transform)
+{
+    return {label,
+            [profile_name, options,
+             transform = std::move(transform)] {
+                trace::Trace out = transform(
+                    workloads::makeWorkload(profile_name, options));
+                return out;
+            }};
+}
+
+ConfigSpec
+ConfigSpec::fixed(std::string label, stl::SimConfig config)
+{
+    return {std::move(label),
+            [config = std::move(config)](const trace::Trace &) {
+                return config;
+            }};
+}
+
+ConfigSpec
+ConfigSpec::deferred(
+    std::string label,
+    std::function<stl::SimConfig(const trace::Trace &)> make)
+{
+    return {std::move(label), std::move(make)};
+}
+
+const RunRow &
+SweepResult::row(std::size_t w, std::size_t c) const
+{
+    panicIf(w >= workloads.size() || c >= configs.size(),
+            "SweepResult::row: cell out of range");
+    return rows[w * configs.size() + c];
+}
+
+std::optional<double>
+SweepResult::safVs(std::size_t w, std::size_t c,
+                   std::size_t baseline_c) const
+{
+    const RunRow &baseline = row(w, baseline_c);
+    const RunRow &cell = row(w, c);
+    if (!baseline.status.ok() || !cell.status.ok())
+        return std::nullopt;
+    return stl::seekAmplification(baseline.result, cell.result);
+}
+
+SweepRunner::SweepRunner(std::vector<WorkloadSpec> workloads,
+                         std::vector<ConfigSpec> configs,
+                         SweepOptions options)
+    : workloads_(std::move(workloads)),
+      configs_(std::move(configs)), options_(std::move(options))
+{
+}
+
+SweepResult
+SweepRunner::run()
+{
+    const std::size_t workload_count = workloads_.size();
+    const std::size_t config_count = configs_.size();
+
+    SweepResult out;
+    out.workloads.reserve(workload_count);
+    for (const auto &workload : workloads_)
+        out.workloads.push_back(workload.name);
+    out.configs.reserve(config_count);
+    for (const auto &config : configs_)
+        out.configs.push_back(config.label);
+
+    // Rows are pre-sized so every task writes only its own slot;
+    // the final order is the grid order regardless of which worker
+    // finishes when.
+    out.rows.resize(workload_count * config_count);
+    for (std::size_t w = 0; w < workload_count; ++w)
+        for (std::size_t c = 0; c < config_count; ++c)
+            out.rows[w * config_count + c].key = {
+                w, c, workloads_[w].name, configs_[c].label};
+
+    const auto start = std::chrono::steady_clock::now();
+    const int jobs = options_.jobs < 1 ? 1 : options_.jobs;
+    {
+        TaskPool pool(static_cast<unsigned>(jobs));
+
+        auto run_cell = [this, &out, config_count](
+                            std::size_t w, std::size_t c,
+                            std::shared_ptr<const trace::Trace>
+                                trace) {
+            RunRow &row = out.rows[w * config_count + c];
+            row.ops = trace->size();
+            try {
+                stl::SimConfig config = configs_[c].make(*trace);
+                stl::Simulator simulator(config);
+                if (options_.observerFactory)
+                    row.observers =
+                        options_.observerFactory(row.key);
+                for (const auto &observer : row.observers)
+                    simulator.addObserver(observer.get());
+
+                const auto run_start =
+                    std::chrono::steady_clock::now();
+                StatusOr<stl::SimResult> result =
+                    simulator.tryRun(*trace);
+                row.wallSec = secondsSince(run_start);
+                if (result.ok())
+                    row.result = std::move(result).value();
+                else
+                    row.status = result.status();
+            } catch (const PanicError &e) {
+                row.status = internalError(e.what());
+            } catch (const FatalError &e) {
+                row.status = invalidArgumentError(e.what());
+            }
+        };
+
+        for (std::size_t w = 0; w < workload_count; ++w) {
+            pool.submit([this, &out, &pool, run_cell, w,
+                         config_count] {
+                std::shared_ptr<const trace::Trace> trace;
+                try {
+                    trace = std::make_shared<const trace::Trace>(
+                        workloads_[w].load());
+                    if (options_.onTrace)
+                        options_.onTrace(w, *trace);
+                } catch (const PanicError &e) {
+                    const Status status = internalError(e.what());
+                    for (std::size_t c = 0; c < config_count; ++c)
+                        out.rows[w * config_count + c].status =
+                            status;
+                    return;
+                } catch (const FatalError &e) {
+                    const Status status =
+                        invalidArgumentError(e.what());
+                    for (std::size_t c = 0; c < config_count; ++c)
+                        out.rows[w * config_count + c].status =
+                            status;
+                    return;
+                }
+                // Fan the loaded trace out into one task per
+                // config; idle workers steal them.
+                for (std::size_t c = 0; c < config_count; ++c)
+                    pool.submit([run_cell, w, c, trace] {
+                        run_cell(w, c, trace);
+                    });
+            });
+        }
+
+        pool.wait();
+        out.telemetry.steals = pool.stealCount();
+    }
+
+    out.telemetry.wallSec = secondsSince(start);
+    out.telemetry.jobs = jobs;
+    out.telemetry.runs = out.rows.size();
+    for (const RunRow &row : out.rows) {
+        out.telemetry.replaySec += row.wallSec;
+        out.telemetry.ops += row.ops;
+        if (!row.status.ok())
+            ++out.telemetry.failedRuns;
+    }
+    return out;
+}
+
+} // namespace logseek::sweep

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Work-stealing thread pool for sweep execution.
+ *
+ * Each worker owns a deque: it pushes and pops its own work LIFO
+ * (cache-warm) and steals FIFO from the other workers when its own
+ * deque drains (oldest, largest-granularity tasks first). Tasks may
+ * submit further tasks — the sweep runner uses that to fan a
+ * trace-load task out into per-config replay tasks on whichever
+ * worker finished the load.
+ */
+
+#ifndef LOGSEEK_SWEEP_TASK_POOL_H
+#define LOGSEEK_SWEEP_TASK_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace logseek::sweep
+{
+
+/**
+ * A fixed-size pool of workers with per-worker deques and work
+ * stealing. Tasks must not throw — wrap fallible work in its own
+ * error handling (the sweep runner stores a Status per run).
+ */
+class TaskPool
+{
+  public:
+    /** @param workers Worker-thread count; clamped to >= 1. */
+    explicit TaskPool(unsigned workers);
+
+    /** Waits for all submitted tasks, then joins the workers. */
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    /**
+     * Submit one task. Called from outside the pool, tasks are
+     * dealt round-robin across workers; called from a worker, the
+     * task lands on that worker's own deque (and is stolen from
+     * there if the worker stays busy).
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task (and its spawns) ran. */
+    void wait();
+
+    std::size_t workerCount() const { return workers_.size(); }
+
+    /** Tasks that ran on a worker other than the one they were
+     *  queued on — observability for the stealing behavior. */
+    std::uint64_t stealCount() const { return steals_.load(); }
+
+  private:
+    struct Worker
+    {
+        std::deque<std::function<void()>> queue;
+        std::mutex mutex;
+    };
+
+    void workerLoop(std::size_t self);
+
+    /** Pop own-back or steal another deque's front; run it. */
+    bool runOneTask(std::size_t self);
+
+    bool anyQueued();
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex workMutex_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    std::size_t pending_ = 0; // guarded by workMutex_
+    bool stop_ = false;       // guarded by workMutex_
+
+    std::atomic<std::size_t> nextWorker_{0};
+    std::atomic<std::uint64_t> steals_{0};
+};
+
+/** The thread-local index of the current pool worker, if any. */
+int currentPoolWorker();
+
+} // namespace logseek::sweep
+
+#endif // LOGSEEK_SWEEP_TASK_POOL_H

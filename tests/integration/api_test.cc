@@ -30,7 +30,7 @@ TEST(Api, ReadmeQuickstartFlow)
     analysis::ValidatingObserver validator({.paranoid = true});
     const auto [baseline, ls] =
         stl::runWithBaseline(trace, config, {&validator});
-    const double saf = stl::seekAmplification(baseline, ls);
+    const double saf = stl::seekAmplification(baseline, ls).value();
     EXPECT_GT(saf, 0.0);
     EXPECT_EQ(baseline.configLabel, "NoLS");
     EXPECT_EQ(ls.configLabel, "LS+cache");

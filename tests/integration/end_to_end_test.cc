@@ -74,8 +74,9 @@ runAll(const std::string &name)
             config.prefetch = stl::PrefetchConfig{};
         if (cache)
             config.cache = stl::SelectiveCacheConfig{64 * kMiB};
-        return stl::seekAmplification(
-            nols, runValidated(config, trace));
+        return stl::seekAmplification(nols,
+                                      runValidated(config, trace))
+            .value();
     };
 
     SafSet out;

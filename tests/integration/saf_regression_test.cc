@@ -78,7 +78,7 @@ class SafRegression : public ::testing::TestWithParam<std::string>
         analysis::ValidatingObserver validator({.paranoid = true});
         const auto [nols, log] =
             stl::runWithBaseline(trace, ls, {&validator});
-        return stl::seekAmplification(nols, log);
+        return stl::seekAmplification(nols, log).value();
     }
 };
 

@@ -300,10 +300,13 @@ TEST(Simulator, SeekAmplificationHelper)
     SimResult ls;
     ls.readSeeks = 300;
     ls.writeSeeks = 0;
-    EXPECT_DOUBLE_EQ(seekAmplification(baseline, ls), 3.0);
+    ASSERT_TRUE(seekAmplification(baseline, ls).has_value());
+    EXPECT_DOUBLE_EQ(*seekAmplification(baseline, ls), 3.0);
 
+    // A zero-seek baseline has no meaningful ratio: the helper
+    // reports "undefined", not "no amplification".
     SimResult empty;
-    EXPECT_DOUBLE_EQ(seekAmplification(empty, ls), 0.0);
+    EXPECT_FALSE(seekAmplification(empty, ls).has_value());
 }
 
 TEST(Simulator, ConfigLabels)

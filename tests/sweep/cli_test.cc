@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the shared bench CLI surface: positional scale/seed,
+ * --jobs, --json/--csv destinations, --paranoid, and rejection of
+ * unknown arguments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/validating_observer.h"
+#include "sweep/cli.h"
+
+namespace logseek::sweep
+{
+namespace
+{
+
+std::optional<BenchCli>
+parse(std::vector<const char *> args, double default_scale = 0.02)
+{
+    args.insert(args.begin(), "bench");
+    return parseBenchCli(static_cast<int>(args.size()),
+                         const_cast<char **>(args.data()), "usage",
+                         default_scale);
+}
+
+TEST(BenchCliTest, DefaultsApply)
+{
+    const auto cli = parse({});
+    ASSERT_TRUE(cli.has_value());
+    EXPECT_DOUBLE_EQ(cli->profile.scale, 0.02);
+    EXPECT_EQ(cli->jobs, 1);
+    EXPECT_FALSE(cli->paranoid);
+    EXPECT_FALSE(cli->jsonPath.has_value());
+    EXPECT_FALSE(cli->csvPath.has_value());
+    EXPECT_GE(cli->resolvedJobs(), 1);
+}
+
+TEST(BenchCliTest, CustomDefaultScale)
+{
+    const auto cli = parse({}, 0.01);
+    ASSERT_TRUE(cli.has_value());
+    EXPECT_DOUBLE_EQ(cli->profile.scale, 0.01);
+}
+
+TEST(BenchCliTest, PositionalScaleAndSeed)
+{
+    const auto cli = parse({"0.004", "17"});
+    ASSERT_TRUE(cli.has_value());
+    EXPECT_DOUBLE_EQ(cli->profile.scale, 0.004);
+    EXPECT_EQ(cli->profile.seed, 17u);
+}
+
+TEST(BenchCliTest, JobsBothSpellings)
+{
+    auto cli = parse({"--jobs", "8"});
+    ASSERT_TRUE(cli.has_value());
+    EXPECT_EQ(cli->jobs, 8);
+    EXPECT_EQ(cli->resolvedJobs(), 8);
+
+    cli = parse({"--jobs=3"});
+    ASSERT_TRUE(cli.has_value());
+    EXPECT_EQ(cli->jobs, 3);
+
+    // 0 = use hardware concurrency, but never less than one.
+    cli = parse({"--jobs=0"});
+    ASSERT_TRUE(cli.has_value());
+    EXPECT_GE(cli->resolvedJobs(), 1);
+}
+
+TEST(BenchCliTest, ReportDestinations)
+{
+    const auto cli =
+        parse({"--json=/tmp/a.json", "--csv=/tmp/a.csv"});
+    ASSERT_TRUE(cli.has_value());
+    EXPECT_EQ(cli->jsonPath, "/tmp/a.json");
+    EXPECT_EQ(cli->csvPath, "/tmp/a.csv");
+
+    const auto bare = parse({"--json", "--csv"});
+    ASSERT_TRUE(bare.has_value());
+    EXPECT_EQ(bare->jsonPath, "-");
+    EXPECT_EQ(bare->csvPath, "-");
+}
+
+TEST(BenchCliTest, RejectsUnknownAndExtraArguments)
+{
+    EXPECT_FALSE(parse({"--frobnicate"}).has_value());
+    EXPECT_FALSE(parse({"0.02", "1", "2"}).has_value());
+    EXPECT_FALSE(parse({"--jobs"}).has_value());
+    EXPECT_FALSE(parse({"--jobs", "-2"}).has_value());
+}
+
+TEST(BenchCliTest, ObserverFactoryIsNullWithoutParanoidOrExtra)
+{
+    const auto cli = parse({});
+    ASSERT_TRUE(cli.has_value());
+    EXPECT_FALSE(static_cast<bool>(cli->observerFactory()));
+}
+
+TEST(BenchCliTest, ParanoidPrependsValidator)
+{
+    const auto cli = parse({"--paranoid"});
+    ASSERT_TRUE(cli.has_value());
+    EXPECT_TRUE(cli->paranoid);
+
+    bool extra_called = false;
+    ObserverFactory factory =
+        cli->observerFactory([&extra_called](const RunKey &) {
+            extra_called = true;
+            std::vector<std::unique_ptr<stl::SimObserver>> observers;
+            observers.push_back(
+                std::make_unique<analysis::ValidatingObserver>());
+            return observers;
+        });
+    ASSERT_TRUE(static_cast<bool>(factory));
+
+    const RunKey key{0, 0, "w", "c"};
+    const auto observers = factory(key);
+    EXPECT_TRUE(extra_called);
+    ASSERT_EQ(observers.size(), 2u);
+    // Validator first, the bench's own observers after.
+    EXPECT_NE(dynamic_cast<analysis::ValidatingObserver *>(
+                  observers[0].get()),
+              nullptr);
+}
+
+} // namespace
+} // namespace logseek::sweep

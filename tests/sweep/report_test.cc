@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the uniform sweep reports: JSON escaping, report shape,
+ * the telemetry-free deterministic form, and CSV structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "stl/simulator.h"
+#include "sweep/report.h"
+#include "sweep/sweep_runner.h"
+#include "util/logging.h"
+#include "workloads/profiles.h"
+
+namespace logseek::sweep
+{
+namespace
+{
+
+SweepResult
+tinySweep()
+{
+    workloads::ProfileOptions profile;
+    profile.scale = 0.002;
+    stl::SimConfig nols;
+    nols.translation = stl::TranslationKind::Conventional;
+    stl::SimConfig ls;
+    ls.translation = stl::TranslationKind::LogStructured;
+    SweepOptions options;
+    options.jobs = 2;
+    return SweepRunner({WorkloadSpec::profile("usr_1", profile)},
+                       {ConfigSpec::fixed("NoLS", nols),
+                        ConfigSpec::fixed("LS", ls)},
+                       options)
+        .run();
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+}
+
+TEST(ReportTest, JsonContainsGridAndRows)
+{
+    const SweepResult sweep = tinySweep();
+    std::ostringstream out;
+    writeJson(out, sweep);
+    const std::string json = out.str();
+
+    EXPECT_NE(json.find("\"workloads\": [\"usr_1\"]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"configs\": [\"NoLS\", \"LS\"]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"telemetry\""), std::string::npos);
+    EXPECT_NE(json.find("\"readSeeks\""), std::string::npos);
+    EXPECT_NE(json.find("\"wallSec\""), std::string::npos);
+    // Two rows — one per config.
+    std::size_t rows = 0;
+    for (std::size_t at = json.find("\"workload\": \"usr_1\"");
+         at != std::string::npos;
+         at = json.find("\"workload\": \"usr_1\"", at + 1))
+        ++rows;
+    EXPECT_EQ(rows, 2u);
+}
+
+TEST(ReportTest, TelemetryFreeFormOmitsTimingFields)
+{
+    const SweepResult sweep = tinySweep();
+    std::ostringstream out;
+    writeJson(out, sweep, /*with_telemetry=*/false);
+    const std::string json = out.str();
+
+    EXPECT_EQ(json.find("\"telemetry\""), std::string::npos);
+    EXPECT_EQ(json.find("\"wallSec\""), std::string::npos);
+    EXPECT_EQ(json.find("\"opsPerSec\""), std::string::npos);
+    // Deterministic fields stay.
+    EXPECT_NE(json.find("\"readSeeks\""), std::string::npos);
+}
+
+TEST(ReportTest, CsvHasHeaderAndOneLinePerCell)
+{
+    const SweepResult sweep = tinySweep();
+    std::ostringstream out;
+    writeCsv(out, sweep);
+    std::istringstream lines(out.str());
+
+    std::string header;
+    ASSERT_TRUE(std::getline(lines, header));
+    EXPECT_EQ(header.rfind("workload,config,ok,error,ops", 0), 0u);
+    EXPECT_NE(header.find("readSeeks"), std::string::npos);
+    EXPECT_NE(header.find("writeAmplification"), std::string::npos);
+
+    std::size_t data_lines = 0;
+    std::string line;
+    while (std::getline(lines, line))
+        if (!line.empty())
+            ++data_lines;
+    EXPECT_EQ(data_lines, sweep.rows.size());
+}
+
+TEST(ReportTest, FailedRowsCarryTheErrorInBothFormats)
+{
+    SweepOptions options;
+    options.jobs = 1;
+    workloads::ProfileOptions profile;
+    profile.scale = 0.002;
+    const SweepResult sweep =
+        SweepRunner({WorkloadSpec::profile("usr_1", profile)},
+                    {ConfigSpec::deferred(
+                        "broken",
+                        [](const trace::Trace &) -> stl::SimConfig {
+                            throw FatalError("bad \"config\"");
+                        })},
+                    options)
+            .run();
+
+    std::ostringstream json_out;
+    writeJson(json_out, sweep);
+    EXPECT_NE(json_out.str().find("\"ok\": false"),
+              std::string::npos);
+    EXPECT_NE(json_out.str().find("bad \\\"config\\\""),
+              std::string::npos);
+
+    std::ostringstream csv_out;
+    writeCsv(csv_out, sweep);
+    EXPECT_NE(csv_out.str().find("false"), std::string::npos);
+}
+
+} // namespace
+} // namespace logseek::sweep
