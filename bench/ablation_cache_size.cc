@@ -22,9 +22,7 @@ main(int argc, char **argv)
     using namespace logseek;
 
     const auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "ablation_cache_size [scale] [seed] [--jobs N] "
-        "[--json[=path]] [--csv[=path]] [--paranoid]",
+        argc, argv, sweep::benchUsage("ablation_cache_size"),
         0.01);
     if (!cli)
         return 2;

@@ -24,9 +24,7 @@ main(int argc, char **argv)
     using namespace logseek;
 
     const auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "ablation_defrag [scale] [seed] [--jobs N] [--json[=path]] "
-        "[--csv[=path]] [--paranoid]",
+        argc, argv, sweep::benchUsage("ablation_defrag"),
         0.01);
     if (!cli)
         return 2;

@@ -41,9 +41,7 @@ int
 main(int argc, char **argv)
 {
     const auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "ablation_prefetch [scale] [seed] [--jobs N] "
-        "[--json[=path]] [--csv[=path]] [--paranoid]",
+        argc, argv, sweep::benchUsage("ablation_prefetch"),
         0.01);
     if (!cli)
         return 2;

@@ -77,9 +77,7 @@ int
 main(int argc, char **argv)
 {
     const auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "cleaning_interaction [scale] [seed] [--jobs N] "
-        "[--json[=path]] [--csv[=path]] [--paranoid]",
+        argc, argv, sweep::benchUsage("cleaning_interaction"),
         0.01);
     if (!cli)
         return 2;
@@ -110,9 +108,7 @@ main(int argc, char **argv)
                                        overprovision, true));
     }
 
-    sweep::SweepOptions options;
-    options.jobs = cli->resolvedJobs();
-    options.observerFactory = cli->observerFactory();
+    sweep::SweepOptions options = cli->sweepOptions();
     sweep::SweepRunner runner(std::move(specs), std::move(configs),
                               std::move(options));
     const sweep::SweepResult sweep = runner.run();

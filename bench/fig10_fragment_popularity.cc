@@ -29,9 +29,7 @@ main(int argc, char **argv)
     using namespace logseek;
 
     const auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "fig10_fragment_popularity [scale] [seed] [--jobs N] "
-        "[--json[=path]] [--csv[=path]] [--paranoid]");
+        argc, argv, sweep::benchUsage("fig10_fragment_popularity"));
     if (!cli)
         return 2;
 
@@ -45,8 +43,7 @@ main(int argc, char **argv)
     stl::SimConfig ls_config;
     ls_config.translation = stl::TranslationKind::LogStructured;
 
-    sweep::SweepOptions options;
-    options.jobs = cli->resolvedJobs();
+    sweep::SweepOptions options = cli->sweepOptions();
     options.observerFactory =
         cli->observerFactory([](const sweep::RunKey &) {
             std::vector<std::unique_ptr<stl::SimObserver>> obs;

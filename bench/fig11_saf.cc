@@ -91,9 +91,7 @@ int
 main(int argc, char **argv)
 {
     const auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "fig11_saf [scale] [seed] [--jobs N] [--json[=path]] "
-        "[--csv[=path]] [--paranoid]");
+        argc, argv, sweep::benchUsage("fig11_saf"));
     if (!cli)
         return 2;
     if (cli->paranoid)
@@ -112,9 +110,7 @@ main(int argc, char **argv)
         workload_specs.push_back(
             sweep::WorkloadSpec::profile(name, cli->profile));
 
-    sweep::SweepOptions options;
-    options.jobs = cli->resolvedJobs();
-    options.observerFactory = cli->observerFactory();
+    sweep::SweepOptions options = cli->sweepOptions();
     sweep::SweepRunner runner(std::move(workload_specs), makeConfigs(),
                               std::move(options));
     const sweep::SweepResult sweep = runner.run();

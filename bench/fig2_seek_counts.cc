@@ -68,9 +68,7 @@ int
 main(int argc, char **argv)
 {
     const auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "fig2_seek_counts [scale] [seed] [--jobs N] [--json[=path]] "
-        "[--csv[=path]] [--paranoid]");
+        argc, argv, sweep::benchUsage("fig2_seek_counts"));
     if (!cli)
         return 2;
 
@@ -89,9 +87,7 @@ main(int argc, char **argv)
     stl::SimConfig ls;
     ls.translation = stl::TranslationKind::LogStructured;
 
-    sweep::SweepOptions options;
-    options.jobs = cli->resolvedJobs();
-    options.observerFactory = cli->observerFactory();
+    sweep::SweepOptions options = cli->sweepOptions();
     sweep::SweepRunner runner(
         std::move(specs),
         {sweep::ConfigSpec::fixed("NoLS", nols),

@@ -34,9 +34,7 @@ int
 main(int argc, char **argv)
 {
     const auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "fig3_seek_timeseries [scale] [seed] [--jobs N] "
-        "[--json[=path]] [--csv[=path]] [--paranoid]");
+        argc, argv, sweep::benchUsage("fig3_seek_timeseries"));
     if (!cli)
         return 2;
 
@@ -54,8 +52,7 @@ main(int argc, char **argv)
     // Bin width depends on each trace's length; the onTrace hook
     // records it before any of that workload's runs execute.
     std::vector<std::uint64_t> bins(names.size(), 1);
-    sweep::SweepOptions options;
-    options.jobs = cli->resolvedJobs();
+    sweep::SweepOptions options = cli->sweepOptions();
     options.observerFactory =
         cli->observerFactory([&bins](const sweep::RunKey &key) {
             std::vector<std::unique_ptr<stl::SimObserver>> obs;

@@ -27,9 +27,7 @@ main(int argc, char **argv)
     using namespace logseek;
 
     const auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "fig4_access_distance [scale] [seed] [--jobs N] "
-        "[--json[=path]] [--csv[=path]] [--paranoid]");
+        argc, argv, sweep::benchUsage("fig4_access_distance"));
     if (!cli)
         return 2;
 
@@ -44,8 +42,7 @@ main(int argc, char **argv)
     stl::SimConfig ls_config;
     ls_config.translation = stl::TranslationKind::LogStructured;
 
-    sweep::SweepOptions options;
-    options.jobs = cli->resolvedJobs();
+    sweep::SweepOptions options = cli->sweepOptions();
     options.observerFactory =
         cli->observerFactory([](const sweep::RunKey &) {
             std::vector<std::unique_ptr<stl::SimObserver>> obs;

@@ -28,9 +28,7 @@ main(int argc, char **argv)
     using namespace logseek;
 
     const auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "fig5_fragmented_reads [scale] [seed] [--jobs N] "
-        "[--json[=path]] [--csv[=path]] [--paranoid]");
+        argc, argv, sweep::benchUsage("fig5_fragmented_reads"));
     if (!cli)
         return 2;
 
@@ -43,8 +41,7 @@ main(int argc, char **argv)
     stl::SimConfig ls_config;
     ls_config.translation = stl::TranslationKind::LogStructured;
 
-    sweep::SweepOptions options;
-    options.jobs = cli->resolvedJobs();
+    sweep::SweepOptions options = cli->sweepOptions();
     options.observerFactory =
         cli->observerFactory([](const sweep::RunKey &) {
             std::vector<std::unique_ptr<stl::SimObserver>> obs;

@@ -69,7 +69,7 @@ int
 main(int argc, char **argv)
 {
     const auto cli = sweep::parseBenchCli(
-        argc, argv, "fig7_write_patterns [scale] [seed] [--jobs N]");
+        argc, argv, sweep::benchUsage("fig7_write_patterns"));
     if (!cli)
         return 2;
 
@@ -83,8 +83,7 @@ main(int argc, char **argv)
     // Trace-only sweep: each workload's excerpt renders into its own
     // buffer so the printed order stays fixed whatever the job count.
     std::vector<std::ostringstream> reports(names.size());
-    sweep::SweepOptions options;
-    options.jobs = cli->resolvedJobs();
+    sweep::SweepOptions options = cli->sweepOptions();
     options.onTrace = [&](std::size_t w, const trace::Trace &trace) {
         excerptWrites(reports[w], names[w], trace, kWindow);
     };

@@ -24,7 +24,7 @@ main(int argc, char **argv)
     using namespace logseek;
 
     const auto cli = sweep::parseBenchCli(
-        argc, argv, "fig8_misordered [scale] [seed] [--jobs N]");
+        argc, argv, sweep::benchUsage("fig8_misordered"));
     if (!cli)
         return 2;
 
@@ -37,8 +37,7 @@ main(int argc, char **argv)
         specs.push_back(sweep::WorkloadSpec::profile(name, cli->profile));
 
     std::vector<analysis::MisorderedWriteStats> stats(names.size());
-    sweep::SweepOptions options;
-    options.jobs = cli->resolvedJobs();
+    sweep::SweepOptions options = cli->sweepOptions();
     options.onTrace = [&stats](std::size_t w,
                                const trace::Trace &trace) {
         stats[w] = analysis::countMisorderedWrites(trace);

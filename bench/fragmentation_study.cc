@@ -32,9 +32,7 @@ main(int argc, char **argv)
     using namespace logseek;
 
     const auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "fragmentation_study [scale] [seed] [--jobs N] "
-        "[--json[=path]] [--csv[=path]] [--paranoid]");
+        argc, argv, sweep::benchUsage("fragmentation_study"));
     if (!cli)
         return 2;
 
@@ -48,8 +46,7 @@ main(int argc, char **argv)
     stl::SimConfig ls_config;
     ls_config.translation = stl::TranslationKind::LogStructured;
 
-    sweep::SweepOptions options;
-    options.jobs = cli->resolvedJobs();
+    sweep::SweepOptions options = cli->sweepOptions();
     options.observerFactory =
         cli->observerFactory([](const sweep::RunKey &) {
             std::vector<std::unique_ptr<stl::SimObserver>> obs;

@@ -36,9 +36,7 @@ main(int argc, char **argv)
     using namespace logseek;
 
     const auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "ncq_baseline [scale] [seed] [--jobs N] [--json[=path]] "
-        "[--csv[=path]] [--paranoid]",
+        argc, argv, sweep::benchUsage("ncq_baseline"),
         0.01);
     if (!cli)
         return 2;
@@ -64,9 +62,7 @@ main(int argc, char **argv)
     stl::SimConfig ls_config;
     ls_config.translation = stl::TranslationKind::LogStructured;
 
-    sweep::SweepOptions options;
-    options.jobs = cli->resolvedJobs();
-    options.observerFactory = cli->observerFactory();
+    sweep::SweepOptions options = cli->sweepOptions();
     sweep::SweepRunner runner(
         std::move(specs),
         {sweep::ConfigSpec::fixed("NoLS", nols_config),

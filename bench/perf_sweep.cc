@@ -93,8 +93,7 @@ int
 main(int argc, char **argv)
 {
     auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "perf_sweep [scale] [seed] [--jobs N] [--json=path]");
+        argc, argv, sweep::benchUsage("perf_sweep"));
     if (!cli)
         return 2;
     // Default the parallel leg to hardware concurrency (an

@@ -60,9 +60,7 @@ runSafTable(const std::vector<std::string> &names,
         specs.push_back(
             sweep::WorkloadSpec::profile(name, cli.profile));
 
-    sweep::SweepOptions options;
-    options.jobs = cli.resolvedJobs();
-    options.observerFactory = cli.observerFactory();
+    sweep::SweepOptions options = cli.sweepOptions();
     sweep::SweepRunner runner(std::move(specs), std::move(configs),
                               std::move(options));
     sweep::SweepResult sweep = runner.run();

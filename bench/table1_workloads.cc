@@ -24,7 +24,7 @@ main(int argc, char **argv)
     using namespace logseek;
 
     const auto cli = sweep::parseBenchCli(
-        argc, argv, "table1_workloads [scale] [seed] [--jobs N]");
+        argc, argv, sweep::benchUsage("table1_workloads"));
     if (!cli)
         return 2;
 
@@ -40,8 +40,7 @@ main(int argc, char **argv)
 
     // Trace-only sweep: no configs, just a per-workload stats hook.
     std::vector<trace::TraceStats> stats(infos.size());
-    sweep::SweepOptions options;
-    options.jobs = cli->resolvedJobs();
+    sweep::SweepOptions options = cli->sweepOptions();
     options.onTrace = [&stats](std::size_t w,
                                const trace::Trace &trace) {
         stats[w] = trace::computeStats(trace);

@@ -30,9 +30,7 @@ main(int argc, char **argv)
     using namespace logseek;
 
     const auto cli = sweep::parseBenchCli(
-        argc, argv,
-        "time_amplification [scale] [seed] [--jobs N] "
-        "[--json[=path]] [--csv[=path]] [--paranoid]",
+        argc, argv, sweep::benchUsage("time_amplification"),
         0.01);
     if (!cli)
         return 2;
@@ -50,9 +48,7 @@ main(int argc, char **argv)
     stl::SimConfig cached = ls;
     cached.cache = stl::SelectiveCacheConfig{64 * kMiB};
 
-    sweep::SweepOptions options;
-    options.jobs = cli->resolvedJobs();
-    options.observerFactory = cli->observerFactory();
+    sweep::SweepOptions options = cli->sweepOptions();
     sweep::SweepRunner runner(
         std::move(specs),
         {sweep::ConfigSpec::fixed("NoLS", baseline),

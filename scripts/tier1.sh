@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+#
+# Tier-1 gate: configure, build and test the presets that guard the
+# repo's correctness story.
+#
+#   default  RelWithDebInfo, the full suite
+#   asan     ASan+UBSan, the full suite
+#   tsan     ThreadSanitizer, the concurrency suites
+#            (TaskPool*/SweepRunner* — the sweep runner, its pool,
+#            watchdog, cancellation and checkpoint/resume paths)
+#
+# Usage:
+#   scripts/tier1.sh            # all three presets
+#   scripts/tier1.sh default    # just one
+#   JOBS=8 scripts/tier1.sh     # override the build parallelism
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+PRESETS=("$@")
+if [ "${#PRESETS[@]}" -eq 0 ]; then
+    PRESETS=(default asan tsan)
+fi
+
+for preset in "${PRESETS[@]}"; do
+    echo "==> tier1: preset '${preset}'"
+    cmake --preset "${preset}"
+    cmake --build --preset "${preset}" -j "${JOBS}"
+    ctest --preset "${preset}" -j "${JOBS}"
+done
+
+echo "==> tier1: all presets green (${PRESETS[*]})"

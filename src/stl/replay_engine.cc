@@ -234,8 +234,10 @@ ReadPipeline::completeRead(const trace::IoRecord &record,
 
 ReplayEngine::ReplayEngine(const SimConfig &config,
                            const trace::Trace &trace,
-                           const std::vector<SimObserver *> &observers)
+                           const std::vector<SimObserver *> &observers,
+                           CancelToken cancel)
     : config_(config), trace_(trace), observers_(observers),
+      cancel_(std::move(cancel)),
       accounting_(result_, config.seekTime)
 {
     result_.workload = trace.name();
@@ -295,6 +297,14 @@ ReplayEngine::run()
 {
     std::uint64_t op_index = 0;
     for (const auto &record : trace_) {
+        // Cooperative cancellation point: checked once per record
+        // batch so an over-deadline replay unwinds within
+        // microseconds, with all layer invariants intact.
+        if (op_index % kCancelCheckInterval == 0 &&
+            cancel_.cancelled())
+            throw StatusError(cancel_.toStatus(
+                "replay of trace '" + trace_.name() + "'"));
+
         IoEvent event;
         event.opIndex = op_index++;
         event.record = record;

@@ -22,6 +22,7 @@
 #include "stl/simulator.h"
 #include "stl/translation_layer.h"
 #include "trace/trace.h"
+#include "util/cancellation.h"
 
 namespace logseek::stl
 {
@@ -40,17 +41,27 @@ class ReplayEngine
      * @param trace The trace to replay; must outlive the engine.
      * @param observers Observers notified once per logical request,
      *        in trace order; not owned.
+     * @param cancel Cooperative cancellation token, polled once per
+     *        record batch; default never fires.
      */
     ReplayEngine(const SimConfig &config, const trace::Trace &trace,
-                 const std::vector<SimObserver *> &observers);
+                 const std::vector<SimObserver *> &observers,
+                 CancelToken cancel = {});
 
     ~ReplayEngine();
 
     ReplayEngine(const ReplayEngine &) = delete;
     ReplayEngine &operator=(const ReplayEngine &) = delete;
 
-    /** Replay the whole trace and return the aggregate result. */
+    /**
+     * Replay the whole trace and return the aggregate result.
+     * @throws StatusError (Cancelled or DeadlineExceeded) when the
+     *         cancellation token fires mid-replay.
+     */
     SimResult run();
+
+    /** Records between cancellation checks in run(). */
+    static constexpr std::uint64_t kCancelCheckInterval = 64;
 
     /** The assembled read path (introspection for tests). */
     const ReadPipeline &readPipeline() const { return pipeline_; }
@@ -68,6 +79,7 @@ class ReplayEngine
     SimConfig config_;
     const trace::Trace &trace_;
     std::vector<SimObserver *> observers_;
+    CancelToken cancel_;
 
     SimResult result_;
     Accounting accounting_;

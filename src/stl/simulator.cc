@@ -84,13 +84,18 @@ Simulator::run(const trace::Trace &trace)
 }
 
 StatusOr<SimResult>
-Simulator::tryRun(const trace::Trace &trace)
+Simulator::tryRun(const trace::Trace &trace, CancelToken cancel)
 {
     Status valid = validateTrace(trace);
     if (!valid.ok())
         return valid;
     try {
-        return replay(trace);
+        return replay(trace, cancel);
+    } catch (const StatusError &e) {
+        // Cooperative cancellation (or another typed failure) from
+        // inside the replay loop: pass the Status through intact so
+        // callers can tell DeadlineExceeded from Cancelled.
+        return e.status();
     } catch (const PanicError &e) {
         return internalError("replay of trace '" + trace.name() +
                              "' hit an internal bug: " + e.what());
@@ -102,9 +107,10 @@ Simulator::tryRun(const trace::Trace &trace)
 }
 
 SimResult
-Simulator::replay(const trace::Trace &trace)
+Simulator::replay(const trace::Trace &trace,
+                  const CancelToken &cancel)
 {
-    ReplayEngine engine(config_, trace, observers_);
+    ReplayEngine engine(config_, trace, observers_, cancel);
     return engine.run();
 }
 

@@ -30,6 +30,7 @@
 #include "stl/selective_cache.h"
 #include "stl/translation_layer.h"
 #include "trace/trace.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace logseek::stl
@@ -234,9 +235,12 @@ class Simulator
      * (InvalidArgument on a malformed record), then replays it,
      * converting any escaped FatalError into InvalidArgument and
      * any PanicError into Internal so one bad trace cannot take
-     * down a batch sweep.
+     * down a batch sweep. A fired cancellation token surfaces as
+     * Cancelled or DeadlineExceeded; the replay unwinds at the next
+     * per-batch check and no partial result is returned.
      */
-    StatusOr<SimResult> tryRun(const trace::Trace &trace);
+    StatusOr<SimResult> tryRun(const trace::Trace &trace,
+                               CancelToken cancel = {});
 
     /**
      * Check that a trace is replayable: every record has a
@@ -249,7 +253,8 @@ class Simulator
 
   private:
     /** Builds a per-run ReplayEngine and replays the trace. */
-    SimResult replay(const trace::Trace &trace);
+    SimResult replay(const trace::Trace &trace,
+                     const CancelToken &cancel);
 
     SimConfig config_;
     std::vector<SimObserver *> observers_;

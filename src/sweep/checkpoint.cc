@@ -1,0 +1,225 @@
+#include "checkpoint.h"
+
+#include <cstring>
+
+namespace logseek::sweep
+{
+
+namespace
+{
+
+void
+putU8(std::string &out, std::uint8_t value)
+{
+    out.push_back(static_cast<char>(value));
+}
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    for (std::size_t i = 0; i < 4; ++i)
+        out.push_back(
+            static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t value)
+{
+    for (std::size_t i = 0; i < 8; ++i)
+        out.push_back(
+            static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void
+putF64(std::string &out, double value)
+{
+    // Bit pattern, not decimal text: a restored cell must render
+    // to exactly the same report bytes as the original run.
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    putU64(out, bits);
+}
+
+void
+putStr(std::string &out, const std::string &value)
+{
+    putU32(out, static_cast<std::uint32_t>(value.size()));
+    out.append(value);
+}
+
+/** Cursor over a payload; sticky-fails on any short read. */
+struct Reader
+{
+    std::string_view in;
+    std::size_t pos = 0;
+    bool failed = false;
+
+    std::uint8_t
+    u8()
+    {
+        if (failed || in.size() - pos < 1) {
+            failed = true;
+            return 0;
+        }
+        return static_cast<std::uint8_t>(in[pos++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (failed || in.size() - pos < 4) {
+            failed = true;
+            return 0;
+        }
+        std::uint32_t value = 0;
+        for (std::size_t i = 0; i < 4; ++i)
+            value |= static_cast<std::uint32_t>(
+                         static_cast<unsigned char>(in[pos + i]))
+                     << (8 * i);
+        pos += 4;
+        return value;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (failed || in.size() - pos < 8) {
+            failed = true;
+            return 0;
+        }
+        std::uint64_t value = 0;
+        for (std::size_t i = 0; i < 8; ++i)
+            value |= static_cast<std::uint64_t>(
+                         static_cast<unsigned char>(in[pos + i]))
+                     << (8 * i);
+        pos += 8;
+        return value;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double value = 0.0;
+        std::memcpy(&value, &bits, sizeof value);
+        return value;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t length = u32();
+        if (failed || in.size() - pos < length) {
+            failed = true;
+            return {};
+        }
+        std::string value(in.substr(pos, length));
+        pos += length;
+        return value;
+    }
+};
+
+void
+encodeSimResult(std::string &out, const stl::SimResult &result)
+{
+    putStr(out, result.workload);
+    putStr(out, result.configLabel);
+    putU64(out, result.reads);
+    putU64(out, result.writes);
+    putU64(out, result.readSeeks);
+    putU64(out, result.writeSeeks);
+    putU64(out, result.fragmentedReads);
+    putU64(out, result.readFragments);
+    putU64(out, result.cacheHits);
+    putU64(out, result.cacheMisses);
+    putU64(out, result.prefetchHits);
+    putU64(out, result.defragRewrites);
+    putU64(out, result.defragBytes);
+    putU64(out, result.mediaReadBytes);
+    putU64(out, result.mediaWriteBytes);
+    putU64(out, result.hostWriteBytes);
+    putU64(out, result.cleaningReadBytes);
+    putU64(out, result.cleaningWriteBytes);
+    putU64(out, result.cleaningSeeks);
+    putU64(out, result.cleaningMerges);
+    putF64(out, result.seekTimeSec);
+    putU64(out, result.staticFragments);
+}
+
+void
+decodeSimResult(Reader &reader, stl::SimResult &result)
+{
+    result.workload = reader.str();
+    result.configLabel = reader.str();
+    result.reads = reader.u64();
+    result.writes = reader.u64();
+    result.readSeeks = reader.u64();
+    result.writeSeeks = reader.u64();
+    result.fragmentedReads = reader.u64();
+    result.readFragments = reader.u64();
+    result.cacheHits = reader.u64();
+    result.cacheMisses = reader.u64();
+    result.prefetchHits = reader.u64();
+    result.defragRewrites = reader.u64();
+    result.defragBytes = reader.u64();
+    result.mediaReadBytes = reader.u64();
+    result.mediaWriteBytes = reader.u64();
+    result.hostWriteBytes = reader.u64();
+    result.cleaningReadBytes = reader.u64();
+    result.cleaningWriteBytes = reader.u64();
+    result.cleaningSeeks = reader.u64();
+    result.cleaningMerges = reader.u64();
+    result.seekTimeSec = reader.f64();
+    result.staticFragments =
+        static_cast<std::size_t>(reader.u64());
+}
+
+} // namespace
+
+std::string
+encodeCellRecord(const CellRecord &record)
+{
+    std::string out;
+    putU8(out, kCellRecordVersion);
+    putStr(out, record.workload);
+    putStr(out, record.configLabel);
+    putU8(out, static_cast<std::uint8_t>(record.outcome));
+    putU32(out, record.attempts);
+    putU64(out, record.ops);
+    putF64(out, record.wallSec);
+    encodeSimResult(out, record.result);
+    return out;
+}
+
+StatusOr<CellRecord>
+decodeCellRecord(std::string_view payload)
+{
+    Reader reader{payload};
+    const std::uint8_t version = reader.u8();
+    if (!reader.failed && version != kCellRecordVersion)
+        return dataLossError(
+            "cell record: unsupported version " +
+            std::to_string(version));
+
+    CellRecord record;
+    record.workload = reader.str();
+    record.configLabel = reader.str();
+    const std::uint8_t outcome = reader.u8();
+    record.attempts = reader.u32();
+    record.ops = reader.u64();
+    record.wallSec = reader.f64();
+    decodeSimResult(reader, record.result);
+
+    if (reader.failed)
+        return dataLossError("cell record: truncated payload");
+    if (reader.pos != payload.size())
+        return dataLossError("cell record: trailing bytes");
+    if (outcome >
+        static_cast<std::uint8_t>(CellOutcome::Skipped))
+        return dataLossError("cell record: invalid outcome " +
+                             std::to_string(outcome));
+    record.outcome = static_cast<CellOutcome>(outcome);
+    return record;
+}
+
+} // namespace logseek::sweep

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Checkpoint payload codec for sweep cells.
+ *
+ * One CellRecord is the durable form of one completed (workload,
+ * config) cell: its identity, outcome taxonomy, attempt count, and
+ * the full SimResult with doubles stored as IEEE-754 bit patterns so
+ * a resumed sweep reproduces the original grid byte for byte. The
+ * payloads are carried inside the CRC-guarded frames of
+ * util/checkpoint.h; this header only encodes and decodes them.
+ */
+
+#ifndef LOGSEEK_SWEEP_CHECKPOINT_H
+#define LOGSEEK_SWEEP_CHECKPOINT_H
+
+#include <string>
+#include <string_view>
+
+#include "sweep/sweep_runner.h"
+#include "util/status.h"
+
+namespace logseek::sweep
+{
+
+/** Current cell-record encoding version. */
+inline constexpr std::uint8_t kCellRecordVersion = 1;
+
+/** The durable form of one completed sweep cell. */
+struct CellRecord
+{
+    /** Grid identity; matched by name on resume, so the record
+     *  survives grid reordering between runs. */
+    std::string workload;
+    std::string configLabel;
+
+    CellOutcome outcome = CellOutcome::Ok;
+    std::uint32_t attempts = 1;
+    std::uint64_t ops = 0;
+    double wallSec = 0.0;
+
+    stl::SimResult result;
+};
+
+/** Serialize a record to the version-1 little-endian payload. */
+std::string encodeCellRecord(const CellRecord &record);
+
+/**
+ * Parse a payload; DataLoss on a bad version, a malformed field, or
+ * trailing bytes (a CRC-valid frame should decode exactly).
+ */
+StatusOr<CellRecord> decodeCellRecord(std::string_view payload);
+
+} // namespace logseek::sweep
+
+#endif // LOGSEEK_SWEEP_CHECKPOINT_H

@@ -1,5 +1,8 @@
 #include "cli.h"
 
+#include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -10,6 +13,47 @@
 
 namespace logseek::sweep
 {
+
+namespace
+{
+
+/** Strict base-10 integer: the whole string must be the number. */
+StatusOr<long long>
+parseIntArg(const std::string &flag, const std::string &text)
+{
+    if (text.empty())
+        return invalidArgumentError(flag + " requires a number");
+    errno = 0;
+    char *end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        return invalidArgumentError(flag + ": not a number: '" +
+                                    text + "'");
+    if (errno == ERANGE)
+        return invalidArgumentError(flag + ": out of range: '" +
+                                    text + "'");
+    return value;
+}
+
+/** Strict finite double: the whole string must be the number. */
+StatusOr<double>
+parseDoubleArg(const std::string &flag, const std::string &text)
+{
+    if (text.empty())
+        return invalidArgumentError(flag + " requires a number");
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        return invalidArgumentError(flag + ": not a number: '" +
+                                    text + "'");
+    if (errno == ERANGE || !std::isfinite(value))
+        return invalidArgumentError(flag + ": out of range: '" +
+                                    text + "'");
+    return value;
+}
+
+} // namespace
 
 int
 BenchCli::resolvedJobs() const
@@ -43,6 +87,19 @@ BenchCli::observerFactory(ObserverFactory extra) const
     };
 }
 
+SweepOptions
+BenchCli::sweepOptions(ObserverFactory extra) const
+{
+    SweepOptions options;
+    options.jobs = resolvedJobs();
+    options.observerFactory = observerFactory(std::move(extra));
+    options.cellDeadline = std::chrono::milliseconds(deadlineMs);
+    options.retry.maxAttempts = retries + 1;
+    options.checkpointPath = checkpointPath;
+    options.resumePath = resumePath;
+    return options;
+}
+
 void
 BenchCli::emitReports(const SweepResult &sweep) const
 {
@@ -52,55 +109,152 @@ BenchCli::emitReports(const SweepResult &sweep) const
         writeCsvFile(*csvPath, sweep);
 }
 
-std::optional<BenchCli>
-parseBenchCli(int argc, char **argv, const std::string &usage,
-              double default_scale)
+std::string
+benchUsage(const std::string &name)
+{
+    return name +
+           " [scale] [seed] [--jobs N|auto] [--json[=path]] "
+           "[--csv[=path]] [--paranoid] [--deadline-ms N] "
+           "[--retries N] [--checkpoint path] [--resume path]";
+}
+
+StatusOr<BenchCli>
+tryParseBenchCli(int argc, char **argv, double default_scale)
 {
     BenchCli cli;
     cli.profile.scale = default_scale;
 
-    auto fail = [&usage](const std::string &what) {
-        std::cerr << what << "\nusage: " << usage << "\n";
-        return std::nullopt;
-    };
-
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (std::strcmp(arg, "--paranoid") == 0) {
+        const std::string arg = argv[i];
+
+        // Matches "--flag value" and "--flag=value"; a flag at the
+        // end of the line yields an unset value, which the
+        // consumer reports as missing.
+        std::optional<std::string> value;
+        auto matches = [&](const char *flag) {
+            const std::size_t length = std::strlen(flag);
+            if (arg == flag) {
+                if (i + 1 < argc)
+                    value = argv[++i];
+                return true;
+            }
+            if (arg.size() > length &&
+                arg.compare(0, length, flag) == 0 &&
+                arg[length] == '=') {
+                value = arg.substr(length + 1);
+                return true;
+            }
+            return false;
+        };
+
+        if (arg == "--paranoid") {
             cli.paranoid = true;
-        } else if (std::strcmp(arg, "--jobs") == 0) {
-            if (i + 1 >= argc)
-                return fail("--jobs requires a value");
-            cli.jobs = std::atoi(argv[++i]);
-            if (cli.jobs < 0)
-                return fail("--jobs must be >= 0");
-        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            cli.jobs = std::atoi(arg + 7);
-            if (cli.jobs < 0)
-                return fail("--jobs must be >= 0");
-        } else if (std::strcmp(arg, "--json") == 0) {
+        } else if (arg == "--json") {
             cli.jsonPath = "-";
-        } else if (std::strncmp(arg, "--json=", 7) == 0) {
-            cli.jsonPath = std::string(arg + 7);
-        } else if (std::strcmp(arg, "--csv") == 0) {
+        } else if (arg == "--csv") {
             cli.csvPath = "-";
-        } else if (std::strncmp(arg, "--csv=", 6) == 0) {
-            cli.csvPath = std::string(arg + 6);
-        } else if (std::strncmp(arg, "--", 2) == 0) {
-            return fail(std::string("unknown option: ") + arg);
+        } else if (matches("--json")) {
+            cli.jsonPath = std::move(value);
+        } else if (matches("--csv")) {
+            cli.csvPath = std::move(value);
+        } else if (matches("--jobs")) {
+            if (!value)
+                return invalidArgumentError(
+                    "--jobs requires a value");
+            if (*value == "auto") {
+                cli.jobs = 0;
+            } else {
+                StatusOr<long long> jobs =
+                    parseIntArg("--jobs", *value);
+                if (!jobs.ok())
+                    return jobs.status();
+                if (jobs.value() < 1)
+                    return invalidArgumentError(
+                        "--jobs must be >= 1 (or 'auto'): got " +
+                        *value);
+                if (jobs.value() > 4096)
+                    return invalidArgumentError(
+                        "--jobs: implausible worker count " +
+                        *value);
+                cli.jobs = static_cast<int>(jobs.value());
+            }
+        } else if (matches("--deadline-ms")) {
+            if (!value)
+                return invalidArgumentError(
+                    "--deadline-ms requires a value");
+            StatusOr<long long> deadline =
+                parseIntArg("--deadline-ms", *value);
+            if (!deadline.ok())
+                return deadline.status();
+            if (deadline.value() < 0)
+                return invalidArgumentError(
+                    "--deadline-ms must be >= 0: got " + *value);
+            cli.deadlineMs = deadline.value();
+        } else if (matches("--retries")) {
+            if (!value)
+                return invalidArgumentError(
+                    "--retries requires a value");
+            StatusOr<long long> retries =
+                parseIntArg("--retries", *value);
+            if (!retries.ok())
+                return retries.status();
+            if (retries.value() < 0 || retries.value() > 1000)
+                return invalidArgumentError(
+                    "--retries must be in [0, 1000]: got " +
+                    *value);
+            cli.retries = static_cast<int>(retries.value());
+        } else if (matches("--checkpoint")) {
+            if (!value || value->empty())
+                return invalidArgumentError(
+                    "--checkpoint requires a path");
+            cli.checkpointPath = std::move(*value);
+        } else if (matches("--resume")) {
+            if (!value || value->empty())
+                return invalidArgumentError(
+                    "--resume requires a path");
+            cli.resumePath = std::move(*value);
+        } else if (arg.rfind("--", 0) == 0) {
+            return invalidArgumentError("unknown option: " + arg);
         } else if (positional == 0) {
-            cli.profile.scale = std::atof(arg);
+            StatusOr<double> scale = parseDoubleArg("scale", arg);
+            if (!scale.ok())
+                return scale.status();
+            if (scale.value() <= 0.0)
+                return invalidArgumentError(
+                    "scale must be > 0: got " + arg);
+            cli.profile.scale = scale.value();
             ++positional;
         } else if (positional == 1) {
+            StatusOr<long long> seed = parseIntArg("seed", arg);
+            if (!seed.ok())
+                return seed.status();
+            if (seed.value() < 0)
+                return invalidArgumentError(
+                    "seed must be >= 0: got " + arg);
             cli.profile.seed =
-                static_cast<std::uint64_t>(std::atoll(arg));
+                static_cast<std::uint64_t>(seed.value());
             ++positional;
         } else {
-            return fail(std::string("unexpected argument: ") + arg);
+            return invalidArgumentError("unexpected argument: " +
+                                        arg);
         }
     }
     return cli;
+}
+
+std::optional<BenchCli>
+parseBenchCli(int argc, char **argv, const std::string &usage,
+              double default_scale)
+{
+    StatusOr<BenchCli> cli =
+        tryParseBenchCli(argc, argv, default_scale);
+    if (!cli.ok()) {
+        std::cerr << cli.status().message() << "\nusage: " << usage
+                  << "\n";
+        return std::nullopt;
+    }
+    return std::move(cli).value();
 }
 
 } // namespace logseek::sweep

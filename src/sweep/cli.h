@@ -4,14 +4,22 @@
  *
  * Every figure/ablation binary takes the same surface:
  *
- *   harness [scale] [seed] [--jobs N] [--json[=path]]
- *           [--csv[=path]] [--paranoid]
+ *   harness [scale] [seed] [--jobs N|auto] [--json[=path]]
+ *           [--csv[=path]] [--paranoid] [--deadline-ms N]
+ *           [--retries N] [--checkpoint path] [--resume path]
  *
  * scale/seed feed the synthetic workload profiles; --jobs sets the
- * sweep worker count (0 = hardware concurrency); --json/--csv emit
- * the uniform machine-readable report next to the human-readable
- * tables (default path "-" = stdout); --paranoid replays every run
- * under a fresh ValidatingObserver in paranoid mode.
+ * sweep worker count ("auto" = hardware concurrency; 0 and negative
+ * values are rejected); --json/--csv emit the uniform machine-
+ * readable report next to the human-readable tables (default path
+ * "-" = stdout); --paranoid replays every run under a fresh
+ * ValidatingObserver in paranoid mode. The fault-tolerance flags
+ * map onto SweepOptions: --deadline-ms bounds each cell's replay,
+ * --retries N allows N retries of retryable failures, --checkpoint
+ * appends completed cells to a CRC-guarded file and --resume
+ * restores them. All numeric arguments are validated strictly —
+ * a malformed value is a typed InvalidArgument error, never a
+ * silent default.
  */
 
 #ifndef LOGSEEK_SWEEP_CLI_H
@@ -21,6 +29,7 @@
 #include <string>
 
 #include "sweep/sweep_runner.h"
+#include "util/status.h"
 #include "workloads/profiles.h"
 
 namespace logseek::sweep
@@ -32,7 +41,8 @@ struct BenchCli
     /** Workload scale/seed (positional arguments). */
     workloads::ProfileOptions profile;
 
-    /** Sweep worker threads (--jobs; 0 = hardware concurrency). */
+    /** Sweep worker threads (--jobs; 0 = hardware concurrency,
+     *  only reachable via "--jobs auto"). */
     int jobs = 1;
 
     /** Replay under a paranoid ValidatingObserver (--paranoid). */
@@ -41,6 +51,20 @@ struct BenchCli
     /** Report destinations; "-" means stdout. */
     std::optional<std::string> jsonPath;
     std::optional<std::string> csvPath;
+
+    /** Per-cell replay deadline in ms (--deadline-ms; 0 = off). */
+    long long deadlineMs = 0;
+
+    /** Retries allowed per retryable failure (--retries; the cell
+     *  gets retries + 1 attempts in total). */
+    int retries = 0;
+
+    /** Checkpoint file appended as cells complete (--checkpoint);
+     *  empty = off. */
+    std::string checkpointPath;
+
+    /** Checkpoint to resume from (--resume); empty = off. */
+    std::string resumePath;
 
     /** Worker count with 0 resolved to hardware concurrency. */
     int resolvedJobs() const;
@@ -53,19 +77,37 @@ struct BenchCli
     ObserverFactory
     observerFactory(ObserverFactory extra = nullptr) const;
 
+    /**
+     * SweepOptions reflecting every parsed flag: jobs, observers,
+     * deadline, retry policy and checkpoint/resume paths. Benches
+     * may set onTrace or other hooks on the returned object.
+     */
+    SweepOptions sweepOptions(ObserverFactory extra = nullptr) const;
+
     /** Write the sweep to the requested --json/--csv outputs. */
     void emitReports(const SweepResult &sweep) const;
 };
 
+/** The standard one-line usage string for a bench binary. */
+std::string benchUsage(const std::string &name);
+
 /**
- * Parse the shared bench surface. Unknown options print usage to
- * stderr and return nullopt (callers exit 2); positional arguments
- * beyond scale and seed are rejected the same way.
+ * Typed-error parse of the shared bench surface: InvalidArgument
+ * (with a message naming the offending flag and value) on an
+ * unknown option, an excess positional, or a malformed number —
+ * including --jobs 0, negative counts and non-numeric text.
+ */
+StatusOr<BenchCli> tryParseBenchCli(int argc, char **argv,
+                                    double default_scale = 0.02);
+
+/**
+ * Convenience wrapper around tryParseBenchCli: on error, prints the
+ * message and the usage line to stderr and returns nullopt (callers
+ * exit 2).
  *
  * @param argc,argv main()'s arguments.
- * @param usage One-line usage string, e.g. "fig11_saf [scale]
- *        [seed] [--jobs N] [--json[=path]] [--csv[=path]]
- *        [--paranoid]".
+ * @param usage One-line usage string; benchUsage(name) builds the
+ *        standard one.
  * @param default_scale Profile scale when no positional scale is
  *        given (benches historically default to 0.02 or 0.01).
  */

@@ -137,6 +137,10 @@ writeJson(std::ostream &out, const SweepResult &sweep,
             << ", \"replaySec\": " << formatExact(t.replaySec)
             << ", \"runs\": " << t.runs
             << ", \"failedRuns\": " << t.failedRuns
+            << ", \"retriedRuns\": " << t.retriedRuns
+            << ", \"timedOutRuns\": " << t.timedOutRuns
+            << ", \"skippedRuns\": " << t.skippedRuns
+            << ", \"restoredRuns\": " << t.restoredRuns
             << ", \"ops\": " << t.ops
             << ", \"opsPerSec\": " << formatExact(t.opsPerSec())
             << ", \"steals\": " << t.steals << "}";
@@ -147,7 +151,9 @@ writeJson(std::ostream &out, const SweepResult &sweep,
         out << "    {\"workload\": \""
             << jsonEscape(row.key.workload) << "\", \"config\": \""
             << jsonEscape(row.key.configLabel) << "\", \"ok\": "
-            << (row.status.ok() ? "true" : "false");
+            << (row.status.ok() ? "true" : "false")
+            << ", \"outcome\": \"" << toString(row.outcome)
+            << "\", \"attempts\": " << row.attempts;
         if (!row.status.ok())
             out << ", \"error\": \""
                 << jsonEscape(row.status.message()) << '"';
@@ -170,7 +176,7 @@ void
 writeCsv(std::ostream &out, const SweepResult &sweep,
          bool with_telemetry)
 {
-    out << "workload,config,ok,error,ops";
+    out << "workload,config,ok,outcome,attempts,error,ops";
     // Column names come from an empty result: the field list is
     // static.
     for (const Field &field : resultFields(stl::SimResult{}))
@@ -183,6 +189,7 @@ writeCsv(std::ostream &out, const SweepResult &sweep,
         out << csvQuote(row.key.workload) << ','
             << csvQuote(row.key.configLabel) << ','
             << (row.status.ok() ? "true" : "false") << ','
+            << toString(row.outcome) << ',' << row.attempts << ','
             << csvQuote(row.status.ok() ? ""
                                         : row.status.message())
             << ',' << row.ops;

@@ -1,10 +1,16 @@
 #include "sweep_runner.h"
 
+#include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <utility>
 
+#include "sweep/checkpoint.h"
 #include "sweep/task_pool.h"
+#include "util/checkpoint.h"
 #include "util/logging.h"
 
 namespace logseek::sweep
@@ -21,7 +27,53 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/**
+ * Per-cell jitter seed: splitmix64-style mix of the sweep seed and
+ * the cell coordinates, so every cell gets an independent but
+ * reproducible backoff stream.
+ */
+std::uint64_t
+cellSeed(std::uint64_t seed, std::uint64_t w, std::uint64_t c)
+{
+    std::uint64_t x = seed ^
+                      (0x9e3779b97f4a7c15ULL * (w + 1)) ^
+                      (0xbf58476d1ce4e5b9ULL * (c + 2));
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
 } // namespace
+
+const char *
+toString(CellOutcome outcome)
+{
+    switch (outcome) {
+      case CellOutcome::Ok: return "OK";
+      case CellOutcome::RetriedOk: return "RETRIED_OK";
+      case CellOutcome::Failed: return "FAILED";
+      case CellOutcome::TimedOut: return "TIMED_OUT";
+      case CellOutcome::Skipped: return "SKIPPED";
+    }
+    return "UNKNOWN";
+}
+
+CellOutcome
+classifyOutcome(const Status &status, int attempts)
+{
+    if (status.ok())
+        return attempts > 1 ? CellOutcome::RetriedOk
+                            : CellOutcome::Ok;
+    switch (status.code()) {
+      case StatusCode::DeadlineExceeded:
+        return CellOutcome::TimedOut;
+      case StatusCode::Cancelled: return CellOutcome::Skipped;
+      default: return CellOutcome::Failed;
+    }
+}
 
 WorkloadSpec
 WorkloadSpec::profile(const std::string &name,
@@ -114,71 +166,212 @@ SweepRunner::run()
             out.rows[w * config_count + c].key = {
                 w, c, workloads_[w].name, configs_[c].label};
 
+    restoreFromCheckpoint(out);
+
+    // Checkpoint writer, seeded with the restored cells so a
+    // resumed-and-continued sweep republishes them (physically
+    // dropping any damaged frames the load skipped).
+    std::unique_ptr<CheckpointWriter> writer;
+    if (!options_.checkpointPath.empty()) {
+        writer = std::make_unique<CheckpointWriter>(
+            options_.checkpointPath);
+        std::vector<std::string> seeds;
+        for (const RunRow &row : out.rows)
+            if (row.restored)
+                seeds.push_back(encodeCellRecord(recordOf(row)));
+        writer->seed(std::move(seeds));
+    }
+    std::atomic<bool> checkpoint_warned{false};
+
     const auto start = std::chrono::steady_clock::now();
     const int jobs = options_.jobs < 1 ? 1 : options_.jobs;
+    const int max_attempts = std::max(1, options_.retry.maxAttempts);
     {
         TaskPool pool(static_cast<unsigned>(jobs));
 
-        auto run_cell = [this, &out, config_count](
+        auto finish_cell = [this, &writer, &checkpoint_warned](
+                               RunRow &row) {
+            if (writer && row.status.ok()) {
+                const Status published =
+                    writer->append(encodeCellRecord(recordOf(row)));
+                if (!published.ok() &&
+                    !checkpoint_warned.exchange(true))
+                    warn("sweep checkpoint: " +
+                         published.message());
+            }
+            if (options_.onCellComplete)
+                options_.onCellComplete(row);
+        };
+
+        auto run_cell = [this, &out, &pool, finish_cell,
+                         config_count, max_attempts](
                             std::size_t w, std::size_t c,
                             std::shared_ptr<const trace::Trace>
-                                trace) {
+                                trace,
+                            int load_extra_attempts) {
             RunRow &row = out.rows[w * config_count + c];
             row.ops = trace->size();
-            try {
-                stl::SimConfig config = configs_[c].make(*trace);
-                stl::Simulator simulator(config);
-                if (options_.observerFactory)
-                    row.observers =
-                        options_.observerFactory(row.key);
-                for (const auto &observer : row.observers)
-                    simulator.addObserver(observer.get());
+            Rng rng(cellSeed(options_.retrySeed, w, c));
+            int attempt = 0;
+            Status status;
+            for (;;) {
+                if (options_.cancel.cancelled()) {
+                    status = options_.cancel.toStatus(
+                        "cell " + row.key.workload + "/" +
+                        row.key.configLabel);
+                    break;
+                }
+                ++attempt;
+                try {
+                    stl::SimConfig config =
+                        configs_[c].make(*trace);
+                    stl::Simulator simulator(config);
+                    // Fresh observers every attempt: a replay that
+                    // died mid-trace left them half-updated.
+                    row.observers.clear();
+                    if (options_.observerFactory)
+                        row.observers =
+                            options_.observerFactory(row.key);
+                    for (const auto &observer : row.observers)
+                        simulator.addObserver(observer.get());
 
-                const auto run_start =
-                    std::chrono::steady_clock::now();
-                StatusOr<stl::SimResult> result =
-                    simulator.tryRun(*trace);
-                row.wallSec = secondsSince(run_start);
-                if (result.ok())
-                    row.result = std::move(result).value();
-                else
-                    row.status = result.status();
-            } catch (const PanicError &e) {
-                row.status = internalError(e.what());
-            } catch (const FatalError &e) {
-                row.status = invalidArgumentError(e.what());
+                    // Per-cell deadline: a watchdog fires this
+                    // cell's CancelSource (linked under the sweep-
+                    // wide token), and the replay unwinds at its
+                    // next per-batch check.
+                    CancelSource cell_cancel(options_.cancel);
+                    std::optional<TaskPool::WatchId> watch;
+                    if (options_.cellDeadline.count() > 0)
+                        watch = pool.armWatchdog(
+                            std::chrono::steady_clock::now() +
+                                options_.cellDeadline,
+                            [cell_cancel]() mutable {
+                                cell_cancel.cancel(
+                                    CancelReason::
+                                        DeadlineExceeded);
+                            });
+
+                    const auto run_start =
+                        std::chrono::steady_clock::now();
+                    StatusOr<stl::SimResult> result =
+                        simulator.tryRun(*trace,
+                                         cell_cancel.token());
+                    row.wallSec = secondsSince(run_start);
+                    if (watch)
+                        pool.disarmWatchdog(*watch);
+                    if (result.ok()) {
+                        row.result = std::move(result).value();
+                        status = Status();
+                        break;
+                    }
+                    status = result.status();
+                } catch (const StatusError &e) {
+                    status = e.status();
+                } catch (const PanicError &e) {
+                    status = internalError(e.what());
+                } catch (const FatalError &e) {
+                    status = invalidArgumentError(e.what());
+                }
+                if (isRetryable(status.code()) &&
+                    attempt < max_attempts) {
+                    // A cancellation during the backoff is caught
+                    // by the check at the top of the loop.
+                    sleepFor(backoffDelay(options_.retry, attempt,
+                                          rng),
+                             options_.cancel);
+                    continue;
+                }
+                break;
             }
+            row.status = status;
+            row.attempts =
+                std::max(1, load_extra_attempts + attempt);
+            row.outcome = classifyOutcome(status, row.attempts);
+            finish_cell(row);
         };
 
         for (std::size_t w = 0; w < workload_count; ++w) {
-            pool.submit([this, &out, &pool, run_cell, w,
-                         config_count] {
+            // A workload whose cells were all restored needs no
+            // trace at all — unless an onTrace analysis hook still
+            // wants to see it.
+            bool needs_load = config_count == 0;
+            for (std::size_t c = 0; c < config_count; ++c)
+                if (!out.rows[w * config_count + c].restored)
+                    needs_load = true;
+            if (options_.onTrace)
+                needs_load = true;
+            if (!needs_load)
+                continue;
+
+            pool.submit([this, &out, &pool, run_cell, finish_cell,
+                         w, config_count, max_attempts] {
                 std::shared_ptr<const trace::Trace> trace;
-                try {
-                    trace = std::make_shared<const trace::Trace>(
-                        workloads_[w].load());
-                    if (options_.onTrace)
-                        options_.onTrace(w, *trace);
-                } catch (const PanicError &e) {
-                    const Status status = internalError(e.what());
-                    for (std::size_t c = 0; c < config_count; ++c)
-                        out.rows[w * config_count + c].status =
-                            status;
-                    return;
-                } catch (const FatalError &e) {
-                    const Status status =
-                        invalidArgumentError(e.what());
-                    for (std::size_t c = 0; c < config_count; ++c)
-                        out.rows[w * config_count + c].status =
-                            status;
+                Rng rng(cellSeed(options_.retrySeed ^
+                                     0x10adf00dULL,
+                                 w, config_count));
+                int attempt = 0;
+                Status status;
+                for (;;) {
+                    if (options_.cancel.cancelled()) {
+                        status = options_.cancel.toStatus(
+                            "workload '" + workloads_[w].name +
+                            "'");
+                        break;
+                    }
+                    ++attempt;
+                    try {
+                        trace =
+                            std::make_shared<const trace::Trace>(
+                                workloads_[w].load());
+                        if (options_.onTrace)
+                            options_.onTrace(w, *trace);
+                        status = Status();
+                        break;
+                    } catch (const StatusError &e) {
+                        status = e.status();
+                    } catch (const PanicError &e) {
+                        status = internalError(e.what());
+                    } catch (const FatalError &e) {
+                        status = invalidArgumentError(e.what());
+                    }
+                    if (isRetryable(status.code()) &&
+                        attempt < max_attempts) {
+                        sleepFor(backoffDelay(options_.retry,
+                                              attempt, rng),
+                                 options_.cancel);
+                        continue;
+                    }
+                    break;
+                }
+                if (!status.ok()) {
+                    // The whole workload is unusable; finish its
+                    // non-restored cells with the load failure.
+                    for (std::size_t c = 0; c < config_count;
+                         ++c) {
+                        RunRow &row =
+                            out.rows[w * config_count + c];
+                        if (row.restored)
+                            continue;
+                        row.status = status;
+                        row.attempts = std::max(1, attempt);
+                        row.outcome = classifyOutcome(
+                            status, row.attempts);
+                        finish_cell(row);
+                    }
                     return;
                 }
                 // Fan the loaded trace out into one task per
-                // config; idle workers steal them.
-                for (std::size_t c = 0; c < config_count; ++c)
-                    pool.submit([run_cell, w, c, trace] {
-                        run_cell(w, c, trace);
+                // config; idle workers steal them. Retries spent
+                // loading count toward each cell's attempts.
+                const int load_extra = attempt - 1;
+                for (std::size_t c = 0; c < config_count; ++c) {
+                    if (out.rows[w * config_count + c].restored)
+                        continue;
+                    pool.submit([run_cell, w, c, trace,
+                                 load_extra] {
+                        run_cell(w, c, trace, load_extra);
                     });
+                }
             });
         }
 
@@ -194,8 +387,109 @@ SweepRunner::run()
         out.telemetry.ops += row.ops;
         if (!row.status.ok())
             ++out.telemetry.failedRuns;
+        if (row.restored)
+            ++out.telemetry.restoredRuns;
+        switch (row.outcome) {
+          case CellOutcome::RetriedOk:
+            ++out.telemetry.retriedRuns;
+            break;
+          case CellOutcome::TimedOut:
+            ++out.telemetry.timedOutRuns;
+            break;
+          case CellOutcome::Skipped:
+            ++out.telemetry.skippedRuns;
+            break;
+          default: break;
+        }
     }
     return out;
+}
+
+CellRecord
+SweepRunner::recordOf(const RunRow &row)
+{
+    return CellRecord{row.key.workload,
+                      row.key.configLabel,
+                      row.outcome,
+                      static_cast<std::uint32_t>(row.attempts),
+                      row.ops,
+                      row.wallSec,
+                      row.result};
+}
+
+void
+SweepRunner::restoreFromCheckpoint(SweepResult &out)
+{
+    if (options_.resumePath.empty())
+        return;
+
+    StatusOr<CheckpointLoad> load =
+        loadCheckpoint(options_.resumePath);
+    if (!load.ok()) {
+        warn("sweep resume: " + load.status().message() +
+             "; running the full sweep");
+        return;
+    }
+    const CheckpointLoad &checkpoint = load.value();
+    if (!checkpoint.clean())
+        warn("sweep resume: checkpoint '" + options_.resumePath +
+             "' is damaged (" +
+             std::to_string(checkpoint.damagedFrames) +
+             " bad frame(s)" +
+             (checkpoint.tornTail ? ", torn tail" : "") + ", " +
+             std::to_string(checkpoint.bytesDropped) +
+             " byte(s) dropped); affected cells will be "
+             "recomputed");
+
+    using Key = std::pair<std::string, std::string>;
+    std::map<Key, CellRecord> records;
+    std::set<Key> duplicates;
+    std::uint64_t undecodable = 0;
+    for (const std::string &payload : checkpoint.records) {
+        StatusOr<CellRecord> decoded = decodeCellRecord(payload);
+        if (!decoded.ok()) {
+            ++undecodable;
+            continue;
+        }
+        CellRecord record = std::move(decoded).value();
+        // Only successful outcomes carry a result worth
+        // restoring.
+        if (record.outcome != CellOutcome::Ok &&
+            record.outcome != CellOutcome::RetriedOk)
+            continue;
+        Key key{record.workload, record.configLabel};
+        if (records.count(key) > 0)
+            duplicates.insert(key);
+        else
+            records.emplace(std::move(key), std::move(record));
+    }
+    if (undecodable > 0)
+        warn("sweep resume: " + std::to_string(undecodable) +
+             " undecodable cell record(s) ignored");
+    if (!duplicates.empty()) {
+        // A duplicate means the file is not trustworthy for that
+        // cell — which copy is right? Recompute it.
+        warn("sweep resume: " +
+             std::to_string(duplicates.size()) +
+             " duplicated cell(s) in checkpoint; those cells "
+             "will be recomputed");
+        for (const Key &key : duplicates)
+            records.erase(key);
+    }
+
+    for (RunRow &row : out.rows) {
+        const auto it = records.find(
+            {row.key.workload, row.key.configLabel});
+        if (it == records.end())
+            continue;
+        const CellRecord &record = it->second;
+        row.restored = true;
+        row.outcome = record.outcome;
+        row.attempts = static_cast<int>(record.attempts);
+        row.ops = record.ops;
+        row.wallSec = record.wallSec;
+        row.result = record.result;
+    }
 }
 
 } // namespace logseek::sweep

@@ -49,6 +49,18 @@ getLe(std::istream &in, T &value)
 void
 writeBinaryTrace(std::ostream &out, const Trace &trace)
 {
+    tryWriteBinaryTrace(out, trace).orFatal();
+}
+
+void
+writeBinaryTraceFile(const std::string &path, const Trace &trace)
+{
+    tryWriteBinaryTraceFile(path, trace).orFatal();
+}
+
+Status
+tryWriteBinaryTrace(std::ostream &out, const Trace &trace)
+{
     out.write(kMagic.data(), kMagic.size());
     putLe<std::uint32_t>(out, kBinaryTraceVersion);
     putLe<std::uint32_t>(
@@ -62,21 +74,36 @@ writeBinaryTrace(std::ostream &out, const Trace &trace)
             out, static_cast<std::uint8_t>(record.type));
         putLe<std::uint64_t>(out, record.extent.start);
         putLe<std::uint64_t>(out, record.extent.count);
+        // Bail as soon as the stream rejects bytes: a full disk
+        // would otherwise burn a pass over the remaining millions
+        // of records for nothing.
+        if (!out)
+            return unavailableError(
+                "binary trace '" + trace.name() +
+                "': short write");
     }
     if (!out)
-        fatal("binary trace: write failed");
+        return unavailableError("binary trace '" + trace.name() +
+                                "': short write");
+    out.flush();
+    if (!out)
+        return unavailableError("binary trace '" + trace.name() +
+                                "': flush failed");
+    return Status();
 }
 
-void
-writeBinaryTraceFile(const std::string &path, const Trace &trace)
+Status
+tryWriteBinaryTraceFile(const std::string &path,
+                        const Trace &trace)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out) {
         const int saved_errno = errno;
-        fatal("cannot create trace file: " + path + ": " +
-              std::strerror(saved_errno));
+        return unavailableError("cannot create trace file: " +
+                                path + ": " +
+                                std::strerror(saved_errno));
     }
-    writeBinaryTrace(out, trace);
+    return tryWriteBinaryTrace(out, trace);
 }
 
 StatusOr<Trace>

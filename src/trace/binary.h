@@ -56,6 +56,19 @@ void writeBinaryTraceFile(const std::string &path,
                           const Trace &trace);
 
 /**
+ * Typed-error serialization: returns Unavailable when the stream
+ * rejects bytes (short write — disk full, quota) or when the final
+ * flush fails, so callers can retry the whole write on transient
+ * media trouble. The stream's error state is left set.
+ */
+Status tryWriteBinaryTrace(std::ostream &out, const Trace &trace);
+
+/** Typed-error file serialization: Unavailable when the file cannot
+ *  be created or as tryWriteBinaryTrace. */
+Status tryWriteBinaryTraceFile(const std::string &path,
+                               const Trace &trace);
+
+/**
  * Parse an LSKT stream, returning DataLoss on bad magic, an
  * implausible name length, an invalid record, or truncation, and
  * InvalidArgument on an unsupported version.

@@ -1,0 +1,91 @@
+#include "cancellation.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace logseek
+{
+
+const char *
+toString(CancelReason reason)
+{
+    switch (reason) {
+      case CancelReason::None: return "none";
+      case CancelReason::Cancelled: return "cancelled";
+      case CancelReason::DeadlineExceeded:
+        return "deadline-exceeded";
+    }
+    return "unknown";
+}
+
+bool
+CancelToken::cancelled() const
+{
+    return reason() != CancelReason::None;
+}
+
+CancelReason
+CancelToken::reason() const
+{
+    for (const State *state = state_.get(); state != nullptr;
+         state = state->parent.get()) {
+        const auto raw =
+            state->reason.load(std::memory_order_acquire);
+        if (raw != 0)
+            return static_cast<CancelReason>(raw);
+    }
+    return CancelReason::None;
+}
+
+Status
+CancelToken::toStatus(const std::string &what) const
+{
+    switch (reason()) {
+      case CancelReason::None: return Status();
+      case CancelReason::DeadlineExceeded:
+        return deadlineExceededError(what + ": deadline exceeded");
+      case CancelReason::Cancelled:
+      default:
+        return cancelledError(what + ": cancelled");
+    }
+}
+
+CancelSource::CancelSource()
+    : state_(std::make_shared<CancelToken::State>())
+{
+}
+
+CancelSource::CancelSource(const CancelToken &parent)
+    : state_(std::make_shared<CancelToken::State>())
+{
+    state_->parent = parent.state_;
+}
+
+void
+CancelSource::cancel(CancelReason reason)
+{
+    std::uint8_t expected = 0;
+    state_->reason.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(reason),
+        std::memory_order_acq_rel);
+}
+
+bool
+sleepFor(std::chrono::milliseconds duration,
+         const CancelToken &cancel)
+{
+    // Sleep in short slices so a cancellation fired mid-backoff is
+    // noticed within a few milliseconds, not after the full wait.
+    constexpr auto kSlice = std::chrono::milliseconds(5);
+    auto remaining = duration;
+    while (remaining.count() > 0) {
+        if (cancel.cancelled())
+            return false;
+        const auto step = std::min(remaining, kSlice);
+        std::this_thread::sleep_for(step);
+        remaining -= step;
+    }
+    return !cancel.cancelled();
+}
+
+} // namespace logseek

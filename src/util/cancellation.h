@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running replay work.
+ *
+ * A CancelSource owns a cancellation flag; the CancelTokens it hands
+ * out are cheap, copyable views that workers poll at safe points
+ * (the replay engine checks once per record batch). Cancellation is
+ * strictly cooperative — nothing ever kills a thread — so a
+ * cancelled run always unwinds through normal error paths with its
+ * invariants intact. Sources can be chained: a per-cell source
+ * linked to a sweep-wide token observes both its own deadline
+ * watchdog and a global "stop everything" request.
+ */
+
+#ifndef LOGSEEK_UTIL_CANCELLATION_H
+#define LOGSEEK_UTIL_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace logseek
+{
+
+/** Why a cancellation fired; None means "not cancelled". */
+enum class CancelReason : std::uint8_t
+{
+    None = 0,
+    Cancelled,        ///< an explicit stop request
+    DeadlineExceeded, ///< a watchdog deadline expired
+};
+
+/** Printable name of a CancelReason. */
+const char *toString(CancelReason reason);
+
+class CancelSource;
+
+/**
+ * A read-only view of a cancellation flag. Default-constructed
+ * tokens are never cancelled, so APIs can take one by value with no
+ * "no cancellation" special case. Copies share the same flag.
+ */
+class CancelToken
+{
+  public:
+    /** A token that can never be cancelled. */
+    CancelToken() = default;
+
+    /** True once the owning source (or a linked parent) fired. */
+    bool cancelled() const;
+
+    /** The first reason that fired; None while not cancelled. */
+    CancelReason reason() const;
+
+    /**
+     * The cancellation as a typed Status: Cancelled or
+     * DeadlineExceeded with `what` as message context. OK while not
+     * cancelled.
+     */
+    Status toStatus(const std::string &what) const;
+
+  private:
+    friend class CancelSource;
+
+    struct State
+    {
+        std::atomic<std::uint8_t> reason{0};
+        /** Parent flag a linked source also observes; may be null. */
+        std::shared_ptr<const State> parent;
+    };
+
+    explicit CancelToken(std::shared_ptr<const State> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<const State> state_;
+};
+
+/**
+ * The writable side of a cancellation flag. Copyable — copies share
+ * the flag, which is what a watchdog callback capturing the
+ * per-cell source wants. cancel() is idempotent: the first reason
+ * wins and later calls are no-ops.
+ */
+class CancelSource
+{
+  public:
+    /** A fresh, independent flag. */
+    CancelSource();
+
+    /**
+     * A flag linked under `parent`: tokens from this source report
+     * cancelled when either this source fired or the parent did.
+     */
+    explicit CancelSource(const CancelToken &parent);
+
+    /** Fire the flag; first reason wins. */
+    void cancel(CancelReason reason = CancelReason::Cancelled);
+
+    bool cancelled() const { return token().cancelled(); }
+
+    CancelToken token() const { return CancelToken(state_); }
+
+  private:
+    std::shared_ptr<CancelToken::State> state_;
+};
+
+/**
+ * Sleep for `duration`, waking early (returning false) if the token
+ * fires. Used between retry attempts so a cancelled sweep does not
+ * sit out a backoff. Returns true when the full duration elapsed.
+ */
+bool sleepFor(std::chrono::milliseconds duration,
+              const CancelToken &cancel);
+
+} // namespace logseek
+
+#endif // LOGSEEK_UTIL_CANCELLATION_H

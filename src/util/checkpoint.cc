@@ -1,0 +1,224 @@
+#include "checkpoint.h"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace logseek
+{
+
+namespace
+{
+
+constexpr std::string_view kFrameMagic{"LCKP", 4};
+constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 4;
+
+void
+putLe32(std::string &out, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(
+            static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+getLe32(std::string_view bytes, std::size_t at)
+{
+    std::uint32_t value = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(bytes[at + i]))
+                 << (8 * i);
+    return value;
+}
+
+/** Lazily built table for the IEEE CRC-32 polynomial. */
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t n = 0; n < 256; ++n) {
+            std::uint32_t c = n;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[n] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(std::string_view bytes)
+{
+    const auto &table = crcTable();
+    std::uint32_t crc = 0xffffffffu;
+    for (const char ch : bytes)
+        crc = table[(crc ^ static_cast<unsigned char>(ch)) &
+                    0xffu] ^
+              (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+void
+appendCheckpointFrame(std::string &out, std::string_view payload)
+{
+    out.append(kFrameMagic);
+    putLe32(out, static_cast<std::uint32_t>(payload.size()));
+    putLe32(out, crc32(payload));
+    out.append(payload);
+}
+
+CheckpointLoad
+parseCheckpoint(std::string_view bytes)
+{
+    CheckpointLoad out;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+        const std::size_t frame = bytes.find(kFrameMagic, pos);
+        if (frame == std::string_view::npos) {
+            // Trailing bytes with no full frame start. If they are
+            // a prefix of the magic, the file was cut inside the
+            // magic itself — a torn tail, not corruption.
+            const std::string_view tail = bytes.substr(pos);
+            if (tail.size() < kFrameMagic.size() &&
+                tail == kFrameMagic.substr(0, tail.size())) {
+                out.tornTail = true;
+            } else {
+                ++out.damagedFrames;
+            }
+            out.bytesDropped += bytes.size() - pos;
+            break;
+        }
+        if (frame > pos) {
+            // Gap before the next recognizable frame — a frame
+            // whose magic was corrupted.
+            out.bytesDropped += frame - pos;
+            ++out.damagedFrames;
+        }
+        if (bytes.size() - frame < kFrameHeaderBytes) {
+            out.tornTail = true;
+            out.bytesDropped += bytes.size() - frame;
+            break;
+        }
+        const std::uint32_t length = getLe32(bytes, frame + 4);
+        const std::uint32_t crc = getLe32(bytes, frame + 8);
+        if (length > bytes.size() - frame - kFrameHeaderBytes) {
+            // The frame runs past EOF. If another magic follows,
+            // the length field was corrupt (resync there);
+            // otherwise this is the torn tail of an interrupted
+            // append.
+            const std::size_t next =
+                bytes.find(kFrameMagic, frame + 4);
+            if (next == std::string_view::npos) {
+                out.tornTail = true;
+                out.bytesDropped += bytes.size() - frame;
+                break;
+            }
+            ++out.damagedFrames;
+            out.bytesDropped += next - frame;
+            pos = next;
+            continue;
+        }
+        const std::string_view payload =
+            bytes.substr(frame + kFrameHeaderBytes, length);
+        if (crc32(payload) != crc) {
+            const std::size_t next =
+                bytes.find(kFrameMagic, frame + 4);
+            ++out.damagedFrames;
+            if (next == std::string_view::npos) {
+                out.bytesDropped += bytes.size() - frame;
+                break;
+            }
+            out.bytesDropped += next - frame;
+            pos = next;
+            continue;
+        }
+        out.records.emplace_back(payload);
+        pos = frame + kFrameHeaderBytes + length;
+    }
+    return out;
+}
+
+StatusOr<CheckpointLoad>
+loadCheckpoint(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        const int saved_errno = errno;
+        return notFoundError("cannot open checkpoint: " + path +
+                             ": " + std::strerror(saved_errno));
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (in.bad())
+        return unavailableError("cannot read checkpoint: " + path);
+    return parseCheckpoint(bytes);
+}
+
+CheckpointWriter::CheckpointWriter(std::string path)
+    : path_(std::move(path))
+{
+}
+
+void
+CheckpointWriter::seed(std::vector<std::string> records)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_ = std::move(records);
+}
+
+Status
+CheckpointWriter::append(std::string payload)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(std::move(payload));
+    return publishLocked();
+}
+
+std::size_t
+CheckpointWriter::recordCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+}
+
+Status
+CheckpointWriter::publishLocked()
+{
+    std::string image;
+    for (const std::string &record : records_)
+        appendCheckpointFrame(image, record);
+
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream out(tmp,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            const int saved_errno = errno;
+            return unavailableError(
+                "cannot create checkpoint temp: " + tmp + ": " +
+                std::strerror(saved_errno));
+        }
+        out.write(image.data(),
+                  static_cast<std::streamsize>(image.size()));
+        out.flush();
+        if (!out)
+            return unavailableError(
+                "checkpoint write failed: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        const int saved_errno = errno;
+        return unavailableError(
+            "cannot publish checkpoint: " + path_ + ": " +
+            std::strerror(saved_errno));
+    }
+    return Status();
+}
+
+} // namespace logseek

@@ -104,4 +104,61 @@ ShortReadStream::ShortReadStream(std::string bytes,
     rdbuf(&buf_);
 }
 
+ShortWriteBuf::ShortWriteBuf(std::size_t budget, bool fail_sync)
+    : budget_(budget), failSync_(fail_sync)
+{
+}
+
+ShortWriteBuf::int_type
+ShortWriteBuf::overflow(int_type ch)
+{
+    if (traits_type::eq_int_type(ch, traits_type::eof()))
+        return traits_type::not_eof(ch);
+    if (written_.size() >= budget_)
+        return traits_type::eof();
+    written_.push_back(traits_type::to_char_type(ch));
+    return ch;
+}
+
+std::streamsize
+ShortWriteBuf::xsputn(const char *s, std::streamsize n)
+{
+    const std::size_t room = budget_ - std::min(budget_,
+                                                written_.size());
+    const std::size_t take =
+        std::min(room, static_cast<std::size_t>(n));
+    written_.append(s, take);
+    // Returning less than n makes the ostream raise badbit — the
+    // same signal a real short write produces.
+    return static_cast<std::streamsize>(take);
+}
+
+int
+ShortWriteBuf::sync()
+{
+    return failSync_ ? -1 : 0;
+}
+
+ShortWriteStream::ShortWriteStream(std::size_t budget,
+                                   bool fail_sync)
+    : std::ostream(nullptr), buf_(budget, fail_sync)
+{
+    rdbuf(&buf_);
+}
+
+void
+TransientFaultInjector::onAccess(const std::string &what)
+{
+    // fetch_sub races are fine: each failing caller takes exactly
+    // one ticket, and once the count goes non-positive everyone
+    // succeeds.
+    if (remaining_.load(std::memory_order_relaxed) <= 0)
+        return;
+    if (remaining_.fetch_sub(1, std::memory_order_relaxed) <= 0)
+        return;
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    throw StatusError(
+        unavailableError(what + ": injected transient fault"));
+}
+
 } // namespace logseek

@@ -14,13 +14,16 @@
 #ifndef LOGSEEK_UTIL_FAULT_H
 #define LOGSEEK_UTIL_FAULT_H
 
+#include <atomic>
 #include <cstdint>
 #include <istream>
+#include <ostream>
 #include <streambuf>
 #include <string>
 #include <string_view>
 
 #include "util/random.h"
+#include "util/status.h"
 
 namespace logseek
 {
@@ -96,6 +99,83 @@ class ShortReadStream : public std::istream
 
   private:
     ShortReadBuf buf_;
+};
+
+/**
+ * A write-side streambuf with a byte budget, reproducing a disk
+ * that fills up (short write) or a flush that fails. Bytes within
+ * the budget are captured and readable via written(), so tests can
+ * assert exactly which prefix reached "media" before the fault.
+ */
+class ShortWriteBuf : public std::streambuf
+{
+  public:
+    /**
+     * @param budget    Bytes accepted before writes start failing.
+     * @param fail_sync When true, every flush reports failure even
+     *                  if the budget was never exhausted.
+     */
+    explicit ShortWriteBuf(std::size_t budget,
+                           bool fail_sync = false);
+
+    /** The prefix that fit within the budget. */
+    const std::string &written() const { return written_; }
+
+  protected:
+    int_type overflow(int_type ch) override;
+    std::streamsize xsputn(const char *s,
+                           std::streamsize n) override;
+    int sync() override;
+
+  private:
+    std::size_t budget_;
+    bool failSync_;
+    std::string written_;
+};
+
+/** An ostream owning a ShortWriteBuf. */
+class ShortWriteStream : public std::ostream
+{
+  public:
+    explicit ShortWriteStream(std::size_t budget,
+                              bool fail_sync = false);
+
+    const std::string &written() const { return buf_.written(); }
+
+  private:
+    ShortWriteBuf buf_;
+};
+
+/**
+ * A countdown fault: the first `failures` calls to onAccess() throw
+ * StatusError(Unavailable), later calls succeed. Thread-safe, so a
+ * sweep's workers can share one injector; with retry enabled the
+ * affected cells surface as RETRIED_OK instead of FAILED.
+ */
+class TransientFaultInjector
+{
+  public:
+    /** @param failures How many accesses fail before recovery. */
+    explicit TransientFaultInjector(int failures)
+        : remaining_(failures)
+    {
+    }
+
+    /**
+     * Throws StatusError with code Unavailable while failures
+     * remain; `what` becomes the message context.
+     */
+    void onAccess(const std::string &what);
+
+    /** How many faults have actually been thrown so far. */
+    int faultsFired() const
+    {
+        return fired_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int> remaining_;
+    std::atomic<int> fired_{0};
 };
 
 } // namespace logseek

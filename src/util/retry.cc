@@ -1,0 +1,43 @@
+#include "retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace logseek
+{
+
+bool
+isRetryable(StatusCode code)
+{
+    return code == StatusCode::Unavailable;
+}
+
+std::chrono::milliseconds
+backoffDelay(const RetryPolicy &policy, int attempt, Rng &rng)
+{
+    if (attempt < 1)
+        attempt = 1;
+    const double cap =
+        static_cast<double>(policy.maxBackoff.count());
+    double base = static_cast<double>(
+                      policy.initialBackoff.count()) *
+                  std::pow(std::max(policy.multiplier, 1.0),
+                           attempt - 1);
+    base = std::min(base, cap);
+
+    const double jitter =
+        std::clamp(policy.jitter, 0.0, 1.0);
+    double scaled = base;
+    if (jitter > 0.0) {
+        // Uniform in [1 - jitter, 1 + jitter], from the caller's
+        // seeded stream so schedules are reproducible.
+        const double factor =
+            1.0 - jitter + 2.0 * jitter * rng.nextDouble();
+        scaled = base * factor;
+    }
+    scaled = std::clamp(scaled, 0.0, cap);
+    return std::chrono::milliseconds(
+        static_cast<std::int64_t>(scaled));
+}
+
+} // namespace logseek

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bounded retry with exponential backoff and deterministic jitter.
+ *
+ * Transient faults — an NFS blip while loading a trace, a busy disk
+ * failing a write — deserve a second attempt; corrupt bytes do not.
+ * RetryPolicy says how many attempts a fallible operation gets and
+ * how long to back off between them; isRetryable() classifies which
+ * Status codes a retry can plausibly fix. Jitter is drawn from the
+ * caller's seeded Rng so sweep results stay reproducible: equal
+ * seeds give equal backoff schedules.
+ */
+
+#ifndef LOGSEEK_UTIL_RETRY_H
+#define LOGSEEK_UTIL_RETRY_H
+
+#include <chrono>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace logseek
+{
+
+/** How often and how patiently to retry a fallible operation. */
+struct RetryPolicy
+{
+    /** Total attempts including the first; 1 means no retry. */
+    int maxAttempts = 1;
+
+    /** Backoff before the first retry. */
+    std::chrono::milliseconds initialBackoff{25};
+
+    /** Growth factor per failed attempt. */
+    double multiplier = 2.0;
+
+    /** Upper bound on any single backoff. */
+    std::chrono::milliseconds maxBackoff{2000};
+
+    /**
+     * Fraction of the backoff randomized: the delay is drawn
+     * uniformly from [base*(1-jitter), base*(1+jitter)], then
+     * clamped to maxBackoff. 0 disables jitter.
+     */
+    double jitter = 0.5;
+};
+
+/**
+ * True for status codes a retry of the same operation can fix:
+ * transient resource failures (Unavailable). Corruption, bad
+ * arguments, deadline expiry and internal bugs are permanent.
+ */
+bool isRetryable(StatusCode code);
+
+/**
+ * The jittered backoff before retry number `attempt` (1-based: the
+ * delay after the attempt-th failure). Deterministic given the Rng
+ * state; never negative, never above policy.maxBackoff.
+ */
+std::chrono::milliseconds backoffDelay(const RetryPolicy &policy,
+                                       int attempt, Rng &rng);
+
+} // namespace logseek
+
+#endif // LOGSEEK_UTIL_RETRY_H

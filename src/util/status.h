@@ -17,6 +17,11 @@
  *  - ResourceExhausted a policy budget was exceeded (error budget)
  *  - FailedPrecondition an invariant check failed on otherwise
  *                     well-formed input
+ *  - Unavailable      a transient I/O or resource failure; retrying
+ *                     the same operation may succeed
+ *  - Cancelled        the caller asked for the work to stop
+ *  - DeadlineExceeded a per-operation deadline expired before the
+ *                     work completed
  *  - Internal         a bug in logseek itself surfaced
  */
 
@@ -42,6 +47,9 @@ enum class StatusCode : std::uint8_t
     DataLoss,
     FailedPrecondition,
     ResourceExhausted,
+    Unavailable,
+    Cancelled,
+    DeadlineExceeded,
     Internal,
 };
 
@@ -59,6 +67,10 @@ toString(StatusCode code)
         return "FAILED_PRECONDITION";
       case StatusCode::ResourceExhausted:
         return "RESOURCE_EXHAUSTED";
+      case StatusCode::Unavailable: return "UNAVAILABLE";
+      case StatusCode::Cancelled: return "CANCELLED";
+      case StatusCode::DeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
       case StatusCode::Internal: return "INTERNAL";
     }
     return "UNKNOWN";
@@ -149,10 +161,57 @@ resourceExhaustedError(std::string message)
 }
 
 inline Status
+unavailableError(std::string message)
+{
+    return Status(StatusCode::Unavailable, std::move(message));
+}
+
+inline Status
+cancelledError(std::string message)
+{
+    return Status(StatusCode::Cancelled, std::move(message));
+}
+
+inline Status
+deadlineExceededError(std::string message)
+{
+    return Status(StatusCode::DeadlineExceeded,
+                  std::move(message));
+}
+
+inline Status
 internalError(std::string message)
 {
     return Status(StatusCode::Internal, std::move(message));
 }
+
+/**
+ * An exception carrying a typed Status across layers that cannot
+ * return one (callbacks returning plain values, constructors).
+ * Fallible boundaries — Simulator::tryRun, the sweep runner's cell
+ * and loader paths — catch it and surface the status unchanged, so
+ * a transient Unavailable thrown deep inside a loader still reaches
+ * the retry logic with its code intact.
+ */
+class StatusError : public std::exception
+{
+  public:
+    explicit StatusError(Status status)
+        : status_(std::move(status)), what_(status_.toString())
+    {
+    }
+
+    const Status &status() const { return status_; }
+
+    const char *what() const noexcept override
+    {
+        return what_.c_str();
+    }
+
+  private:
+    Status status_;
+    std::string what_;
+};
 
 /**
  * Either a value of type T or a non-OK Status explaining why there

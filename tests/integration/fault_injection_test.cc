@@ -262,5 +262,71 @@ TEST(FaultInjection, ReplayRejectsOverflowingTraceWithTypedError)
               StatusCode::InvalidArgument);
 }
 
+TEST(FaultInjection, BinaryWriterEveryBudgetIsTypedError)
+{
+    // The write side of the same contract: a disk that fills up at
+    // any point must surface as a typed Unavailable, never a fatal.
+    const Trace trace = victimTrace();
+    const std::string full = binaryBytes(trace);
+    for (std::size_t budget = 0; budget < full.size(); ++budget) {
+        ShortWriteStream out(budget);
+        const Status status = tryWriteBinaryTrace(out, trace);
+        ASSERT_FALSE(status.ok()) << "budget " << budget;
+        EXPECT_EQ(status.code(), StatusCode::Unavailable)
+            << "budget " << budget;
+        EXPECT_NE(status.message().find("short write"),
+                  std::string::npos)
+            << "budget " << budget;
+        // What reached "media" is a strict prefix of the good file.
+        EXPECT_EQ(full.compare(0, out.written().size(),
+                               out.written()),
+                  0)
+            << "budget " << budget;
+    }
+}
+
+TEST(FaultInjection, BinaryWriterFlushFailureIsTypedError)
+{
+    const Trace trace = victimTrace();
+    ShortWriteStream out(1 << 20, /*fail_sync=*/true);
+    const Status status = tryWriteBinaryTrace(out, trace);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::Unavailable);
+    EXPECT_NE(status.message().find("flush"), std::string::npos);
+}
+
+TEST(FaultInjection, BinaryWriterSucceedsWithinBudget)
+{
+    const Trace trace = victimTrace();
+    const std::string full = binaryBytes(trace);
+    ShortWriteStream out(full.size());
+    ASSERT_TRUE(tryWriteBinaryTrace(out, trace).ok());
+    EXPECT_EQ(out.written(), full);
+}
+
+TEST(FaultInjection, BinaryWriterFileErrorIsTypedError)
+{
+    const Status status = tryWriteBinaryTraceFile(
+        "/nonexistent/dir/trace.bin", victimTrace());
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::Unavailable);
+}
+
+TEST(FaultInjection, BinaryWriterTruncatedOutputFailsTheReader)
+{
+    // End-to-end: a short-written file is detected on read — the
+    // torn bytes parse to a typed error, not a silent short trace.
+    const Trace trace = victimTrace();
+    const std::string full = binaryBytes(trace);
+    ShortWriteStream out(full.size() / 2);
+    ASSERT_FALSE(tryWriteBinaryTrace(out, trace).ok());
+
+    std::stringstream torn(std::ios::in | std::ios::out |
+                           std::ios::binary);
+    torn.str(out.written());
+    const StatusOr<Trace> parsed = tryReadBinaryTrace(torn);
+    EXPECT_FALSE(parsed.ok());
+}
+
 } // namespace
 } // namespace logseek::trace

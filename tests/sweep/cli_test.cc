@@ -1,8 +1,9 @@
 /**
  * @file
  * Tests for the shared bench CLI surface: positional scale/seed,
- * --jobs, --json/--csv destinations, --paranoid, and rejection of
- * unknown arguments.
+ * --jobs, --json/--csv destinations, --paranoid, the fault-
+ * tolerance flags (--deadline-ms/--retries/--checkpoint/--resume),
+ * and strict rejection of malformed numbers and unknown arguments.
  */
 
 #include <gtest/gtest.h>
@@ -25,6 +26,14 @@ parse(std::vector<const char *> args, double default_scale = 0.02)
     return parseBenchCli(static_cast<int>(args.size()),
                          const_cast<char **>(args.data()), "usage",
                          default_scale);
+}
+
+StatusOr<BenchCli>
+tryParse(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "bench");
+    return tryParseBenchCli(static_cast<int>(args.size()),
+                            const_cast<char **>(args.data()));
 }
 
 TEST(BenchCliTest, DefaultsApply)
@@ -65,10 +74,65 @@ TEST(BenchCliTest, JobsBothSpellings)
     ASSERT_TRUE(cli.has_value());
     EXPECT_EQ(cli->jobs, 3);
 
-    // 0 = use hardware concurrency, but never less than one.
-    cli = parse({"--jobs=0"});
+    // Hardware concurrency is spelled "auto", never 0.
+    cli = parse({"--jobs=auto"});
     ASSERT_TRUE(cli.has_value());
+    EXPECT_EQ(cli->jobs, 0);
     EXPECT_GE(cli->resolvedJobs(), 1);
+}
+
+TEST(BenchCliTest, JobsRejectsZeroNegativeAndGarbage)
+{
+    for (const char *bad : {"0", "-1", "-8", "two", "4x", "",
+                            "4.5", "99999999999999999999"}) {
+        const StatusOr<BenchCli> cli = tryParse({"--jobs", bad});
+        EXPECT_FALSE(cli.ok()) << "--jobs " << bad;
+        EXPECT_EQ(cli.status().code(), StatusCode::InvalidArgument)
+            << "--jobs " << bad;
+    }
+    // The error message names the flag.
+    const StatusOr<BenchCli> cli = tryParse({"--jobs=0"});
+    ASSERT_FALSE(cli.ok());
+    EXPECT_NE(cli.status().message().find("--jobs"),
+              std::string::npos);
+}
+
+TEST(BenchCliTest, FaultToleranceFlags)
+{
+    const StatusOr<BenchCli> cli =
+        tryParse({"--deadline-ms", "250", "--retries=3",
+                  "--checkpoint", "/tmp/c.ckpt",
+                  "--resume=/tmp/r.ckpt"});
+    ASSERT_TRUE(cli.ok()) << cli.status().message();
+    EXPECT_EQ(cli.value().deadlineMs, 250);
+    EXPECT_EQ(cli.value().retries, 3);
+    EXPECT_EQ(cli.value().checkpointPath, "/tmp/c.ckpt");
+    EXPECT_EQ(cli.value().resumePath, "/tmp/r.ckpt");
+
+    const SweepOptions options = cli.value().sweepOptions();
+    EXPECT_EQ(options.cellDeadline.count(), 250);
+    EXPECT_EQ(options.retry.maxAttempts, 4);
+    EXPECT_EQ(options.checkpointPath, "/tmp/c.ckpt");
+    EXPECT_EQ(options.resumePath, "/tmp/r.ckpt");
+}
+
+TEST(BenchCliTest, FaultToleranceFlagValidation)
+{
+    EXPECT_FALSE(tryParse({"--deadline-ms", "-5"}).ok());
+    EXPECT_FALSE(tryParse({"--deadline-ms", "soon"}).ok());
+    EXPECT_FALSE(tryParse({"--retries", "-1"}).ok());
+    EXPECT_FALSE(tryParse({"--retries", "1001"}).ok());
+    EXPECT_FALSE(tryParse({"--checkpoint"}).ok());
+    EXPECT_FALSE(tryParse({"--resume="}).ok());
+}
+
+TEST(BenchCliTest, PositionalValidation)
+{
+    EXPECT_FALSE(tryParse({"0"}).ok());      // scale must be > 0
+    EXPECT_FALSE(tryParse({"-0.5"}).ok());
+    EXPECT_FALSE(tryParse({"big"}).ok());
+    EXPECT_FALSE(tryParse({"0.02", "-3"}).ok()); // seed >= 0
+    EXPECT_FALSE(tryParse({"0.02", "1.5"}).ok());
 }
 
 TEST(BenchCliTest, ReportDestinations)

@@ -92,7 +92,10 @@ TEST(ReportTest, CsvHasHeaderAndOneLinePerCell)
 
     std::string header;
     ASSERT_TRUE(std::getline(lines, header));
-    EXPECT_EQ(header.rfind("workload,config,ok,error,ops", 0), 0u);
+    EXPECT_EQ(
+        header.rfind("workload,config,ok,outcome,attempts,error,ops",
+                     0),
+        0u);
     EXPECT_NE(header.find("readSeeks"), std::string::npos);
     EXPECT_NE(header.find("writeAmplification"), std::string::npos);
 
@@ -130,6 +133,36 @@ TEST(ReportTest, FailedRowsCarryTheErrorInBothFormats)
     std::ostringstream csv_out;
     writeCsv(csv_out, sweep);
     EXPECT_NE(csv_out.str().find("false"), std::string::npos);
+    EXPECT_NE(csv_out.str().find("FAILED"), std::string::npos);
+}
+
+TEST(ReportTest, RowsCarryOutcomeAndAttempts)
+{
+    const SweepResult sweep = tinySweep();
+    std::ostringstream out;
+    writeJson(out, sweep, /*with_telemetry=*/false);
+    const std::string json = out.str();
+
+    // Both cells succeeded first try.
+    std::size_t ok_cells = 0;
+    for (std::size_t at = json.find("\"outcome\": \"OK\"");
+         at != std::string::npos;
+         at = json.find("\"outcome\": \"OK\"", at + 1))
+        ++ok_cells;
+    EXPECT_EQ(ok_cells, 2u);
+    EXPECT_NE(json.find("\"attempts\": 1"), std::string::npos);
+}
+
+TEST(ReportTest, TelemetryIncludesTaxonomyCounters)
+{
+    const SweepResult sweep = tinySweep();
+    std::ostringstream out;
+    writeJson(out, sweep);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"retriedRuns\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"timedOutRuns\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"skippedRuns\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"restoredRuns\": 0"), std::string::npos);
 }
 
 } // namespace

@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 #include "sweep/task_pool.h"
 
@@ -107,6 +110,119 @@ TEST(TaskPoolTest, ManyWorkersManyTasksStress)
         pool.submit([&sum, i] { sum.fetch_add(i); });
     pool.wait();
     EXPECT_EQ(sum.load(), 1000u * 1001u / 2u);
+}
+
+TEST(TaskPoolTest, ThrowingTasksAreContained)
+{
+    std::atomic<int> ran{0};
+    TaskPool pool(4);
+    for (int i = 0; i < 50; ++i) {
+        pool.submit([&ran, i] {
+            ran.fetch_add(1);
+            if (i % 3 == 0)
+                throw std::runtime_error("task blew up");
+            if (i % 7 == 0)
+                throw 42; // not even a std::exception
+        });
+    }
+    // wait() must return despite the throws, and every task ran.
+    pool.wait();
+    EXPECT_EQ(ran.load(), 50);
+    EXPECT_GT(pool.taskExceptionCount(), 0u);
+
+    // The pool stays usable afterwards.
+    std::atomic<int> after{0};
+    pool.submit([&after] { after.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(after.load(), 1);
+}
+
+TEST(TaskPoolTest, DestructorSurvivesThrowingTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        TaskPool pool(2);
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&ran] {
+                ran.fetch_add(1);
+                throw std::runtime_error("boom");
+            });
+        // No wait(): destruction drains the queue without
+        // terminating on the in-flight exceptions.
+    }
+    EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(TaskPoolTest, WatchdogFiresAfterTheDeadline)
+{
+    TaskPool pool(1);
+    std::atomic<bool> fired{false};
+    pool.armWatchdog(std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(5),
+                     [&fired] { fired.store(true); });
+    for (int i = 0; i < 1000 && !fired.load(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(fired.load());
+    EXPECT_GE(pool.watchdogFiredCount(), 1u);
+}
+
+TEST(TaskPoolTest, DisarmedWatchdogNeverFires)
+{
+    TaskPool pool(1);
+    std::atomic<bool> fired{false};
+    const TaskPool::WatchId id = pool.armWatchdog(
+        std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(250),
+        [&fired] { fired.store(true); });
+    pool.disarmWatchdog(id);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    EXPECT_FALSE(fired.load());
+    EXPECT_EQ(pool.watchdogFiredCount(), 0u);
+}
+
+TEST(TaskPoolTest, WatchdogsFireInAnyArmingOrder)
+{
+    TaskPool pool(2);
+    std::atomic<int> fired{0};
+    const auto now = std::chrono::steady_clock::now();
+    // Armed latest-deadline-first to exercise the earliest-scan.
+    pool.armWatchdog(now + std::chrono::milliseconds(20),
+                     [&fired] { fired.fetch_add(1); });
+    pool.armWatchdog(now + std::chrono::milliseconds(10),
+                     [&fired] { fired.fetch_add(1); });
+    pool.armWatchdog(now + std::chrono::milliseconds(1),
+                     [&fired] { fired.fetch_add(1); });
+    for (int i = 0; i < 1000 && fired.load() < 3; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(fired.load(), 3);
+}
+
+TEST(TaskPoolTest, DestructorStopsAPendingWatchdog)
+{
+    std::atomic<bool> fired{false};
+    {
+        TaskPool pool(1);
+        pool.armWatchdog(std::chrono::steady_clock::now() +
+                             std::chrono::hours(1),
+                         [&fired] { fired.store(true); });
+        // Destruction must not wait the hour out.
+    }
+    EXPECT_FALSE(fired.load());
+}
+
+TEST(TaskPoolTest, WatchdogArmedFromAWorkerTask)
+{
+    std::atomic<bool> fired{false};
+    TaskPool pool(2);
+    pool.submit([&pool, &fired] {
+        pool.armWatchdog(std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(2),
+                         [&fired] { fired.store(true); });
+    });
+    pool.wait();
+    for (int i = 0; i < 1000 && !fired.load(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(fired.load());
 }
 
 } // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for cooperative cancellation: token/source semantics,
+ * parent chaining, first-reason-wins, and interruptible sleep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/cancellation.h"
+
+namespace logseek
+{
+namespace
+{
+
+TEST(Cancellation, DefaultTokenIsNeverCancelled)
+{
+    const CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::None);
+    EXPECT_TRUE(token.toStatus("work").ok());
+}
+
+TEST(Cancellation, SourceFiresItsTokens)
+{
+    CancelSource source;
+    const CancelToken token = source.token();
+    EXPECT_FALSE(token.cancelled());
+
+    source.cancel();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::Cancelled);
+
+    const Status status = token.toStatus("replay of usr_1");
+    EXPECT_EQ(status.code(), StatusCode::Cancelled);
+    EXPECT_NE(status.message().find("replay of usr_1"),
+              std::string::npos);
+}
+
+TEST(Cancellation, DeadlineReasonMapsToDeadlineExceeded)
+{
+    CancelSource source;
+    source.cancel(CancelReason::DeadlineExceeded);
+    EXPECT_EQ(source.token().toStatus("cell").code(),
+              StatusCode::DeadlineExceeded);
+}
+
+TEST(Cancellation, FirstReasonWins)
+{
+    CancelSource source;
+    source.cancel(CancelReason::DeadlineExceeded);
+    source.cancel(CancelReason::Cancelled);
+    EXPECT_EQ(source.token().reason(),
+              CancelReason::DeadlineExceeded);
+}
+
+TEST(Cancellation, CopiedSourcesShareTheFlag)
+{
+    CancelSource source;
+    CancelSource copy = source;
+    copy.cancel();
+    EXPECT_TRUE(source.cancelled());
+}
+
+TEST(Cancellation, LinkedSourceObservesParent)
+{
+    CancelSource sweep;
+    CancelSource cell(sweep.token());
+    EXPECT_FALSE(cell.token().cancelled());
+
+    sweep.cancel();
+    EXPECT_TRUE(cell.token().cancelled());
+    EXPECT_EQ(cell.token().reason(), CancelReason::Cancelled);
+}
+
+TEST(Cancellation, ParentDoesNotObserveChild)
+{
+    CancelSource sweep;
+    CancelSource cell(sweep.token());
+    cell.cancel(CancelReason::DeadlineExceeded);
+    EXPECT_TRUE(cell.token().cancelled());
+    EXPECT_FALSE(sweep.token().cancelled());
+}
+
+TEST(Cancellation, ChildReasonPrefersOwnFlag)
+{
+    CancelSource sweep;
+    CancelSource cell(sweep.token());
+    cell.cancel(CancelReason::DeadlineExceeded);
+    sweep.cancel(CancelReason::Cancelled);
+    EXPECT_EQ(cell.token().reason(),
+              CancelReason::DeadlineExceeded);
+}
+
+TEST(Cancellation, ReasonNamesAreStable)
+{
+    EXPECT_STREQ(toString(CancelReason::None), "none");
+    EXPECT_STREQ(toString(CancelReason::Cancelled), "cancelled");
+    EXPECT_STREQ(toString(CancelReason::DeadlineExceeded),
+                 "deadline-exceeded");
+}
+
+TEST(Cancellation, SleepForCompletesWithoutCancellation)
+{
+    EXPECT_TRUE(
+        sleepFor(std::chrono::milliseconds(1), CancelToken()));
+}
+
+TEST(Cancellation, SleepForWakesEarlyWhenCancelled)
+{
+    CancelSource source;
+    std::thread firer([&source] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        source.cancel();
+    });
+    const auto start = std::chrono::steady_clock::now();
+    const bool slept_fully =
+        sleepFor(std::chrono::milliseconds(10000), source.token());
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    firer.join();
+
+    EXPECT_FALSE(slept_fully);
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(Cancellation, SleepForReturnsImmediatelyWhenAlreadyCancelled)
+{
+    CancelSource source;
+    source.cancel();
+    EXPECT_FALSE(sleepFor(std::chrono::milliseconds(10000),
+                          source.token()));
+}
+
+} // namespace
+} // namespace logseek

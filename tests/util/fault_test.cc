@@ -146,5 +146,71 @@ TEST(Fault, ShortReadStreamHandlesEmptyInput)
     EXPECT_FALSE(in.get(c));
 }
 
+TEST(Fault, ShortWriteStreamAcceptsWithinBudget)
+{
+    ShortWriteStream out(64);
+    out << "hello, media";
+    out.flush();
+    EXPECT_TRUE(out.good());
+    EXPECT_EQ(out.written(), "hello, media");
+}
+
+TEST(Fault, ShortWriteStreamFailsPastBudget)
+{
+    ShortWriteStream out(5);
+    out << "hello, media";
+    EXPECT_FALSE(out.good());
+    // Exactly the budgeted prefix reached "media".
+    EXPECT_EQ(out.written(), "hello");
+}
+
+TEST(Fault, ShortWriteStreamByteAtATime)
+{
+    ShortWriteStream out(3);
+    std::size_t accepted = 0;
+    for (const char c : std::string("abcdef")) {
+        out.put(c);
+        if (out.good())
+            ++accepted;
+        else
+            break;
+    }
+    EXPECT_EQ(accepted, 3u);
+    EXPECT_EQ(out.written(), "abc");
+}
+
+TEST(Fault, ShortWriteStreamFailingSync)
+{
+    ShortWriteStream out(1024, /*fail_sync=*/true);
+    out << "data";
+    EXPECT_TRUE(out.good());
+    out.flush();
+    EXPECT_FALSE(out.good());
+}
+
+TEST(Fault, TransientFaultInjectorThrowsThenRecovers)
+{
+    TransientFaultInjector injector(2);
+    for (int i = 0; i < 2; ++i) {
+        try {
+            injector.onAccess("load");
+            FAIL() << "expected a throw on access " << i;
+        } catch (const StatusError &e) {
+            EXPECT_EQ(e.status().code(), StatusCode::Unavailable);
+            EXPECT_NE(e.status().message().find("load"),
+                      std::string::npos);
+        }
+    }
+    EXPECT_NO_THROW(injector.onAccess("load"));
+    EXPECT_EQ(injector.faultsFired(), 2);
+}
+
+TEST(Fault, TransientFaultInjectorZeroFailuresIsTransparent)
+{
+    TransientFaultInjector injector(0);
+    EXPECT_NO_THROW(injector.onAccess("x"));
+    EXPECT_EQ(injector.faultsFired(), 0);
+}
+
 } // namespace
 } // namespace logseek

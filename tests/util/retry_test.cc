@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for retry classification and deterministic backoff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "util/retry.h"
+
+namespace logseek
+{
+namespace
+{
+
+TEST(Retry, OnlyUnavailableIsRetryable)
+{
+    EXPECT_TRUE(isRetryable(StatusCode::Unavailable));
+
+    EXPECT_FALSE(isRetryable(StatusCode::Ok));
+    EXPECT_FALSE(isRetryable(StatusCode::InvalidArgument));
+    EXPECT_FALSE(isRetryable(StatusCode::NotFound));
+    EXPECT_FALSE(isRetryable(StatusCode::DataLoss));
+    EXPECT_FALSE(isRetryable(StatusCode::Internal));
+    EXPECT_FALSE(isRetryable(StatusCode::Cancelled));
+    EXPECT_FALSE(isRetryable(StatusCode::DeadlineExceeded));
+}
+
+TEST(Retry, BackoffIsDeterministicForEqualSeeds)
+{
+    const RetryPolicy policy;
+    Rng a(7), b(7);
+    for (int attempt = 1; attempt <= 6; ++attempt)
+        EXPECT_EQ(backoffDelay(policy, attempt, a),
+                  backoffDelay(policy, attempt, b))
+            << "attempt " << attempt;
+}
+
+TEST(Retry, BackoffGrowsAndStaysBounded)
+{
+    RetryPolicy policy;
+    policy.initialBackoff = std::chrono::milliseconds(10);
+    policy.multiplier = 2.0;
+    policy.maxBackoff = std::chrono::milliseconds(100);
+    policy.jitter = 0.0; // exact geometric growth
+
+    Rng rng(1);
+    EXPECT_EQ(backoffDelay(policy, 1, rng).count(), 10);
+    EXPECT_EQ(backoffDelay(policy, 2, rng).count(), 20);
+    EXPECT_EQ(backoffDelay(policy, 3, rng).count(), 40);
+    EXPECT_EQ(backoffDelay(policy, 4, rng).count(), 80);
+    // Capped from here on.
+    EXPECT_EQ(backoffDelay(policy, 5, rng).count(), 100);
+    EXPECT_EQ(backoffDelay(policy, 10, rng).count(), 100);
+}
+
+TEST(Retry, JitterStaysWithinTheConfiguredBand)
+{
+    RetryPolicy policy;
+    policy.initialBackoff = std::chrono::milliseconds(100);
+    policy.multiplier = 1.0;
+    policy.maxBackoff = std::chrono::milliseconds(10000);
+    policy.jitter = 0.5;
+
+    Rng rng(99);
+    for (int i = 0; i < 200; ++i) {
+        const auto delay = backoffDelay(policy, 1, rng);
+        EXPECT_GE(delay.count(), 50);
+        EXPECT_LE(delay.count(), 150);
+    }
+}
+
+TEST(Retry, BackoffNeverNegative)
+{
+    RetryPolicy policy;
+    policy.initialBackoff = std::chrono::milliseconds(1);
+    policy.jitter = 1.0; // band reaches zero
+    Rng rng(3);
+    for (int attempt = 1; attempt <= 20; ++attempt)
+        EXPECT_GE(backoffDelay(policy, attempt, rng).count(), 0)
+            << "attempt " << attempt;
+}
+
+} // namespace
+} // namespace logseek
