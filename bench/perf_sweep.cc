@@ -6,6 +6,15 @@
  * results, and writes the throughput comparison to a JSON file
  * (default BENCH_sweep.json) for tracking.
  *
+ * A third serial leg runs with telemetry armed: it must still be
+ * byte-identical (telemetry never touches SimResult), its wall
+ * time over the plain serial leg is the telemetry overhead ratio,
+ * and its metrics snapshot (per-stage serve histograms, seek
+ * counters, ops/sec) is embedded in the JSON under "metrics" so
+ * the bench trajectory carries structured perf data. The first two
+ * legs run with telemetry disabled, so their throughput doubles as
+ * the zero-overhead guard against the pre-PR numbers.
+ *
  * Usage: perf_sweep [scale] [seed] [--jobs N] [--json=path]
  *
  * --jobs selects the parallel worker count (0 or default = hardware
@@ -23,6 +32,8 @@
 #include "sweep/cli.h"
 #include "sweep/report.h"
 #include "sweep/sweep_runner.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
 #include "workloads/profiles.h"
 
 namespace
@@ -116,11 +127,28 @@ main(int argc, char **argv)
     const sweep::SweepResult parallel =
         runOnce(cli->profile, parallel_jobs);
 
+    // Telemetry leg: same serial sweep with collection armed. A
+    // fresh-zeroed registry isolates this leg's counts, and the
+    // deterministic form must not move — telemetry observes the
+    // replay, it never feeds back into it.
+    telemetry::Registry::global().resetValues();
+    telemetry::setEnabled(true);
+    const sweep::SweepResult instrumented = runOnce(cli->profile, 1);
+    telemetry::setEnabled(false);
+    const telemetry::MetricsSnapshot metrics =
+        telemetry::Registry::global().snapshot();
+
     const bool deterministic =
-        deterministicForm(serial) == deterministicForm(parallel);
+        deterministicForm(serial) == deterministicForm(parallel) &&
+        deterministicForm(serial) == deterministicForm(instrumented);
     const double speedup =
         parallel.telemetry.wallSec > 0.0
             ? serial.telemetry.wallSec / parallel.telemetry.wallSec
+            : 0.0;
+    const double overhead =
+        serial.telemetry.wallSec > 0.0
+            ? instrumented.telemetry.wallSec /
+                  serial.telemetry.wallSec
             : 0.0;
 
     std::ostringstream json;
@@ -143,8 +171,15 @@ main(int argc, char **argv)
          << ", \"wallSec\": " << parallel.telemetry.wallSec
          << ", \"opsPerSec\": " << parallel.telemetry.opsPerSec()
          << ", \"steals\": " << parallel.telemetry.steals << "},\n"
-         << "  \"speedup\": " << speedup << "\n"
-         << "}\n";
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"telemetry\": {\"jobs\": 1, \"wallSec\": "
+         << instrumented.telemetry.wallSec << ", \"opsPerSec\": "
+         << instrumented.telemetry.opsPerSec()
+         << ", \"overheadRatio\": " << overhead << "},\n"
+         << "  \"metrics\": ";
+    std::ostringstream snapshot_json;
+    telemetry::writeMetricsJson(metrics, snapshot_json);
+    json << snapshot_json.str() << "}\n";
 
     std::ofstream file(path);
     if (!file) {

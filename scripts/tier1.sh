@@ -6,8 +6,9 @@
 #   default  RelWithDebInfo, the full suite
 #   asan     ASan+UBSan, the full suite
 #   tsan     ThreadSanitizer, the concurrency suites
-#            (TaskPool*/SweepRunner* — the sweep runner, its pool,
-#            watchdog, cancellation and checkpoint/resume paths)
+#            (TaskPool*/SweepRunner*/Telemetry* — the sweep runner,
+#            its pool, watchdog, cancellation, checkpoint/resume
+#            paths and the sharded telemetry metrics)
 #
 # Usage:
 #   scripts/tier1.sh            # all three presets

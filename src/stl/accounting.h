@@ -20,6 +20,7 @@
 #include "disk/seek_time.h"
 #include "stl/simulator.h"
 #include "stl/translation_layer.h"
+#include "telemetry/metrics.h"
 
 namespace logseek::stl
 {
@@ -84,6 +85,18 @@ class Accounting
     SimResult &result_;
     disk::DiskHead head_;
     disk::SeekTimeModel timeModel_;
+
+    // Telemetry handles, resolved once at construction; add() is
+    // self-gated on the global enabled flag, so calls below cost a
+    // relaxed load when telemetry is off.
+    telemetry::Counter *requestsRead_;
+    telemetry::Counter *requestsWrite_;
+    telemetry::Counter *seeksRead_;
+    telemetry::Counter *seeksWrite_;
+    telemetry::Counter *seeksCleaning_;
+    telemetry::Counter *mediaReadBytes_;
+    telemetry::Counter *mediaWriteBytes_;
+    telemetry::Counter *defragRewrites_;
 };
 
 } // namespace logseek::stl

@@ -16,11 +16,14 @@
 #ifndef LOGSEEK_STL_READ_STAGE_H
 #define LOGSEEK_STL_READ_STAGE_H
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "stl/simulator.h"
+#include "telemetry/metrics.h"
 #include "trace/record.h"
 #include "util/extent.h"
 
@@ -117,11 +120,22 @@ class ReadStage
  * The ordered read path. The engine offers each fragment to the
  * stages front to back; the last stage (media access) always
  * serves, so a fragment cannot fall through.
+ *
+ * When telemetry is armed the pipeline also attributes events and
+ * time per stage: every serve() call increments a per-(stage,
+ * outcome) counter and feeds a per-stage latency histogram, and
+ * the time spent inside each stage accumulates for the engine's
+ * end-of-run aggregate span. When telemetry is disabled none of
+ * this happens — not even the clock reads.
  */
 class ReadPipeline
 {
   public:
-    /** Append a stage; consulted after all earlier stages. */
+    /**
+     * Append a stage; consulted after all earlier stages. Resolves
+     * the stage's telemetry handles once, here, so the per-fragment
+     * path never touches the registry.
+     */
     void addStage(std::unique_ptr<ReadStage> stage);
 
     /**
@@ -136,8 +150,35 @@ class ReadPipeline
 
     std::size_t stageCount() const { return stages_.size(); }
 
+    /** Name of stage i (pipeline order). */
+    std::string_view stageName(std::size_t i) const
+    {
+        return stages_[i].stage->name();
+    }
+
+    /**
+     * Nanoseconds spent inside stage i's serve() so far this run.
+     * Only accumulates while telemetry is enabled; the engine is
+     * single-threaded, so this is a plain integer.
+     */
+    std::uint64_t stageServeNs(std::size_t i) const
+    {
+        return stages_[i].serveNs;
+    }
+
   private:
-    std::vector<std::unique_ptr<ReadStage>> stages_;
+    /** A stage plus its pre-resolved telemetry handles. */
+    struct StageSlot
+    {
+        std::unique_ptr<ReadStage> stage;
+        telemetry::Counter *hits = nullptr;
+        telemetry::Counter *fetches = nullptr;
+        telemetry::Counter *misses = nullptr;
+        telemetry::LatencyHistogram *serveLatency = nullptr;
+        std::uint64_t serveNs = 0;
+    };
+
+    std::vector<StageSlot> stages_;
 };
 
 } // namespace logseek::stl

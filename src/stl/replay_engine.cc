@@ -1,5 +1,6 @@
 #include "replay_engine.h"
 
+#include <chrono>
 #include <utility>
 
 #include "stl/conventional.h"
@@ -9,6 +10,7 @@
 #include "stl/media_cache.h"
 #include "stl/prefetch.h"
 #include "stl/selective_cache.h"
+#include "telemetry/trace_writer.h"
 #include "util/logging.h"
 
 namespace logseek::stl
@@ -193,19 +195,55 @@ void
 ReadPipeline::addStage(std::unique_ptr<ReadStage> stage)
 {
     panicIf(stage == nullptr, "ReadPipeline: null stage");
-    stages_.push_back(std::move(stage));
+    StageSlot slot;
+    const std::string label =
+        "stage=\"" + std::string(stage->name()) + "\"";
+    auto &registry = telemetry::Registry::global();
+    slot.hits = &registry.counter("replay_stage_serves_total",
+                                  label + ",outcome=\"hit\"");
+    slot.fetches = &registry.counter("replay_stage_serves_total",
+                                     label + ",outcome=\"fetched\"");
+    slot.misses = &registry.counter("replay_stage_serves_total",
+                                    label + ",outcome=\"miss\"");
+    slot.serveLatency = &registry.histogram(
+        "replay_stage_serve_latency_ns", label);
+    slot.stage = std::move(stage);
+    stages_.push_back(std::move(slot));
 }
 
 void
 ReadPipeline::serveFragment(ReadFragment fragment, IoEvent &event)
 {
     fragment.fetchRegion = fragment.physical;
-    for (const auto &stage : stages_)
+    for (const auto &slot : stages_)
         fragment.fetchRegion =
-            stage->widenFetch(fragment, fragment.fetchRegion);
+            slot.stage->widenFetch(fragment, fragment.fetchRegion);
 
-    for (const auto &stage : stages_) {
-        switch (stage->serve(fragment, event)) {
+    // The branch on telemetry::enabled() keeps the clock reads
+    // (and everything downstream of them) off the disabled path.
+    const bool timed = telemetry::enabled();
+    for (auto &slot : stages_) {
+        ServeOutcome outcome;
+        if (timed) {
+            const auto start = std::chrono::steady_clock::now();
+            outcome = slot.stage->serve(fragment, event);
+            const auto ns =
+                std::chrono::duration_cast<
+                    std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            const std::uint64_t elapsed =
+                ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+            slot.serveNs += elapsed;
+            slot.serveLatency->record(elapsed);
+            (outcome == ServeOutcome::Hit       ? slot.hits
+             : outcome == ServeOutcome::Fetched ? slot.fetches
+                                                : slot.misses)
+                ->add();
+        } else {
+            outcome = slot.stage->serve(fragment, event);
+        }
+        switch (outcome) {
         case ServeOutcome::Miss:
             continue;
         case ServeOutcome::Hit:
@@ -216,7 +254,7 @@ ReadPipeline::serveFragment(ReadFragment fragment, IoEvent &event)
             // flow.
             for (auto it = stages_.rbegin(); it != stages_.rend();
                  ++it)
-                (*it)->onFetched(fragment, fragment.fetchRegion);
+                it->stage->onFetched(fragment, fragment.fetchRegion);
             return;
         }
     }
@@ -228,8 +266,8 @@ void
 ReadPipeline::completeRead(const trace::IoRecord &record,
                            IoEvent &event)
 {
-    for (const auto &stage : stages_)
-        stage->onReadComplete(record, event);
+    for (const auto &slot : stages_)
+        slot.stage->onReadComplete(record, event);
 }
 
 ReplayEngine::ReplayEngine(const SimConfig &config,
@@ -288,6 +326,9 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
     if (config_.defrag && relocate)
         pipeline_.addStage(std::make_unique<DefragStage>(
             *config_.defrag, std::move(relocate), accounting_));
+
+    readLatency_ = &telemetry::Registry::global().histogram(
+        "replay_read_latency_ns");
 }
 
 ReplayEngine::~ReplayEngine() = default;
@@ -326,7 +367,35 @@ ReplayEngine::run()
     if (cleaningMerges_)
         accounting_.setCleaningMerges(cleaningMerges_());
     accounting_.setStaticFragments(layer_->staticFragmentCount());
+    emitStageSpans();
     return std::move(result_);
+}
+
+void
+ReplayEngine::emitStageSpans()
+{
+    // One aggregate span per stage per replay: per-fragment spans
+    // would swamp the trace (millions of events), so the pipeline
+    // accumulates serve time per stage and we emit it here as a
+    // single back-dated span ending now.
+    if (!telemetry::enabled())
+        return;
+    auto *writer = telemetry::globalTraceWriter();
+    if (writer == nullptr)
+        return;
+    const std::uint64_t end = writer->nowUs();
+    for (std::size_t i = 0; i < pipeline_.stageCount(); ++i) {
+        telemetry::TraceSpan span;
+        span.name = "stage:" + std::string(pipeline_.stageName(i));
+        span.category = "replay-stage";
+        span.durationUs = pipeline_.stageServeNs(i) / 1000;
+        span.timestampUs =
+            end > span.durationUs ? end - span.durationUs : 0;
+        span.tid = telemetry::TraceEventWriter::currentTid();
+        span.args = {{"workload", result_.workload},
+                     {"config", result_.configLabel}};
+        writer->emit(std::move(span));
+    }
 }
 
 void
@@ -344,6 +413,7 @@ void
 ReplayEngine::handleRead(const trace::IoRecord &record,
                          IoEvent &event)
 {
+    const telemetry::ScopedTimer timer(readLatency_);
     accounting_.beginRead();
     event.segments = mergePhysicallyContiguous(
         layer_->translateRead(record.extent));

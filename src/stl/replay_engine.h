@@ -76,6 +76,9 @@ class ReplayEngine
     /** Play the layer's owed background cleaning accesses. */
     void runMaintenance(IoEvent &event);
 
+    /** Emit one aggregate trace span per read stage (end of run). */
+    void emitStageSpans();
+
     SimConfig config_;
     const trace::Trace &trace_;
     std::vector<SimObserver *> observers_;
@@ -85,6 +88,9 @@ class ReplayEngine
     Accounting accounting_;
     std::unique_ptr<TranslationLayer> layer_;
     ReadPipeline pipeline_;
+
+    /** End-to-end latency of one logical read (telemetry). */
+    telemetry::LatencyHistogram *readLatency_ = nullptr;
 
     /** Samples the layer's merge/cleaning counter; may be empty. */
     std::function<std::uint64_t()> cleaningMerges_;

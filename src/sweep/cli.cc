@@ -10,6 +10,9 @@
 
 #include "analysis/validating_observer.h"
 #include "sweep/report.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_writer.h"
 
 namespace logseek::sweep
 {
@@ -51,6 +54,18 @@ parseDoubleArg(const std::string &flag, const std::string &text)
         return invalidArgumentError(flag + ": out of range: '" +
                                     text + "'");
     return value;
+}
+
+/**
+ * The trace writer owned by the shared CLI: function-local so it
+ * exists only once a bench actually asks for --trace-out, and
+ * static so it outlives the sweep whose spans it collects.
+ */
+telemetry::TraceEventWriter &
+benchTraceWriter()
+{
+    static telemetry::TraceEventWriter writer;
+    return writer;
 }
 
 } // namespace
@@ -97,6 +112,14 @@ BenchCli::sweepOptions(ObserverFactory extra) const
     options.retry.maxAttempts = retries + 1;
     options.checkpointPath = checkpointPath;
     options.resumePath = resumePath;
+
+    // Arm telemetry for the run this options object configures.
+    // Observability is strictly opt-in: without these flags the
+    // enabled flag stays false and every instrument is a no-op.
+    if (!metricsOutPath.empty() || !traceOutPath.empty())
+        telemetry::setEnabled(true);
+    if (!traceOutPath.empty())
+        telemetry::setGlobalTraceWriter(&benchTraceWriter());
     return options;
 }
 
@@ -107,6 +130,12 @@ BenchCli::emitReports(const SweepResult &sweep) const
         writeJsonFile(*jsonPath, sweep);
     if (csvPath)
         writeCsvFile(*csvPath, sweep);
+    if (!metricsOutPath.empty())
+        telemetry::writeMetricsFile(
+            telemetry::Registry::global().snapshot(),
+            metricsOutPath);
+    if (!traceOutPath.empty())
+        benchTraceWriter().writeFile(traceOutPath);
 }
 
 std::string
@@ -115,7 +144,53 @@ benchUsage(const std::string &name)
     return name +
            " [scale] [seed] [--jobs N|auto] [--json[=path]] "
            "[--csv[=path]] [--paranoid] [--deadline-ms N] "
-           "[--retries N] [--checkpoint path] [--resume path]";
+           "[--retries N] [--checkpoint path] [--resume path] "
+           "[--metrics-out file] [--trace-out file] [--help]";
+}
+
+std::string
+benchHelp(const std::string &name)
+{
+    return
+        "usage: " + benchUsage(name) + "\n"
+        "\n"
+        "positional arguments:\n"
+        "  scale                workload scale factor (> 0)\n"
+        "  seed                 workload generator seed (>= 0)\n"
+        "\n"
+        "options:\n"
+        "  --jobs N|auto        sweep worker threads; 'auto' = "
+        "hardware concurrency\n"
+        "  --json[=path]        write the JSON report (default "
+        "'-' = stdout)\n"
+        "  --csv[=path]         write the CSV report (default "
+        "'-' = stdout)\n"
+        "  --paranoid           replay under a paranoid "
+        "validating observer\n"
+        "  --deadline-ms N      per-cell replay deadline in "
+        "milliseconds (0 = off)\n"
+        "  --retries N          retries allowed per retryable "
+        "failure [0, 1000]\n"
+        "  --checkpoint path    append completed cells to a "
+        "CRC-guarded checkpoint\n"
+        "  --resume path        restore completed cells from a "
+        "checkpoint\n"
+        "  --metrics-out file   write a telemetry metrics "
+        "snapshot after the sweep\n"
+        "                       (.prom/.txt = Prometheus text, "
+        "else JSON; '-' = stdout)\n"
+        "  --trace-out file     write a Chrome trace_event JSON "
+        "trace of the sweep\n"
+        "  --help               print this help and exit\n";
+}
+
+std::vector<std::string>
+benchFlagNames()
+{
+    return {"--jobs",       "--json",        "--csv",
+            "--paranoid",   "--deadline-ms", "--retries",
+            "--checkpoint", "--resume",      "--metrics-out",
+            "--trace-out",  "--help"};
 }
 
 StatusOr<BenchCli>
@@ -148,7 +223,10 @@ tryParseBenchCli(int argc, char **argv, double default_scale)
             return false;
         };
 
-        if (arg == "--paranoid") {
+        if (arg == "--help" || arg == "-h") {
+            cli.helpRequested = true;
+            return cli;
+        } else if (arg == "--paranoid") {
             cli.paranoid = true;
         } else if (arg == "--json") {
             cli.jsonPath = "-";
@@ -214,6 +292,16 @@ tryParseBenchCli(int argc, char **argv, double default_scale)
                 return invalidArgumentError(
                     "--resume requires a path");
             cli.resumePath = std::move(*value);
+        } else if (matches("--metrics-out")) {
+            if (!value || value->empty())
+                return invalidArgumentError(
+                    "--metrics-out requires a path");
+            cli.metricsOutPath = std::move(*value);
+        } else if (matches("--trace-out")) {
+            if (!value || value->empty())
+                return invalidArgumentError(
+                    "--trace-out requires a path");
+            cli.traceOutPath = std::move(*value);
         } else if (arg.rfind("--", 0) == 0) {
             return invalidArgumentError("unknown option: " + arg);
         } else if (positional == 0) {
@@ -253,6 +341,12 @@ parseBenchCli(int argc, char **argv, const std::string &usage,
         std::cerr << cli.status().message() << "\nusage: " << usage
                   << "\n";
         return std::nullopt;
+    }
+    if (cli.value().helpRequested) {
+        // The usage string names the binary as "<name> [args...]";
+        // reuse the leading word so help matches the invocation.
+        std::cout << benchHelp(usage.substr(0, usage.find(' ')));
+        std::exit(0);
     }
     return std::move(cli).value();
 }

@@ -7,6 +7,7 @@
  *   harness [scale] [seed] [--jobs N|auto] [--json[=path]]
  *           [--csv[=path]] [--paranoid] [--deadline-ms N]
  *           [--retries N] [--checkpoint path] [--resume path]
+ *           [--metrics-out file] [--trace-out file] [--help]
  *
  * scale/seed feed the synthetic workload profiles; --jobs sets the
  * sweep worker count ("auto" = hardware concurrency; 0 and negative
@@ -17,9 +18,13 @@
  * map onto SweepOptions: --deadline-ms bounds each cell's replay,
  * --retries N allows N retries of retryable failures, --checkpoint
  * appends completed cells to a CRC-guarded file and --resume
- * restores them. All numeric arguments are validated strictly —
- * a malformed value is a typed InvalidArgument error, never a
- * silent default.
+ * restores them. The observability flags arm the telemetry
+ * subsystem (off, and costing nothing, by default): --metrics-out
+ * writes a metrics snapshot after the sweep (.prom/.txt selects
+ * Prometheus text, anything else JSON) and --trace-out writes a
+ * Chrome trace_event JSON file of the sweep's spans. All numeric
+ * arguments are validated strictly — a malformed value is a typed
+ * InvalidArgument error, never a silent default.
  */
 
 #ifndef LOGSEEK_SWEEP_CLI_H
@@ -27,6 +32,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sweep/sweep_runner.h"
 #include "util/status.h"
@@ -66,6 +72,17 @@ struct BenchCli
     /** Checkpoint to resume from (--resume); empty = off. */
     std::string resumePath;
 
+    /** Metrics snapshot destination (--metrics-out); empty = off,
+     *  "-" = stdout, .prom/.txt = Prometheus text, else JSON. */
+    std::string metricsOutPath;
+
+    /** Chrome trace_event destination (--trace-out); empty = off,
+     *  "-" = stdout. */
+    std::string traceOutPath;
+
+    /** --help / -h was given; the caller prints help and exits. */
+    bool helpRequested = false;
+
     /** Worker count with 0 resolved to hardware concurrency. */
     int resolvedJobs() const;
 
@@ -80,16 +97,32 @@ struct BenchCli
     /**
      * SweepOptions reflecting every parsed flag: jobs, observers,
      * deadline, retry policy and checkpoint/resume paths. Benches
-     * may set onTrace or other hooks on the returned object.
+     * may set onTrace or other hooks on the returned object. Also
+     * arms the telemetry subsystem (enables collection, installs
+     * the process-wide trace writer) when --metrics-out or
+     * --trace-out was given; telemetry stays disabled otherwise.
      */
     SweepOptions sweepOptions(ObserverFactory extra = nullptr) const;
 
-    /** Write the sweep to the requested --json/--csv outputs. */
+    /**
+     * Write the sweep to the requested --json/--csv outputs, then
+     * the telemetry snapshot/trace to --metrics-out/--trace-out.
+     */
     void emitReports(const SweepResult &sweep) const;
 };
 
 /** The standard one-line usage string for a bench binary. */
 std::string benchUsage(const std::string &name);
+
+/** The full --help text for a bench binary (multi-line). */
+std::string benchHelp(const std::string &name);
+
+/**
+ * Every flag the shared bench surface accepts, in help order. The
+ * CLI test asserts benchHelp() documents exactly this set, so the
+ * help text cannot drift from the parser.
+ */
+std::vector<std::string> benchFlagNames();
 
 /**
  * Typed-error parse of the shared bench surface: InvalidArgument
@@ -103,7 +136,7 @@ StatusOr<BenchCli> tryParseBenchCli(int argc, char **argv,
 /**
  * Convenience wrapper around tryParseBenchCli: on error, prints the
  * message and the usage line to stderr and returns nullopt (callers
- * exit 2).
+ * exit 2). On --help, prints benchHelp() to stdout and exits 0.
  *
  * @param argc,argv main()'s arguments.
  * @param usage One-line usage string; benchUsage(name) builds the

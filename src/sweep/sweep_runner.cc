@@ -10,6 +10,8 @@
 
 #include "sweep/checkpoint.h"
 #include "sweep/task_pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_writer.h"
 #include "util/checkpoint.h"
 #include "util/logging.h"
 
@@ -183,21 +185,31 @@ SweepRunner::run()
     }
     std::atomic<bool> checkpoint_warned{false};
 
+    // Telemetry handles shared by the cell/load lambdas below.
+    auto &registry = telemetry::Registry::global();
+    telemetry::Counter &checkpoint_failures = registry.counter(
+        "sweep_checkpoint_append_failures_total");
+
     const auto start = std::chrono::steady_clock::now();
     const int jobs = options_.jobs < 1 ? 1 : options_.jobs;
     const int max_attempts = std::max(1, options_.retry.maxAttempts);
     {
         TaskPool pool(static_cast<unsigned>(jobs));
 
-        auto finish_cell = [this, &writer, &checkpoint_warned](
-                               RunRow &row) {
+        auto finish_cell = [this, &writer, &checkpoint_warned,
+                            &checkpoint_failures](RunRow &row) {
             if (writer && row.status.ok()) {
                 const Status published =
                     writer->append(encodeCellRecord(recordOf(row)));
-                if (!published.ok() &&
-                    !checkpoint_warned.exchange(true))
-                    warn("sweep checkpoint: " +
-                         published.message());
+                if (!published.ok()) {
+                    // The warning is printed once; the counter
+                    // keeps counting so the snapshot shows how
+                    // many appends the warn-once cap suppressed.
+                    checkpoint_failures.add();
+                    if (!checkpoint_warned.exchange(true))
+                        warn("sweep checkpoint: " +
+                             published.message());
+                }
             }
             if (options_.onCellComplete)
                 options_.onCellComplete(row);
@@ -222,6 +234,17 @@ SweepRunner::run()
                     break;
                 }
                 ++attempt;
+                // One trace span per attempt, tagged with the cell
+                // coordinates; retries show up as separate spans.
+                // Reset before any backoff sleep so the span
+                // measures the attempt alone.
+                std::optional<telemetry::ScopedSpan> span;
+                span.emplace("cell:" + row.key.workload + "/" +
+                                 row.key.configLabel,
+                             "sweep-cell");
+                span->arg("workload", row.key.workload);
+                span->arg("config", row.key.configLabel);
+                span->arg("attempt", std::to_string(attempt));
                 try {
                     stl::SimConfig config =
                         configs_[c].make(*trace);
@@ -272,6 +295,7 @@ SweepRunner::run()
                 } catch (const FatalError &e) {
                     status = invalidArgumentError(e.what());
                 }
+                span.reset();
                 if (isRetryable(status.code()) &&
                     attempt < max_attempts) {
                     // A cancellation during the backoff is caught
@@ -319,6 +343,11 @@ SweepRunner::run()
                         break;
                     }
                     ++attempt;
+                    telemetry::ScopedSpan span(
+                        "load:" + workloads_[w].name,
+                        "sweep-load");
+                    span.arg("workload", workloads_[w].name);
+                    span.arg("attempt", std::to_string(attempt));
                     try {
                         trace =
                             std::make_shared<const trace::Trace>(
@@ -382,7 +411,17 @@ SweepRunner::run()
     out.telemetry.wallSec = secondsSince(start);
     out.telemetry.jobs = jobs;
     out.telemetry.runs = out.rows.size();
+    telemetry::LatencyHistogram &cell_latency =
+        registry.histogram("sweep_cell_replay_latency_ns");
     for (const RunRow &row : out.rows) {
+        registry
+            .counter("sweep_cells_total",
+                     std::string("outcome=\"") +
+                         toString(row.outcome) + "\"")
+            .add();
+        if (!row.restored && row.wallSec > 0.0)
+            cell_latency.record(
+                static_cast<std::uint64_t>(row.wallSec * 1e9));
         out.telemetry.replaySec += row.wallSec;
         out.telemetry.ops += row.ops;
         if (!row.status.ok())
@@ -431,6 +470,9 @@ SweepRunner::restoreFromCheckpoint(SweepResult &out)
         return;
     }
     const CheckpointLoad &checkpoint = load.value();
+    auto &registry = telemetry::Registry::global();
+    registry.counter("sweep_resume_damaged_frames_total")
+        .add(checkpoint.damagedFrames);
     if (!checkpoint.clean())
         warn("sweep resume: checkpoint '" + options_.resumePath +
              "' is damaged (" +
@@ -463,6 +505,10 @@ SweepRunner::restoreFromCheckpoint(SweepResult &out)
         else
             records.emplace(std::move(key), std::move(record));
     }
+    registry.counter("sweep_resume_undecodable_records_total")
+        .add(undecodable);
+    registry.counter("sweep_resume_duplicate_cells_total")
+        .add(duplicates.size());
     if (undecodable > 0)
         warn("sweep resume: " + std::to_string(undecodable) +
              " undecodable cell record(s) ignored");

@@ -33,6 +33,15 @@ currentPoolWorker()
 
 TaskPool::TaskPool(unsigned workers)
 {
+    auto &registry = telemetry::Registry::global();
+    queueDepth_ = &registry.gauge("sweep_queue_depth");
+    tasksTotal_ = &registry.counter("sweep_tasks_total");
+    stealsTotal_ = &registry.counter("sweep_steals_total");
+    exceptionsTotal_ =
+        &registry.counter("sweep_task_exceptions_total");
+    watchdogsTotal_ =
+        &registry.counter("sweep_watchdog_fired_total");
+
     const std::size_t count = std::max(1u, workers);
     workers_.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
@@ -79,7 +88,9 @@ TaskPool::submit(std::function<void()> task)
     {
         std::lock_guard<std::mutex> lock(workMutex_);
         ++pending_;
+        queueDepth_->set(static_cast<std::int64_t>(pending_));
     }
+    tasksTotal_->add();
     {
         std::lock_guard<std::mutex> lock(workers_[target]->mutex);
         workers_[target]->queue.push_back(std::move(task));
@@ -134,6 +145,7 @@ TaskPool::runOneTask(std::size_t self)
                 task = std::move(workers_[victim]->queue.front());
                 workers_[victim]->queue.pop_front();
                 steals_.fetch_add(1);
+                stealsTotal_->add();
             }
         }
     }
@@ -147,15 +159,18 @@ TaskPool::runOneTask(std::size_t self)
         task();
     } catch (const std::exception &e) {
         taskExceptions_.fetch_add(1);
+        exceptionsTotal_->add();
         warn(std::string("task pool: task threw: ") + e.what());
     } catch (...) {
         taskExceptions_.fetch_add(1);
+        exceptionsTotal_->add();
         warn("task pool: task threw a non-std exception");
     }
 
     {
         std::lock_guard<std::mutex> lock(workMutex_);
         --pending_;
+        queueDepth_->set(static_cast<std::int64_t>(pending_));
         if (pending_ == 0)
             doneCv_.notify_all();
     }
@@ -239,6 +254,7 @@ TaskPool::watchdogLoop()
         lock.unlock();
         for (auto &on_expire : expired) {
             watchdogsFired_.fetch_add(1);
+            watchdogsTotal_->add();
             on_expire();
         }
         lock.lock();

@@ -26,6 +26,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/metrics.h"
+
 namespace logseek::sweep
 {
 
@@ -141,6 +143,15 @@ class TaskPool
     bool watchStop_ = false;           // guarded by watchMutex_
     std::thread watchThread_;          // guarded by watchMutex_
     std::atomic<std::uint64_t> watchdogsFired_{0};
+
+    // Telemetry handles, resolved once at construction. The queue
+    // depth gauge tracks pending_ and is updated under workMutex_;
+    // the counters are self-gated and wait-free.
+    telemetry::Gauge *queueDepth_;
+    telemetry::Counter *tasksTotal_;
+    telemetry::Counter *stealsTotal_;
+    telemetry::Counter *exceptionsTotal_;
+    telemetry::Counter *watchdogsTotal_;
 };
 
 /** The thread-local index of the current pool worker, if any. */

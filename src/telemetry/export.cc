@@ -1,0 +1,238 @@
+#include "export.h"
+
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+namespace logseek::telemetry
+{
+
+namespace
+{
+
+/** Render `key{labels}` or bare `key` for Prometheus lines. */
+std::string
+promSeries(const std::string &name, const std::string &labels)
+{
+    std::string out = prometheusName(name);
+    if (!labels.empty())
+        out += "{" + labels + "}";
+    return out;
+}
+
+/** Insert `le="..."` into a (possibly empty) label list. */
+std::string
+promBucketLabels(const std::string &labels, const std::string &le)
+{
+    std::string out = labels;
+    if (!out.empty())
+        out += ",";
+    out += "le=\"" + le + "\"";
+    return out;
+}
+
+void
+writeHistogramJson(const HistogramSnapshot &histogram,
+                   std::ostream &out, const char *indent)
+{
+    out << indent << "{\"name\": \"" << jsonEscape(histogram.name)
+        << "\", \"labels\": \"" << jsonEscape(histogram.labels)
+        << "\", \"count\": " << histogram.count
+        << ", \"sum\": " << histogram.sum
+        << ", \"mean\": " << histogram.mean() << ",\n"
+        << indent << " \"buckets\": [";
+    // Sparse form: only non-empty buckets, as [lower, upper, n].
+    bool first = true;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+        if (histogram.buckets[i] == 0)
+            continue;
+        if (!first)
+            out << ", ";
+        first = false;
+        out << '[' << bucketLowerBound(i) << ", "
+            << bucketUpperBound(i) << ", " << histogram.buckets[i]
+            << ']';
+    }
+    out << "]}";
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(static_cast<unsigned char>(c) >> 4) &
+                           0xf];
+                out += hex[static_cast<unsigned char>(c) & 0xf];
+            } else {
+                out += c;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        const auto uc = static_cast<unsigned char>(c);
+        if (std::isalnum(uc) != 0 || c == '_' || c == ':')
+            out += c;
+        else
+            out += '_';
+    }
+    if (out.empty())
+        out.push_back('_');
+    if (std::isdigit(static_cast<unsigned char>(out[0])) != 0)
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+void
+writeMetricsJson(const MetricsSnapshot &snapshot, std::ostream &out)
+{
+    out << "{\n  \"counters\": [\n";
+    for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+        const CounterSnapshot &counter = snapshot.counters[i];
+        out << "    {\"name\": \"" << jsonEscape(counter.name)
+            << "\", \"labels\": \"" << jsonEscape(counter.labels)
+            << "\", \"value\": " << counter.value << '}'
+            << (i + 1 < snapshot.counters.size() ? "," : "")
+            << '\n';
+    }
+    out << "  ],\n  \"gauges\": [\n";
+    for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+        const GaugeSnapshot &gauge = snapshot.gauges[i];
+        out << "    {\"name\": \"" << jsonEscape(gauge.name)
+            << "\", \"labels\": \"" << jsonEscape(gauge.labels)
+            << "\", \"value\": " << gauge.value << '}'
+            << (i + 1 < snapshot.gauges.size() ? "," : "") << '\n';
+    }
+    out << "  ],\n  \"histograms\": [\n";
+    for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+        writeHistogramJson(snapshot.histograms[i], out, "    ");
+        out << (i + 1 < snapshot.histograms.size() ? "," : "")
+            << '\n';
+    }
+    out << "  ]\n}\n";
+}
+
+void
+writePrometheusText(const MetricsSnapshot &snapshot,
+                    std::ostream &out)
+{
+    // Snapshots are sorted by (name, labels), so one TYPE line per
+    // metric family is a matter of watching the name change.
+    std::string last_family;
+    for (const CounterSnapshot &counter : snapshot.counters) {
+        if (counter.name != last_family) {
+            out << "# TYPE " << prometheusName(counter.name)
+                << " counter\n";
+            last_family = counter.name;
+        }
+        out << promSeries(counter.name, counter.labels) << ' '
+            << counter.value << '\n';
+    }
+    last_family.clear();
+    for (const GaugeSnapshot &gauge : snapshot.gauges) {
+        if (gauge.name != last_family) {
+            out << "# TYPE " << prometheusName(gauge.name)
+                << " gauge\n";
+            last_family = gauge.name;
+        }
+        out << promSeries(gauge.name, gauge.labels) << ' '
+            << gauge.value << '\n';
+    }
+    last_family.clear();
+    for (const HistogramSnapshot &histogram : snapshot.histograms) {
+        const std::string name = prometheusName(histogram.name);
+        if (histogram.name != last_family) {
+            out << "# TYPE " << name << " histogram\n";
+            last_family = histogram.name;
+        }
+        // Prometheus buckets are cumulative and keyed by the
+        // inclusive upper edge; empty trailing buckets collapse
+        // into the final +Inf series.
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+            if (histogram.buckets[i] == 0)
+                continue;
+            cumulative += histogram.buckets[i];
+            out << name << '{'
+                << promBucketLabels(
+                       histogram.labels,
+                       std::to_string(bucketUpperBound(i)))
+                << "} " << cumulative << '\n';
+        }
+        out << name << '{'
+            << promBucketLabels(histogram.labels, "+Inf") << "} "
+            << histogram.count << '\n'
+            << name << "_sum"
+            << (histogram.labels.empty()
+                    ? ""
+                    : "{" + histogram.labels + "}")
+            << ' ' << histogram.sum << '\n'
+            << name << "_count"
+            << (histogram.labels.empty()
+                    ? ""
+                    : "{" + histogram.labels + "}")
+            << ' ' << histogram.count << '\n';
+    }
+}
+
+bool
+writeMetricsFile(const MetricsSnapshot &snapshot,
+                 const std::string &path)
+{
+    if (path == "-") {
+        writeMetricsJson(snapshot, std::cout);
+        return true;
+    }
+    std::ofstream file(path);
+    if (!file) {
+        std::cerr << "warn: cannot open metrics file '" << path
+                  << "'\n";
+        return false;
+    }
+    const bool prom = path.size() >= 5 &&
+                      (path.compare(path.size() - 5, 5, ".prom") ==
+                       0);
+    const bool txt =
+        path.size() >= 4 &&
+        path.compare(path.size() - 4, 4, ".txt") == 0;
+    if (prom || txt)
+        writePrometheusText(snapshot, file);
+    else
+        writeMetricsJson(snapshot, file);
+    return true;
+}
+
+} // namespace logseek::telemetry

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Metrics snapshot exporters: JSON and Prometheus text exposition.
+ *
+ * Both render the same MetricsSnapshot; the JSON form keeps the
+ * raw log-bucket layout for tooling that post-processes bench
+ * results, the Prometheus form follows the text exposition format
+ * (TYPE lines, cumulative `_bucket{le=...}` series, `_sum`,
+ * `_count`) so a snapshot file can be served to a scraper or
+ * diffed by eye.
+ */
+
+#ifndef LOGSEEK_TELEMETRY_EXPORT_H
+#define LOGSEEK_TELEMETRY_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace logseek::telemetry
+{
+
+/** Escape a string for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &in);
+
+/**
+ * Sanitize a metric name for Prometheus: every character outside
+ * [a-zA-Z0-9_:] becomes '_'; a leading digit gains a '_' prefix.
+ */
+std::string prometheusName(const std::string &name);
+
+/** Render the snapshot as a single JSON object. */
+void writeMetricsJson(const MetricsSnapshot &snapshot,
+                      std::ostream &out);
+
+/** Render the snapshot in Prometheus text exposition format. */
+void writePrometheusText(const MetricsSnapshot &snapshot,
+                         std::ostream &out);
+
+/**
+ * Write the snapshot to a file, picking the format from the
+ * extension: `.prom` / `.txt` selects Prometheus text, anything
+ * else JSON; "-" streams JSON to stdout. Returns false (with a
+ * message on stderr) when the file cannot be opened.
+ */
+bool writeMetricsFile(const MetricsSnapshot &snapshot,
+                      const std::string &path);
+
+} // namespace logseek::telemetry
+
+#endif // LOGSEEK_TELEMETRY_EXPORT_H

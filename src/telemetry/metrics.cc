@@ -1,0 +1,210 @@
+#include "metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace logseek::telemetry
+{
+
+std::atomic<bool> g_enabled{false};
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t
+bucketLowerBound(std::size_t i)
+{
+    return i == 0 ? 0 : std::uint64_t{1} << i;
+}
+
+std::uint64_t
+bucketUpperBound(std::size_t i)
+{
+    if (i >= kHistogramBuckets - 1)
+        return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << (i + 1)) - 1;
+}
+
+std::uint64_t
+Counter::value() const
+{
+    std::uint64_t total = 0;
+    for (const CounterCell &cell : cells_)
+        total += cell.value.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset()
+{
+    for (CounterCell &cell : cells_)
+        cell.value.store(0, std::memory_order_relaxed);
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    count += other.count;
+    sum += other.sum;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+        buckets[i] += other.buckets[i];
+}
+
+double
+HistogramSnapshot::mean() const
+{
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) /
+                            static_cast<double>(count);
+}
+
+std::uint64_t
+HistogramSnapshot::percentileUpperBound(double p) const
+{
+    if (count == 0)
+        return 0;
+    const double clamped = std::clamp(p, 0.0, 1.0);
+    const auto rank = static_cast<std::uint64_t>(
+        clamped * static_cast<double>(count));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+        seen += buckets[i];
+        if (seen >= rank && seen > 0)
+            return bucketUpperBound(i);
+    }
+    return bucketUpperBound(kHistogramBuckets - 1);
+}
+
+HistogramSnapshot
+LatencyHistogram::snapshot() const
+{
+    HistogramSnapshot out;
+    for (const Shard &shard : shards_) {
+        out.count += shard.count.load(std::memory_order_relaxed);
+        out.sum += shard.sum.load(std::memory_order_relaxed);
+        for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+            out.buckets[i] +=
+                shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (Shard &shard : shards_) {
+        shard.count.store(0, std::memory_order_relaxed);
+        shard.sum.store(0, std::memory_order_relaxed);
+        for (auto &bucket : shard.buckets)
+            bucket.store(0, std::memory_order_relaxed);
+    }
+}
+
+const CounterSnapshot *
+MetricsSnapshot::findCounter(const std::string &name,
+                             const std::string &labels) const
+{
+    for (const CounterSnapshot &counter : counters)
+        if (counter.name == name && counter.labels == labels)
+            return &counter;
+    return nullptr;
+}
+
+const GaugeSnapshot *
+MetricsSnapshot::findGauge(const std::string &name,
+                           const std::string &labels) const
+{
+    for (const GaugeSnapshot &gauge : gauges)
+        if (gauge.name == name && gauge.labels == labels)
+            return &gauge;
+    return nullptr;
+}
+
+const HistogramSnapshot *
+MetricsSnapshot::findHistogram(const std::string &name,
+                               const std::string &labels) const
+{
+    for (const HistogramSnapshot &histogram : histograms)
+        if (histogram.name == name && histogram.labels == labels)
+            return &histogram;
+    return nullptr;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry *instance = new Registry();
+    return *instance;
+}
+
+Counter &
+Registry::counter(const std::string &name,
+                  const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[{name, labels}];
+    if (slot == nullptr)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[{name, labels}];
+    if (slot == nullptr)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LatencyHistogram &
+Registry::histogram(const std::string &name,
+                    const std::string &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[{name, labels}];
+    if (slot == nullptr)
+        slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot out;
+    out.counters.reserve(counters_.size());
+    for (const auto &[key, counter] : counters_)
+        out.counters.push_back(
+            {key.first, key.second, counter->value()});
+    out.gauges.reserve(gauges_.size());
+    for (const auto &[key, gauge] : gauges_)
+        out.gauges.push_back(
+            {key.first, key.second, gauge->value()});
+    out.histograms.reserve(histograms_.size());
+    for (const auto &[key, histogram] : histograms_) {
+        HistogramSnapshot snap = histogram->snapshot();
+        snap.name = key.first;
+        snap.labels = key.second;
+        out.histograms.push_back(std::move(snap));
+    }
+    return out;
+}
+
+void
+Registry::resetValues()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[key, counter] : counters_)
+        counter->reset();
+    for (const auto &[key, gauge] : gauges_)
+        gauge->reset();
+    for (const auto &[key, histogram] : histograms_)
+        histogram->reset();
+}
+
+} // namespace logseek::telemetry

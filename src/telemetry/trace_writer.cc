@@ -1,0 +1,150 @@
+#include "trace_writer.h"
+
+#include <atomic>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+
+namespace logseek::telemetry
+{
+
+namespace
+{
+
+std::atomic<TraceEventWriter *> g_traceWriter{nullptr};
+
+} // namespace
+
+TraceEventWriter::TraceEventWriter()
+    : epoch_(std::chrono::steady_clock::now())
+{
+}
+
+std::uint64_t
+TraceEventWriter::nowUs() const
+{
+    const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            elapsed)
+            .count();
+    return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+std::uint32_t
+TraceEventWriter::currentTid()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local const std::uint32_t tid =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+void
+TraceEventWriter::emit(TraceSpan span)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(std::move(span));
+}
+
+std::size_t
+TraceEventWriter::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+void
+TraceEventWriter::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.clear();
+}
+
+void
+TraceEventWriter::write(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+        const TraceSpan &span = spans_[i];
+        out << "  {\"name\": \"" << jsonEscape(span.name)
+            << "\", \"cat\": \"" << jsonEscape(span.category)
+            << "\", \"ph\": \"X\", \"ts\": " << span.timestampUs
+            << ", \"dur\": " << span.durationUs
+            << ", \"pid\": 1, \"tid\": " << span.tid;
+        if (!span.args.empty()) {
+            out << ", \"args\": {";
+            for (std::size_t a = 0; a < span.args.size(); ++a)
+                out << (a ? ", " : "") << '"'
+                    << jsonEscape(span.args[a].first) << "\": \""
+                    << jsonEscape(span.args[a].second) << '"';
+            out << '}';
+        }
+        out << '}' << (i + 1 < spans_.size() ? "," : "") << '\n';
+    }
+    out << "]}\n";
+}
+
+bool
+TraceEventWriter::writeFile(const std::string &path) const
+{
+    if (path == "-") {
+        write(std::cout);
+        return true;
+    }
+    std::ofstream file(path);
+    if (!file) {
+        std::cerr << "warn: cannot open trace file '" << path
+                  << "'\n";
+        return false;
+    }
+    write(file);
+    return true;
+}
+
+void
+setGlobalTraceWriter(TraceEventWriter *writer)
+{
+    g_traceWriter.store(writer, std::memory_order_release);
+}
+
+TraceEventWriter *
+globalTraceWriter()
+{
+    return g_traceWriter.load(std::memory_order_acquire);
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string category)
+    : writer_(enabled() ? globalTraceWriter() : nullptr)
+{
+    if (writer_ == nullptr)
+        return;
+    span_.name = std::move(name);
+    span_.category = std::move(category);
+    span_.timestampUs = writer_->nowUs();
+    span_.tid = TraceEventWriter::currentTid();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (writer_ == nullptr)
+        return;
+    const std::uint64_t end = writer_->nowUs();
+    span_.durationUs =
+        end > span_.timestampUs ? end - span_.timestampUs : 0;
+    writer_->emit(std::move(span_));
+}
+
+void
+ScopedSpan::arg(std::string key, std::string value)
+{
+    if (writer_ == nullptr)
+        return;
+    span_.args.emplace_back(std::move(key), std::move(value));
+}
+
+} // namespace logseek::telemetry

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Chrome trace_event JSON span export.
+ *
+ * Spans are complete ("ph":"X") events on the Chrome tracing
+ * timeline — one per sweep cell attempt, per workload trace load,
+ * and per read-stage aggregate — loadable in chrome://tracing or
+ * Perfetto. A single process-wide writer is installed for the
+ * duration of a traced run; emitters fetch it with
+ * globalTraceWriter() and skip all work when none is installed or
+ * telemetry is disabled.
+ */
+
+#ifndef LOGSEEK_TELEMETRY_TRACE_WRITER_H
+#define LOGSEEK_TELEMETRY_TRACE_WRITER_H
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace logseek::telemetry
+{
+
+/** One complete span on the trace timeline. */
+struct TraceSpan
+{
+    std::string name;
+    std::string category;
+
+    /** Start, microseconds since the writer's epoch. */
+    std::uint64_t timestampUs = 0;
+
+    /** Duration in microseconds. */
+    std::uint64_t durationUs = 0;
+
+    /** Stable small id of the emitting thread. */
+    std::uint32_t tid = 0;
+
+    /** Extra key/value labels shown in the trace viewer. */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * Collects spans (thread-safe) and renders them as a Chrome
+ * trace_event JSON document. The epoch is the writer's
+ * construction time, so timestamps within one run are comparable.
+ */
+class TraceEventWriter
+{
+  public:
+    TraceEventWriter();
+    TraceEventWriter(const TraceEventWriter &) = delete;
+    TraceEventWriter &operator=(const TraceEventWriter &) = delete;
+
+    /** Microseconds since this writer's epoch. */
+    std::uint64_t nowUs() const;
+
+    /** Small per-thread id, stable for the thread's lifetime. */
+    static std::uint32_t currentTid();
+
+    /** Append one span; safe to call from any thread. */
+    void emit(TraceSpan span);
+
+    std::size_t spanCount() const;
+
+    /** Drop all collected spans. */
+    void clear();
+
+    /** Render {"displayTimeUnit": "ms", "traceEvents": [...]}. */
+    void write(std::ostream &out) const;
+
+    /**
+     * Render to the named file ("-" means stdout). Returns false
+     * (with a message on stderr) when the file cannot be opened.
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<TraceSpan> spans_;
+};
+
+/**
+ * Install (or, with nullptr, remove) the process-wide span sink.
+ * The writer is borrowed, not owned; the caller keeps it alive
+ * until after uninstalling it.
+ */
+void setGlobalTraceWriter(TraceEventWriter *writer);
+
+/** The installed process-wide span sink, or null. */
+TraceEventWriter *globalTraceWriter();
+
+/**
+ * RAII span: opens on construction, emits to the global writer on
+ * destruction. When no writer is installed or telemetry is
+ * disabled at construction time, the whole object is inert.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(std::string name, std::string category);
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+    ~ScopedSpan();
+
+    /** Attach a key/value label; a no-op on an inert span. */
+    void arg(std::string key, std::string value);
+
+  private:
+    TraceEventWriter *writer_;
+    TraceSpan span_;
+};
+
+} // namespace logseek::telemetry
+
+#endif // LOGSEEK_TELEMETRY_TRACE_WRITER_H

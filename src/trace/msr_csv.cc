@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace logseek::trace
@@ -71,6 +72,17 @@ tryParseMsrCsv(std::istream &in, const std::string &name,
     std::uint64_t epoch_ticks = 0;
     Status error;
 
+    // The warn cap below silences repetitive messages; these
+    // counters keep every suppressed event countable in a metrics
+    // snapshot.
+    auto &registry = telemetry::Registry::global();
+    telemetry::Counter &skipped_lines =
+        registry.counter("trace_ingest_skipped_lines_total");
+    telemetry::Counter &underflows = registry.counter(
+        "trace_ingest_timestamp_underflows_total");
+    telemetry::Counter &parsed_records =
+        registry.counter("trace_ingest_records_total");
+
     // Returns false when the parse must stop with `error` set.
     auto reject = [&](const std::string &why) {
         if (!options.skipMalformed) {
@@ -80,6 +92,7 @@ tryParseMsrCsv(std::istream &in, const std::string &name,
             return false;
         }
         ++summary.skipped;
+        skipped_lines.add();
         if (summary.skipped <= options.maxWarnings)
             warn("msr csv line " + std::to_string(line_number) +
                  " skipped: " + why);
@@ -168,6 +181,7 @@ tryParseMsrCsv(std::istream &in, const std::string &name,
                      ": timestamp precedes the first record's; "
                      "clamping to 0 (counted in the summary)");
             ++summary.timestampUnderflows;
+            underflows.add();
         }
         const std::uint64_t rel_ticks =
             ticks >= epoch_ticks ? ticks - epoch_ticks : 0;
@@ -180,6 +194,7 @@ tryParseMsrCsv(std::istream &in, const std::string &name,
                                      SectorExtent{lba,
                                                   end_lba - lba}});
         ++summary.parsed;
+        parsed_records.add();
     }
 
     if (in.bad()) {

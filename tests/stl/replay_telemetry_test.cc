@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Cross-checks replay telemetry against SimResult: the counters
+ * wired through Accounting and the replay engine must agree with
+ * the simulator's own tallies when telemetry is armed, stay at
+ * zero when it is not, and never perturb the simulation itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stl/simulator.h"
+#include "telemetry/metrics.h"
+
+namespace logseek::stl
+{
+namespace
+{
+
+/** Arms telemetry for one test and restores the default (off). */
+struct EnabledGuard
+{
+    EnabledGuard() { setEnabledAndReset(true); }
+    ~EnabledGuard() { setEnabledAndReset(false); }
+
+  private:
+    static void setEnabledAndReset(bool on)
+    {
+        telemetry::Registry::global().resetValues();
+        telemetry::setEnabled(on);
+    }
+};
+
+trace::Trace
+mixedTrace()
+{
+    trace::Trace trace("t");
+    trace.appendWrite(0, 8);
+    trace.appendWrite(8, 8);
+    trace.appendWrite(100, 8);
+    trace.appendWrite(4, 2); // fragments the first extent
+    trace.appendRead(0, 10); // fragmented read under LS
+    trace.appendRead(108, 4);
+    trace.appendRead(50, 4);
+    return trace;
+}
+
+SimConfig
+lsConfig()
+{
+    SimConfig config;
+    config.translation = TranslationKind::LogStructured;
+    return config;
+}
+
+std::uint64_t
+counterValue(const telemetry::MetricsSnapshot &snap,
+             const std::string &name, const std::string &labels)
+{
+    const telemetry::CounterSnapshot *counter =
+        snap.findCounter(name, labels);
+    return counter != nullptr ? counter->value : 0;
+}
+
+TEST(ReplayTelemetry, DisabledReplayLeavesCountersAtZero)
+{
+    telemetry::Registry::global().resetValues();
+    ASSERT_FALSE(telemetry::enabled());
+    const SimResult result =
+        Simulator(lsConfig()).run(mixedTrace());
+    EXPECT_GT(result.reads, 0u);
+
+    const telemetry::MetricsSnapshot snap =
+        telemetry::Registry::global().snapshot();
+    EXPECT_EQ(counterValue(snap, "replay_requests_total",
+                           "type=\"read\""),
+              0u);
+    EXPECT_EQ(counterValue(snap, "replay_requests_total",
+                           "type=\"write\""),
+              0u);
+    const telemetry::HistogramSnapshot *latency =
+        snap.findHistogram("replay_read_latency_ns");
+    if (latency != nullptr) {
+        EXPECT_EQ(latency->count, 0u);
+    }
+}
+
+TEST(ReplayTelemetry, EnabledReplayCountersMatchSimResult)
+{
+    const EnabledGuard armed;
+    const SimResult result =
+        Simulator(lsConfig()).run(mixedTrace());
+
+    const telemetry::MetricsSnapshot snap =
+        telemetry::Registry::global().snapshot();
+    EXPECT_EQ(counterValue(snap, "replay_requests_total",
+                           "type=\"read\""),
+              result.reads);
+    EXPECT_EQ(counterValue(snap, "replay_requests_total",
+                           "type=\"write\""),
+              result.writes);
+    EXPECT_EQ(counterValue(snap, "replay_seeks_total",
+                           "type=\"read\""),
+              result.readSeeks);
+    EXPECT_EQ(counterValue(snap, "replay_seeks_total",
+                           "type=\"write\""),
+              result.writeSeeks);
+
+    // One read-latency sample per host read request.
+    const telemetry::HistogramSnapshot *latency =
+        snap.findHistogram("replay_read_latency_ns");
+    ASSERT_NE(latency, nullptr);
+    EXPECT_EQ(latency->count, result.reads);
+
+    // The per-stage serve counters saw every fragment the replay
+    // produced (each fragment resolves to exactly one outcome in
+    // exactly one stage, plus misses passed along the pipeline).
+    std::uint64_t stage_serves = 0;
+    for (const telemetry::CounterSnapshot &counter : snap.counters)
+        if (counter.name == "replay_stage_serves_total")
+            stage_serves += counter.value;
+    EXPECT_GE(stage_serves, result.readFragments);
+}
+
+TEST(ReplayTelemetry, TelemetryDoesNotPerturbTheSimulation)
+{
+    telemetry::Registry::global().resetValues();
+    ASSERT_FALSE(telemetry::enabled());
+    const SimResult plain =
+        Simulator(lsConfig()).run(mixedTrace());
+
+    SimResult instrumented;
+    {
+        const EnabledGuard armed;
+        instrumented = Simulator(lsConfig()).run(mixedTrace());
+    }
+
+    EXPECT_EQ(plain.reads, instrumented.reads);
+    EXPECT_EQ(plain.writes, instrumented.writes);
+    EXPECT_EQ(plain.readSeeks, instrumented.readSeeks);
+    EXPECT_EQ(plain.writeSeeks, instrumented.writeSeeks);
+    EXPECT_EQ(plain.readFragments, instrumented.readFragments);
+    EXPECT_EQ(plain.fragmentedReads, instrumented.fragmentedReads);
+    EXPECT_EQ(plain.totalSeeks(), instrumented.totalSeeks());
+}
+
+TEST(ReplayTelemetry, RepeatedReplaysAccumulateCounters)
+{
+    const EnabledGuard armed;
+    const SimResult once = Simulator(lsConfig()).run(mixedTrace());
+    (void)Simulator(lsConfig()).run(mixedTrace());
+
+    const telemetry::MetricsSnapshot snap =
+        telemetry::Registry::global().snapshot();
+    EXPECT_EQ(counterValue(snap, "replay_requests_total",
+                           "type=\"read\""),
+              2 * once.reads);
+}
+
+} // namespace
+} // namespace logseek::stl

@@ -3,12 +3,19 @@
  * Tests for the shared bench CLI surface: positional scale/seed,
  * --jobs, --json/--csv destinations, --paranoid, the fault-
  * tolerance flags (--deadline-ms/--retries/--checkpoint/--resume),
- * and strict rejection of malformed numbers and unknown arguments.
+ * the observability flags (--metrics-out/--trace-out/--help), and
+ * strict rejection of malformed numbers and unknown arguments.
+ * The help-sync test pins benchHelp()/benchUsage() to
+ * benchFlagNames() so the documented surface cannot drift from
+ * what the parser accepts.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/validating_observer.h"
@@ -162,6 +169,84 @@ TEST(BenchCliTest, ObserverFactoryIsNullWithoutParanoidOrExtra)
     const auto cli = parse({});
     ASSERT_TRUE(cli.has_value());
     EXPECT_FALSE(static_cast<bool>(cli->observerFactory()));
+}
+
+TEST(BenchCliTest, ObservabilityDestinations)
+{
+    const auto cli = parse(
+        {"--metrics-out", "/tmp/m.json", "--trace-out=/tmp/t.json"});
+    ASSERT_TRUE(cli.has_value());
+    EXPECT_EQ(cli->metricsOutPath, "/tmp/m.json");
+    EXPECT_EQ(cli->traceOutPath, "/tmp/t.json");
+
+    const auto other = parse(
+        {"--metrics-out=m.prom", "--trace-out", "-"});
+    ASSERT_TRUE(other.has_value());
+    EXPECT_EQ(other->metricsOutPath, "m.prom");
+    EXPECT_EQ(other->traceOutPath, "-");
+
+    const auto off = parse({});
+    ASSERT_TRUE(off.has_value());
+    EXPECT_TRUE(off->metricsOutPath.empty());
+    EXPECT_TRUE(off->traceOutPath.empty());
+}
+
+TEST(BenchCliTest, ObservabilityFlagsRequirePaths)
+{
+    EXPECT_FALSE(tryParse({"--metrics-out"}).ok());
+    EXPECT_FALSE(tryParse({"--metrics-out="}).ok());
+    EXPECT_FALSE(tryParse({"--trace-out"}).ok());
+    EXPECT_FALSE(tryParse({"--trace-out="}).ok());
+}
+
+TEST(BenchCliTest, HelpRequestShortCircuitsParsing)
+{
+    // parseBenchCli exits the process on --help, so only the typed
+    // parser is testable; --help wins even mid-way through a line
+    // that would otherwise be rejected.
+    for (const char *spelling : {"--help", "-h"}) {
+        const auto cli = tryParse({"0.5", spelling, "--frobnicate"});
+        ASSERT_TRUE(cli.ok()) << spelling;
+        EXPECT_TRUE(cli.value().helpRequested) << spelling;
+    }
+    const auto plain = tryParse({});
+    ASSERT_TRUE(plain.ok());
+    EXPECT_FALSE(plain.value().helpRequested);
+}
+
+TEST(BenchCliTest, HelpTextDocumentsExactlyTheAcceptedFlags)
+{
+    const std::string help = benchHelp("bench");
+    EXPECT_EQ(help.rfind("usage: bench ", 0), 0u);
+
+    // Every flag the parser accepts appears in the help...
+    for (const std::string &flag : benchFlagNames())
+        EXPECT_NE(help.find(flag), std::string::npos)
+            << "help is missing " << flag;
+
+    // ...and every "--flag" token in the help is a parser flag, so
+    // the text cannot advertise an option that does not exist.
+    const std::vector<std::string> known = benchFlagNames();
+    for (std::size_t at = help.find("--"); at != std::string::npos;
+         at = help.find("--", at + 1)) {
+        std::size_t end = at + 2;
+        while (end < help.size() &&
+               (std::isalnum(static_cast<unsigned char>(
+                    help[end])) != 0 ||
+                help[end] == '-'))
+            ++end;
+        const std::string token = help.substr(at, end - at);
+        EXPECT_NE(std::find(known.begin(), known.end(), token),
+                  known.end())
+            << "help mentions unknown flag " << token;
+        at = end - 1;
+    }
+
+    // The one-line usage stays in sync too.
+    const std::string usage = benchUsage("bench");
+    for (const std::string &flag : benchFlagNames())
+        EXPECT_NE(usage.find(flag), std::string::npos)
+            << "usage is missing " << flag;
 }
 
 TEST(BenchCliTest, ParanoidPrependsValidator)

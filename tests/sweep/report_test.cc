@@ -46,6 +46,52 @@ TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters)
     EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
 }
 
+TEST(JsonEscapeTest, EscapesLowControlCharactersAsUnicode)
+{
+    EXPECT_EQ(jsonEscape(std::string("\x01")), "\\u0001");
+    EXPECT_EQ(jsonEscape(std::string("\x1f")), "\\u001f");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+/** A sweep whose config label needs escaping in every format. */
+SweepResult
+evilLabelSweep()
+{
+    workloads::ProfileOptions profile;
+    profile.scale = 0.002;
+    stl::SimConfig nols;
+    nols.translation = stl::TranslationKind::Conventional;
+    SweepOptions options;
+    options.jobs = 1;
+    return SweepRunner(
+               {WorkloadSpec::profile("usr_1", profile)},
+               {ConfigSpec::fixed("evil,\"label\"\nline2", nols)},
+               options)
+        .run();
+}
+
+TEST(ReportTest, CsvQuotesFieldsWithCommasQuotesAndNewlines)
+{
+    std::ostringstream out;
+    writeCsv(out, evilLabelSweep());
+    // RFC-4180 quoting: the whole field in quotes, inner quotes
+    // doubled, commas and newlines preserved verbatim inside.
+    EXPECT_NE(out.str().find("\"evil,\"\"label\"\"\nline2\""),
+              std::string::npos);
+}
+
+TEST(ReportTest, JsonEscapesConfigLabels)
+{
+    std::ostringstream out;
+    writeJson(out, evilLabelSweep());
+    const std::string json = out.str();
+    EXPECT_NE(json.find("evil,\\\"label\\\"\\nline2"),
+              std::string::npos);
+    // The raw newline must never reach the JSON string literal.
+    EXPECT_EQ(json.find("\"label\"\nline2"), std::string::npos);
+}
+
 TEST(ReportTest, JsonContainsGridAndRows)
 {
     const SweepResult sweep = tinySweep();

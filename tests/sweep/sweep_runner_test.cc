@@ -21,6 +21,7 @@
 #include "stl/simulator.h"
 #include "sweep/report.h"
 #include "sweep/sweep_runner.h"
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 #include "util/units.h"
 #include "workloads/profiles.h"
@@ -131,6 +132,43 @@ TEST(SweepRunnerTest, ParallelRunIsByteIdenticalToSerial)
     }
     // The deterministic report form must match byte for byte.
     EXPECT_EQ(deterministicJson(one), deterministicJson(eight));
+}
+
+TEST(SweepRunnerTest, TelemetryDoesNotPerturbSweepResults)
+{
+    // The acceptance bar for observability: with collection armed,
+    // the deterministic report form stays byte-identical to the
+    // un-instrumented sweep at any job count.
+    auto runAt = [](int jobs) {
+        SweepOptions options;
+        options.jobs = jobs;
+        return SweepRunner(tinyWorkloads(), fullMatrix(), options)
+            .run();
+    };
+    telemetry::Registry::global().resetValues();
+    const std::string plain = deterministicJson(runAt(1));
+
+    telemetry::setEnabled(true);
+    const std::string instrumented_serial =
+        deterministicJson(runAt(1));
+    const std::string instrumented_parallel =
+        deterministicJson(runAt(2));
+    telemetry::setEnabled(false);
+
+    EXPECT_EQ(plain, instrumented_serial);
+    EXPECT_EQ(plain, instrumented_parallel);
+
+    // And the sweep actually reported into the registry.
+    const telemetry::MetricsSnapshot snap =
+        telemetry::Registry::global().snapshot();
+    const telemetry::CounterSnapshot *tasks =
+        snap.findCounter("sweep_tasks_total");
+    ASSERT_NE(tasks, nullptr);
+    EXPECT_GT(tasks->value, 0u);
+    const telemetry::CounterSnapshot *ok_cells =
+        snap.findCounter("sweep_cells_total", "outcome=\"OK\"");
+    ASSERT_NE(ok_cells, nullptr);
+    EXPECT_GT(ok_cells->value, 0u);
 }
 
 TEST(SweepRunnerTest, RowsAreInGridOrder)

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the telemetry exporters: JSON escaping, Prometheus name
+ * sanitization, the JSON snapshot shape, the Prometheus text
+ * exposition (one TYPE line per family, cumulative buckets, +Inf,
+ * _sum/_count) and the extension-driven file dispatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+
+namespace logseek::telemetry
+{
+namespace
+{
+
+/** Arms telemetry for one test and restores the default (off). */
+struct EnabledGuard
+{
+    EnabledGuard() { setEnabled(true); }
+    ~EnabledGuard() { setEnabled(false); }
+};
+
+/** A small registry with one of everything, snapshotted. */
+MetricsSnapshot
+sampleSnapshot()
+{
+    const EnabledGuard armed;
+    Registry registry;
+    registry.counter("ops_total", "kind=\"read\"").add(3);
+    registry.counter("ops_total", "kind=\"write\"").add(5);
+    registry.gauge("queue_depth").set(-2);
+    LatencyHistogram &latency = registry.histogram("latency_ns");
+    latency.record(1);   // bucket 0, upper edge 1
+    latency.record(5);   // bucket 2, upper edge 7
+    latency.record(5);
+    latency.record(100); // bucket 6, upper edge 127
+    return registry.snapshot();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+int
+countOccurrences(const std::string &haystack,
+                 const std::string &needle)
+{
+    int n = 0;
+    for (std::size_t at = haystack.find(needle);
+         at != std::string::npos;
+         at = haystack.find(needle, at + needle.size()))
+        ++n;
+    return n;
+}
+
+TEST(TelemetryExportTest, JsonEscapeCoversControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\rc\td"), "a\\nb\\rc\\td");
+    EXPECT_EQ(jsonEscape(std::string("\x01\x1f")), "\\u0001\\u001f");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(TelemetryExportTest, PrometheusNameSanitization)
+{
+    EXPECT_EQ(prometheusName("replay_seeks_total"),
+              "replay_seeks_total");
+    EXPECT_EQ(prometheusName("ns:sub_total"), "ns:sub_total");
+    EXPECT_EQ(prometheusName("has-dash.and space"),
+              "has_dash_and_space");
+    EXPECT_EQ(prometheusName("9starts_with_digit"),
+              "_9starts_with_digit");
+    EXPECT_EQ(prometheusName(""), "_");
+}
+
+TEST(TelemetryExportTest, JsonSnapshotShape)
+{
+    std::ostringstream out;
+    writeMetricsJson(sampleSnapshot(), out);
+    const std::string json = out.str();
+
+    EXPECT_NE(json.find("\"counters\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\": ["), std::string::npos);
+    EXPECT_NE(json.find("{\"name\": \"ops_total\", \"labels\": "
+                        "\"kind=\\\"read\\\"\", \"value\": 3}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\": -2"), std::string::npos);
+    // Sparse bucket triples: [lower, upper, n].
+    EXPECT_NE(json.find("\"count\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"sum\": 111"), std::string::npos);
+    EXPECT_NE(json.find("[0, 1, 1], [4, 7, 2], [64, 127, 1]"),
+              std::string::npos);
+}
+
+TEST(TelemetryExportTest, PrometheusTypeLineOncePerFamily)
+{
+    std::ostringstream out;
+    writePrometheusText(sampleSnapshot(), out);
+    const std::string text = out.str();
+
+    // Two ops_total series share a single TYPE line.
+    EXPECT_EQ(countOccurrences(text, "# TYPE ops_total counter"), 1);
+    EXPECT_NE(text.find("ops_total{kind=\"read\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("ops_total{kind=\"write\"} 5"),
+              std::string::npos);
+    EXPECT_EQ(countOccurrences(text, "# TYPE queue_depth gauge"),
+              1);
+    EXPECT_NE(text.find("queue_depth -2"), std::string::npos);
+}
+
+TEST(TelemetryExportTest, PrometheusHistogramIsCumulative)
+{
+    std::ostringstream out;
+    writePrometheusText(sampleSnapshot(), out);
+    const std::string text = out.str();
+
+    EXPECT_EQ(countOccurrences(text, "# TYPE latency_ns histogram"),
+              1);
+    // Buckets are cumulative, keyed by inclusive upper edge.
+    EXPECT_NE(text.find("latency_ns{le=\"1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("latency_ns{le=\"7\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("latency_ns{le=\"127\"} 4"),
+              std::string::npos);
+    // +Inf always equals the total count.
+    EXPECT_NE(text.find("latency_ns{le=\"+Inf\"} 4"),
+              std::string::npos);
+    EXPECT_NE(text.find("latency_ns_sum 111"), std::string::npos);
+    EXPECT_NE(text.find("latency_ns_count 4"), std::string::npos);
+}
+
+TEST(TelemetryExportTest, PrometheusHistogramKeepsSeriesLabels)
+{
+    const EnabledGuard armed;
+    Registry registry;
+    registry.histogram("lat_ns", "stage=\"media\"").record(3);
+    std::ostringstream out;
+    writePrometheusText(registry.snapshot(), out);
+    const std::string text = out.str();
+
+    EXPECT_NE(text.find("lat_ns{stage=\"media\",le=\"3\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("lat_ns{stage=\"media\",le=\"+Inf\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("lat_ns_sum{stage=\"media\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("lat_ns_count{stage=\"media\"} 1"),
+              std::string::npos);
+}
+
+TEST(TelemetryExportTest, FileDispatchByExtension)
+{
+    const MetricsSnapshot snapshot = sampleSnapshot();
+    const std::string json_path =
+        ::testing::TempDir() + "telemetry_export_test.json";
+    const std::string prom_path =
+        ::testing::TempDir() + "telemetry_export_test.prom";
+    const std::string txt_path =
+        ::testing::TempDir() + "telemetry_export_test.txt";
+
+    EXPECT_TRUE(writeMetricsFile(snapshot, json_path));
+    EXPECT_TRUE(writeMetricsFile(snapshot, prom_path));
+    EXPECT_TRUE(writeMetricsFile(snapshot, txt_path));
+
+    EXPECT_EQ(slurp(json_path).rfind("{\n", 0), 0u);
+    EXPECT_EQ(slurp(prom_path).rfind("# TYPE", 0), 0u);
+    EXPECT_EQ(slurp(txt_path).rfind("# TYPE", 0), 0u);
+
+    std::remove(json_path.c_str());
+    std::remove(prom_path.c_str());
+    std::remove(txt_path.c_str());
+}
+
+TEST(TelemetryExportTest, FileWriteFailureReturnsFalse)
+{
+    EXPECT_FALSE(writeMetricsFile(
+        sampleSnapshot(), "/nonexistent-dir/metrics.json"));
+}
+
+} // namespace
+} // namespace logseek::telemetry

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the Chrome trace_event writer and ScopedSpan: emitted
+ * JSON shape, argument escaping, the process-wide writer install
+ * hook, and that spans are inert when telemetry is disabled or no
+ * writer is installed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace_writer.h"
+
+namespace logseek::telemetry
+{
+namespace
+{
+
+/** Arms telemetry for one test and restores the default (off). */
+struct EnabledGuard
+{
+    EnabledGuard() { setEnabled(true); }
+    ~EnabledGuard() { setEnabled(false); }
+};
+
+/** Installs a writer for one test and uninstalls it after. */
+struct WriterGuard
+{
+    explicit WriterGuard(TraceEventWriter &writer)
+    {
+        setGlobalTraceWriter(&writer);
+    }
+    ~WriterGuard() { setGlobalTraceWriter(nullptr); }
+};
+
+std::string
+rendered(const TraceEventWriter &writer)
+{
+    std::ostringstream out;
+    writer.write(out);
+    return out.str();
+}
+
+TEST(TelemetryTraceWriterTest, EmptyWriterRendersValidSkeleton)
+{
+    TraceEventWriter writer;
+    EXPECT_EQ(writer.spanCount(), 0u);
+    EXPECT_EQ(rendered(writer),
+              "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+              "]}\n");
+}
+
+TEST(TelemetryTraceWriterTest, EmitRendersCompleteEvents)
+{
+    TraceEventWriter writer;
+    TraceSpan span;
+    span.name = "cell:usr_1/LS";
+    span.category = "sweep-cell";
+    span.timestampUs = 10;
+    span.durationUs = 25;
+    span.tid = 3;
+    span.args.emplace_back("attempt", "1");
+    writer.emit(span);
+    writer.emit(TraceSpan{"bare", "cat", 40, 2, 1, {}});
+
+    const std::string json = rendered(writer);
+    EXPECT_EQ(writer.spanCount(), 2u);
+    EXPECT_NE(json.find("{\"name\": \"cell:usr_1/LS\", \"cat\": "
+                        "\"sweep-cell\", \"ph\": \"X\", \"ts\": 10, "
+                        "\"dur\": 25, \"pid\": 1, \"tid\": 3, "
+                        "\"args\": {\"attempt\": \"1\"}},"),
+              std::string::npos);
+    // A span without args omits the "args" object entirely.
+    EXPECT_NE(json.find("{\"name\": \"bare\", \"cat\": \"cat\", "
+                        "\"ph\": \"X\", \"ts\": 40, \"dur\": 2, "
+                        "\"pid\": 1, \"tid\": 1}\n"),
+              std::string::npos);
+
+    writer.clear();
+    EXPECT_EQ(writer.spanCount(), 0u);
+}
+
+TEST(TelemetryTraceWriterTest, SpanNamesAndArgsAreEscaped)
+{
+    TraceEventWriter writer;
+    TraceSpan span;
+    span.name = "quote\"back\\slash";
+    span.args.emplace_back("key\n", "value\t");
+    writer.emit(span);
+
+    const std::string json = rendered(writer);
+    EXPECT_NE(json.find("quote\\\"back\\\\slash"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"key\\n\": \"value\\t\""),
+              std::string::npos);
+}
+
+TEST(TelemetryTraceWriterTest, ScopedSpanEmitsToGlobalWriter)
+{
+    const EnabledGuard armed;
+    TraceEventWriter writer;
+    const WriterGuard installed(writer);
+    {
+        ScopedSpan span("work", "test-cat");
+        span.arg("k", "v");
+    }
+    ASSERT_EQ(writer.spanCount(), 1u);
+    const std::string json = rendered(writer);
+    EXPECT_NE(json.find("\"name\": \"work\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"test-cat\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"args\": {\"k\": \"v\"}"),
+              std::string::npos);
+}
+
+TEST(TelemetryTraceWriterTest, ScopedSpanInertWithoutWriter)
+{
+    const EnabledGuard armed;
+    ASSERT_EQ(globalTraceWriter(), nullptr);
+    {
+        ScopedSpan span("dropped", "test-cat");
+        span.arg("k", "v"); // must not crash
+    }
+    // Nothing to assert beyond "no crash": there is no sink.
+}
+
+TEST(TelemetryTraceWriterTest, ScopedSpanInertWhileDisabled)
+{
+    TraceEventWriter writer;
+    const WriterGuard installed(writer);
+    {
+        // enabled() is false: the span must not bind to the writer
+        // even though one is installed.
+        ScopedSpan span("dropped", "test-cat");
+    }
+    EXPECT_EQ(writer.spanCount(), 0u);
+}
+
+TEST(TelemetryTraceWriterTest, GlobalWriterInstallUninstall)
+{
+    EXPECT_EQ(globalTraceWriter(), nullptr);
+    TraceEventWriter writer;
+    setGlobalTraceWriter(&writer);
+    EXPECT_EQ(globalTraceWriter(), &writer);
+    setGlobalTraceWriter(nullptr);
+    EXPECT_EQ(globalTraceWriter(), nullptr);
+}
+
+TEST(TelemetryTraceWriterTest, WriteFileAndFailure)
+{
+    TraceEventWriter writer;
+    writer.emit(TraceSpan{"span", "cat", 0, 1, 1, {}});
+
+    const std::string path =
+        ::testing::TempDir() + "telemetry_trace_writer_test.json";
+    EXPECT_TRUE(writer.writeFile(path));
+    std::ifstream in(path);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    EXPECT_EQ(contents.str(), rendered(writer));
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(writer.writeFile("/nonexistent-dir/trace.json"));
+}
+
+TEST(TelemetryTraceWriterTest, NowUsIsMonotonic)
+{
+    TraceEventWriter writer;
+    const std::uint64_t a = writer.nowUs();
+    const std::uint64_t b = writer.nowUs();
+    EXPECT_LE(a, b);
+}
+
+} // namespace
+} // namespace logseek::telemetry
