@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal helpers for the co-written BENCH_extent_map.json file.
+ *
+ * perf_extent_map and perf_simulator each own one top-level section
+ * ("extent_map" and "replay") of the same tracking file. Each binary
+ * re-reads the file, keeps the other section verbatim, and rewrites
+ * the whole object. The extractor is a balanced-brace scanner, which
+ * is sound here because both writers emit sections without braces
+ * inside string values.
+ */
+
+#ifndef LOGSEEK_BENCH_BENCH_JSON_H
+#define LOGSEEK_BENCH_BENCH_JSON_H
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace logseek::bench
+{
+
+/** Whole file as a string; empty if unreadable. */
+inline std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        return {};
+    std::ostringstream out;
+    out << file.rdbuf();
+    return out.str();
+}
+
+/**
+ * Extract the balanced-brace object of `"key": {...}` from a JSON
+ * document previously written by these helpers. Returns the object
+ * text including braces, or an empty string when absent.
+ */
+inline std::string
+extractSection(const std::string &doc, const std::string &key)
+{
+    const std::string marker = "\"" + key + "\":";
+    const std::size_t at = doc.find(marker);
+    if (at == std::string::npos)
+        return {};
+    const std::size_t open = doc.find('{', at + marker.size());
+    if (open == std::string::npos)
+        return {};
+    int depth = 0;
+    for (std::size_t i = open; i < doc.size(); ++i) {
+        if (doc[i] == '{')
+            ++depth;
+        else if (doc[i] == '}' && --depth == 0)
+            return doc.substr(open, i - open + 1);
+    }
+    return {};
+}
+
+/**
+ * Write `{ "k1": v1, "k2": v2, ... }` to path, skipping sections
+ * whose value is empty. Returns false if the file cannot be opened.
+ */
+inline bool
+writeSections(
+    const std::string &path,
+    const std::vector<std::pair<std::string, std::string>> &sections)
+{
+    std::ofstream file(path);
+    if (!file)
+        return false;
+    file << "{\n";
+    bool first = true;
+    for (const auto &[key, value] : sections) {
+        if (value.empty())
+            continue;
+        if (!first)
+            file << ",\n";
+        first = false;
+        file << "  \"" << key << "\": " << value;
+    }
+    file << "\n}\n";
+    return static_cast<bool>(file);
+}
+
+} // namespace logseek::bench
+
+#endif // LOGSEEK_BENCH_BENCH_JSON_H

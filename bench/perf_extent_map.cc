@@ -1,14 +1,33 @@
 /**
  * @file
- * Google-benchmark microbenchmarks for ExtentMap, the hot data
- * structure of the translation layer: mapping throughput under
- * random updates, translation latency at various fragmentation
- * levels, and the sequential-coalescing fast path.
+ * Microbenchmarks for ExtentMap, the hot data structure of the
+ * translation layer: mapping throughput under random updates,
+ * translation latency at various fragmentation levels, and the
+ * sequential-coalescing fast path.
+ *
+ * Two modes:
+ *  - Default: google-benchmark microbenchmarks.
+ *  - --json=PATH: measures the B+-tree ExtentMap against the
+ *    preserved std::map ReferenceExtentMap (the seed
+ *    implementation) at several fragmentation levels and writes
+ *    ns/op plus before/after ratios to the "extent_map" section of
+ *    the tracking file (BENCH_extent_map.json), preserving the
+ *    "replay" section written by perf_simulator.
+ *    --translate-iters=N shrinks the measurement for CI smoke runs.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
 #include "stl/extent_map.h"
+#include "stl/testing/reference_extent_map.h"
 #include "util/random.h"
 
 namespace
@@ -78,6 +97,35 @@ BM_Translate(benchmark::State &state)
 BENCHMARK(BM_Translate)->Range(1 << 8, 1 << 18);
 
 void
+BM_TranslateInto(benchmark::State &state)
+{
+    // The replay hot path: allocation-free translate into a reused
+    // caller-owned buffer.
+    const auto fragments = static_cast<std::uint64_t>(state.range(0));
+    constexpr Lba kSpace = 1 << 20;
+    Rng rng(7);
+    stl::ExtentMap map;
+    Pba frontier = kSpace;
+    for (std::uint64_t i = 0; i < fragments; ++i) {
+        const SectorCount count = 1 + rng.nextUint(16);
+        const Lba lba = rng.nextUint(kSpace - count);
+        map.mapRange(lba, frontier, count);
+        frontier += count;
+    }
+    constexpr SectorCount kReadSectors = 256;
+    stl::SegmentBuffer buffer;
+    std::uint64_t fragments_seen = 0;
+    for (auto _ : state) {
+        const Lba lba = rng.nextUint(kSpace - kReadSectors);
+        map.translateInto({lba, kReadSectors}, buffer);
+        fragments_seen += buffer.size();
+    }
+    benchmark::DoNotOptimize(fragments_seen);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TranslateInto)->Range(1 << 8, 1 << 18);
+
+void
 BM_FragmentCount(benchmark::State &state)
 {
     constexpr Lba kSpace = 1 << 20;
@@ -98,6 +146,166 @@ BM_FragmentCount(benchmark::State &state)
 }
 BENCHMARK(BM_FragmentCount);
 
+// ---------------------------------------------------------------
+// --json mode: before/after measurement against the seed std::map
+// implementation, preserved verbatim as ReferenceExtentMap.
+// ---------------------------------------------------------------
+
+constexpr Lba kJsonSpace = 1 << 20;
+constexpr SectorCount kJsonReadSectors = 256;
+
+double
+elapsedNs(const std::chrono::steady_clock::time_point &start)
+{
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return static_cast<double>(ns);
+}
+
+/** Build a map with `writes` seeded random updates; ns per op. */
+template <typename Map>
+double
+buildMap(Map &map, std::uint64_t writes)
+{
+    Rng rng(7);
+    Pba frontier = kJsonSpace;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < writes; ++i) {
+        const SectorCount count = 1 + rng.nextUint(16);
+        const Lba lba = rng.nextUint(kJsonSpace - count);
+        map.mapRange(lba, frontier, count);
+        frontier += count;
+    }
+    return elapsedNs(start) / static_cast<double>(writes);
+}
+
+/** ns per translate over `iters` seeded random reads. */
+double
+measureTreeTranslate(const stl::ExtentMap &map, std::uint64_t iters)
+{
+    Rng rng(99);
+    stl::SegmentBuffer buffer;
+    std::uint64_t fragments = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        const Lba lba = rng.nextUint(kJsonSpace - kJsonReadSectors);
+        map.translateInto({lba, kJsonReadSectors}, buffer);
+        fragments += buffer.size();
+    }
+    const double ns = elapsedNs(start);
+    benchmark::DoNotOptimize(fragments);
+    return ns / static_cast<double>(iters);
+}
+
+double
+measureRefTranslate(const stl::testing::ReferenceExtentMap &map,
+                    std::uint64_t iters)
+{
+    Rng rng(99);
+    std::uint64_t fragments = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        const Lba lba = rng.nextUint(kJsonSpace - kJsonReadSectors);
+        fragments += map.translate({lba, kJsonReadSectors}).size();
+    }
+    const double ns = elapsedNs(start);
+    benchmark::DoNotOptimize(fragments);
+    return ns / static_cast<double>(iters);
+}
+
+int
+runJsonMode(const std::string &path, std::uint64_t translate_iters)
+{
+    const std::uint64_t levels[] = {1 << 12, 1 << 16, 1 << 18};
+
+    std::ostringstream section;
+    section.precision(6);
+    section << "{\n"
+            << "    \"space\": " << kJsonSpace << ",\n"
+            << "    \"readSectors\": " << kJsonReadSectors << ",\n"
+            << "    \"translateIters\": " << translate_iters
+            << ",\n"
+            << "    \"levels\": [\n";
+
+    bool first = true;
+    for (const std::uint64_t writes : levels) {
+        stl::ExtentMap tree;
+        stl::testing::ReferenceExtentMap reference;
+        const double map_tree_ns = buildMap(tree, writes);
+        const double map_ref_ns = buildMap(reference, writes);
+        const double tr_tree_ns =
+            measureTreeTranslate(tree, translate_iters);
+        const double tr_ref_ns =
+            measureRefTranslate(reference, translate_iters);
+        const double tr_speedup =
+            tr_tree_ns > 0.0 ? tr_ref_ns / tr_tree_ns : 0.0;
+        const double map_speedup =
+            map_tree_ns > 0.0 ? map_ref_ns / map_tree_ns : 0.0;
+
+        if (!first)
+            section << ",\n";
+        first = false;
+        section << "      {\"writes\": " << writes
+                << ", \"entries\": " << tree.entryCount()
+                << ", \"mapNsPerOp\": " << map_tree_ns
+                << ", \"mapNsPerOpStdMap\": " << map_ref_ns
+                << ", \"mapSpeedup\": " << map_speedup
+                << ", \"translateNsPerOp\": " << tr_tree_ns
+                << ", \"translateNsPerOpStdMap\": " << tr_ref_ns
+                << ", \"translateSpeedup\": " << tr_speedup << "}";
+
+        std::cout << "extent_map writes=" << writes
+                  << " entries=" << tree.entryCount()
+                  << " translate " << tr_tree_ns << " ns/op (std::map "
+                  << tr_ref_ns << " ns/op, speedup " << tr_speedup
+                  << "x), map " << map_tree_ns << " ns/op (std::map "
+                  << map_ref_ns << " ns/op, speedup " << map_speedup
+                  << "x)\n";
+    }
+    section << "\n    ]\n  }";
+
+    const std::string existing = bench::readFile(path);
+    const std::string replay =
+        bench::extractSection(existing, "replay");
+    if (!bench::writeSections(
+            path,
+            {{"extent_map", section.str()}, {"replay", replay}})) {
+        std::cerr << "perf_extent_map: cannot write " << path
+                  << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << path << "\n";
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    std::uint64_t translate_iters = 2'000'000;
+    std::vector<char *> pass;
+    pass.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
+        else if (arg.rfind("--translate-iters=", 0) == 0)
+            translate_iters = std::stoull(arg.substr(18));
+        else
+            pass.push_back(argv[i]);
+    }
+    if (!json_path.empty())
+        return runJsonMode(json_path, translate_iters);
+
+    int pass_argc = static_cast<int>(pass.size());
+    benchmark::Initialize(&pass_argc, pass.data());
+    if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                               pass.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

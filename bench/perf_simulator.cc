@@ -1,12 +1,30 @@
 /**
  * @file
- * Google-benchmark end-to-end throughput of the trace-replay
- * engine: requests per second under each translation/mechanism
- * configuration, on a pre-generated mixed workload.
+ * End-to-end throughput of the trace-replay engine: requests per
+ * second under each translation/mechanism configuration, on a
+ * pre-generated mixed workload.
+ *
+ * Two modes:
+ *  - Default: google-benchmark microbenchmarks.
+ *  - --json=PATH: measures serial replay ops/sec for the key
+ *    configurations and writes the "replay" section of the tracking
+ *    file (BENCH_extent_map.json), preserving the "extent_map"
+ *    section written by perf_extent_map. --ops=N scales the trace
+ *    (CI smoke uses a small N); --reps=R controls timing repeats;
+ *    --baseline-ops=X is the pre-optimization serial
+ *    log-structured ops/sec the ratio is computed against.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
 #include "stl/simulator.h"
 #include "util/random.h"
 
@@ -112,6 +130,135 @@ BM_AllMechanisms(benchmark::State &state)
 }
 BENCHMARK(BM_AllMechanisms)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------
+// --json mode: serial replay throughput for the tracking file.
+// ---------------------------------------------------------------
+
+/** Best-of-`reps` serial replay throughput in requests/sec. */
+double
+measureOpsPerSec(const stl::SimConfig &config,
+                 const trace::Trace &trace, int reps)
+{
+    double best_sec = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        stl::Simulator simulator(config);
+        const auto start = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(simulator.run(trace));
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        const double sec = static_cast<double>(ns) * 1e-9;
+        if (rep == 0 || sec < best_sec)
+            best_sec = sec;
+    }
+    return best_sec > 0.0
+               ? static_cast<double>(trace.size()) / best_sec
+               : 0.0;
+}
+
+int
+runJsonMode(const std::string &path, std::size_t ops, int reps,
+            double baseline_ops)
+{
+    const trace::Trace trace = mixedTrace(ops);
+
+    stl::SimConfig conventional;
+    conventional.translation = stl::TranslationKind::Conventional;
+    stl::SimConfig ls;
+    ls.translation = stl::TranslationKind::LogStructured;
+    stl::SimConfig ls_all;
+    ls_all.translation = stl::TranslationKind::LogStructured;
+    ls_all.defrag = stl::DefragConfig{};
+    ls_all.prefetch = stl::PrefetchConfig{};
+    ls_all.cache = stl::SelectiveCacheConfig{64 * kMiB};
+
+    const std::vector<std::pair<std::string, stl::SimConfig>>
+        configs = {{"NoLS", conventional},
+                   {"LS", ls},
+                   {"LS+all", ls_all}};
+
+    std::ostringstream section;
+    section.precision(6);
+    section << "{\n"
+            << "    \"ops\": " << trace.size() << ",\n"
+            << "    \"reps\": " << reps << ",\n"
+            << "    \"configs\": [\n";
+    double ls_ops_per_sec = 0.0;
+    bool first = true;
+    for (const auto &[name, config] : configs) {
+        const double ops_per_sec =
+            measureOpsPerSec(config, trace, reps);
+        if (name == "LS")
+            ls_ops_per_sec = ops_per_sec;
+        if (!first)
+            section << ",\n";
+        first = false;
+        section << "      {\"name\": \"" << name
+                << "\", \"opsPerSec\": " << ops_per_sec << "}";
+        std::cout << "replay " << name << ": " << ops_per_sec
+                  << " ops/sec\n";
+    }
+    const double ratio =
+        baseline_ops > 0.0 ? ls_ops_per_sec / baseline_ops : 0.0;
+    section << "\n    ],\n"
+            << "    \"baselineOpsPerSec\": " << baseline_ops
+            << ",\n"
+            << "    \"serialReplayRatio\": " << ratio << "\n"
+            << "  }";
+    std::cout << "serial LS replay ratio vs baseline: " << ratio
+              << "x\n";
+
+    const std::string existing = bench::readFile(path);
+    const std::string extent_map =
+        bench::extractSection(existing, "extent_map");
+    if (!bench::writeSections(
+            path,
+            {{"extent_map", extent_map},
+             {"replay", section.str()}})) {
+        std::cerr << "perf_simulator: cannot write " << path
+                  << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << path << "\n";
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    std::size_t ops = 200000;
+    int reps = 3;
+    // Serial log-structured replay throughput of the std::map-based
+    // seed implementation on the reference box (see
+    // docs/performance.md); override when re-baselining.
+    double baseline_ops = 1.136e6;
+    std::vector<char *> pass;
+    pass.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
+        else if (arg.rfind("--ops=", 0) == 0)
+            ops = std::stoull(arg.substr(6));
+        else if (arg.rfind("--reps=", 0) == 0)
+            reps = std::stoi(arg.substr(7));
+        else if (arg.rfind("--baseline-ops=", 0) == 0)
+            baseline_ops = std::stod(arg.substr(15));
+        else
+            pass.push_back(argv[i]);
+    }
+    if (!json_path.empty())
+        return runJsonMode(json_path, ops, reps, baseline_ops);
+
+    int pass_argc = static_cast<int>(pass.size());
+    benchmark::Initialize(&pass_argc, pass.data());
+    if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                               pass.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

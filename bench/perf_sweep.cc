@@ -98,6 +98,36 @@ deterministicForm(const sweep::SweepResult &sweep)
     return out.str();
 }
 
+/**
+ * Serial opsPerSec of the checked-in baseline report at `path`, or
+ * 0 when the file or field is absent. Scanned before the file is
+ * overwritten, so every run prints its ratio against the previous
+ * checked-in numbers.
+ */
+double
+baselineSerialOpsPerSec(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        return 0.0;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const std::string doc = buffer.str();
+    const std::string serial_key = "\"serial\":";
+    const std::size_t serial_at = doc.find(serial_key);
+    if (serial_at == std::string::npos)
+        return 0.0;
+    const std::string ops_key = "\"opsPerSec\":";
+    const std::size_t ops_at = doc.find(ops_key, serial_at);
+    if (ops_at == std::string::npos)
+        return 0.0;
+    try {
+        return std::stod(doc.substr(ops_at + ops_key.size()));
+    } catch (const std::exception &) {
+        return 0.0;
+    }
+}
+
 } // namespace
 
 int
@@ -122,6 +152,9 @@ main(int argc, char **argv)
     std::cout << "perf_sweep: Figure 11 sweep at scale "
               << cli->profile.scale << ", serial vs " << parallel_jobs
               << " jobs\n";
+
+    // Read the previous checked-in numbers before overwriting them.
+    const double baseline_ops = baselineSerialOpsPerSec(path);
 
     const sweep::SweepResult serial = runOnce(cli->profile, 1);
     const sweep::SweepResult parallel =
@@ -150,6 +183,10 @@ main(int argc, char **argv)
             ? instrumented.telemetry.wallSec /
                   serial.telemetry.wallSec
             : 0.0;
+    const double serial_ratio =
+        baseline_ops > 0.0
+            ? serial.telemetry.opsPerSec() / baseline_ops
+            : 0.0;
 
     std::ostringstream json;
     json.precision(6);
@@ -172,6 +209,8 @@ main(int argc, char **argv)
          << ", \"opsPerSec\": " << parallel.telemetry.opsPerSec()
          << ", \"steals\": " << parallel.telemetry.steals << "},\n"
          << "  \"speedup\": " << speedup << ",\n"
+         << "  \"serialRatioVsBaseline\": " << serial_ratio
+         << ",\n"
          << "  \"telemetry\": {\"jobs\": 1, \"wallSec\": "
          << instrumented.telemetry.wallSec << ", \"opsPerSec\": "
          << instrumented.telemetry.opsPerSec()
@@ -189,6 +228,11 @@ main(int argc, char **argv)
     file << json.str();
 
     std::cout << json.str();
+    if (baseline_ops > 0.0)
+        std::cout << "serial ops/sec vs checked-in baseline: "
+                  << serial_ratio << "x (" << baseline_ops
+                  << " -> " << serial.telemetry.opsPerSec()
+                  << ")\n";
     std::cout << (deterministic
                       ? "serial and parallel sweeps byte-identical\n"
                       : "MISMATCH between serial and parallel!\n");

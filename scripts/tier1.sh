@@ -10,9 +10,18 @@
 #            its pool, watchdog, cancellation, checkpoint/resume
 #            paths and the sharded telemetry metrics)
 #
+# The extra mode `bench-smoke` builds the default preset's
+# perf_extent_map / perf_simulator benchmarks and runs them at
+# reduced iterations, writing BENCH_extent_map.smoke.json — a quick
+# sanity check that the translation hot path still beats the
+# preserved std::map reference (CI uploads the file as an artifact;
+# the checked-in BENCH_extent_map.json is regenerated manually at
+# full iterations).
+#
 # Usage:
 #   scripts/tier1.sh            # all three presets
 #   scripts/tier1.sh default    # just one
+#   scripts/tier1.sh bench-smoke
 #   JOBS=8 scripts/tier1.sh     # override the build parallelism
 
 set -euo pipefail
@@ -25,7 +34,22 @@ if [ "${#PRESETS[@]}" -eq 0 ]; then
     PRESETS=(default asan tsan)
 fi
 
+run_bench_smoke() {
+    echo "==> tier1: bench-smoke"
+    cmake --preset default
+    cmake --build --preset default -j "${JOBS}" \
+        --target perf_extent_map perf_simulator
+    build/bench/perf_extent_map \
+        --json=BENCH_extent_map.smoke.json --translate-iters=50000
+    build/bench/perf_simulator \
+        --json=BENCH_extent_map.smoke.json --ops=20000 --reps=1
+}
+
 for preset in "${PRESETS[@]}"; do
+    if [ "${preset}" = "bench-smoke" ]; then
+        run_bench_smoke
+        continue
+    fi
     echo "==> tier1: preset '${preset}'"
     cmake --preset "${preset}"
     cmake --build --preset "${preset}" -j "${JOBS}"

@@ -1,6 +1,6 @@
 #include "pba_cache.h"
 
-#include <vector>
+#include <algorithm>
 
 #include "util/logging.h"
 
@@ -13,6 +13,80 @@ PbaRangeCache::PbaRangeCache(std::uint64_t capacity_bytes,
 {
 }
 
+void
+PbaRangeCache::pushFront(RangeNode *node)
+{
+    node->prev = nullptr;
+    node->next = head_;
+    if (head_ != nullptr)
+        head_->prev = node;
+    head_ = node;
+    if (tail_ == nullptr)
+        tail_ = node;
+}
+
+void
+PbaRangeCache::unlink(RangeNode *node)
+{
+    if (node->prev != nullptr)
+        node->prev->next = node->next;
+    else
+        head_ = node->next;
+    if (node->next != nullptr)
+        node->next->prev = node->prev;
+    else
+        tail_ = node->prev;
+    node->prev = nullptr;
+    node->next = nullptr;
+}
+
+void
+PbaRangeCache::moveToFront(RangeNode *node)
+{
+    if (head_ == node)
+        return;
+    unlink(node);
+    pushFront(node);
+}
+
+PbaRangeCache::RangeNode *
+PbaRangeCache::allocNode()
+{
+    if (freeList_ != nullptr) {
+        RangeNode *node = freeList_;
+        freeList_ = node->next;
+        node->prev = nullptr;
+        node->next = nullptr;
+        return node;
+    }
+    if (blockUsed_ == blocks_.size() * kNodesPerBlock)
+        blocks_.push_back(
+            std::make_unique<RangeNode[]>(kNodesPerBlock));
+    RangeNode *node = &blocks_[blockUsed_ / kNodesPerBlock]
+                             [blockUsed_ % kNodesPerBlock];
+    ++blockUsed_;
+    return node;
+}
+
+void
+PbaRangeCache::freeNode(RangeNode *node)
+{
+    node->prev = nullptr;
+    node->next = freeList_;
+    freeList_ = node;
+}
+
+std::size_t
+PbaRangeCache::indexLowerBound(std::uint64_t start) const
+{
+    const auto it = std::lower_bound(
+        index_.begin(), index_.end(), start,
+        [](const RangeNode *node, std::uint64_t key) {
+            return node->extent.start < key;
+        });
+    return static_cast<std::size_t>(it - index_.begin());
+}
+
 bool
 PbaRangeCache::contains(const SectorExtent &extent)
 {
@@ -21,19 +95,23 @@ PbaRangeCache::contains(const SectorExtent &extent)
 
     // Collect the entries overlapping extent, left to right, and
     // check they tile it without gaps.
-    std::vector<RecencyList::iterator> covering;
+    coveringScratch_.clear();
     std::uint64_t cursor = extent.start;
 
-    auto it = byStart_.upper_bound(extent.start);
-    if (it != byStart_.begin())
-        --it;
-    for (; it != byStart_.end() && it->first < extent.end(); ++it) {
-        const SectorExtent &entry = *it->second;
+    // Start at the last entry with start <= extent.start (it may
+    // cover the range's head), like map::upper_bound then --it.
+    std::size_t i = indexLowerBound(extent.start + 1);
+    if (i > 0)
+        --i;
+    for (; i < index_.size() &&
+           index_[i]->extent.start < extent.end();
+         ++i) {
+        const SectorExtent &entry = index_[i]->extent;
         if (entry.end() <= cursor)
             continue;
         if (entry.start > cursor)
             return false; // gap before this entry
-        covering.push_back(it->second);
+        coveringScratch_.push_back(index_[i]);
         cursor = entry.end();
         if (cursor >= extent.end())
             break;
@@ -42,8 +120,8 @@ PbaRangeCache::contains(const SectorExtent &extent)
         return false;
 
     if (policy_ == EvictionPolicy::Lru) {
-        for (auto entry_it : covering)
-            recency_.splice(recency_.begin(), recency_, entry_it);
+        for (RangeNode *node : coveringScratch_)
+            moveToFront(node);
     }
     return true;
 }
@@ -55,54 +133,76 @@ PbaRangeCache::insert(const SectorExtent &extent)
         return;
 
     // Find the uncovered subranges of extent.
-    std::vector<SectorExtent> missing;
+    missingScratch_.clear();
     std::uint64_t cursor = extent.start;
 
-    auto it = byStart_.upper_bound(extent.start);
-    if (it != byStart_.begin())
-        --it;
-    for (; it != byStart_.end() && it->first < extent.end(); ++it) {
-        const SectorExtent &entry = *it->second;
+    std::size_t i = indexLowerBound(extent.start + 1);
+    if (i > 0)
+        --i;
+    for (; i < index_.size() &&
+           index_[i]->extent.start < extent.end();
+         ++i) {
+        const SectorExtent &entry = index_[i]->extent;
         if (entry.end() <= cursor)
             continue;
         if (entry.start > cursor)
-            missing.push_back({cursor, entry.start - cursor});
+            missingScratch_.push_back(
+                {cursor, entry.start - cursor});
         cursor = std::max(cursor, entry.end());
         if (cursor >= extent.end())
             break;
     }
     if (cursor < extent.end())
-        missing.push_back({cursor, extent.end() - cursor});
+        missingScratch_.push_back({cursor, extent.end() - cursor});
 
-    for (const auto &piece : missing) {
-        recency_.push_front(piece);
-        byStart_.emplace(piece.start, recency_.begin());
+    for (const auto &piece : missingScratch_) {
+        RangeNode *node = allocNode();
+        node->extent = piece;
+        pushFront(node);
+        index_.insert(index_.begin() +
+                          static_cast<std::ptrdiff_t>(
+                              indexLowerBound(piece.start)),
+                      node);
         usedBytes_ += piece.bytes();
     }
 
-    while (usedBytes_ > capacityBytes_ && !recency_.empty())
+    while (usedBytes_ > capacityBytes_ && tail_ != nullptr)
         evictOne();
 }
 
 void
 PbaRangeCache::evictOne()
 {
-    panicIf(recency_.empty(), "PbaRangeCache::evictOne: cache empty");
-    const SectorExtent victim = recency_.back();
-    recency_.pop_back();
-    const auto erased = byStart_.erase(victim.start);
-    panicIf(erased != 1, "PbaRangeCache: index out of sync");
-    panicIf(usedBytes_ < victim.bytes(),
+    panicIf(tail_ == nullptr, "PbaRangeCache::evictOne: cache empty");
+    RangeNode *victim = tail_;
+    const SectorExtent extent = victim->extent;
+
+    const std::size_t pos = indexLowerBound(extent.start);
+    panicIf(pos >= index_.size() || index_[pos] != victim,
+            "PbaRangeCache: index out of sync");
+    index_.erase(index_.begin() +
+                 static_cast<std::ptrdiff_t>(pos));
+
+    panicIf(usedBytes_ < extent.bytes(),
             "PbaRangeCache: byte accounting underflow");
-    usedBytes_ -= victim.bytes();
+    usedBytes_ -= extent.bytes();
+    unlink(victim);
+    freeNode(victim);
     ++evictions_;
 }
 
 void
 PbaRangeCache::clear()
 {
-    recency_.clear();
-    byStart_.clear();
+    RangeNode *node = head_;
+    while (node != nullptr) {
+        RangeNode *next = node->next;
+        freeNode(node);
+        node = next;
+    }
+    head_ = nullptr;
+    tail_ = nullptr;
+    index_.clear();
     usedBytes_ = 0;
 }
 

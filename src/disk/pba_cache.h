@@ -11,14 +11,22 @@
  * Because the simulated disk is infinite, physical sectors are
  * written at most once, so cached ranges can never hold stale data
  * and no invalidation path is required (see DESIGN.md §6).
+ *
+ * Layout: range nodes come from a chunked pool and are threaded on
+ * an intrusive doubly-linked recency list (front = most recent);
+ * lookups go through a flat array of node pointers sorted by start
+ * sector. Refreshes and evictions are pointer relinks, and the
+ * lookup/insert scratch vectors are members, so the steady state
+ * performs no heap allocation (the old std::list + std::map design
+ * allocated on every insert and eviction).
  */
 
 #ifndef LOGSEEK_DISK_PBA_CACHE_H
 #define LOGSEEK_DISK_PBA_CACHE_H
 
 #include <cstdint>
-#include <list>
-#include <map>
+#include <memory>
+#include <vector>
 
 #include "util/extent.h"
 
@@ -42,6 +50,9 @@ class PbaRangeCache
      * @param policy Replacement policy.
      */
     PbaRangeCache(std::uint64_t capacity_bytes, EvictionPolicy policy);
+
+    PbaRangeCache(const PbaRangeCache &) = delete;
+    PbaRangeCache &operator=(const PbaRangeCache &) = delete;
 
     /**
      * True if extent is fully covered by resident ranges. Under LRU
@@ -67,13 +78,34 @@ class PbaRangeCache
     std::uint64_t capacityBytes() const { return capacityBytes_; }
 
     /** Number of resident (non-overlapping) ranges. */
-    std::size_t entryCount() const { return byStart_.size(); }
+    std::size_t entryCount() const { return index_.size(); }
 
     /** Total entries evicted since construction. */
     std::uint64_t evictionCount() const { return evictions_; }
 
   private:
-    using RecencyList = std::list<SectorExtent>;
+    /** One resident range, linked into the recency list. `next`
+     *  doubles as the free-list link while the node is pooled. */
+    struct RangeNode
+    {
+        SectorExtent extent;
+        RangeNode *prev = nullptr;
+        RangeNode *next = nullptr;
+    };
+
+    /** Link node at the recency front (most recent). */
+    void pushFront(RangeNode *node);
+
+    /** Unlink node from the recency list. */
+    void unlink(RangeNode *node);
+
+    void moveToFront(RangeNode *node);
+
+    RangeNode *allocNode();
+    void freeNode(RangeNode *node);
+
+    /** First index position with entry start >= start. */
+    std::size_t indexLowerBound(std::uint64_t start) const;
 
     void evictOne();
 
@@ -82,11 +114,23 @@ class PbaRangeCache
     std::uint64_t usedBytes_ = 0;
     std::uint64_t evictions_ = 0;
 
-    /** Front = most recently inserted/refreshed. */
-    RecencyList recency_;
+    /** Recency list: head_ = most recent, tail_ = next victim. */
+    RangeNode *head_ = nullptr;
+    RangeNode *tail_ = nullptr;
 
-    /** Start sector -> entry; entries never overlap. */
-    std::map<std::uint64_t, RecencyList::iterator> byStart_;
+    /** Node pointers sorted by extent.start; entries never
+     *  overlap. */
+    std::vector<RangeNode *> index_;
+
+    /** Chunked node pool with an intrusive free list. */
+    static constexpr std::size_t kNodesPerBlock = 64;
+    std::vector<std::unique_ptr<RangeNode[]>> blocks_;
+    std::size_t blockUsed_ = 0;
+    RangeNode *freeList_ = nullptr;
+
+    /** Reusable scratches for contains()/insert(). */
+    std::vector<RangeNode *> coveringScratch_;
+    std::vector<SectorExtent> missingScratch_;
 };
 
 } // namespace logseek::disk

@@ -5,18 +5,22 @@
 namespace logseek::stl
 {
 
-std::vector<Segment>
-ConventionalLayer::translateRead(const SectorExtent &extent) const
+void
+ConventionalLayer::translateReadInto(const SectorExtent &extent,
+                                     SegmentBuffer &out) const
 {
     panicIf(extent.empty(), "ConventionalLayer: empty read");
-    return {Segment{extent, extent.start, true}};
+    out.clear();
+    out.push(Segment{extent, extent.start, true});
 }
 
-std::vector<Segment>
-ConventionalLayer::placeWrite(const SectorExtent &extent)
+void
+ConventionalLayer::placeWriteInto(const SectorExtent &extent,
+                                  SegmentBuffer &out)
 {
     panicIf(extent.empty(), "ConventionalLayer: empty write");
-    return {Segment{extent, extent.start, true}};
+    out.clear();
+    out.push(Segment{extent, extent.start, true});
 }
 
 } // namespace logseek::stl

@@ -20,11 +20,11 @@ namespace logseek::stl
 class ConventionalLayer : public TranslationLayer
 {
   public:
-    std::vector<Segment>
-    translateRead(const SectorExtent &extent) const override;
+    void translateReadInto(const SectorExtent &extent,
+                           SegmentBuffer &out) const override;
 
-    std::vector<Segment>
-    placeWrite(const SectorExtent &extent) override;
+    void placeWriteInto(const SectorExtent &extent,
+                        SegmentBuffer &out) override;
 
     std::size_t staticFragmentCount() const override { return 0; }
 

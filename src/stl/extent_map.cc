@@ -1,59 +1,533 @@
 #include "extent_map.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace logseek::stl
 {
 
+ExtentMap::ExtentMap()
+{
+    auto &registry = telemetry::Registry::global();
+    cursorHits_ = &registry.counter("extent_map_cursor_hits_total");
+    nodeSplits_ = &registry.counter("extent_map_node_splits_total");
+}
+
+ExtentMap::~ExtentMap() = default;
+
+ExtentMap::ExtentMap(ExtentMap &&other) noexcept
+    : root_(other.root_), height_(other.height_),
+      firstLeaf_(other.firstLeaf_), lastLeaf_(other.lastLeaf_),
+      cursor_(other.cursor_), entryCount_(other.entryCount_),
+      mappedSectors_(other.mappedSectors_),
+      leafBlocks_(std::move(other.leafBlocks_)),
+      leafBlockUsed_(other.leafBlockUsed_),
+      leafFree_(other.leafFree_),
+      innerBlocks_(std::move(other.innerBlocks_)),
+      innerBlockUsed_(other.innerBlockUsed_),
+      innerFree_(other.innerFree_), cursorHits_(other.cursorHits_),
+      nodeSplits_(other.nodeSplits_)
+{
+    other.root_ = nullptr;
+    other.height_ = 0;
+    other.firstLeaf_ = other.lastLeaf_ = other.cursor_ = nullptr;
+    other.entryCount_ = 0;
+    other.mappedSectors_ = 0;
+    other.leafBlockUsed_ = 0;
+    other.leafFree_ = nullptr;
+    other.innerBlockUsed_ = 0;
+    other.innerFree_ = nullptr;
+}
+
+ExtentMap &
+ExtentMap::operator=(ExtentMap &&other) noexcept
+{
+    if (this != &other) {
+        std::swap(root_, other.root_);
+        std::swap(height_, other.height_);
+        std::swap(firstLeaf_, other.firstLeaf_);
+        std::swap(lastLeaf_, other.lastLeaf_);
+        std::swap(cursor_, other.cursor_);
+        std::swap(entryCount_, other.entryCount_);
+        std::swap(mappedSectors_, other.mappedSectors_);
+        leafBlocks_.swap(other.leafBlocks_);
+        std::swap(leafBlockUsed_, other.leafBlockUsed_);
+        std::swap(leafFree_, other.leafFree_);
+        innerBlocks_.swap(other.innerBlocks_);
+        std::swap(innerBlockUsed_, other.innerBlockUsed_);
+        std::swap(innerFree_, other.innerFree_);
+        std::swap(cursorHits_, other.cursorHits_);
+        std::swap(nodeSplits_, other.nodeSplits_);
+    }
+    return *this;
+}
+
+ExtentMap::Leaf *
+ExtentMap::allocLeaf()
+{
+    if (leafFree_ != nullptr) {
+        Leaf *leaf = leafFree_;
+        leafFree_ = leaf->next;
+        leaf->n = 0;
+        leaf->prev = leaf->next = nullptr;
+        leaf->parent = nullptr;
+        return leaf;
+    }
+    if (leafBlocks_.empty() || leafBlockUsed_ == kNodesPerBlock) {
+        leafBlocks_.push_back(
+            std::make_unique<Leaf[]>(kNodesPerBlock));
+        leafBlockUsed_ = 0;
+    }
+    return &leafBlocks_.back()[leafBlockUsed_++];
+}
+
+void
+ExtentMap::freeLeaf(Leaf *leaf)
+{
+    if (cursor_ == leaf)
+        cursor_ = nullptr;
+    leaf->next = leafFree_;
+    leafFree_ = leaf;
+}
+
+ExtentMap::Inner *
+ExtentMap::allocInner()
+{
+    if (innerFree_ != nullptr) {
+        Inner *inner = innerFree_;
+        innerFree_ = inner->parent;
+        inner->n = 0;
+        inner->parent = nullptr;
+        inner->leafChildren = true;
+        return inner;
+    }
+    if (innerBlocks_.empty() || innerBlockUsed_ == kNodesPerBlock) {
+        innerBlocks_.push_back(
+            std::make_unique<Inner[]>(kNodesPerBlock));
+        innerBlockUsed_ = 0;
+    }
+    return &innerBlocks_.back()[innerBlockUsed_++];
+}
+
+void
+ExtentMap::freeInner(Inner *inner)
+{
+    // The parent pointer doubles as the free-list link.
+    inner->parent = innerFree_;
+    innerFree_ = inner;
+}
+
+ExtentMap::Leaf *
+ExtentMap::descend(Lba lba) const
+{
+    if (root_ == nullptr)
+        return nullptr;
+    void *node = root_;
+    for (std::uint32_t level = height_; level > 0; --level) {
+        const Inner *inner = static_cast<const Inner *>(node);
+        // First child whose separator exceeds lba; keys[0] is
+        // conceptual negative infinity, so the search starts at 1.
+        std::uint32_t lo = 1;
+        std::uint32_t hi = inner->n;
+        while (lo < hi) {
+            const std::uint32_t mid = (lo + hi) / 2;
+            if (inner->keys[mid] <= lba)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        node = inner->children[lo - 1];
+    }
+    return static_cast<Leaf *>(node);
+}
+
+ExtentMap::Leaf *
+ExtentMap::leafForRead(Lba lba) const
+{
+    // The cursor's window is [entries[0].lba, next leaf's first
+    // lba): any entry relevant to lba — its predecessor included —
+    // is reachable from this leaf via the chain, so the hit needs
+    // no descent and is immune to stale separators.
+    Leaf *c = cursor_;
+    if (c != nullptr && c->n > 0 && c->entries[0].lba <= lba &&
+        (c->next == nullptr || lba < c->next->entries[0].lba)) {
+        cursorHits_->add();
+        return c;
+    }
+    Leaf *leaf = descend(lba);
+    cursor_ = leaf;
+    return leaf;
+}
+
+ExtentMap::Pos
+ExtentMap::upperBound(Lba lba) const
+{
+    Leaf *leaf = leafForRead(lba);
+    if (leaf == nullptr)
+        return {};
+    std::uint32_t lo = 0;
+    std::uint32_t hi = leaf->n;
+    while (lo < hi) {
+        const std::uint32_t mid = (lo + hi) / 2;
+        if (leaf->entries[mid].lba <= lba)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < leaf->n)
+        return {leaf, lo};
+    return leaf->next != nullptr ? Pos{leaf->next, 0} : Pos{};
+}
+
+ExtentMap::Pos
+ExtentMap::lowerBound(Lba lba) const
+{
+    Leaf *leaf = leafForRead(lba);
+    if (leaf == nullptr)
+        return {};
+    std::uint32_t lo = 0;
+    std::uint32_t hi = leaf->n;
+    while (lo < hi) {
+        const std::uint32_t mid = (lo + hi) / 2;
+        if (leaf->entries[mid].lba < lba)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < leaf->n)
+        return {leaf, lo};
+    return leaf->next != nullptr ? Pos{leaf->next, 0} : Pos{};
+}
+
+bool
+ExtentMap::tryPrev(Pos &p) const
+{
+    if (p.leaf == nullptr) {
+        if (lastLeaf_ != nullptr && lastLeaf_->n > 0) {
+            p = {lastLeaf_, lastLeaf_->n - 1};
+            return true;
+        }
+        return false;
+    }
+    if (p.idx > 0) {
+        --p.idx;
+        return true;
+    }
+    if (p.leaf->prev != nullptr) {
+        p = {p.leaf->prev, p.leaf->prev->n - 1};
+        return true;
+    }
+    return false;
+}
+
+void
+ExtentMap::next(Pos &p) const
+{
+    if (++p.idx >= p.leaf->n)
+        p = p.leaf->next != nullptr ? Pos{p.leaf->next, 0} : Pos{};
+}
+
+void
+ExtentMap::insertIntoParent(void *left, Lba separator, void *right,
+                            bool children_are_leaves)
+{
+    Inner *parent =
+        children_are_leaves
+            ? static_cast<Leaf *>(left)->parent
+            : static_cast<Inner *>(left)->parent;
+
+    if (parent == nullptr) {
+        // left was the root; grow a new root above it.
+        Inner *root = allocInner();
+        root->leafChildren = children_are_leaves;
+        root->n = 2;
+        root->keys[0] = 0; // conceptual -inf, never compared
+        root->keys[1] = separator;
+        root->children[0] = left;
+        root->children[1] = right;
+        if (children_are_leaves) {
+            static_cast<Leaf *>(left)->parent = root;
+            static_cast<Leaf *>(right)->parent = root;
+        } else {
+            static_cast<Inner *>(left)->parent = root;
+            static_cast<Inner *>(right)->parent = root;
+        }
+        root_ = root;
+        ++height_;
+        return;
+    }
+
+    std::uint32_t pos = 0;
+    while (pos < parent->n && parent->children[pos] != left)
+        ++pos;
+    panicIf(pos == parent->n,
+            "ExtentMap: child not found in its parent");
+    std::uint32_t insert_idx = pos + 1;
+
+    Inner *target = parent;
+    if (parent->n == kNodeCapacity) {
+        // Split the parent, pushing its middle key up, then insert
+        // into whichever half now owns insert_idx's window.
+        constexpr std::uint32_t keep = kNodeCapacity / 2;
+        Inner *sibling = allocInner();
+        sibling->leafChildren = parent->leafChildren;
+        sibling->n = kNodeCapacity - keep;
+        const Lba up_key = parent->keys[keep];
+        for (std::uint32_t i = keep; i < kNodeCapacity; ++i) {
+            sibling->keys[i - keep] = parent->keys[i];
+            sibling->children[i - keep] = parent->children[i];
+            if (sibling->leafChildren)
+                static_cast<Leaf *>(parent->children[i])->parent =
+                    sibling;
+            else
+                static_cast<Inner *>(parent->children[i])->parent =
+                    sibling;
+        }
+        parent->n = keep;
+        nodeSplits_->add();
+        insertIntoParent(parent, up_key, sibling,
+                         /*children_are_leaves=*/false);
+        if (insert_idx > keep) {
+            target = sibling;
+            insert_idx -= keep;
+        }
+    }
+
+    panicIf(target->n >= kNodeCapacity,
+            "ExtentMap: inner node overflow");
+    for (std::uint32_t i = target->n; i > insert_idx; --i) {
+        target->keys[i] = target->keys[i - 1];
+        target->children[i] = target->children[i - 1];
+    }
+    target->keys[insert_idx] = separator;
+    target->children[insert_idx] = right;
+    ++target->n;
+    if (target->leafChildren)
+        static_cast<Leaf *>(right)->parent = target;
+    else
+        static_cast<Inner *>(right)->parent = target;
+}
+
+ExtentMap::Leaf *
+ExtentMap::splitLeaf(Leaf *leaf)
+{
+    constexpr std::uint32_t keep = kNodeCapacity / 2;
+    Leaf *right = allocLeaf();
+    right->n = leaf->n - keep;
+    std::memcpy(right->entries, leaf->entries + keep,
+                sizeof(Entry) * right->n);
+    leaf->n = keep;
+
+    right->prev = leaf;
+    right->next = leaf->next;
+    if (leaf->next != nullptr)
+        leaf->next->prev = right;
+    else
+        lastLeaf_ = right;
+    leaf->next = right;
+
+    nodeSplits_->add();
+    insertIntoParent(leaf, right->entries[0].lba, right,
+                     /*children_are_leaves=*/true);
+    return right;
+}
+
+ExtentMap::Pos
+ExtentMap::insertEntry(const Entry &entry)
+{
+    if (root_ == nullptr) {
+        Leaf *leaf = allocLeaf();
+        root_ = leaf;
+        height_ = 0;
+        firstLeaf_ = lastLeaf_ = leaf;
+    }
+
+    // Inserts must route through the separators (not the cursor):
+    // the routing invariant guarantees the routed leaf is also the
+    // globally sorted position.
+    Leaf *leaf = descend(entry.lba);
+    std::uint32_t lo = 0;
+    std::uint32_t hi = leaf->n;
+    while (lo < hi) {
+        const std::uint32_t mid = (lo + hi) / 2;
+        if (leaf->entries[mid].lba < entry.lba)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    panicIf(lo < leaf->n && leaf->entries[lo].lba == entry.lba,
+            "ExtentMap::mapRange: range not cleared");
+
+    if (leaf->n == kNodeCapacity) {
+        Leaf *right = splitLeaf(leaf);
+        // Equal-to-separator routes left (duplicates panic above),
+        // matching the strictly-greater window check.
+        if (lo > leaf->n) {
+            lo -= leaf->n;
+            leaf = right;
+        }
+    }
+
+    std::memmove(leaf->entries + lo + 1, leaf->entries + lo,
+                 sizeof(Entry) * (leaf->n - lo));
+    leaf->entries[lo] = entry;
+    ++leaf->n;
+    ++entryCount_;
+    cursor_ = leaf;
+    return {leaf, lo};
+}
+
+void
+ExtentMap::collapseRoot()
+{
+    while (height_ > 0) {
+        Inner *root = static_cast<Inner *>(root_);
+        if (root->n > 1)
+            return;
+        panicIf(root->n == 0, "ExtentMap: empty inner root");
+        root_ = root->children[0];
+        if (root->leafChildren)
+            static_cast<Leaf *>(root_)->parent = nullptr;
+        else
+            static_cast<Inner *>(root_)->parent = nullptr;
+        freeInner(root);
+        --height_;
+    }
+}
+
+void
+ExtentMap::removeChild(Inner *parent, const void *child)
+{
+    std::uint32_t pos = 0;
+    while (pos < parent->n && parent->children[pos] != child)
+        ++pos;
+    panicIf(pos == parent->n,
+            "ExtentMap: freed child not found in its parent");
+    for (std::uint32_t i = pos + 1; i < parent->n; ++i) {
+        parent->keys[i - 1] = parent->keys[i];
+        parent->children[i - 1] = parent->children[i];
+    }
+    --parent->n;
+
+    if (parent->n == 0) {
+        // Single-child chains below the root are never rebalanced,
+        // so a drained inner node cascades its own removal upward;
+        // a drained root means the tree is empty.
+        if (parent == root_) {
+            freeInner(parent);
+            root_ = nullptr;
+            height_ = 0;
+            return;
+        }
+        Inner *grand = parent->parent;
+        freeInner(parent);
+        removeChild(grand, parent);
+        return;
+    }
+    if (parent == root_)
+        collapseRoot();
+}
+
+void
+ExtentMap::removeLeaf(Leaf *leaf)
+{
+    if (leaf->prev != nullptr)
+        leaf->prev->next = leaf->next;
+    else
+        firstLeaf_ = leaf->next;
+    if (leaf->next != nullptr)
+        leaf->next->prev = leaf->prev;
+    else
+        lastLeaf_ = leaf->prev;
+
+    Inner *parent = leaf->parent;
+    freeLeaf(leaf);
+    if (parent == nullptr) {
+        // The leaf was the root.
+        root_ = nullptr;
+        height_ = 0;
+        firstLeaf_ = lastLeaf_ = nullptr;
+        return;
+    }
+    removeChild(parent, leaf);
+}
+
+ExtentMap::Pos
+ExtentMap::erasePos(Pos p)
+{
+    Leaf *leaf = p.leaf;
+    std::memmove(leaf->entries + p.idx, leaf->entries + p.idx + 1,
+                 sizeof(Entry) * (leaf->n - p.idx - 1));
+    --leaf->n;
+    --entryCount_;
+
+    if (leaf->n == 0) {
+        Leaf *following = leaf->next;
+        removeLeaf(leaf);
+        return following != nullptr ? Pos{following, 0} : Pos{};
+    }
+    if (p.idx < leaf->n)
+        return p;
+    return leaf->next != nullptr ? Pos{leaf->next, 0} : Pos{};
+}
+
 void
 ExtentMap::splitAt(Lba sector)
 {
-    auto it = entries_.upper_bound(sector);
-    if (it == entries_.begin())
+    Pos p = upperBound(sector);
+    if (!tryPrev(p))
         return;
-    --it;
-    const Lba entry_lba = it->first;
-    const Entry entry = it->second;
-    if (entry_lba >= sector || entry_lba + entry.count <= sector)
+    Entry &entry = p.leaf->entries[p.idx];
+    if (entry.lba >= sector || entry.lba + entry.count <= sector)
         return;
 
-    const SectorCount left_count = sector - entry_lba;
-    it->second.count = left_count;
-    entries_.emplace(sector, Entry{entry.pba + left_count,
-                                   entry.count - left_count});
+    const SectorCount left_count = sector - entry.lba;
+    const Entry right{sector, entry.pba + left_count,
+                      entry.count - left_count};
+    entry.count = left_count;
+    insertEntry(right);
 }
 
 void
 ExtentMap::eraseRange(Lba lo, Lba hi,
                       std::vector<SectorExtent> *displaced)
 {
-    auto it = entries_.lower_bound(lo);
-    while (it != entries_.end() && it->first < hi) {
-        panicIf(it->first + it->second.count > hi,
+    Pos it = lowerBound(lo);
+    while (it.leaf != nullptr && it.leaf->entries[it.idx].lba < hi) {
+        const Entry &entry = it.leaf->entries[it.idx];
+        panicIf(entry.lba + entry.count > hi,
                 "ExtentMap::eraseRange: entry crosses range end");
         if (displaced != nullptr)
             displaced->push_back(
-                SectorExtent{it->second.pba, it->second.count});
-        mappedSectors_ -= it->second.count;
-        it = entries_.erase(it);
+                SectorExtent{entry.pba, entry.count});
+        mappedSectors_ -= entry.count;
+        it = erasePos(it);
     }
 }
 
-std::map<Lba, ExtentMap::Entry>::iterator
-ExtentMap::tryMergeWithPrev(std::map<Lba, Entry>::iterator it)
+ExtentMap::Pos
+ExtentMap::tryMergeWithPrev(Pos p)
 {
-    if (it == entries_.begin() || it == entries_.end())
-        return it;
-    auto prev = std::prev(it);
-    const bool lba_adjacent =
-        prev->first + prev->second.count == it->first;
-    const bool pba_adjacent =
-        prev->second.pba + prev->second.count == it->second.pba;
+    if (p.leaf == nullptr)
+        return p;
+    Pos prev_pos = p;
+    if (!tryPrev(prev_pos))
+        return p;
+    Entry &prev = prev_pos.leaf->entries[prev_pos.idx];
+    const Entry &cur = p.leaf->entries[p.idx];
+    const bool lba_adjacent = prev.lba + prev.count == cur.lba;
+    const bool pba_adjacent = prev.pba + prev.count == cur.pba;
     if (!lba_adjacent || !pba_adjacent)
-        return it;
-    prev->second.count += it->second.count;
-    entries_.erase(it);
-    return prev;
+        return p;
+    // The merged run lives where prev already is, so its leaf keeps
+    // entries inside its routed window; erasing cur only shifts
+    // entries after it, leaving prev's slot intact.
+    prev.count += cur.count;
+    erasePos(p);
+    return prev_pos;
 }
 
 void
@@ -68,63 +542,97 @@ ExtentMap::mapRange(Lba lba, Pba pba, SectorCount count,
     splitAt(end);
     eraseRange(lba, end, displaced);
 
-    auto [it, inserted] = entries_.emplace(lba, Entry{pba, count});
-    panicIf(!inserted, "ExtentMap::mapRange: range not cleared");
+    Pos it = insertEntry(Entry{lba, pba, count});
     mappedSectors_ += count;
 
     // Coalesce with both neighbors where logically and physically
     // contiguous.
     it = tryMergeWithPrev(it);
-    auto next = std::next(it);
-    if (next != entries_.end())
-        tryMergeWithPrev(next);
+    Pos after = it;
+    next(after);
+    if (after.leaf != nullptr)
+        tryMergeWithPrev(after);
+}
+
+void
+ExtentMap::translateInto(const SectorExtent &extent,
+                         SegmentBuffer &out) const
+{
+    out.clear();
+    if (extent.empty())
+        return;
+
+    Lba cursor = extent.start;
+    const Lba end = extent.end();
+
+    Pos it = upperBound(cursor);
+    tryPrev(it);
+
+    auto emit_hole = [&out](Lba from, Lba to) {
+        out.push(Segment{SectorExtent{from, to - from}, from, false});
+    };
+
+    for (; it.leaf != nullptr && it.leaf->entries[it.idx].lba < end;
+         next(it)) {
+        const Entry &entry = it.leaf->entries[it.idx];
+        const Lba entry_end = entry.lba + entry.count;
+        if (entry_end <= cursor)
+            continue;
+        if (entry.lba > cursor)
+            emit_hole(cursor, entry.lba);
+        const Lba seg_lba = std::max(cursor, entry.lba);
+        const Lba seg_end = std::min(end, entry_end);
+        out.push(Segment{SectorExtent{seg_lba, seg_end - seg_lba},
+                         entry.pba + (seg_lba - entry.lba), true});
+        cursor = seg_end;
+        if (cursor >= end)
+            break;
+    }
+    if (it.leaf != nullptr)
+        cursor_ = it.leaf;
+    if (cursor < end)
+        emit_hole(cursor, end);
 }
 
 std::vector<Segment>
 ExtentMap::translate(const SectorExtent &extent) const
 {
-    std::vector<Segment> segments;
-    if (extent.empty())
-        return segments;
-
-    Lba cursor = extent.start;
-    const Lba end = extent.end();
-
-    auto it = entries_.upper_bound(cursor);
-    if (it != entries_.begin())
-        --it;
-
-    auto emit_hole = [&](Lba from, Lba to) {
-        segments.push_back(Segment{SectorExtent{from, to - from},
-                                   from, false});
-    };
-
-    for (; it != entries_.end() && it->first < end; ++it) {
-        const Lba entry_lba = it->first;
-        const Entry &entry = it->second;
-        const Lba entry_end = entry_lba + entry.count;
-        if (entry_end <= cursor)
-            continue;
-        if (entry_lba > cursor)
-            emit_hole(cursor, entry_lba);
-        const Lba seg_lba = std::max(cursor, entry_lba);
-        const Lba seg_end = std::min(end, entry_end);
-        segments.push_back(
-            Segment{SectorExtent{seg_lba, seg_end - seg_lba},
-                    entry.pba + (seg_lba - entry_lba), true});
-        cursor = seg_end;
-        if (cursor >= end)
-            break;
-    }
-    if (cursor < end)
-        emit_hole(cursor, end);
-    return segments;
+    SegmentBuffer buffer;
+    translateInto(extent, buffer);
+    return std::move(buffer).take();
 }
 
 std::size_t
 ExtentMap::fragmentCount(const SectorExtent &extent) const
 {
-    return translate(extent).size();
+    if (extent.empty())
+        return 0;
+
+    std::size_t fragments = 0;
+    Lba cursor = extent.start;
+    const Lba end = extent.end();
+
+    Pos it = upperBound(cursor);
+    tryPrev(it);
+
+    for (; it.leaf != nullptr && it.leaf->entries[it.idx].lba < end;
+         next(it)) {
+        const Entry &entry = it.leaf->entries[it.idx];
+        const Lba entry_end = entry.lba + entry.count;
+        if (entry_end <= cursor)
+            continue;
+        if (entry.lba > cursor)
+            ++fragments; // hole before this entry
+        ++fragments;     // the mapped run
+        cursor = std::min(end, entry_end);
+        if (cursor >= end)
+            break;
+    }
+    if (it.leaf != nullptr)
+        cursor_ = it.leaf;
+    if (cursor < end)
+        ++fragments; // trailing hole
+    return fragments;
 }
 
 } // namespace logseek::stl

@@ -117,10 +117,10 @@ FiniteLogStructuredLayer::openFreeSegment()
           "(cleaning could not keep up; increase capacityBytes)");
 }
 
-std::vector<Segment>
-FiniteLogStructuredLayer::append(Lba lba, SectorCount count)
+void
+FiniteLogStructuredLayer::append(Lba lba, SectorCount count,
+                                 SegmentBuffer &out)
 {
-    std::vector<Segment> placed;
     while (count > 0) {
         const Pba open_end =
             logStart_ +
@@ -133,9 +133,9 @@ FiniteLogStructuredLayer::append(Lba lba, SectorCount count)
         const SectorCount take =
             std::min<SectorCount>(count, open_limit - writePtr_);
 
-        std::vector<SectorExtent> displaced;
-        map_.mapRange(lba, writePtr_, take, &displaced);
-        for (const auto &dead : displaced) {
+        displacedScratch_.clear();
+        map_.mapRange(lba, writePtr_, take, &displacedScratch_);
+        for (const auto &dead : displacedScratch_) {
             // Identity holes are never in the forward map, so every
             // displaced range is log-resident.
             adjustLive(dead, false);
@@ -144,31 +144,31 @@ FiniteLogStructuredLayer::append(Lba lba, SectorCount count)
         reverse_.emplace(writePtr_, std::make_pair(lba, take));
         adjustLive({writePtr_, take}, true);
 
-        placed.push_back(
-            Segment{SectorExtent{lba, take}, writePtr_, true});
+        out.push(Segment{SectorExtent{lba, take}, writePtr_, true});
         writePtr_ += take;
         lba += take;
         count -= take;
     }
-    return placed;
 }
 
-std::vector<Segment>
-FiniteLogStructuredLayer::translateRead(
-    const SectorExtent &extent) const
+void
+FiniteLogStructuredLayer::translateReadInto(
+    const SectorExtent &extent, SegmentBuffer &out) const
 {
     panicIf(extent.empty(), "FiniteLogStructuredLayer: empty read");
-    return map_.translate(extent);
+    map_.translateInto(extent, out);
 }
 
-std::vector<Segment>
-FiniteLogStructuredLayer::placeWrite(const SectorExtent &extent)
+void
+FiniteLogStructuredLayer::placeWriteInto(const SectorExtent &extent,
+                                         SegmentBuffer &out)
 {
     panicIf(extent.empty(), "FiniteLogStructuredLayer: empty write");
     panicIf(extent.end() > logStart_,
             "FiniteLogStructuredLayer: workload LBA above the log "
             "start");
-    return append(extent.start, extent.count);
+    out.clear();
+    append(extent.start, extent.count, out);
 }
 
 std::size_t
@@ -253,7 +253,9 @@ FiniteLogStructuredLayer::maintenance()
                 continue;
             accesses.push_back(
                 {SectorExtent{pba, count}, trace::IoType::Read});
-            for (const Segment &segment : append(lba, count)) {
+            cleanScratch_.clear();
+            append(lba, count, cleanScratch_);
+            for (const Segment &segment : cleanScratch_) {
                 accesses.push_back({segment.physical(),
                                     trace::IoType::Write});
             }

@@ -63,11 +63,11 @@ class FiniteLogStructuredLayer : public TranslationLayer
     FiniteLogStructuredLayer(Pba identity_end,
                              const FiniteLogConfig &config = {});
 
-    std::vector<Segment>
-    translateRead(const SectorExtent &extent) const override;
+    void translateReadInto(const SectorExtent &extent,
+                           SegmentBuffer &out) const override;
 
-    std::vector<Segment>
-    placeWrite(const SectorExtent &extent) override;
+    void placeWriteInto(const SectorExtent &extent,
+                        SegmentBuffer &out) override;
 
     std::size_t staticFragmentCount() const override;
 
@@ -86,6 +86,13 @@ class FiniteLogStructuredLayer : public TranslationLayer
     relocate(const SectorExtent &extent)
     {
         return placeWrite(extent);
+    }
+
+    /** Allocation-free relocate for the replay hot path. */
+    void
+    relocateInto(const SectorExtent &extent, SegmentBuffer &out)
+    {
+        placeWriteInto(extent, out);
     }
 
     /** First physical sector of the log region. */
@@ -130,10 +137,11 @@ class FiniteLogStructuredLayer : public TranslationLayer
 
     /**
      * Append count sectors of lba at the frontier, updating both
-     * maps and liveness; returns the placed segments (split at
-     * segment boundaries). Does not run cleaning.
+     * maps and liveness; pushes the placed segments (split at
+     * segment boundaries) onto `out` without clearing it. Does not
+     * run cleaning.
      */
-    std::vector<Segment> append(Lba lba, SectorCount count);
+    void append(Lba lba, SectorCount count, SegmentBuffer &out);
 
     FiniteLogConfig config_;
     Pba logStart_;
@@ -149,6 +157,12 @@ class FiniteLogStructuredLayer : public TranslationLayer
     std::uint32_t openSegment_ = 0;
     Pba writePtr_;
     std::uint64_t cleanings_ = 0;
+
+    /** Reusable scratches: displaced ranges from mapRange and the
+     *  per-entry placements during cleaning. clear() keeps their
+     *  capacity, so steady-state appends do not allocate. */
+    std::vector<SectorExtent> displacedScratch_;
+    SegmentBuffer cleanScratch_;
 };
 
 } // namespace logseek::stl

@@ -30,30 +30,31 @@ LogStructuredLayer::zoneRemaining() const
     return zoneSectors_ - offset;
 }
 
-std::vector<Segment>
-LogStructuredLayer::translateRead(const SectorExtent &extent) const
+void
+LogStructuredLayer::translateReadInto(const SectorExtent &extent,
+                                      SegmentBuffer &out) const
 {
     panicIf(extent.empty(), "LogStructuredLayer: empty read");
-    return map_.translate(extent);
+    map_.translateInto(extent, out);
 }
 
-std::vector<Segment>
-LogStructuredLayer::placeWrite(const SectorExtent &extent)
+void
+LogStructuredLayer::placeWriteInto(const SectorExtent &extent,
+                                   SegmentBuffer &out)
 {
     panicIf(extent.empty(), "LogStructuredLayer: empty write");
     panicIf(extent.end() > logStart_,
             "LogStructuredLayer: workload LBA above the log start; "
             "construct with a larger initial frontier");
 
-    std::vector<Segment> placed;
+    out.clear();
     Lba lba = extent.start;
     SectorCount remaining = extent.count;
     while (remaining > 0) {
         const SectorCount take =
             std::min(remaining, zoneRemaining());
         map_.mapRange(lba, frontier_, take);
-        placed.push_back(
-            Segment{SectorExtent{lba, take}, frontier_, true});
+        out.push(Segment{SectorExtent{lba, take}, frontier_, true});
         lba += take;
         frontier_ += take;
         remaining -= take;
@@ -66,7 +67,6 @@ LogStructuredLayer::placeWrite(const SectorExtent &extent)
             }
         }
     }
-    return placed;
 }
 
 std::size_t

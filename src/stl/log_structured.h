@@ -52,11 +52,11 @@ class LogStructuredLayer : public TranslationLayer
     explicit LogStructuredLayer(Pba initial_frontier,
                                 std::optional<ZoneConfig> zones = {});
 
-    std::vector<Segment>
-    translateRead(const SectorExtent &extent) const override;
+    void translateReadInto(const SectorExtent &extent,
+                           SegmentBuffer &out) const override;
 
-    std::vector<Segment>
-    placeWrite(const SectorExtent &extent) override;
+    void placeWriteInto(const SectorExtent &extent,
+                        SegmentBuffer &out) override;
 
     std::size_t staticFragmentCount() const override;
 
@@ -71,6 +71,13 @@ class LogStructuredLayer : public TranslationLayer
     relocate(const SectorExtent &extent)
     {
         return placeWrite(extent);
+    }
+
+    /** Allocation-free relocate for the replay hot path. */
+    void
+    relocateInto(const SectorExtent &extent, SegmentBuffer &out)
+    {
+        placeWriteInto(extent, out);
     }
 
     /** Physical sector the next write will start at. */

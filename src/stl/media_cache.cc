@@ -26,15 +26,17 @@ MediaCacheLayer::MediaCacheLayer(Pba data_zone_end,
             "MediaCacheLayer: merge threshold must be in (0, 1]");
 }
 
-std::vector<Segment>
-MediaCacheLayer::translateRead(const SectorExtent &extent) const
+void
+MediaCacheLayer::translateReadInto(const SectorExtent &extent,
+                                   SegmentBuffer &out) const
 {
     panicIf(extent.empty(), "MediaCacheLayer: empty read");
-    return map_.translate(extent);
+    map_.translateInto(extent, out);
 }
 
-std::vector<Segment>
-MediaCacheLayer::placeWrite(const SectorExtent &extent)
+void
+MediaCacheLayer::placeWriteInto(const SectorExtent &extent,
+                                SegmentBuffer &out)
 {
     panicIf(extent.empty(), "MediaCacheLayer: empty write");
     panicIf(extent.end() > dataZoneEnd_,
@@ -44,7 +46,8 @@ MediaCacheLayer::placeWrite(const SectorExtent &extent)
     map_.mapRange(extent.start, placed, extent.count);
     cachePtr_ += extent.count;
     cacheUsed_ += extent.count;
-    return {Segment{extent, placed, true}};
+    out.clear();
+    out.push(Segment{extent, placed, true});
 }
 
 std::size_t

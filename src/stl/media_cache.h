@@ -63,11 +63,11 @@ class MediaCacheLayer : public TranslationLayer
     MediaCacheLayer(Pba data_zone_end,
                     const MediaCacheConfig &config = {});
 
-    std::vector<Segment>
-    translateRead(const SectorExtent &extent) const override;
+    void translateReadInto(const SectorExtent &extent,
+                           SegmentBuffer &out) const override;
 
-    std::vector<Segment>
-    placeWrite(const SectorExtent &extent) override;
+    void placeWriteInto(const SectorExtent &extent,
+                        SegmentBuffer &out) override;
 
     std::size_t staticFragmentCount() const override;
 

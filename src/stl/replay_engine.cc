@@ -21,10 +21,11 @@ namespace
 
 /**
  * Relocation callback for the defrag trigger: rewrites an LBA range
- * contiguously at the layer's write frontier.
+ * contiguously at the layer's write frontier, filling the caller's
+ * reusable buffer with the placed segments.
  */
 using RelocateFn =
-    std::function<std::vector<Segment>(const SectorExtent &)>;
+    std::function<void(const SectorExtent &, SegmentBuffer &)>;
 
 /** §IV-C selective caching: serves fragments of fragmented reads. */
 class SelectiveCacheStage : public ReadStage
@@ -176,7 +177,9 @@ class DefragStage : public ReadStage
         // log head, paying one extra (write) seek.
         if (!defrag_.onRead(record.extent, event.segments.size()))
             return;
-        event.defragSegments = relocate_(record.extent);
+        relocate_(record.extent, scratch_);
+        event.defragSegments.assign(scratch_.begin(),
+                                    scratch_.end());
         accounting_.defragRewrite(event, record.extent.bytes());
         for (const auto &segment : event.defragSegments)
             accounting_.hostAccess(event, segment.physical(),
@@ -187,6 +190,7 @@ class DefragStage : public ReadStage
     Defragmenter defrag_;
     RelocateFn relocate_;
     Accounting &accounting_;
+    SegmentBuffer scratch_;
 };
 
 } // namespace
@@ -287,16 +291,18 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
     if (config_.translation == TranslationKind::LogStructured) {
         auto ls = std::make_unique<LogStructuredLayer>(
             trace.addressSpaceEnd(), config_.zones);
-        relocate = [raw = ls.get()](const SectorExtent &extent) {
-            return raw->relocate(extent);
+        relocate = [raw = ls.get()](const SectorExtent &extent,
+                                    SegmentBuffer &out) {
+            raw->relocateInto(extent, out);
         };
         layer_ = std::move(ls);
     } else if (config_.translation ==
                TranslationKind::FiniteLogStructured) {
         auto fl = std::make_unique<FiniteLogStructuredLayer>(
             trace.addressSpaceEnd(), config_.finiteLog);
-        relocate = [raw = fl.get()](const SectorExtent &extent) {
-            return raw->relocate(extent);
+        relocate = [raw = fl.get()](const SectorExtent &extent,
+                                    SegmentBuffer &out) {
+            raw->relocateInto(extent, out);
         };
         cleaningMerges_ = [raw = fl.get()] {
             return raw->cleanings();
@@ -329,6 +335,8 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
 
     readLatency_ = &telemetry::Registry::global().histogram(
         "replay_read_latency_ns");
+    translateLatency_ = &telemetry::Registry::global().histogram(
+        "replay_translate_latency_ns");
 }
 
 ReplayEngine::~ReplayEngine() = default;
@@ -336,6 +344,10 @@ ReplayEngine::~ReplayEngine() = default;
 SimResult
 ReplayEngine::run()
 {
+    // One IoEvent reused across the whole replay: reset() keeps the
+    // segment/seek vectors' capacity, so the per-record loop stops
+    // allocating once warmed up.
+    IoEvent event;
     std::uint64_t op_index = 0;
     for (const auto &record : trace_) {
         // Cooperative cancellation point: checked once per record
@@ -346,7 +358,7 @@ ReplayEngine::run()
             throw StatusError(cancel_.toStatus(
                 "replay of trace '" + trace_.name() + "'"));
 
-        IoEvent event;
+        event.reset();
         event.opIndex = op_index++;
         event.record = record;
 
@@ -403,7 +415,9 @@ ReplayEngine::handleWrite(const trace::IoRecord &record,
                           IoEvent &event)
 {
     accounting_.beginWrite(record.extent.bytes());
-    event.segments = layer_->placeWrite(record.extent);
+    layer_->placeWriteInto(record.extent, segmentScratch_);
+    event.segments.assign(segmentScratch_.begin(),
+                          segmentScratch_.end());
     for (const auto &segment : event.segments)
         accounting_.hostAccess(event, segment.physical(),
                                trace::IoType::Write);
@@ -415,8 +429,14 @@ ReplayEngine::handleRead(const trace::IoRecord &record,
 {
     const telemetry::ScopedTimer timer(readLatency_);
     accounting_.beginRead();
-    event.segments = mergePhysicallyContiguous(
-        layer_->translateRead(record.extent));
+    {
+        const telemetry::ScopedTimer translate_timer(
+            translateLatency_);
+        layer_->translateReadInto(record.extent, segmentScratch_);
+    }
+    mergePhysicallyContiguousInPlace(segmentScratch_);
+    event.segments.assign(segmentScratch_.begin(),
+                          segmentScratch_.end());
     accounting_.readFragmentation(event.segments.size());
     const bool fragmented = event.segments.size() >= 2;
 

@@ -92,6 +92,13 @@ class ReplayEngine
     /** End-to-end latency of one logical read (telemetry). */
     telemetry::LatencyHistogram *readLatency_ = nullptr;
 
+    /** Latency of the translate step alone (telemetry). */
+    telemetry::LatencyHistogram *translateLatency_ = nullptr;
+
+    /** Reusable per-request scratch for layer results; clear()
+     *  keeps capacity, so steady-state requests do not allocate. */
+    SegmentBuffer segmentScratch_;
+
     /** Samples the layer's merge/cleaning counter; may be empty. */
     std::function<std::uint64_t()> cleaningMerges_;
 };

@@ -124,6 +124,26 @@ struct IoEvent
     /** Bytes moved to/from the media for this request. */
     std::uint64_t mediaBytes = 0;
 
+    /**
+     * Reset to a fresh event while keeping the vectors' capacity,
+     * so one IoEvent reused across a replay loop stops allocating
+     * once warmed up.
+     */
+    void
+    reset()
+    {
+        opIndex = 0;
+        record = {};
+        segments.clear();
+        seeks.clear();
+        cacheHits = 0;
+        prefetchHits = 0;
+        defragRewrite = false;
+        defragSegments.clear();
+        cleaningSeeks = 0;
+        mediaBytes = 0;
+    }
+
     /** Dynamic fragmentation of a read (1 for writes). */
     std::size_t fragments() const { return segments.size(); }
 

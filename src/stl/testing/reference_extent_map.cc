@@ -1,0 +1,133 @@
+#include "reference_extent_map.h"
+
+#include "util/logging.h"
+
+namespace logseek::stl::testing
+{
+
+void
+ReferenceExtentMap::splitAt(Lba sector)
+{
+    auto it = entries_.upper_bound(sector);
+    if (it == entries_.begin())
+        return;
+    --it;
+    const Lba entry_lba = it->first;
+    const Entry entry = it->second;
+    if (entry_lba >= sector || entry_lba + entry.count <= sector)
+        return;
+
+    const SectorCount left_count = sector - entry_lba;
+    it->second.count = left_count;
+    entries_.emplace(sector, Entry{entry.pba + left_count,
+                                   entry.count - left_count});
+}
+
+void
+ReferenceExtentMap::eraseRange(Lba lo, Lba hi,
+                               std::vector<SectorExtent> *displaced)
+{
+    auto it = entries_.lower_bound(lo);
+    while (it != entries_.end() && it->first < hi) {
+        panicIf(it->first + it->second.count > hi,
+                "ReferenceExtentMap::eraseRange: entry crosses "
+                "range end");
+        if (displaced != nullptr)
+            displaced->push_back(
+                SectorExtent{it->second.pba, it->second.count});
+        mappedSectors_ -= it->second.count;
+        it = entries_.erase(it);
+    }
+}
+
+std::map<Lba, ReferenceExtentMap::Entry>::iterator
+ReferenceExtentMap::tryMergeWithPrev(
+    std::map<Lba, Entry>::iterator it)
+{
+    if (it == entries_.begin() || it == entries_.end())
+        return it;
+    auto prev = std::prev(it);
+    const bool lba_adjacent =
+        prev->first + prev->second.count == it->first;
+    const bool pba_adjacent =
+        prev->second.pba + prev->second.count == it->second.pba;
+    if (!lba_adjacent || !pba_adjacent)
+        return it;
+    prev->second.count += it->second.count;
+    entries_.erase(it);
+    return prev;
+}
+
+void
+ReferenceExtentMap::mapRange(Lba lba, Pba pba, SectorCount count,
+                             std::vector<SectorExtent> *displaced)
+{
+    panicIf(count == 0, "ReferenceExtentMap::mapRange: empty range");
+    const Lba end = lba + count;
+
+    // Carve out the target range, then drop whatever was inside it.
+    splitAt(lba);
+    splitAt(end);
+    eraseRange(lba, end, displaced);
+
+    auto [it, inserted] = entries_.emplace(lba, Entry{pba, count});
+    panicIf(!inserted,
+            "ReferenceExtentMap::mapRange: range not cleared");
+    mappedSectors_ += count;
+
+    // Coalesce with both neighbors where logically and physically
+    // contiguous.
+    it = tryMergeWithPrev(it);
+    auto next = std::next(it);
+    if (next != entries_.end())
+        tryMergeWithPrev(next);
+}
+
+std::vector<Segment>
+ReferenceExtentMap::translate(const SectorExtent &extent) const
+{
+    std::vector<Segment> segments;
+    if (extent.empty())
+        return segments;
+
+    Lba cursor = extent.start;
+    const Lba end = extent.end();
+
+    auto it = entries_.upper_bound(cursor);
+    if (it != entries_.begin())
+        --it;
+
+    auto emit_hole = [&](Lba from, Lba to) {
+        segments.push_back(Segment{SectorExtent{from, to - from},
+                                   from, false});
+    };
+
+    for (; it != entries_.end() && it->first < end; ++it) {
+        const Lba entry_lba = it->first;
+        const Entry &entry = it->second;
+        const Lba entry_end = entry_lba + entry.count;
+        if (entry_end <= cursor)
+            continue;
+        if (entry_lba > cursor)
+            emit_hole(cursor, entry_lba);
+        const Lba seg_lba = std::max(cursor, entry_lba);
+        const Lba seg_end = std::min(end, entry_end);
+        segments.push_back(
+            Segment{SectorExtent{seg_lba, seg_end - seg_lba},
+                    entry.pba + (seg_lba - entry_lba), true});
+        cursor = seg_end;
+        if (cursor >= end)
+            break;
+    }
+    if (cursor < end)
+        emit_hole(cursor, end);
+    return segments;
+}
+
+std::size_t
+ReferenceExtentMap::fragmentCount(const SectorExtent &extent) const
+{
+    return translate(extent).size();
+}
+
+} // namespace logseek::stl::testing

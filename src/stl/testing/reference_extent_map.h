@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The original std::map-based ExtentMap, preserved verbatim as a
+ * differential-testing oracle.
+ *
+ * When ExtentMap was rewritten as a B+-tree interval map the old
+ * node-per-entry implementation moved here unchanged (only the
+ * class name differs). The randomized differential test replays
+ * millions of mixed mapRange/translate operations against both and
+ * asserts entry-for-entry equality, so any behavioral drift in the
+ * tree — coalescing, displaced reporting, hole emission — is caught
+ * against the exact seed semantics. perf_extent_map also measures
+ * this class to produce the before/after ratio in
+ * BENCH_extent_map.json.
+ *
+ * Test-and-bench-only target; never linked into logseek::stl.
+ */
+
+#ifndef LOGSEEK_STL_TESTING_REFERENCE_EXTENT_MAP_H
+#define LOGSEEK_STL_TESTING_REFERENCE_EXTENT_MAP_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "stl/extent_map.h"
+#include "util/extent.h"
+
+namespace logseek::stl::testing
+{
+
+/** std::map-based interval map with the exact seed semantics. */
+class ReferenceExtentMap
+{
+  public:
+    /** See ExtentMap::mapRange. */
+    void mapRange(Lba lba, Pba pba, SectorCount count,
+                  std::vector<SectorExtent> *displaced = nullptr);
+
+    /** See ExtentMap::translate. */
+    std::vector<Segment> translate(const SectorExtent &extent) const;
+
+    /** See ExtentMap::fragmentCount. */
+    std::size_t fragmentCount(const SectorExtent &extent) const;
+
+    /** Number of map entries. */
+    std::size_t entryCount() const { return entries_.size(); }
+
+    /** Total mapped sectors. */
+    SectorCount mappedSectors() const { return mappedSectors_; }
+
+    /** True if no range was ever mapped. */
+    bool empty() const { return entries_.empty(); }
+
+    /** Visit every entry in LBA order as (lba, pba, count). */
+    template <typename Fn>
+    void
+    forEachEntry(Fn &&fn) const
+    {
+        for (const auto &[lba, value] : entries_)
+            fn(lba, value.pba, value.count);
+    }
+
+  private:
+    struct Entry
+    {
+        Pba pba;
+        SectorCount count;
+    };
+
+    /** Split any entry straddling sector so no entry crosses it. */
+    void splitAt(Lba sector);
+
+    /** Erase all whole entries inside [lo, hi), reporting their
+     *  physical ranges through displaced when requested. */
+    void eraseRange(Lba lo, Lba hi,
+                    std::vector<SectorExtent> *displaced);
+
+    /** Coalesce entry at iterator with its predecessor if possible. */
+    std::map<Lba, Entry>::iterator
+    tryMergeWithPrev(std::map<Lba, Entry>::iterator it);
+
+    std::map<Lba, Entry> entries_;
+    SectorCount mappedSectors_ = 0;
+};
+
+} // namespace logseek::stl::testing
+
+#endif // LOGSEEK_STL_TESTING_REFERENCE_EXTENT_MAP_H

@@ -1,7 +1,25 @@
 #include "translation_layer.h"
 
+#include <utility>
+
 namespace logseek::stl
 {
+
+std::vector<Segment>
+TranslationLayer::translateRead(const SectorExtent &extent) const
+{
+    SegmentBuffer out;
+    translateReadInto(extent, out);
+    return std::move(out).take();
+}
+
+std::vector<Segment>
+TranslationLayer::placeWrite(const SectorExtent &extent)
+{
+    SegmentBuffer out;
+    placeWriteInto(extent, out);
+    return std::move(out).take();
+}
 
 std::vector<Segment>
 mergePhysicallyContiguous(std::vector<Segment> segments)
@@ -26,6 +44,29 @@ mergePhysicallyContiguous(std::vector<Segment> segments)
         }
     }
     return merged;
+}
+
+void
+mergePhysicallyContiguousInPlace(SegmentBuffer &segments)
+{
+    if (segments.size() < 2)
+        return;
+    std::size_t out = 0;
+    for (std::size_t i = 1; i < segments.size(); ++i) {
+        Segment &last = segments[out];
+        const Segment &next = segments[i];
+        const bool physically_adjacent =
+            last.pba + last.logical.count == next.pba;
+        const bool logically_adjacent =
+            last.logical.end() == next.logical.start;
+        if (physically_adjacent && logically_adjacent) {
+            last.logical.count += next.logical.count;
+            last.mapped = last.mapped || next.mapped;
+        } else {
+            segments[++out] = next;
+        }
+    }
+    segments.truncate(out + 1);
 }
 
 } // namespace logseek::stl

@@ -42,19 +42,31 @@ class TranslationLayer
     virtual ~TranslationLayer() = default;
 
     /**
-     * Resolve a logical read into physical segments in LBA order.
-     * Does not change translation state.
+     * Resolve a logical read into physical segments in LBA order,
+     * clearing `out` and filling it with the result. Does not change
+     * translation state. This is the replay hot path: callers reuse
+     * one SegmentBuffer across requests, so steady state performs no
+     * heap allocation.
      */
-    virtual std::vector<Segment>
-    translateRead(const SectorExtent &extent) const = 0;
+    virtual void translateReadInto(const SectorExtent &extent,
+                                   SegmentBuffer &out) const = 0;
 
     /**
      * Choose the physical placement for a logical write and update
-     * the translation state. Returns the placed segments (a single
-     * segment for both implementations here).
+     * the translation state, clearing `out` and filling it with the
+     * placed segments (a single segment for most implementations).
      */
-    virtual std::vector<Segment>
-    placeWrite(const SectorExtent &extent) = 0;
+    virtual void placeWriteInto(const SectorExtent &extent,
+                                SegmentBuffer &out) = 0;
+
+    /**
+     * Allocating convenience wrapper around translateReadInto
+     * (tests, tools, one-off queries).
+     */
+    std::vector<Segment> translateRead(const SectorExtent &extent) const;
+
+    /** Allocating convenience wrapper around placeWriteInto. */
+    std::vector<Segment> placeWrite(const SectorExtent &extent);
 
     /**
      * Static fragmentation: the number of physically contiguous
@@ -83,6 +95,13 @@ class TranslationLayer
  */
 std::vector<Segment>
 mergePhysicallyContiguous(std::vector<Segment> segments);
+
+/**
+ * In-place, allocation-free variant of mergePhysicallyContiguous
+ * for the replay hot path: compacts `segments` so physically and
+ * logically adjacent runs are merged, preserving order.
+ */
+void mergePhysicallyContiguousInPlace(SegmentBuffer &segments);
 
 } // namespace logseek::stl
 

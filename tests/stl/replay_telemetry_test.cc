@@ -119,6 +119,34 @@ TEST(ReplayTelemetry, EnabledReplayCountersMatchSimResult)
         if (counter.name == "replay_stage_serves_total")
             stage_serves += counter.value;
     EXPECT_GE(stage_serves, result.readFragments);
+
+    // One translate-latency sample per host read request.
+    const telemetry::HistogramSnapshot *translate =
+        snap.findHistogram("replay_translate_latency_ns");
+    ASSERT_NE(translate, nullptr);
+    EXPECT_EQ(translate->count, result.reads);
+}
+
+TEST(ReplayTelemetry, ExtentMapCountersObserveTheHotPath)
+{
+    const EnabledGuard armed;
+    // Enough sequential writes and reads to split leaves and give
+    // the last-touched-leaf cursor repeated same-window lookups.
+    trace::Trace trace("t");
+    for (Lba lba = 0; lba < 4096; lba += 8)
+        trace.appendWrite(lba, 4); // gaps prevent coalescing
+    for (Lba lba = 0; lba < 4096; lba += 8)
+        trace.appendRead(lba, 4);
+    (void)Simulator(lsConfig()).run(trace);
+
+    const telemetry::MetricsSnapshot snap =
+        telemetry::Registry::global().snapshot();
+    // 512 four-sector entries at 64 per leaf forces splits.
+    EXPECT_GT(counterValue(snap, "extent_map_node_splits_total", ""),
+              0u);
+    // The sequential read pass resolves mostly on the cursor.
+    EXPECT_GT(counterValue(snap, "extent_map_cursor_hits_total", ""),
+              0u);
 }
 
 TEST(ReplayTelemetry, TelemetryDoesNotPerturbTheSimulation)
