@@ -18,10 +18,17 @@
 # the checked-in BENCH_extent_map.json is regenerated manually at
 # full iterations).
 #
+# The extra mode `fault-smoke` builds device_fault_sweep under the
+# asan preset and runs the fault matrix at small scale with an
+# elevated fault rate, writing BENCH_device_faults.smoke.json — so
+# the zoned-device recovery paths (retry, zone resets, degraded
+# reads) execute under ASan+UBSan on every push.
+#
 # Usage:
 #   scripts/tier1.sh            # all three presets
 #   scripts/tier1.sh default    # just one
 #   scripts/tier1.sh bench-smoke
+#   scripts/tier1.sh fault-smoke
 #   JOBS=8 scripts/tier1.sh     # override the build parallelism
 
 set -euo pipefail
@@ -45,9 +52,23 @@ run_bench_smoke() {
         --json=BENCH_extent_map.smoke.json --ops=20000 --reps=1
 }
 
+run_fault_smoke() {
+    echo "==> tier1: fault-smoke"
+    cmake --preset asan
+    cmake --build --preset asan -j "${JOBS}" \
+        --target device_fault_sweep
+    build-asan/bench/device_fault_sweep 0.002 \
+        --fault-rate=0.01 --jobs=2 \
+        --json=BENCH_device_faults.smoke.json
+}
+
 for preset in "${PRESETS[@]}"; do
     if [ "${preset}" = "bench-smoke" ]; then
         run_bench_smoke
+        continue
+    fi
+    if [ "${preset}" = "fault-smoke" ]; then
+        run_fault_smoke
         continue
     fi
     echo "==> tier1: preset '${preset}'"

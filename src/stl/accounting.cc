@@ -75,6 +75,8 @@ Accounting::hostAccess(IoEvent &event, const SectorExtent &extent,
         result_.mediaWriteBytes += extent.bytes();
         mediaWriteBytes_->add(extent.bytes());
     }
+    if (device_ != nullptr)
+        deviceAccess(event, extent, type);
 }
 
 void
@@ -93,6 +95,56 @@ Accounting::cleaningAccess(IoEvent &event, const MediaAccess &access)
         result_.cleaningReadBytes += access.physical.bytes();
     else
         result_.cleaningWriteBytes += access.physical.bytes();
+    if (device_ != nullptr)
+        deviceAccess(event, access.physical, access.type);
+}
+
+void
+Accounting::attachDevice(disk::ZonedDevice *device)
+{
+    device_ = device;
+}
+
+void
+Accounting::deviceAccess(IoEvent &event,
+                         const SectorExtent &extent,
+                         trace::IoType type)
+{
+    if (type == trace::IoType::Read) {
+        const disk::DeviceReadResult read =
+            device_->read(extent);
+        result_.deviceReadRetries += read.retries;
+        result_.deviceRecoveredSectors += read.recoveredSectors;
+        result_.deviceFailedReadSectors += read.failedSectors;
+        if (read.degraded())
+            ++result_.deviceDegradedReads;
+        event.deviceRetries += read.retries;
+        event.deviceFailedSectors += read.failedSectors;
+    } else {
+        const disk::DeviceWriteResult write =
+            device_->write(extent);
+        result_.deviceZoneResets += write.zoneResets;
+        result_.deviceWpViolations += write.wpViolations;
+        result_.deviceOutOfPolicyWrites += write.outOfPolicy;
+        result_.deviceFailedWriteSectors += write.failedSectors;
+        event.deviceFailedSectors += write.failedSectors;
+    }
+}
+
+void
+Accounting::finishDevice()
+{
+    if (device_ == nullptr)
+        return;
+    const disk::DeviceStats &stats = device_->stats();
+    result_.deviceGrownDefects = stats.grownDefects;
+    const auto census = device_->zones().conditionCensus();
+    result_.deviceReadOnlyZones =
+        census[static_cast<std::size_t>(
+            disk::ZoneCondition::ReadOnly)];
+    result_.deviceOfflineZones = census[static_cast<std::size_t>(
+        disk::ZoneCondition::Offline)];
+    device_->publishZoneGauges();
 }
 
 void

@@ -18,6 +18,7 @@
 
 #include "disk/head.h"
 #include "disk/seek_time.h"
+#include "disk/zoned_device.h"
 #include "stl/simulator.h"
 #include "stl/translation_layer.h"
 #include "telemetry/metrics.h"
@@ -79,12 +80,29 @@ class Accounting
     /** Sample the layer's static fragmentation (end of run). */
     void setStaticFragments(std::size_t fragments);
 
+    /**
+     * Route all subsequent media accesses through a zoned device
+     * (not owned; may be null to detach). With no device attached
+     * — the default — accounting behaves exactly as before the
+     * device layer existed.
+     */
+    void attachDevice(disk::ZonedDevice *device);
+
+    /** Sample the device's lifetime totals and final zone census
+     *  into the result (end of run; no-op when detached). */
+    void finishDevice();
+
     const SimResult &result() const { return result_; }
 
   private:
+    /** Mirror one media access through the attached device. */
+    void deviceAccess(IoEvent &event, const SectorExtent &extent,
+                      trace::IoType type);
+
     SimResult &result_;
     disk::DiskHead head_;
     disk::SeekTimeModel timeModel_;
+    disk::ZonedDevice *device_ = nullptr;
 
     // Telemetry handles, resolved once at construction; add() is
     // self-gated on the global enabled flag, so calls below cost a

@@ -319,6 +319,53 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
         layer_ = std::make_unique<ConventionalLayer>();
     }
 
+    // Zoned-device realism layer: zone geometry is matched to the
+    // translation layer's physical structure so in-policy traffic
+    // is genuinely in policy — the finite log's segment reuse
+    // lands on zone starts (reset + rewrite), the guarded LS
+    // frontier jumps from zone start to zone start, and the
+    // conventional layer's in-place writes hit conventional
+    // zones.
+    if (config_.zonedDevice) {
+        const std::uint64_t identity_end =
+            trace.addressSpaceEnd();
+        disk::ZoneLayout layout;
+        layout.maxOpenZones = config_.zonedDevice->maxOpenZones;
+        std::uint64_t zone_bytes = 256 * kMiB;
+        switch (config_.translation) {
+        case TranslationKind::Conventional:
+            layout.type = disk::ZoneType::Conventional;
+            break;
+        case TranslationKind::LogStructured:
+            layout.type =
+                disk::ZoneType::SequentialWriteRequired;
+            layout.anchorSector = identity_end;
+            if (config_.zones)
+                zone_bytes = config_.zones->zoneBytes +
+                             config_.zones->guardBytes;
+            break;
+        case TranslationKind::FiniteLogStructured:
+            layout.type =
+                disk::ZoneType::SequentialWriteRequired;
+            layout.anchorSector = identity_end;
+            zone_bytes = config_.finiteLog.segmentBytes;
+            break;
+        case TranslationKind::MediaCache:
+            layout.type =
+                disk::ZoneType::SequentialWritePreferred;
+            layout.anchorSector = identity_end;
+            break;
+        }
+        if (config_.zonedDevice->zoneBytes > 0)
+            zone_bytes = config_.zonedDevice->zoneBytes;
+        layout.zoneSectors = std::max<SectorCount>(
+            1, bytesToSectors(zone_bytes));
+        device_ = std::make_unique<disk::ZonedDevice>(
+            layout, *config_.zonedDevice, cancel_);
+        device_->fillTo(identity_end);
+        accounting_.attachDevice(device_.get());
+    }
+
     // Read path: selective cache → prefetch buffer → media access
     // → defrag trigger.
     if (config_.cache)
@@ -379,6 +426,7 @@ ReplayEngine::run()
     if (cleaningMerges_)
         accounting_.setCleaningMerges(cleaningMerges_());
     accounting_.setStaticFragments(layer_->staticFragmentCount());
+    accounting_.finishDevice();
     emitStageSpans();
     return std::move(result_);
 }

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "disk/zoned_device.h"
 #include "stl/accounting.h"
 #include "stl/read_stage.h"
 #include "stl/simulator.h"
@@ -87,6 +88,11 @@ class ReplayEngine
     SimResult result_;
     Accounting accounting_;
     std::unique_ptr<TranslationLayer> layer_;
+
+    /** Zoned-device realism layer; null unless configured. Every
+     *  media access Accounting sees is mirrored through it. */
+    std::unique_ptr<disk::ZonedDevice> device_;
+
     ReadPipeline pipeline_;
 
     /** End-to-end latency of one logical read (telemetry). */

@@ -19,20 +19,24 @@ SimResult::writeAmplification() const
 std::string
 SimConfig::label() const
 {
-    if (translation == TranslationKind::Conventional)
-        return "NoLS";
-    if (translation == TranslationKind::MediaCache)
-        return "MediaCache";
-    std::string out = translation ==
-                              TranslationKind::FiniteLogStructured
-                          ? "FiniteLS"
-                          : "LS";
-    if (defrag)
-        out += "+defrag";
-    if (prefetch)
-        out += "+prefetch";
-    if (cache)
-        out += "+cache";
+    std::string out;
+    if (translation == TranslationKind::Conventional) {
+        out = "NoLS";
+    } else if (translation == TranslationKind::MediaCache) {
+        out = "MediaCache";
+    } else {
+        out = translation == TranslationKind::FiniteLogStructured
+                  ? "FiniteLS"
+                  : "LS";
+        if (defrag)
+            out += "+defrag";
+        if (prefetch)
+            out += "+prefetch";
+        if (cache)
+            out += "+cache";
+    }
+    if (zonedDevice)
+        out += "+zdev";
     return out;
 }
 

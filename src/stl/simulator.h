@@ -22,6 +22,7 @@
 
 #include "disk/head.h"
 #include "disk/seek_time.h"
+#include "disk/zoned_device.h"
 #include "stl/defrag.h"
 #include "stl/finite_log.h"
 #include "stl/log_structured.h"
@@ -81,6 +82,15 @@ struct SimConfig
     /** Seek-time model parameters (time reporting only). */
     disk::SeekTimeParams seekTime;
 
+    /**
+     * Zoned-device realism layer; off by default. When set, every
+     * media access is mirrored through a ZonedDevice: writes
+     * advance real per-zone write pointers under the selected
+     * translation layer's zone policy, and reads traverse the
+     * seeded media-fault model (see docs/zoned_device.md).
+     */
+    std::optional<disk::ZonedDeviceOptions> zonedDevice;
+
     /** Short label of the configuration, e.g. "LS+cache". */
     std::string label() const;
 };
@@ -124,6 +134,13 @@ struct IoEvent
     /** Bytes moved to/from the media for this request. */
     std::uint64_t mediaBytes = 0;
 
+    /** Device read-recovery retries charged to this request. */
+    std::uint32_t deviceRetries = 0;
+
+    /** Device sectors this request lost (unrecovered reads or
+     *  refused writes). */
+    std::uint32_t deviceFailedSectors = 0;
+
     /**
      * Reset to a fresh event while keeping the vectors' capacity,
      * so one IoEvent reused across a replay loop stops allocating
@@ -142,6 +159,8 @@ struct IoEvent
         defragSegments.clear();
         cleaningSeeks = 0;
         mediaBytes = 0;
+        deviceRetries = 0;
+        deviceFailedSectors = 0;
     }
 
     /** Dynamic fragmentation of a read (1 for writes). */
@@ -195,6 +214,28 @@ struct SimResult
 
     /** Final static fragmentation of the translation layer. */
     std::size_t staticFragments = 0;
+
+    /** Zoned-device counters; all zero when the device layer is
+     *  off (SimConfig::zonedDevice unset). */
+    std::uint64_t deviceReadRetries = 0;
+    std::uint64_t deviceRecoveredSectors = 0;
+    std::uint64_t deviceFailedReadSectors = 0;
+    std::uint64_t deviceDegradedReads = 0;
+    std::uint64_t deviceFailedWriteSectors = 0;
+    std::uint64_t deviceZoneResets = 0;
+    std::uint64_t deviceWpViolations = 0;
+    std::uint64_t deviceOutOfPolicyWrites = 0;
+    std::uint64_t deviceGrownDefects = 0;
+    std::uint64_t deviceReadOnlyZones = 0;
+    std::uint64_t deviceOfflineZones = 0;
+
+    /** True when the device lost any sectors this run. */
+    bool
+    deviceDegraded() const
+    {
+        return deviceFailedReadSectors > 0 ||
+               deviceFailedWriteSectors > 0;
+    }
 
     /** Host-visible seeks (the paper's SAF numerator). */
     std::uint64_t totalSeeks() const { return readSeeks + writeSeeks; }

@@ -144,6 +144,17 @@ encodeSimResult(std::string &out, const stl::SimResult &result)
     putU64(out, result.cleaningMerges);
     putF64(out, result.seekTimeSec);
     putU64(out, result.staticFragments);
+    putU64(out, result.deviceReadRetries);
+    putU64(out, result.deviceRecoveredSectors);
+    putU64(out, result.deviceFailedReadSectors);
+    putU64(out, result.deviceDegradedReads);
+    putU64(out, result.deviceFailedWriteSectors);
+    putU64(out, result.deviceZoneResets);
+    putU64(out, result.deviceWpViolations);
+    putU64(out, result.deviceOutOfPolicyWrites);
+    putU64(out, result.deviceGrownDefects);
+    putU64(out, result.deviceReadOnlyZones);
+    putU64(out, result.deviceOfflineZones);
 }
 
 void
@@ -172,6 +183,17 @@ decodeSimResult(Reader &reader, stl::SimResult &result)
     result.seekTimeSec = reader.f64();
     result.staticFragments =
         static_cast<std::size_t>(reader.u64());
+    result.deviceReadRetries = reader.u64();
+    result.deviceRecoveredSectors = reader.u64();
+    result.deviceFailedReadSectors = reader.u64();
+    result.deviceDegradedReads = reader.u64();
+    result.deviceFailedWriteSectors = reader.u64();
+    result.deviceZoneResets = reader.u64();
+    result.deviceWpViolations = reader.u64();
+    result.deviceOutOfPolicyWrites = reader.u64();
+    result.deviceGrownDefects = reader.u64();
+    result.deviceReadOnlyZones = reader.u64();
+    result.deviceOfflineZones = reader.u64();
 }
 
 } // namespace

@@ -22,8 +22,9 @@
 namespace logseek::sweep
 {
 
-/** Current cell-record encoding version. */
-inline constexpr std::uint8_t kCellRecordVersion = 1;
+/** Current cell-record encoding version. Version 2 appended the
+ *  SimResult device counters (zoned-device realism layer). */
+inline constexpr std::uint8_t kCellRecordVersion = 2;
 
 /** The durable form of one completed sweep cell. */
 struct CellRecord

@@ -145,7 +145,9 @@ benchUsage(const std::string &name)
            " [scale] [seed] [--jobs N|auto] [--json[=path]] "
            "[--csv[=path]] [--paranoid] [--deadline-ms N] "
            "[--retries N] [--checkpoint path] [--resume path] "
-           "[--metrics-out file] [--trace-out file] [--help]";
+           "[--metrics-out file] [--trace-out file] "
+           "[--fault-rate R] [--bad-sector-seed N] "
+           "[--max-open-zones N] [--help]";
 }
 
 std::string
@@ -181,16 +183,25 @@ benchHelp(const std::string &name)
         "else JSON; '-' = stdout)\n"
         "  --trace-out file     write a Chrome trace_event JSON "
         "trace of the sweep\n"
+        "  --fault-rate R       zoned-device media-fault rate in "
+        "[0, 1] (0 = off)\n"
+        "  --bad-sector-seed N  seed of the device's bad-sector "
+        "map (>= 0)\n"
+        "  --max-open-zones N   zoned-device open-zone limit "
+        "[1, 65536]\n"
         "  --help               print this help and exit\n";
 }
 
 std::vector<std::string>
 benchFlagNames()
 {
-    return {"--jobs",       "--json",        "--csv",
-            "--paranoid",   "--deadline-ms", "--retries",
-            "--checkpoint", "--resume",      "--metrics-out",
-            "--trace-out",  "--help"};
+    return {"--jobs",          "--json",
+            "--csv",           "--paranoid",
+            "--deadline-ms",   "--retries",
+            "--checkpoint",    "--resume",
+            "--metrics-out",   "--trace-out",
+            "--fault-rate",    "--bad-sector-seed",
+            "--max-open-zones", "--help"};
 }
 
 StatusOr<BenchCli>
@@ -229,9 +240,9 @@ tryParseBenchCli(int argc, char **argv, double default_scale)
         } else if (arg == "--paranoid") {
             cli.paranoid = true;
         } else if (arg == "--json") {
-            cli.jsonPath = "-";
+            cli.jsonPath = std::string("-");
         } else if (arg == "--csv") {
-            cli.csvPath = "-";
+            cli.csvPath = std::string("-");
         } else if (matches("--json")) {
             cli.jsonPath = std::move(value);
         } else if (matches("--csv")) {
@@ -302,6 +313,48 @@ tryParseBenchCli(int argc, char **argv, double default_scale)
                 return invalidArgumentError(
                     "--trace-out requires a path");
             cli.traceOutPath = std::move(*value);
+        } else if (matches("--fault-rate")) {
+            if (!value)
+                return invalidArgumentError(
+                    "--fault-rate requires a value");
+            StatusOr<double> rate =
+                parseDoubleArg("--fault-rate", *value);
+            if (!rate.ok())
+                return rate.status();
+            if (rate.value() < 0.0 || rate.value() > 1.0)
+                return invalidArgumentError(
+                    "--fault-rate must be in [0, 1]: got " +
+                    *value);
+            cli.faultRate = rate.value();
+        } else if (matches("--bad-sector-seed")) {
+            if (!value)
+                return invalidArgumentError(
+                    "--bad-sector-seed requires a value");
+            StatusOr<long long> seed =
+                parseIntArg("--bad-sector-seed", *value);
+            if (!seed.ok())
+                return seed.status();
+            if (seed.value() < 0)
+                return invalidArgumentError(
+                    "--bad-sector-seed must be >= 0: got " +
+                    *value);
+            cli.badSectorSeed =
+                static_cast<std::uint64_t>(seed.value());
+        } else if (matches("--max-open-zones")) {
+            if (!value)
+                return invalidArgumentError(
+                    "--max-open-zones requires a value");
+            StatusOr<long long> zones =
+                parseIntArg("--max-open-zones", *value);
+            if (!zones.ok())
+                return zones.status();
+            if (zones.value() < 1 || zones.value() > 65536)
+                return invalidArgumentError(
+                    "--max-open-zones must be in [1, 65536]: "
+                    "got " +
+                    *value);
+            cli.maxOpenZones =
+                static_cast<std::uint32_t>(zones.value());
         } else if (arg.rfind("--", 0) == 0) {
             return invalidArgumentError("unknown option: " + arg);
         } else if (positional == 0) {

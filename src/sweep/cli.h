@@ -7,7 +7,9 @@
  *   harness [scale] [seed] [--jobs N|auto] [--json[=path]]
  *           [--csv[=path]] [--paranoid] [--deadline-ms N]
  *           [--retries N] [--checkpoint path] [--resume path]
- *           [--metrics-out file] [--trace-out file] [--help]
+ *           [--metrics-out file] [--trace-out file]
+ *           [--fault-rate R] [--bad-sector-seed N]
+ *           [--max-open-zones N] [--help]
  *
  * scale/seed feed the synthetic workload profiles; --jobs sets the
  * sweep worker count ("auto" = hardware concurrency; 0 and negative
@@ -79,6 +81,18 @@ struct BenchCli
     /** Chrome trace_event destination (--trace-out); empty = off,
      *  "-" = stdout. */
     std::string traceOutPath;
+
+    /** Device fault rate (--fault-rate, in [0, 1]); feeds the
+     *  zoned-device fault model of benches that model media
+     *  errors. */
+    double faultRate = 0.0;
+
+    /** Seed of the device's bad-sector map (--bad-sector-seed). */
+    std::uint64_t badSectorSeed = 0xbad5ec70ULL;
+
+    /** Zoned-device open-zone limit (--max-open-zones, in
+     *  [1, 65536]). */
+    std::uint32_t maxOpenZones = 8;
 
     /** --help / -h was given; the caller prints help and exits. */
     bool helpRequested = false;

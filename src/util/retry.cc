@@ -40,4 +40,37 @@ backoffDelay(const RetryPolicy &policy, int attempt, Rng &rng)
         static_cast<std::int64_t>(scaled));
 }
 
+RetrySession::RetrySession(const RetryPolicy &policy, Rng &rng,
+                           CancelToken cancel,
+                           AttemptListener on_attempt)
+    : policy_(policy), rng_(rng), cancel_(std::move(cancel)),
+      onAttempt_(std::move(on_attempt))
+{
+    if (policy_.maxAttempts < 1)
+        policy_.maxAttempts = 1;
+}
+
+int
+RetrySession::beginAttempt()
+{
+    ++attempts_;
+    if (onAttempt_)
+        onAttempt_(attempts_);
+    return attempts_;
+}
+
+Status
+RetrySession::backoff(const std::string &what)
+{
+    // Check before sleeping so a zero-length backoff still lets an
+    // expired deadline fire between attempts.
+    if (cancel_.cancelled())
+        return cancel_.toStatus(what);
+    const std::chrono::milliseconds delay =
+        backoffDelay(policy_, attempts_, rng_);
+    if (!sleepFor(delay, cancel_))
+        return cancel_.toStatus(what);
+    return Status();
+}
+
 } // namespace logseek

@@ -15,7 +15,10 @@
 #define LOGSEEK_UTIL_RETRY_H
 
 #include <chrono>
+#include <functional>
+#include <string>
 
+#include "util/cancellation.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -59,6 +62,80 @@ bool isRetryable(StatusCode code);
  */
 std::chrono::milliseconds backoffDelay(const RetryPolicy &policy,
                                        int attempt, Rng &rng);
+
+/**
+ * One bounded-retry episode with correct attempt accounting.
+ *
+ * The subtlety RetrySession exists for: an attempt must be
+ * reported the moment it begins, not when it completes. A loop
+ * that counts attempts after the backoff silently drops the
+ * in-flight attempt when a cancellation (deadline) fires
+ * mid-backoff — telemetry then under-reports exactly the runs
+ * that died retrying, which are the ones being debugged.
+ * beginAttempt() therefore fires the listener immediately, and
+ * backoff() merely reports whether the sleep completed; attempts()
+ * always includes every attempt that started.
+ *
+ * Jitter draws come from the caller's seeded Rng, so equal seeds
+ * give equal backoff schedules (wall-clock only; never results).
+ */
+class RetrySession
+{
+  public:
+    /** Called at the start of attempt n (1-based). */
+    using AttemptListener = std::function<void(int attempt)>;
+
+    /**
+     * @param policy Attempt budget and backoff shape.
+     * @param rng Seeded stream for jitter; must outlive the
+     *        session.
+     * @param cancel Token observed during backoff sleeps.
+     * @param on_attempt Optional listener fired by beginAttempt().
+     */
+    RetrySession(const RetryPolicy &policy, Rng &rng,
+                 CancelToken cancel = {},
+                 AttemptListener on_attempt = {});
+
+    /**
+     * Start the next attempt: records it and fires the listener
+     * before any work happens. Returns the 1-based attempt number.
+     */
+    int beginAttempt();
+
+    /** True when the attempt budget is spent. */
+    bool
+    exhausted() const
+    {
+        return attempts_ >= policy_.maxAttempts;
+    }
+
+    /** True when `code` is worth another attempt and budget
+     *  remains. */
+    bool
+    shouldRetry(StatusCode code) const
+    {
+        return isRetryable(code) && !exhausted();
+    }
+
+    /**
+     * Sleep the jittered backoff for the attempt that just failed.
+     * Returns OK when the full delay elapsed; the token's typed
+     * status (Cancelled/DeadlineExceeded, message context `what`)
+     * when it fired mid-backoff. Either way the failed attempt has
+     * already been counted.
+     */
+    Status backoff(const std::string &what);
+
+    /** Attempts started so far, including any in flight. */
+    int attempts() const { return attempts_; }
+
+  private:
+    RetryPolicy policy_;
+    Rng &rng_;
+    CancelToken cancel_;
+    AttemptListener onAttempt_;
+    int attempts_ = 0;
+};
 
 } // namespace logseek
 

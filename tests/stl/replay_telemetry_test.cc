@@ -10,6 +10,7 @@
 
 #include "stl/simulator.h"
 #include "telemetry/metrics.h"
+#include "util/random.h"
 
 namespace logseek::stl
 {
@@ -169,6 +170,37 @@ TEST(ReplayTelemetry, TelemetryDoesNotPerturbTheSimulation)
     EXPECT_EQ(plain.readFragments, instrumented.readFragments);
     EXPECT_EQ(plain.fragmentedReads, instrumented.fragmentedReads);
     EXPECT_EQ(plain.totalSeeks(), instrumented.totalSeeks());
+}
+
+TEST(ReplayTelemetry, CleaningSeekCounterMatchesSimResult)
+{
+    const EnabledGuard armed;
+    // Random overwrites leave every reclaimed segment partly live,
+    // so cleaning must merge (move data and seek) rather than
+    // reclaiming fully-dead segments for free — the regime where
+    // replay_seeks_total{type="cleaning"} must actually move.
+    trace::Trace trace("t");
+    Rng rng(7);
+    for (int i = 0; i < 6000; ++i)
+        trace.appendWrite(rng.nextUint(4096), 8);
+
+    SimConfig config;
+    config.translation = TranslationKind::FiniteLogStructured;
+    config.finiteLog.capacityBytes = 8 * kMiB;
+    config.finiteLog.segmentBytes = 512 * kKiB;
+    config.finiteLog.cleanReserveSegments = 2;
+    config.finiteLog.cleanTargetSegments = 4;
+    const SimResult result = Simulator(config).run(trace);
+
+    // The premise: this workload really exercises the cleaner.
+    ASSERT_GT(result.cleaningMerges, 0u);
+    ASSERT_GT(result.cleaningSeeks, 0u);
+
+    const telemetry::MetricsSnapshot snap =
+        telemetry::Registry::global().snapshot();
+    EXPECT_EQ(counterValue(snap, "replay_seeks_total",
+                           "type=\"cleaning\""),
+              result.cleaningSeeks);
 }
 
 TEST(ReplayTelemetry, RepeatedReplaysAccumulateCounters)

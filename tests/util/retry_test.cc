@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <string>
+#include <vector>
 
 #include "util/retry.h"
 
@@ -80,6 +82,86 @@ TEST(Retry, BackoffNeverNegative)
     for (int attempt = 1; attempt <= 20; ++attempt)
         EXPECT_GE(backoffDelay(policy, attempt, rng).count(), 0)
             << "attempt " << attempt;
+}
+
+TEST(RetrySessionTest, CountsAttemptsAsTheyBegin)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.initialBackoff = std::chrono::milliseconds(0);
+    policy.maxBackoff = std::chrono::milliseconds(0);
+    Rng rng(1);
+
+    std::vector<int> seen;
+    RetrySession session(policy, rng, {},
+                         [&](int attempt) {
+                             seen.push_back(attempt);
+                         });
+    EXPECT_EQ(session.attempts(), 0);
+    EXPECT_FALSE(session.exhausted());
+
+    EXPECT_EQ(session.beginAttempt(), 1);
+    EXPECT_EQ(session.attempts(), 1);
+    EXPECT_TRUE(session.shouldRetry(StatusCode::Unavailable));
+    EXPECT_FALSE(session.shouldRetry(StatusCode::DataLoss));
+    EXPECT_TRUE(session.backoff("work").ok());
+
+    EXPECT_EQ(session.beginAttempt(), 2);
+    EXPECT_EQ(session.beginAttempt(), 3);
+    EXPECT_TRUE(session.exhausted());
+    EXPECT_FALSE(session.shouldRetry(StatusCode::Unavailable));
+    EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RetrySessionTest, CancellationDuringBackoffKeepsAttempt)
+{
+    // The accounting fix this type exists for: an attempt whose
+    // backoff is cut short by a deadline must still be visible —
+    // both in attempts() and through the listener that feeds
+    // telemetry — or retry counters under-report exactly the runs
+    // that died retrying.
+    RetryPolicy policy;
+    policy.maxAttempts = 5;
+    policy.initialBackoff = std::chrono::milliseconds(50);
+    policy.maxBackoff = std::chrono::milliseconds(50);
+    Rng rng(1);
+
+    CancelSource source;
+    int listener_calls = 0;
+    RetrySession session(policy, rng, source.token(),
+                         [&](int) { ++listener_calls; });
+
+    EXPECT_EQ(session.beginAttempt(), 1);
+    source.cancel(CancelReason::DeadlineExceeded);
+    const Status slept = session.backoff("loading trace");
+    ASSERT_FALSE(slept.ok());
+    EXPECT_EQ(slept.code(), StatusCode::DeadlineExceeded);
+    EXPECT_NE(slept.message().find("loading trace"),
+              std::string::npos);
+
+    // The in-flight attempt survived the cancellation.
+    EXPECT_EQ(session.attempts(), 1);
+    EXPECT_EQ(listener_calls, 1);
+}
+
+TEST(RetrySessionTest, ZeroLengthBackoffStillObservesCancellation)
+{
+    // A zero backoff must not skip the cancellation check, or a
+    // tight retry loop spins through its whole budget after the
+    // deadline already fired.
+    RetryPolicy policy;
+    policy.maxAttempts = 4;
+    policy.initialBackoff = std::chrono::milliseconds(0);
+    policy.maxBackoff = std::chrono::milliseconds(0);
+    Rng rng(1);
+
+    CancelSource source;
+    source.cancel();
+    RetrySession session(policy, rng, source.token());
+    session.beginAttempt();
+    const Status slept = session.backoff("work");
+    ASSERT_FALSE(slept.ok());
+    EXPECT_EQ(slept.code(), StatusCode::Cancelled);
 }
 
 } // namespace
