@@ -6,14 +6,22 @@
  * results, and writes the throughput comparison to a JSON file
  * (default BENCH_sweep.json) for tracking.
  *
- * A third serial leg runs with telemetry armed: it must still be
- * byte-identical (telemetry never touches SimResult), its wall
- * time over the plain serial leg is the telemetry overhead ratio,
- * and its metrics snapshot (per-stage serve histograms, seek
- * counters, ops/sec) is embedded in the JSON under "metrics" so
- * the bench trajectory carries structured perf data. The first two
- * legs run with telemetry disabled, so their throughput doubles as
- * the zero-overhead guard against the pre-PR numbers.
+ * Further legs probe the batch-first replay core:
+ *  - scalar: the serial sweep at --replay-batch 1 (record-at-a-
+ *    time); serial over scalar is the batching speedup
+ *    ("batchedVsScalar").
+ *  - sharded: the serial sweep at 4 replay shards on a dedicated
+ *    shard pool; must be byte-identical, and its throughput over
+ *    serial is "shardedVsSerial".
+ *  - telemetry: the serial sweep with collection armed; must still
+ *    be byte-identical (telemetry never touches SimResult), its
+ *    wall time over the plain serial leg is the telemetry overhead
+ *    ratio, and its metrics snapshot is embedded under "metrics".
+ *
+ * On a single-hardware-thread box the parallel (multi-jobs) leg
+ * cannot demonstrate a speedup; the report then carries
+ * "parallelLegValid": false and a warning is printed, so trackers
+ * do not read the ~1x speedup as a regression.
  *
  * Usage: perf_sweep [scale] [seed] [--jobs N] [--json=path]
  *
@@ -81,10 +89,13 @@ allWorkloads(const workloads::ProfileOptions &profile)
 }
 
 sweep::SweepResult
-runOnce(const workloads::ProfileOptions &profile, int jobs)
+runOnce(const workloads::ProfileOptions &profile, int jobs,
+        int replay_batch = 0, int replay_shards = 0)
 {
     sweep::SweepOptions options;
     options.jobs = jobs;
+    options.replayBatchSize = replay_batch;
+    options.replayShards = replay_shards;
     sweep::SweepRunner runner(allWorkloads(profile), fig11Configs(),
                               std::move(options));
     return runner.run();
@@ -156,9 +167,29 @@ main(int argc, char **argv)
     // Read the previous checked-in numbers before overwriting them.
     const double baseline_ops = baselineSerialOpsPerSec(path);
 
+    const bool parallel_leg_valid = hardware > 1;
+    if (!parallel_leg_valid)
+        std::cout << "perf_sweep: WARNING: hardware concurrency is "
+                     "1; the parallel leg cannot speed up and "
+                     "\"parallelLegValid\" is false in the report\n";
+
+    // Warm-up: one untimed serial sweep so the first timed leg
+    // does not absorb the process's cold-start costs (page faults,
+    // allocator arena growth) and the leg-vs-leg ratios compare
+    // steady states.
+    (void)runOnce(cli->profile, 1);
+
     const sweep::SweepResult serial = runOnce(cli->profile, 1);
+    // Scalar leg: batch size 1 = record-at-a-time replay; serial
+    // over scalar is the speedup of the batched read path.
+    const sweep::SweepResult scalar =
+        runOnce(cli->profile, 1, /*replay_batch=*/1);
     const sweep::SweepResult parallel =
         runOnce(cli->profile, parallel_jobs);
+    // Sharded leg: serial cell execution, but each replay's seek
+    // classification fans out over 4 shards on a dedicated pool.
+    const sweep::SweepResult sharded =
+        runOnce(cli->profile, 1, 0, /*replay_shards=*/4);
 
     // Telemetry leg: same serial sweep with collection armed. A
     // fresh-zeroed registry isolates this leg's counts, and the
@@ -173,6 +204,8 @@ main(int argc, char **argv)
 
     const bool deterministic =
         deterministicForm(serial) == deterministicForm(parallel) &&
+        deterministicForm(serial) == deterministicForm(scalar) &&
+        deterministicForm(serial) == deterministicForm(sharded) &&
         deterministicForm(serial) == deterministicForm(instrumented);
     const double speedup =
         parallel.telemetry.wallSec > 0.0
@@ -187,6 +220,18 @@ main(int argc, char **argv)
         baseline_ops > 0.0
             ? serial.telemetry.opsPerSec() / baseline_ops
             : 0.0;
+    const double batched_vs_scalar =
+        scalar.telemetry.wallSec > 0.0 &&
+                serial.telemetry.wallSec > 0.0
+            ? serial.telemetry.opsPerSec() /
+                  scalar.telemetry.opsPerSec()
+            : 0.0;
+    const double sharded_vs_serial =
+        serial.telemetry.wallSec > 0.0 &&
+                sharded.telemetry.wallSec > 0.0
+            ? sharded.telemetry.opsPerSec() /
+                  serial.telemetry.opsPerSec()
+            : 0.0;
 
     std::ostringstream json;
     json.precision(6);
@@ -199,16 +244,28 @@ main(int argc, char **argv)
          << "  \"opsPerRun\": " << serial.telemetry.ops << ",\n"
          << "  \"hardwareConcurrency\": "
          << std::thread::hardware_concurrency() << ",\n"
+         << "  \"parallelLegValid\": "
+         << (parallel_leg_valid ? "true" : "false") << ",\n"
          << "  \"deterministic\": "
          << (deterministic ? "true" : "false") << ",\n"
          << "  \"serial\": {\"jobs\": 1, \"wallSec\": "
          << serial.telemetry.wallSec << ", \"opsPerSec\": "
          << serial.telemetry.opsPerSec() << "},\n"
+         << "  \"scalar\": {\"jobs\": 1, \"replayBatch\": 1, "
+            "\"wallSec\": "
+         << scalar.telemetry.wallSec << ", \"opsPerSec\": "
+         << scalar.telemetry.opsPerSec() << "},\n"
          << "  \"parallel\": {\"jobs\": " << parallel.telemetry.jobs
          << ", \"wallSec\": " << parallel.telemetry.wallSec
          << ", \"opsPerSec\": " << parallel.telemetry.opsPerSec()
          << ", \"steals\": " << parallel.telemetry.steals << "},\n"
+         << "  \"sharded\": {\"jobs\": 1, \"replayShards\": 4, "
+            "\"wallSec\": "
+         << sharded.telemetry.wallSec << ", \"opsPerSec\": "
+         << sharded.telemetry.opsPerSec() << "},\n"
          << "  \"speedup\": " << speedup << ",\n"
+         << "  \"batchedVsScalar\": " << batched_vs_scalar << ",\n"
+         << "  \"shardedVsSerial\": " << sharded_vs_serial << ",\n"
          << "  \"serialRatioVsBaseline\": " << serial_ratio
          << ",\n"
          << "  \"telemetry\": {\"jobs\": 1, \"wallSec\": "
@@ -233,8 +290,12 @@ main(int argc, char **argv)
                   << serial_ratio << "x (" << baseline_ops
                   << " -> " << serial.telemetry.opsPerSec()
                   << ")\n";
+    std::cout << "batched vs scalar replay: " << batched_vs_scalar
+              << "x; sharded vs serial: " << sharded_vs_serial
+              << "x\n";
     std::cout << (deterministic
-                      ? "serial and parallel sweeps byte-identical\n"
-                      : "MISMATCH between serial and parallel!\n");
+                      ? "serial, scalar, parallel and sharded "
+                        "sweeps byte-identical\n"
+                      : "MISMATCH between replay legs!\n");
     return deterministic ? 0 : 1;
 }

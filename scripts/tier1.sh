@@ -6,9 +6,10 @@
 #   default  RelWithDebInfo, the full suite
 #   asan     ASan+UBSan, the full suite
 #   tsan     ThreadSanitizer, the concurrency suites
-#            (TaskPool*/SweepRunner*/Telemetry* — the sweep runner,
-#            its pool, watchdog, cancellation, checkpoint/resume
-#            paths and the sharded telemetry metrics)
+#            (TaskPool*/SweepRunner*/Telemetry*/ShardedReplay* —
+#            the sweep runner, its pool, watchdog, cancellation,
+#            checkpoint/resume paths, the sharded telemetry
+#            metrics, and shard-parallel replay classification)
 #
 # The extra mode `bench-smoke` builds the default preset's
 # perf_extent_map / perf_simulator benchmarks and runs them at
@@ -16,7 +17,12 @@
 # sanity check that the translation hot path still beats the
 # preserved std::map reference (CI uploads the file as an artifact;
 # the checked-in BENCH_extent_map.json is regenerated manually at
-# full iterations).
+# full iterations). The smoke artifact records the box's nproc so
+# a ~1x parallel speedup on a 1-CPU runner is not misread as a
+# regression, and a shard-smoke leg replays the Figure 11 sweep
+# once serially and once with --replay-shards 2, diffing the two
+# reports with their timing fields stripped — byte-identical
+# sharding checked end-to-end through the real CLI.
 #
 # The extra mode `fault-smoke` builds device_fault_sweep under the
 # asan preset and runs the fault matrix at small scale with an
@@ -50,6 +56,24 @@ run_bench_smoke() {
         --json=BENCH_extent_map.smoke.json --translate-iters=50000
     build/bench/perf_simulator \
         --json=BENCH_extent_map.smoke.json --ops=20000 --reps=1
+    echo "{\"nproc\": $(nproc 2>/dev/null || echo 1)}" \
+        > BENCH_nproc.smoke.json
+
+    # Shard-smoke: the sweep CLI end-to-end, serial vs
+    # --replay-shards 2. Timing fields are the only permitted
+    # difference; everything else must be byte-identical.
+    cmake --build --preset default -j "${JOBS}" --target fig11_saf
+    strip_timing() {
+        sed -e '/"telemetry":/d' \
+            -e 's/, "wallSec": [^,}]*, "opsPerSec": [^}]*//' "$1"
+    }
+    build/bench/fig11_saf 0.002 --jobs 1 \
+        --json=/tmp/tier1_serial.json > /dev/null
+    build/bench/fig11_saf 0.002 --jobs 1 --replay-shards 2 \
+        --json=/tmp/tier1_sharded.json > /dev/null
+    diff <(strip_timing /tmp/tier1_serial.json) \
+         <(strip_timing /tmp/tier1_sharded.json)
+    echo "==> tier1: shard-smoke byte-identical"
 }
 
 run_fault_smoke() {

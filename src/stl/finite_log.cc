@@ -171,6 +171,36 @@ FiniteLogStructuredLayer::placeWriteInto(const SectorExtent &extent,
     append(extent.start, extent.count, out);
 }
 
+void
+FiniteLogStructuredLayer::translateReadBatchInto(
+    std::span<const SectorExtent> extents, SegmentBufferBatch &out)
+    const
+{
+    out.clear();
+    for (const SectorExtent &extent : extents) {
+        panicIf(extent.empty(),
+                "FiniteLogStructuredLayer: empty read");
+        map_.translateAppend(extent, out.flat());
+        out.endRecord();
+    }
+}
+
+void
+FiniteLogStructuredLayer::placeWriteBatchInto(
+    std::span<const SectorExtent> extents, SegmentBufferBatch &out)
+{
+    out.clear();
+    for (const SectorExtent &extent : extents) {
+        panicIf(extent.empty(),
+                "FiniteLogStructuredLayer: empty write");
+        panicIf(extent.end() > logStart_,
+                "FiniteLogStructuredLayer: workload LBA above the "
+                "log start");
+        append(extent.start, extent.count, out.flat());
+        out.endRecord();
+    }
+}
+
 std::size_t
 FiniteLogStructuredLayer::staticFragmentCount() const
 {

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Columnar I/O batches for the batch-first replay core.
+ *
+ * The replay engine processes a trace in blocks of ~256 records
+ * instead of one record at a time. Two reusable containers make
+ * that allocation-free in steady state:
+ *
+ *  - IoEventBatch: a structure-of-arrays view of one trace block
+ *    (lba/len as contiguous SectorExtents, timestamps and types as
+ *    parallel columns), so a whole run of same-type records can be
+ *    handed to the translation layer as one span.
+ *  - SegmentBufferBatch: the per-record translation results of a
+ *    batch, stored as one flat segment array plus per-record
+ *    offsets — the batch analogue of SegmentBuffer.
+ *
+ * Both clear() without releasing capacity, matching the repo's
+ * reuse-the-scratch hot-path idiom.
+ */
+
+#ifndef LOGSEEK_STL_IO_BATCH_H
+#define LOGSEEK_STL_IO_BATCH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stl/extent_map.h"
+#include "trace/trace.h"
+#include "util/extent.h"
+
+namespace logseek::stl
+{
+
+/**
+ * Structure-of-arrays form of one block of trace records. The
+ * extent column doubles as the contiguous span the batched
+ * translation API consumes; timestamps and types stay in their own
+ * columns so run-splitting scans touch only one byte per record.
+ */
+class IoEventBatch
+{
+  public:
+    /** Rebuild the columns from trace records [begin, end). */
+    void
+    buildFrom(const trace::Trace &trace, std::size_t begin,
+              std::size_t end)
+    {
+        extents_.clear();
+        timestamps_.clear();
+        types_.clear();
+        for (std::size_t i = begin; i < end; ++i) {
+            const trace::IoRecord &record = trace[i];
+            extents_.push_back(record.extent);
+            timestamps_.push_back(record.timestampUs);
+            types_.push_back(record.type);
+        }
+    }
+
+    std::size_t size() const { return extents_.size(); }
+    bool empty() const { return extents_.empty(); }
+
+    const SectorExtent &extent(std::size_t i) const
+    {
+        return extents_[i];
+    }
+    std::uint64_t timestamp(std::size_t i) const
+    {
+        return timestamps_[i];
+    }
+    trace::IoType type(std::size_t i) const { return types_[i]; }
+
+    /** Pointer into the contiguous extent column (for spans). */
+    const SectorExtent *extentData() const { return extents_.data(); }
+
+    /** One past the last index of the same-type run starting at i. */
+    std::size_t
+    runEnd(std::size_t i) const
+    {
+        const trace::IoType head = types_[i];
+        std::size_t j = i + 1;
+        while (j < types_.size() && types_[j] == head)
+            ++j;
+        return j;
+    }
+
+  private:
+    std::vector<SectorExtent> extents_;
+    std::vector<std::uint64_t> timestamps_;
+    std::vector<trace::IoType> types_;
+};
+
+/**
+ * Per-record translation results of a batch: one flat Segment
+ * array plus record offsets. Native batch implementations append
+ * into flat() and seal each record with endRecord(); readers slice
+ * with recordBegin()/recordEnd(). Offsets always hold records()+1
+ * entries with offsets[0] == 0.
+ */
+class SegmentBufferBatch
+{
+  public:
+    SegmentBufferBatch() { offsets_.push_back(0); }
+
+    /** Drop all records, keeping both arrays' capacity. */
+    void
+    clear()
+    {
+        flat_.clear();
+        offsets_.clear();
+        offsets_.push_back(0);
+    }
+
+    /** Append target for the record currently being produced. */
+    SegmentBuffer &flat() { return flat_; }
+
+    /** Seal the current record (its segments are everything pushed
+     *  onto flat() since the previous endRecord). */
+    void endRecord() { offsets_.push_back(flat_.size()); }
+
+    std::size_t records() const { return offsets_.size() - 1; }
+
+    std::size_t
+    recordSize(std::size_t r) const
+    {
+        return offsets_[r + 1] - offsets_[r];
+    }
+
+    const Segment *
+    recordBegin(std::size_t r) const
+    {
+        return flat_.begin() + offsets_[r];
+    }
+
+    const Segment *
+    recordEnd(std::size_t r) const
+    {
+        return flat_.begin() + offsets_[r + 1];
+    }
+
+  private:
+    SegmentBuffer flat_;
+    std::vector<std::size_t> offsets_;
+};
+
+} // namespace logseek::stl
+
+#endif // LOGSEEK_STL_IO_BATCH_H

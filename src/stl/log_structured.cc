@@ -5,29 +5,50 @@
 namespace logseek::stl
 {
 
-LogStructuredLayer::LogStructuredLayer(Pba initial_frontier,
-                                       std::optional<ZoneConfig> zones)
-    : logStart_(initial_frontier), frontier_(initial_frontier)
+LogFrontier::LogFrontier(Pba start,
+                         const std::optional<ZoneConfig> &zones)
+    : start_(start), pos_(start)
 {
     if (zones) {
         zoneSectors_ = bytesToSectors(zones->zoneBytes);
         guardSectors_ = bytesToSectors(zones->guardBytes);
         panicIf(zoneSectors_ == 0,
-                "LogStructuredLayer: zone size must be at least one "
+                "LogFrontier: zone size must be at least one "
                 "sector");
     }
 }
 
 SectorCount
-LogStructuredLayer::zoneRemaining() const
+LogFrontier::zoneRemaining() const
 {
     if (zoneSectors_ == 0)
         return ~SectorCount{0};
     const SectorCount pitch = zoneSectors_ + guardSectors_;
-    const SectorCount offset = (frontier_ - logStart_) % pitch;
+    const SectorCount offset = (pos_ - start_) % pitch;
     panicIf(offset >= zoneSectors_,
-            "LogStructuredLayer: frontier inside a guard band");
+            "LogFrontier: frontier inside a guard band");
     return zoneSectors_ - offset;
+}
+
+void
+LogFrontier::advance(SectorCount take)
+{
+    pos_ += take;
+    // Skip the guard band when the zone filled up.
+    if (zoneSectors_ != 0) {
+        const SectorCount pitch = zoneSectors_ + guardSectors_;
+        if ((pos_ - start_) % pitch == zoneSectors_) {
+            pos_ += guardSectors_;
+            ++crossings_;
+        }
+    }
+}
+
+LogStructuredLayer::LogStructuredLayer(Pba initial_frontier,
+                                       std::optional<ZoneConfig> zones)
+    : logStart_(initial_frontier),
+      frontier_(initial_frontier, zones)
+{
 }
 
 void
@@ -39,33 +60,57 @@ LogStructuredLayer::translateReadInto(const SectorExtent &extent,
 }
 
 void
-LogStructuredLayer::placeWriteInto(const SectorExtent &extent,
-                                   SegmentBuffer &out)
+LogStructuredLayer::appendWrite(const SectorExtent &extent,
+                                SegmentBuffer &out)
 {
     panicIf(extent.empty(), "LogStructuredLayer: empty write");
     panicIf(extent.end() > logStart_,
             "LogStructuredLayer: workload LBA above the log start; "
             "construct with a larger initial frontier");
 
-    out.clear();
     Lba lba = extent.start;
     SectorCount remaining = extent.count;
     while (remaining > 0) {
         const SectorCount take =
-            std::min(remaining, zoneRemaining());
-        map_.mapRange(lba, frontier_, take);
-        out.push(Segment{SectorExtent{lba, take}, frontier_, true});
+            std::min(remaining, frontier_.zoneRemaining());
+        const Pba placed = frontier_.pos();
+        map_.mapRange(lba, placed, take);
+        out.push(Segment{SectorExtent{lba, take}, placed, true});
+        frontier_.advance(take);
         lba += take;
-        frontier_ += take;
         remaining -= take;
-        // Skip the guard band when the zone filled up.
-        if (zoneSectors_ != 0) {
-            const SectorCount pitch = zoneSectors_ + guardSectors_;
-            if ((frontier_ - logStart_) % pitch == zoneSectors_) {
-                frontier_ += guardSectors_;
-                ++zoneCrossings_;
-            }
-        }
+    }
+}
+
+void
+LogStructuredLayer::placeWriteInto(const SectorExtent &extent,
+                                   SegmentBuffer &out)
+{
+    out.clear();
+    appendWrite(extent, out);
+}
+
+void
+LogStructuredLayer::translateReadBatchInto(
+    std::span<const SectorExtent> extents, SegmentBufferBatch &out)
+    const
+{
+    out.clear();
+    for (const SectorExtent &extent : extents) {
+        panicIf(extent.empty(), "LogStructuredLayer: empty read");
+        map_.translateAppend(extent, out.flat());
+        out.endRecord();
+    }
+}
+
+void
+LogStructuredLayer::placeWriteBatchInto(
+    std::span<const SectorExtent> extents, SegmentBufferBatch &out)
+{
+    out.clear();
+    for (const SectorExtent &extent : extents) {
+        appendWrite(extent, out.flat());
+        out.endRecord();
     }
 }
 

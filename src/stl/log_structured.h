@@ -38,6 +38,41 @@ struct ZoneConfig
     std::uint64_t guardBytes = kMiB;
 };
 
+/**
+ * The write-frontier arithmetic of a (possibly zoned) log: where
+ * the next write lands, how much of the current zone is left, and
+ * the guard skip when a zone fills. Shared by LogStructuredLayer
+ * and ShardedTranslation so the two place writes byte-identically.
+ */
+class LogFrontier
+{
+  public:
+    /** @param start First physical sector of the log; zone
+     *        boundaries are laid out from here. */
+    explicit LogFrontier(Pba start,
+                         const std::optional<ZoneConfig> &zones);
+
+    /** Physical sector the next write will start at. */
+    Pba pos() const { return pos_; }
+
+    /** Sectors left in the current zone (max value if unzoned). */
+    SectorCount zoneRemaining() const;
+
+    /** Consume `take` sectors (take <= zoneRemaining()), skipping
+     *  the guard band when the zone fills up. */
+    void advance(SectorCount take);
+
+    /** Number of zone boundaries crossed so far. */
+    std::uint64_t crossings() const { return crossings_; }
+
+  private:
+    Pba start_;
+    Pba pos_;
+    SectorCount zoneSectors_ = 0; ///< 0 = unzoned
+    SectorCount guardSectors_ = 0;
+    std::uint64_t crossings_ = 0;
+};
+
 /** Full-extent-map log-structured translation layer. */
 class LogStructuredLayer : public TranslationLayer
 {
@@ -57,6 +92,13 @@ class LogStructuredLayer : public TranslationLayer
 
     void placeWriteInto(const SectorExtent &extent,
                         SegmentBuffer &out) override;
+
+    void translateReadBatchInto(std::span<const SectorExtent> extents,
+                                SegmentBufferBatch &out)
+        const override;
+
+    void placeWriteBatchInto(std::span<const SectorExtent> extents,
+                             SegmentBufferBatch &out) override;
 
     std::size_t staticFragmentCount() const override;
 
@@ -81,7 +123,7 @@ class LogStructuredLayer : public TranslationLayer
     }
 
     /** Physical sector the next write will start at. */
-    Pba writeFrontier() const { return frontier_; }
+    Pba writeFrontier() const { return frontier_.pos(); }
 
     /** Sector where the log began (initial frontier). */
     Pba logStart() const { return logStart_; }
@@ -90,18 +132,19 @@ class LogStructuredLayer : public TranslationLayer
     const ExtentMap &extentMap() const { return map_; }
 
     /** Number of zone boundaries the frontier has crossed. */
-    std::uint64_t zoneCrossings() const { return zoneCrossings_; }
+    std::uint64_t zoneCrossings() const
+    {
+        return frontier_.crossings();
+    }
 
   private:
-    /** Sectors left in the current zone (SIZE_MAX if unzoned). */
-    SectorCount zoneRemaining() const;
+    /** Place one write at the frontier, appending the placed
+     *  segments to `out` without clearing it. */
+    void appendWrite(const SectorExtent &extent, SegmentBuffer &out);
 
     ExtentMap map_;
     Pba logStart_;
-    Pba frontier_;
-    SectorCount zoneSectors_ = 0;   ///< 0 = unzoned
-    SectorCount guardSectors_ = 0;
-    std::uint64_t zoneCrossings_ = 0;
+    LogFrontier frontier_;
 };
 
 } // namespace logseek::stl

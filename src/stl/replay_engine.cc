@@ -1,6 +1,8 @@
 #include "replay_engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <span>
 #include <utility>
 
 #include "stl/conventional.h"
@@ -10,6 +12,7 @@
 #include "stl/media_cache.h"
 #include "stl/prefetch.h"
 #include "stl/selective_cache.h"
+#include "stl/sharded_translation.h"
 #include "telemetry/trace_writer.h"
 #include "util/logging.h"
 
@@ -193,6 +196,32 @@ class DefragStage : public ReadStage
     SegmentBuffer scratch_;
 };
 
+/**
+ * Copy a record's translated segments into `out`, merging
+ * physically-and-logically adjacent neighbors on the way — one pass
+ * instead of translateInto + mergeInPlace + assign. The predicate
+ * is exactly mergePhysicallyContiguousInPlace's, so the result is
+ * byte-identical to the three-step form.
+ */
+void
+mergeAssign(const Segment *begin, const Segment *end,
+            std::vector<Segment> &out)
+{
+    out.clear();
+    for (const Segment *s = begin; s != end; ++s) {
+        if (!out.empty()) {
+            Segment &last = out.back();
+            if (last.pba + last.logical.count == s->pba &&
+                last.logical.end() == s->logical.start) {
+                last.logical.count += s->logical.count;
+                last.mapped = last.mapped || s->mapped;
+                continue;
+            }
+        }
+        out.push_back(*s);
+    }
+}
+
 } // namespace
 
 void
@@ -285,10 +314,36 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
     result_.workload = trace.name();
     result_.configLabel = config_.label();
 
+    panicIf(config_.replayBatchSize < 1 ||
+                config_.replayBatchSize > 65536,
+            "ReplayEngine: replayBatchSize out of [1, 65536]");
+    panicIf(config_.replayShards < 1 || config_.replayShards > 256,
+            "ReplayEngine: replayShards out of [1, 256]");
+    if (config_.replayShards > 1)
+        accounting_.enableDeferred(
+            static_cast<std::size_t>(config_.replayShards),
+            config_.shardExecutor);
+
     // Translation layer. Defragmentation needs a layer that can
     // relocate ranges to the frontier; both log variants can.
+    // Sharding swaps the log-structured layer for its LBA-striped
+    // twin (byte-identical placement and translation after the
+    // engine's contiguity merge); the other layers keep their
+    // single structure and shard accounting only.
     RelocateFn relocate;
-    if (config_.translation == TranslationKind::LogStructured) {
+    if (config_.translation == TranslationKind::LogStructured &&
+        config_.replayShards > 1 && trace.addressSpaceEnd() > 0) {
+        auto ls = std::make_unique<ShardedTranslation>(
+            trace.addressSpaceEnd(),
+            static_cast<std::size_t>(config_.replayShards),
+            config_.zones);
+        relocate = [raw = ls.get()](const SectorExtent &extent,
+                                    SegmentBuffer &out) {
+            raw->relocateInto(extent, out);
+        };
+        layer_ = std::move(ls);
+    } else if (config_.translation ==
+               TranslationKind::LogStructured) {
         auto ls = std::make_unique<LogStructuredLayer>(
             trace.addressSpaceEnd(), config_.zones);
         relocate = [raw = ls.get()](const SectorExtent &extent,
@@ -380,10 +435,17 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
         pipeline_.addStage(std::make_unique<DefragStage>(
             *config_.defrag, std::move(relocate), accounting_));
 
+    layerHasMaintenance_ = layer_->hasMaintenance();
+    mediaOnly_ = pipeline_.stageCount() == 1;
+
     readLatency_ = &telemetry::Registry::global().histogram(
         "replay_read_latency_ns");
     translateLatency_ = &telemetry::Registry::global().histogram(
         "replay_translate_latency_ns");
+    batchesTotal_ = &telemetry::Registry::global().counter(
+        "replay_batches_total");
+    batchSize_ = &telemetry::Registry::global().histogram(
+        "replay_batch_size");
 }
 
 ReplayEngine::~ReplayEngine() = default;
@@ -391,33 +453,55 @@ ReplayEngine::~ReplayEngine() = default;
 SimResult
 ReplayEngine::run()
 {
-    // One IoEvent reused across the whole replay: reset() keeps the
-    // segment/seek vectors' capacity, so the per-record loop stops
-    // allocating once warmed up.
-    IoEvent event;
-    std::uint64_t op_index = 0;
-    for (const auto &record : trace_) {
-        // Cooperative cancellation point: checked once per record
-        // batch so an over-deadline replay unwinds within
-        // microseconds, with all layer invariants intact.
-        if (op_index % kCancelCheckInterval == 0 &&
-            cancel_.cancelled())
-            throw StatusError(cancel_.toStatus(
-                "replay of trace '" + trace_.name() + "'"));
+    const auto batch_size =
+        static_cast<std::size_t>(config_.replayBatchSize);
+    const std::size_t total = trace_.size();
 
-        event.reset();
-        event.opIndex = op_index++;
-        event.record = record;
+    // The batch's events are reused across batches: reset() keeps
+    // the segment/seek vectors' capacity, so the replay loop stops
+    // allocating once every slot has warmed up.
+    if (events_.size() < batch_size)
+        events_.resize(batch_size);
 
-        if (record.isWrite())
-            handleWrite(record, event);
-        else
-            handleRead(record, event);
+    for (std::size_t base = 0; base < total; base += batch_size) {
+        const std::size_t end = std::min(total, base + batch_size);
+        // Cooperative cancellation: polled at every batch boundary
+        // here and every kCancelCheckInterval records inside the
+        // serving loops, so an over-deadline replay unwinds within
+        // microseconds with all layer invariants intact.
+        if (cancel_.cancelled())
+            throwCancelled();
 
-        runMaintenance(event);
+        batch_.buildFrom(trace_, base, end);
+        const std::size_t n = batch_.size();
+        batchesTotal_->add();
+        batchSize_->record(n);
 
-        for (auto *observer : observers_)
-            observer->onEvent(event);
+        // The telemetry switch is sampled once per batch: the
+        // media-only fast path skips the pipeline (and with it the
+        // per-stage counters), so it must stay off while telemetry
+        // is on.
+        const bool fast_media_only =
+            mediaOnly_ && !telemetry::enabled();
+
+        std::size_t i = 0;
+        while (i < n) {
+            const std::size_t run_end = batch_.runEnd(i);
+            if (batch_.type(i) == trace::IoType::Read)
+                serveReadRun(base, i, run_end, fast_media_only);
+            else
+                serveWriteRun(base, i, run_end);
+            i = run_end;
+        }
+
+        // Sharded mode: resolve the deferred seek classification
+        // before the events are shown to observers or recycled.
+        if (accounting_.deferredEnabled())
+            accounting_.flushDeferred();
+
+        for (std::size_t k = 0; k < n; ++k)
+            for (auto *observer : observers_)
+                observer->onEvent(events_[k]);
     }
 
     // Counters sampled once, after the loop: cleaningMerges only
@@ -429,6 +513,13 @@ ReplayEngine::run()
     accounting_.finishDevice();
     emitStageSpans();
     return std::move(result_);
+}
+
+void
+ReplayEngine::throwCancelled()
+{
+    throw StatusError(cancel_.toStatus("replay of trace '" +
+                                       trace_.name() + "'"));
 }
 
 void
@@ -459,52 +550,200 @@ ReplayEngine::emitStageSpans()
 }
 
 void
-ReplayEngine::handleWrite(const trace::IoRecord &record,
-                          IoEvent &event)
+ReplayEngine::translateRun(std::size_t begin, std::size_t end,
+                           bool sampled)
 {
-    accounting_.beginWrite(record.extent.bytes());
-    layer_->placeWriteInto(record.extent, segmentScratch_);
-    event.segments.assign(segmentScratch_.begin(),
-                          segmentScratch_.end());
-    for (const auto &segment : event.segments)
-        accounting_.hostAccess(event, segment.physical(),
-                               trace::IoType::Write);
-}
-
-void
-ReplayEngine::handleRead(const trace::IoRecord &record,
-                         IoEvent &event)
-{
-    const telemetry::ScopedTimer timer(readLatency_);
-    accounting_.beginRead();
-    {
-        const telemetry::ScopedTimer translate_timer(
-            translateLatency_);
-        layer_->translateReadInto(record.extent, segmentScratch_);
+    const std::span<const SectorExtent> extents(
+        batch_.extentData() + begin, end - begin);
+    if (sampled && telemetry::enabled()) {
+        const auto start = std::chrono::steady_clock::now();
+        layer_->translateReadBatchInto(extents, readBatch_);
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        // Amortized: one equal sample per record keeps the
+        // histogram count equal to result.reads, the contract the
+        // telemetry tests pin.
+        const std::uint64_t per =
+            ns > 0 ? static_cast<std::uint64_t>(ns) /
+                         (end - begin)
+                   : 0;
+        for (std::size_t k = begin; k < end; ++k)
+            translateLatency_->record(per);
+    } else {
+        layer_->translateReadBatchInto(extents, readBatch_);
     }
-    mergePhysicallyContiguousInPlace(segmentScratch_);
-    event.segments.assign(segmentScratch_.begin(),
-                          segmentScratch_.end());
-    accounting_.readFragmentation(event.segments.size());
-    const bool fragmented = event.segments.size() >= 2;
-
-    for (const auto &segment : event.segments)
-        pipeline_.serveFragment(
-            ReadFragment{segment.physical(), fragmented,
-                         segment.physical()},
-            event);
-
-    pipeline_.completeRead(record, event);
 }
 
 void
+ReplayEngine::serveReadRun(std::size_t base, std::size_t begin,
+                           std::size_t end, bool fast_media_only)
+{
+    // Reads are translated lazily in adaptive mini-chunks, one
+    // batched virtual call per chunk. Small chunks keep the
+    // translated segments cache-hot when served (a whole-run
+    // translate of a 256-record batch evicts its own head before
+    // the serve pass reaches it) and bound the work a
+    // translation-mutating event (defrag rewrite, cleaning) can
+    // invalidate: the rest of the mutated chunk falls back to
+    // record-at-a-time translation and the next chunk — translated
+    // only after the mutation — resumes batching. The chunk size
+    // adapts to the mutation rate: a mutation collapses it to 1
+    // (defrag storms replay at scalar cost instead of paying for
+    // translations that are thrown away), and every clean chunk
+    // doubles it back up to kReadTranslateChunkMax. Re-batching
+    // the remainder instead would go quadratic when most reads
+    // mutate.
+    std::size_t chunk_begin = begin;
+    std::size_t chunk_end = begin; // nothing translated yet
+    bool batched = true;
+    bool translated_any = false;
+    bool chunk_mutated = false;
+    const auto grow_chunk = [this] {
+        readChunk_ =
+            std::min(readChunk_ * 2, kReadTranslateChunkMax);
+    };
+
+    for (std::size_t k = begin; k < end; ++k) {
+        const std::uint64_t op = base + k;
+        if (op % kCancelCheckInterval == 0 && cancel_.cancelled())
+            throwCancelled();
+
+        if (k == chunk_end) {
+            if (translated_any && !chunk_mutated)
+                grow_chunk();
+            chunk_begin = k;
+            chunk_end = std::min(k + readChunk_, end);
+            translateRun(chunk_begin, chunk_end, /*sampled=*/true);
+            batched = true;
+            translated_any = true;
+            chunk_mutated = false;
+        }
+
+        IoEvent &event = events_[k];
+        event.reset();
+        event.opIndex = op;
+        event.record = trace_[op];
+
+        const telemetry::ScopedTimer timer(readLatency_);
+        accounting_.beginRead();
+        if (batched) {
+            mergeAssign(readBatch_.recordBegin(k - chunk_begin),
+                        readBatch_.recordEnd(k - chunk_begin),
+                        event.segments);
+        } else {
+            layer_->translateReadInto(event.record.extent,
+                                      segmentScratch_);
+            mergeAssign(segmentScratch_.begin(),
+                        segmentScratch_.end(), event.segments);
+        }
+        accounting_.readFragmentation(event.segments.size());
+        const bool fragmented = event.segments.size() >= 2;
+
+        if (fast_media_only) {
+            // Pipeline == {media access} and telemetry is off: the
+            // serve pass reduces to one host access per fragment
+            // (no widening, no admissions, no completion hooks),
+            // so skip the stage machinery entirely.
+            for (const auto &segment : event.segments)
+                accounting_.hostAccess(event, segment.physical(),
+                                       trace::IoType::Read);
+        } else {
+            for (const auto &segment : event.segments)
+                pipeline_.serveFragment(
+                    ReadFragment{segment.physical(), fragmented,
+                                 segment.physical()},
+                    event);
+            pipeline_.completeRead(event.record, event);
+        }
+
+        bool mutated = event.defragRewrite;
+        if (layerHasMaintenance_)
+            mutated |= runMaintenance(event);
+        if (mutated) {
+            batched = false;
+            chunk_mutated = true;
+            readChunk_ = 1;
+        }
+    }
+    if (translated_any && !chunk_mutated)
+        grow_chunk();
+}
+
+void
+ReplayEngine::serveWriteRun(std::size_t base, std::size_t begin,
+                            std::size_t end)
+{
+    if (!layerHasMaintenance_) {
+        // Maintenance-free layers (conventional, log-structured):
+        // place the whole run with one batched virtual call.
+        // Placement order equals record order, so the per-record
+        // segments are exactly the scalar sequence's.
+        const std::span<const SectorExtent> extents(
+            batch_.extentData() + begin, end - begin);
+        layer_->placeWriteBatchInto(extents, writeBatch_);
+        for (std::size_t k = begin; k < end; ++k) {
+            const std::uint64_t op = base + k;
+            if (op % kCancelCheckInterval == 0 &&
+                cancel_.cancelled())
+                throwCancelled();
+
+            IoEvent &event = events_[k];
+            event.reset();
+            event.opIndex = op;
+            event.record = trace_[op];
+
+            accounting_.beginWrite(event.record.extent.bytes());
+            event.segments.assign(
+                writeBatch_.recordBegin(k - begin),
+                writeBatch_.recordEnd(k - begin));
+            for (const auto &segment : event.segments)
+                accounting_.hostAccess(event, segment.physical(),
+                                       trace::IoType::Write);
+        }
+        return;
+    }
+
+    // Layers that owe background work (finite log, media cache)
+    // must interleave maintenance record-by-record — batching their
+    // writes would let the log overrun its cleaning reserve.
+    for (std::size_t k = begin; k < end; ++k) {
+        const std::uint64_t op = base + k;
+        if (op % kCancelCheckInterval == 0 && cancel_.cancelled())
+            throwCancelled();
+
+        IoEvent &event = events_[k];
+        event.reset();
+        event.opIndex = op;
+        event.record = trace_[op];
+
+        accounting_.beginWrite(event.record.extent.bytes());
+        layer_->placeWriteInto(event.record.extent,
+                               segmentScratch_);
+        event.segments.assign(segmentScratch_.begin(),
+                              segmentScratch_.end());
+        for (const auto &segment : event.segments)
+            accounting_.hostAccess(event, segment.physical(),
+                                   trace::IoType::Write);
+        runMaintenance(event);
+    }
+}
+
+bool
 ReplayEngine::runMaintenance(IoEvent &event)
 {
+    if (!layerHasMaintenance_)
+        return false;
     // Background cleaning owed by the layer (media-cache merges,
     // log garbage collection), accounted separately from
     // host-visible seeks.
-    for (const MediaAccess &access : layer_->maintenance())
+    bool any = false;
+    for (const MediaAccess &access : layer_->maintenance()) {
+        any = true;
         accounting_.cleaningAccess(event, access);
+    }
+    return any;
 }
 
 } // namespace logseek::stl

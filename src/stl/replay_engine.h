@@ -1,6 +1,6 @@
 /**
  * @file
- * Per-run trace-replay engine.
+ * Per-run trace-replay engine (batch-first).
  *
  * A ReplayEngine is built fresh for one (trace, config) run: it
  * instantiates the translation layer, assembles the read-path
@@ -8,6 +8,21 @@
  * defrag trigger), and routes every byte and seek through a single
  * Accounting sink. The Simulator facade constructs one engine per
  * run; tests and future backends can drive the engine directly.
+ *
+ * The engine replays the trace in columnar batches
+ * (SimConfig::replayBatchSize records, default 256): each batch is
+ * loaded into an IoEventBatch, split into same-type runs, and each
+ * run is translated in small mini-chunks, one batched virtual call
+ * per chunk (write runs of maintenance-free layers are placed with
+ * a single call). Translation-mutating events inside a read run (a
+ * defrag rewrite, cleaning) invalidate the pre-translated rest of
+ * the current chunk, which falls back to record-at-a-time
+ * translation; the next chunk resumes batching — so batching is an
+ * execution strategy only: the SimResult is byte-identical to
+ * record-at-a-time replay. With SimConfig::replayShards > 1 the
+ * Accounting sink additionally defers seek classification and
+ * resolves it per batch in shard-parallel chunks (see
+ * docs/parallel_replay.md), again byte-identically.
  */
 
 #ifndef LOGSEEK_STL_REPLAY_ENGINE_H
@@ -41,9 +56,11 @@ class ReplayEngine
      * @param config Simulation configuration (copied).
      * @param trace The trace to replay; must outlive the engine.
      * @param observers Observers notified once per logical request,
-     *        in trace order; not owned.
-     * @param cancel Cooperative cancellation token, polled once per
-     *        record batch; default never fires.
+     *        in trace order (delivered at the end of the request's
+     *        batch, once the event is fully resolved); not owned.
+     * @param cancel Cooperative cancellation token, polled at every
+     *        batch boundary and every kCancelCheckInterval records
+     *        inside the serving loops; default never fires.
      */
     ReplayEngine(const SimConfig &config, const trace::Trace &trace,
                  const std::vector<SimObserver *> &observers,
@@ -68,14 +85,39 @@ class ReplayEngine
     const ReadPipeline &readPipeline() const { return pipeline_; }
 
   private:
-    /** Serve one write request. */
-    void handleWrite(const trace::IoRecord &record, IoEvent &event);
+    /**
+     * Serve batch records [begin, end) — one same-type read run.
+     * `fast_media_only` short-circuits the pipeline when it is
+     * exactly the media-access stage and telemetry is off.
+     */
+    void serveReadRun(std::size_t base, std::size_t begin,
+                      std::size_t end, bool fast_media_only);
 
-    /** Serve one read request through the pipeline. */
-    void handleRead(const trace::IoRecord &record, IoEvent &event);
+    /** Serve batch records [begin, end) — one write run. */
+    void serveWriteRun(std::size_t base, std::size_t begin,
+                       std::size_t end);
 
-    /** Play the layer's owed background cleaning accesses. */
-    void runMaintenance(IoEvent &event);
+    /**
+     * Batch-translate read extents [begin, end) of the current
+     * batch into readBatch_ (serveReadRun calls this one
+     * mini-chunk at a time). When `sampled`, the elapsed time is
+     * recorded amortized — one equal sample per record — so the
+     * translate-latency count stays equal to result.reads. The
+     * scalar fallback after a mid-chunk mutation records no extra
+     * samples for the same reason.
+     */
+    void translateRun(std::size_t begin, std::size_t end,
+                      bool sampled);
+
+    /**
+     * Play the layer's owed background cleaning accesses; returns
+     * true when any were owed (i.e. translation state changed).
+     * Skipped entirely for layers with hasMaintenance() == false.
+     */
+    bool runMaintenance(IoEvent &event);
+
+    /** Throw the cancellation status for this replay. */
+    [[noreturn]] void throwCancelled();
 
     /** Emit one aggregate trace span per read stage (end of run). */
     void emitStageSpans();
@@ -104,6 +146,37 @@ class ReplayEngine
     /** Reusable per-request scratch for layer results; clear()
      *  keeps capacity, so steady-state requests do not allocate. */
     SegmentBuffer segmentScratch_;
+
+    /** Columnar view of the batch currently being replayed. */
+    IoEventBatch batch_;
+
+    /** Batched translation results (reads / writes), reused. */
+    SegmentBufferBatch readBatch_;
+    SegmentBufferBatch writeBatch_;
+
+    /** One event per batch record, reused across batches; sized to
+     *  replayBatchSize on the first batch. */
+    std::vector<IoEvent> events_;
+
+    /** Upper bound of the adaptive read-translate chunk. */
+    static constexpr std::size_t kReadTranslateChunkMax = 32;
+
+    /** Current read-translate mini-chunk size in records; halves
+     *  to 1 when a chunk is invalidated by a translation-mutating
+     *  event and doubles back on every clean chunk (see
+     *  serveReadRun). Persists across batches within the run so a
+     *  defrag storm keeps replaying at scalar cost. */
+    std::size_t readChunk_ = kReadTranslateChunkMax;
+
+    /** layer_->hasMaintenance(), sampled once at construction. */
+    bool layerHasMaintenance_ = false;
+
+    /** True when the pipeline is exactly the media-access stage. */
+    bool mediaOnly_ = false;
+
+    /** Batching telemetry (self-gated on the global switch). */
+    telemetry::Counter *batchesTotal_ = nullptr;
+    telemetry::LatencyHistogram *batchSize_ = nullptr;
 
     /** Samples the layer's merge/cleaning counter; may be empty. */
     std::function<std::uint64_t()> cleaningMerges_;

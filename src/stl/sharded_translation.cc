@@ -1,0 +1,164 @@
+#include "sharded_translation.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace logseek::stl
+{
+
+ShardedTranslation::ShardedTranslation(
+    Pba initial_frontier, std::size_t shards,
+    std::optional<ZoneConfig> zones)
+    : logStart_(initial_frontier),
+      frontier_(initial_frontier, zones)
+{
+    panicIf(shards == 0,
+            "ShardedTranslation: need at least one shard");
+    panicIf(initial_frontier == 0,
+            "ShardedTranslation: the workload address space is "
+            "empty");
+    shardWidth_ = std::max<SectorCount>(
+        1, (logStart_ + shards - 1) / shards);
+    maps_.resize(shards);
+}
+
+std::size_t
+ShardedTranslation::shardOf(Lba lba) const
+{
+    return std::min<std::size_t>(lba / shardWidth_,
+                                 maps_.size() - 1);
+}
+
+Lba
+ShardedTranslation::shardEnd(std::size_t shard) const
+{
+    if (shard + 1 == maps_.size())
+        return std::numeric_limits<Lba>::max();
+    return (shard + 1) * shardWidth_;
+}
+
+void
+ShardedTranslation::mapSharded(Lba lba, Pba placed,
+                               SectorCount count)
+{
+    Lba cursor = lba;
+    const Lba end = lba + count;
+    while (cursor < end) {
+        const std::size_t shard = shardOf(cursor);
+        const Lba limit = std::min(end, shardEnd(shard));
+        maps_[shard].mapRange(cursor, placed + (cursor - lba),
+                              limit - cursor);
+        cursor = limit;
+    }
+}
+
+void
+ShardedTranslation::translateAppendSharded(
+    const SectorExtent &extent, SegmentBuffer &out) const
+{
+    Lba cursor = extent.start;
+    const Lba end = extent.end();
+    while (cursor < end) {
+        const std::size_t shard = shardOf(cursor);
+        const Lba limit = std::min(end, shardEnd(shard));
+        maps_[shard].translateAppend(
+            SectorExtent{cursor, limit - cursor}, out);
+        cursor = limit;
+    }
+}
+
+void
+ShardedTranslation::translateReadInto(const SectorExtent &extent,
+                                      SegmentBuffer &out) const
+{
+    panicIf(extent.empty(), "ShardedTranslation: empty read");
+    out.clear();
+    translateAppendSharded(extent, out);
+}
+
+void
+ShardedTranslation::appendWrite(const SectorExtent &extent,
+                                SegmentBuffer &out)
+{
+    panicIf(extent.empty(), "ShardedTranslation: empty write");
+    panicIf(extent.end() > logStart_,
+            "ShardedTranslation: workload LBA above the log start; "
+            "construct with a larger initial frontier");
+
+    Lba lba = extent.start;
+    SectorCount remaining = extent.count;
+    while (remaining > 0) {
+        const SectorCount take =
+            std::min(remaining, frontier_.zoneRemaining());
+        const Pba placed = frontier_.pos();
+        mapSharded(lba, placed, take);
+        out.push(Segment{SectorExtent{lba, take}, placed, true});
+        frontier_.advance(take);
+        lba += take;
+        remaining -= take;
+    }
+}
+
+void
+ShardedTranslation::placeWriteInto(const SectorExtent &extent,
+                                   SegmentBuffer &out)
+{
+    out.clear();
+    appendWrite(extent, out);
+}
+
+void
+ShardedTranslation::translateReadBatchInto(
+    std::span<const SectorExtent> extents, SegmentBufferBatch &out)
+    const
+{
+    out.clear();
+    for (const SectorExtent &extent : extents) {
+        panicIf(extent.empty(), "ShardedTranslation: empty read");
+        translateAppendSharded(extent, out.flat());
+        out.endRecord();
+    }
+}
+
+void
+ShardedTranslation::placeWriteBatchInto(
+    std::span<const SectorExtent> extents, SegmentBufferBatch &out)
+{
+    out.clear();
+    for (const SectorExtent &extent : extents) {
+        appendWrite(extent, out.flat());
+        out.endRecord();
+    }
+}
+
+std::size_t
+ShardedTranslation::staticFragmentCount() const
+{
+    std::size_t total = 0;
+    for (const ExtentMap &map : maps_)
+        total += map.entryCount();
+
+    // Subtract one per stripe boundary where the single map would
+    // have held one coalesced entry: both sides mapped and the
+    // physical addresses contiguous across the edge.
+    SegmentBuffer left;
+    SegmentBuffer right;
+    for (std::size_t k = 1; k < maps_.size(); ++k) {
+        const Lba boundary = k * shardWidth_;
+        if (boundary == 0 || boundary >= logStart_)
+            break;
+        left.clear();
+        right.clear();
+        maps_[k - 1].translateAppend(
+            SectorExtent{boundary - 1, 1}, left);
+        maps_[k].translateAppend(SectorExtent{boundary, 1}, right);
+        if (left[0].mapped && right[0].mapped &&
+            left[0].pba + 1 == right[0].pba)
+            --total;
+    }
+    return total;
+}
+
+} // namespace logseek::stl

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Shard-partitioned log-structured translation.
+ *
+ * Semantically this is LogStructuredLayer — same write-frontier
+ * placement (one shared LogFrontier, so placed segments are
+ * byte-identical), same identity holes, same name — but the extent
+ * map is partitioned into N independent per-region ExtentMaps over
+ * equal LBA stripes of [0, logStart). Each map only ever sees
+ * operations clipped to its stripe, which keeps every tree smaller
+ * (shorter descents, hotter cursors) and gives each region an
+ * isolated structure that later stages can consult without touching
+ * its neighbors.
+ *
+ * Two documented deviations from the single-map layer, both healed
+ * by the engine's physical-contiguity merge before any accounting:
+ *
+ *  - Scalar/batch translate output may be split at shard boundaries
+ *    (a run or identity hole crossing a stripe edge comes back as
+ *    two segments). The pieces are physically adjacent by
+ *    construction, so mergePhysicallyContiguous(InPlace) restores
+ *    the exact single-map segments.
+ *  - Write placements are pushed unsplit (only zone-split), exactly
+ *    as LogStructuredLayer pushes them; only the internal mapRange
+ *    is clipped per stripe.
+ *
+ * staticFragmentCount() compensates for boundary splits explicitly:
+ * it sums per-shard entry counts and subtracts one for every stripe
+ * boundary where the two sides would have coalesced into a single
+ * entry (both mapped and physically contiguous — the single map's
+ * coalescing predicate).
+ */
+
+#ifndef LOGSEEK_STL_SHARDED_TRANSLATION_H
+#define LOGSEEK_STL_SHARDED_TRANSLATION_H
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "stl/extent_map.h"
+#include "stl/log_structured.h"
+#include "stl/translation_layer.h"
+
+namespace logseek::stl
+{
+
+/** LBA-striped variant of the log-structured layer. */
+class ShardedTranslation : public TranslationLayer
+{
+  public:
+    /**
+     * @param initial_frontier First physical sector of the log (and
+     *        one past the highest workload LBA); the stripes
+     *        partition [0, initial_frontier).
+     * @param shards Number of LBA stripes; must be >= 1.
+     * @param zones Optional zone/guard structure, laid out exactly
+     *        as in LogStructuredLayer.
+     */
+    ShardedTranslation(Pba initial_frontier, std::size_t shards,
+                       std::optional<ZoneConfig> zones = {});
+
+    void translateReadInto(const SectorExtent &extent,
+                           SegmentBuffer &out) const override;
+
+    void placeWriteInto(const SectorExtent &extent,
+                        SegmentBuffer &out) override;
+
+    void translateReadBatchInto(std::span<const SectorExtent> extents,
+                                SegmentBufferBatch &out)
+        const override;
+
+    void placeWriteBatchInto(std::span<const SectorExtent> extents,
+                             SegmentBufferBatch &out) override;
+
+    std::size_t staticFragmentCount() const override;
+
+    /** Reports the log-structured name: sharding is an execution
+     *  strategy, not a different translation model. */
+    std::string name() const override { return "log-structured"; }
+
+    /** Defrag support, identical to LogStructuredLayer. */
+    std::vector<Segment>
+    relocate(const SectorExtent &extent)
+    {
+        return placeWrite(extent);
+    }
+
+    /** Allocation-free relocate for the replay hot path. */
+    void
+    relocateInto(const SectorExtent &extent, SegmentBuffer &out)
+    {
+        placeWriteInto(extent, out);
+    }
+
+    /** Physical sector the next write will start at. */
+    Pba writeFrontier() const { return frontier_.pos(); }
+
+    /** Sector where the log began (initial frontier). */
+    Pba logStart() const { return logStart_; }
+
+    /** Number of zone boundaries the frontier has crossed. */
+    std::uint64_t zoneCrossings() const
+    {
+        return frontier_.crossings();
+    }
+
+    /** Number of LBA stripes. */
+    std::size_t shardCount() const { return maps_.size(); }
+
+    /** Map entries in stripe `shard` (tests/diagnostics). */
+    std::size_t
+    shardEntryCount(std::size_t shard) const
+    {
+        return maps_[shard].entryCount();
+    }
+
+  private:
+    /** Stripe owning `lba` (LBAs at or above logStart clamp to the
+     *  last stripe; they are unmapped there, so reads of them still
+     *  produce the identity holes the single map would). */
+    std::size_t shardOf(Lba lba) const;
+
+    /** One past the last LBA routed to stripe `shard`. */
+    Lba shardEnd(std::size_t shard) const;
+
+    /** mapRange clipped per stripe; placement stays contiguous. */
+    void mapSharded(Lba lba, Pba placed, SectorCount count);
+
+    /** translateAppend split at stripe boundaries. */
+    void translateAppendSharded(const SectorExtent &extent,
+                                SegmentBuffer &out) const;
+
+    /** Frontier placement of one write (no clear), as in
+     *  LogStructuredLayer::appendWrite. */
+    void appendWrite(const SectorExtent &extent, SegmentBuffer &out);
+
+    Pba logStart_;
+    SectorCount shardWidth_;
+    std::vector<ExtentMap> maps_;
+    LogFrontier frontier_;
+};
+
+} // namespace logseek::stl
+
+#endif // LOGSEEK_STL_SHARDED_TRANSLATION_H

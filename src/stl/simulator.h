@@ -14,7 +14,9 @@
 #ifndef LOGSEEK_STL_SIMULATOR_H
 #define LOGSEEK_STL_SIMULATOR_H
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -36,6 +38,18 @@
 
 namespace logseek::stl
 {
+
+/**
+ * Fan-out primitive for intra-replay sharding: invoke `fn(k)` for
+ * every k in [0, n), possibly on worker threads, and return only
+ * once all n calls have finished. An empty executor means "run
+ * inline on the calling thread". Defined here (not in sweep/) so
+ * the replay core stays free of thread-pool dependencies; see
+ * sweep::makeShardExecutor for the TaskPool-backed implementation.
+ */
+using ShardExecutor =
+    std::function<void(std::size_t,
+                       const std::function<void(std::size_t)> &)>;
 
 /** Which translation layer the simulator instantiates. */
 enum class TranslationKind
@@ -90,6 +104,25 @@ struct SimConfig
      * seeded media-fault model (see docs/zoned_device.md).
      */
     std::optional<disk::ZonedDeviceOptions> zonedDevice;
+
+    /**
+     * Number of shards for intra-replay parallel seek
+     * classification (see docs/parallel_replay.md). Sharding is an
+     * execution strategy, not a modeling choice: the SimResult is
+     * byte-identical at every shard count, so this deliberately
+     * does not appear in label(). Must be in [1, 256].
+     */
+    int replayShards = 1;
+
+    /** Records per columnar replay batch; must be in [1, 65536]. */
+    int replayBatchSize = 256;
+
+    /**
+     * Executor shard classification fans out through when
+     * replayShards > 1. Empty (the default) runs shards inline on
+     * the calling thread — still byte-identical, just serial.
+     */
+    ShardExecutor shardExecutor;
 
     /** Short label of the configuration, e.g. "LS+cache". */
     std::string label() const;
@@ -163,6 +196,10 @@ struct IoEvent
         deviceFailedSectors = 0;
     }
 
+    /** Exact comparison, used by the sharded/serial differential
+     *  tests; seeks compare bit-wise including distances. */
+    bool operator==(const IoEvent &) const = default;
+
     /** Dynamic fragmentation of a read (1 for writes). */
     std::size_t fragments() const { return segments.size(); }
 
@@ -228,6 +265,14 @@ struct SimResult
     std::uint64_t deviceGrownDefects = 0;
     std::uint64_t deviceReadOnlyZones = 0;
     std::uint64_t deviceOfflineZones = 0;
+
+    /**
+     * Exact (bit-wise, including seekTimeSec) comparison. The
+     * sharded replay core is contractually byte-identical to the
+     * serial one, so tests compare results with == rather than
+     * field-by-field tolerances.
+     */
+    bool operator==(const SimResult &) const = default;
 
     /** True when the device lost any sectors this run. */
     bool

@@ -112,6 +112,11 @@ BenchCli::sweepOptions(ObserverFactory extra) const
     options.retry.maxAttempts = retries + 1;
     options.checkpointPath = checkpointPath;
     options.resumePath = resumePath;
+    // --replay-shards 1 (the default) leaves each config's own
+    // shard count alone; only an explicit parallel request
+    // overrides the grid.
+    options.replayShards = replayShards > 1 ? replayShards : 0;
+    options.replayBatchSize = replayBatch;
 
     // Arm telemetry for the run this options object configures.
     // Observability is strictly opt-in: without these flags the
@@ -147,7 +152,8 @@ benchUsage(const std::string &name)
            "[--retries N] [--checkpoint path] [--resume path] "
            "[--metrics-out file] [--trace-out file] "
            "[--fault-rate R] [--bad-sector-seed N] "
-           "[--max-open-zones N] [--help]";
+           "[--max-open-zones N] [--replay-shards N] "
+           "[--replay-batch N] [--help]";
 }
 
 std::string
@@ -189,6 +195,12 @@ benchHelp(const std::string &name)
         "map (>= 0)\n"
         "  --max-open-zones N   zoned-device open-zone limit "
         "[1, 65536]\n"
+        "  --replay-shards N    parallel seek-classification "
+        "shards per replay [1, 256]\n"
+        "                       (1 = serial; results are "
+        "byte-identical)\n"
+        "  --replay-batch N     replay batch size in records "
+        "[1, 65536] (default 256)\n"
         "  --help               print this help and exit\n";
 }
 
@@ -201,7 +213,8 @@ benchFlagNames()
             "--checkpoint",    "--resume",
             "--metrics-out",   "--trace-out",
             "--fault-rate",    "--bad-sector-seed",
-            "--max-open-zones", "--help"};
+            "--max-open-zones", "--replay-shards",
+            "--replay-batch",  "--help"};
 }
 
 StatusOr<BenchCli>
@@ -355,6 +368,32 @@ tryParseBenchCli(int argc, char **argv, double default_scale)
                     *value);
             cli.maxOpenZones =
                 static_cast<std::uint32_t>(zones.value());
+        } else if (matches("--replay-shards")) {
+            if (!value)
+                return invalidArgumentError(
+                    "--replay-shards requires a value");
+            StatusOr<long long> shards =
+                parseIntArg("--replay-shards", *value);
+            if (!shards.ok())
+                return shards.status();
+            if (shards.value() < 1 || shards.value() > 256)
+                return invalidArgumentError(
+                    "--replay-shards must be in [1, 256]: got " +
+                    *value);
+            cli.replayShards = static_cast<int>(shards.value());
+        } else if (matches("--replay-batch")) {
+            if (!value)
+                return invalidArgumentError(
+                    "--replay-batch requires a value");
+            StatusOr<long long> batch =
+                parseIntArg("--replay-batch", *value);
+            if (!batch.ok())
+                return batch.status();
+            if (batch.value() < 1 || batch.value() > 65536)
+                return invalidArgumentError(
+                    "--replay-batch must be in [1, 65536]: got " +
+                    *value);
+            cli.replayBatch = static_cast<int>(batch.value());
         } else if (arg.rfind("--", 0) == 0) {
             return invalidArgumentError("unknown option: " + arg);
         } else if (positional == 0) {

@@ -9,7 +9,8 @@
  *           [--retries N] [--checkpoint path] [--resume path]
  *           [--metrics-out file] [--trace-out file]
  *           [--fault-rate R] [--bad-sector-seed N]
- *           [--max-open-zones N] [--help]
+ *           [--max-open-zones N] [--replay-shards N]
+ *           [--replay-batch N] [--help]
  *
  * scale/seed feed the synthetic workload profiles; --jobs sets the
  * sweep worker count ("auto" = hardware concurrency; 0 and negative
@@ -24,8 +25,12 @@
  * subsystem (off, and costing nothing, by default): --metrics-out
  * writes a metrics snapshot after the sweep (.prom/.txt selects
  * Prometheus text, anything else JSON) and --trace-out writes a
- * Chrome trace_event JSON file of the sweep's spans. All numeric
- * arguments are validated strictly — a malformed value is a typed
+ * Chrome trace_event JSON file of the sweep's spans.
+ * --replay-shards runs each replay's seek classification in N
+ * parallel shards on a dedicated pool (byte-identical to serial;
+ * docs/parallel_replay.md) and --replay-batch overrides the
+ * engine's columnar batch size. All numeric arguments are
+ * validated strictly — a malformed value is a typed
  * InvalidArgument error, never a silent default.
  */
 
@@ -93,6 +98,15 @@ struct BenchCli
     /** Zoned-device open-zone limit (--max-open-zones, in
      *  [1, 65536]). */
     std::uint32_t maxOpenZones = 8;
+
+    /** Intra-replay shard count (--replay-shards, in [1, 256]);
+     *  1 = serial replay, > 1 shards every cell's seek
+     *  classification over a dedicated pool. */
+    int replayShards = 1;
+
+    /** Replay batch size override in records (--replay-batch, in
+     *  [1, 65536]); 0 = the engine default. */
+    int replayBatch = 0;
 
     /** --help / -h was given; the caller prints help and exits. */
     bool helpRequested = false;

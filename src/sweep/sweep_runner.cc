@@ -1,11 +1,13 @@
 #include "sweep_runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "sweep/checkpoint.h"
@@ -194,6 +196,24 @@ SweepRunner::run()
     const int jobs = options_.jobs < 1 ? 1 : options_.jobs;
     const int max_attempts = std::max(1, options_.retry.maxAttempts);
     {
+        // Dedicated pool for intra-replay shard chunks. A cell
+        // worker fans its batch's seek classification out here and
+        // runs chunk 0 itself; giving shards their own pool means a
+        // replay never waits on the cell pool's queue, which could
+        // deadlock once every cell worker blocked simultaneously.
+        // Declared before the cell pool so it is destroyed after it.
+        std::unique_ptr<TaskPool> shard_pool;
+        stl::ShardExecutor shard_executor;
+        if (options_.replayShards > 1) {
+            const unsigned hw = std::max(
+                1u, std::thread::hardware_concurrency());
+            shard_pool = std::make_unique<TaskPool>(
+                std::min<unsigned>(static_cast<unsigned>(
+                                       options_.replayShards - 1),
+                                   hw));
+            shard_executor = makeShardExecutor(*shard_pool);
+        }
+
         TaskPool pool(static_cast<unsigned>(jobs));
 
         auto finish_cell = [this, &writer, &checkpoint_warned,
@@ -215,8 +235,8 @@ SweepRunner::run()
                 options_.onCellComplete(row);
         };
 
-        auto run_cell = [this, &out, &pool, finish_cell,
-                         config_count, max_attempts](
+        auto run_cell = [this, &out, &pool, &shard_executor,
+                         finish_cell, config_count, max_attempts](
                             std::size_t w, std::size_t c,
                             std::shared_ptr<const trace::Trace>
                                 trace,
@@ -248,6 +268,15 @@ SweepRunner::run()
                 try {
                     stl::SimConfig config =
                         configs_[c].make(*trace);
+                    if (options_.replayShards > 0)
+                        config.replayShards =
+                            options_.replayShards;
+                    if (options_.replayBatchSize > 0)
+                        config.replayBatchSize =
+                            options_.replayBatchSize;
+                    if (config.replayShards > 1 &&
+                        !config.shardExecutor && shard_executor)
+                        config.shardExecutor = shard_executor;
                     stl::Simulator simulator(config);
                     // Fresh observers every attempt: a replay that
                     // died mid-trace left them half-updated.

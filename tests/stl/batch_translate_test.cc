@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Differential regression test for the batched translation API.
+ *
+ * translateReadBatchInto / placeWriteBatchInto are pinned to the
+ * scalar per-record loop: two instances of every layer replay the
+ * same 1M+ randomized operations — one through the batch calls,
+ * one record-at-a-time — and every record's segment slice must be
+ * exactly equal. This is the contract the batch-first replay
+ * engine builds on (docs/parallel_replay.md): batching is an
+ * execution strategy, never a semantic change.
+ *
+ * The finite-log and media-cache layers are sized so cleaning is
+ * never owed — their batched write path is documented as a plain
+ * scalar loop (the engine keeps maintenance layers on the scalar
+ * path), so the interesting surface here is translation identity
+ * while the mapping mutates underneath.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "stl/conventional.h"
+#include "stl/finite_log.h"
+#include "stl/io_batch.h"
+#include "stl/log_structured.h"
+#include "stl/media_cache.h"
+#include "stl/translation_layer.h"
+#include "util/random.h"
+
+namespace logseek::stl
+{
+namespace
+{
+
+constexpr Lba kSpace = 1 << 20;
+
+enum class LayerKind
+{
+    Conventional,
+    LogStructured,
+    FiniteLog,
+    MediaCache,
+};
+
+std::unique_ptr<TranslationLayer>
+makeLayer(LayerKind kind)
+{
+    switch (kind) {
+    case LayerKind::Conventional:
+        return std::make_unique<ConventionalLayer>();
+    case LayerKind::LogStructured:
+        return std::make_unique<LogStructuredLayer>(kSpace);
+    case LayerKind::FiniteLog: {
+        // Capacity far above the test's total written volume
+        // (~3.5 GiB): cleaning must never trigger, so both
+        // instances' logs evolve identically with no maintenance()
+        // interleaved.
+        FiniteLogConfig config;
+        config.capacityBytes = 8ULL << 30;
+        config.segmentBytes = 64 * kMiB;
+        return std::make_unique<FiniteLogStructuredLayer>(kSpace,
+                                                          config);
+    }
+    case LayerKind::MediaCache: {
+        MediaCacheConfig config;
+        config.cacheBytes = 8ULL << 30; // never passes the merge
+                                        // threshold
+        return std::make_unique<MediaCacheLayer>(kSpace, config);
+    }
+    }
+    return nullptr;
+}
+
+const char *
+toString(LayerKind kind)
+{
+    switch (kind) {
+    case LayerKind::Conventional: return "conventional";
+    case LayerKind::LogStructured: return "log-structured";
+    case LayerKind::FiniteLog: return "finite-log";
+    case LayerKind::MediaCache: return "media-cache";
+    }
+    return "?";
+}
+
+/**
+ * Drive `scalar` record-at-a-time and `batch` through the batched
+ * calls over the same randomized operation stream; every record's
+ * segments must match exactly.
+ */
+void
+runDifferential(LayerKind kind, std::uint64_t seed)
+{
+    auto scalar_layer = makeLayer(kind);
+    auto batch_layer = makeLayer(kind);
+    ASSERT_NE(scalar_layer, nullptr);
+    ASSERT_NE(batch_layer, nullptr);
+
+    Rng rng(seed);
+    SegmentBuffer scalar_out;
+    SegmentBufferBatch batch_out;
+    std::vector<SectorExtent> extents;
+
+    std::size_t ops = 0;
+    while (ops < 1'000'000) {
+        // One same-type chunk per iteration, like the engine's
+        // run-splitting; chunk lengths cross every batch-boundary
+        // alignment.
+        const std::size_t chunk =
+            1 + static_cast<std::size_t>(rng.nextUint(256));
+        const bool writes = rng.nextBool(0.4);
+        extents.clear();
+        for (std::size_t i = 0; i < chunk; ++i) {
+            const SectorCount count = 1 + rng.nextUint(32);
+            const Lba lba = rng.nextUint(kSpace - count);
+            extents.push_back(SectorExtent{lba, count});
+        }
+
+        if (writes)
+            batch_layer->placeWriteBatchInto(extents, batch_out);
+        else
+            batch_layer->translateReadBatchInto(extents, batch_out);
+        ASSERT_EQ(batch_out.records(), chunk) << toString(kind);
+
+        for (std::size_t i = 0; i < chunk; ++i) {
+            if (writes)
+                scalar_layer->placeWriteInto(extents[i],
+                                             scalar_out);
+            else
+                scalar_layer->translateReadInto(extents[i],
+                                                scalar_out);
+            const Segment *begin = batch_out.recordBegin(i);
+            const Segment *end = batch_out.recordEnd(i);
+            const bool equal =
+                static_cast<std::size_t>(end - begin) ==
+                    scalar_out.size() &&
+                std::equal(begin, end, scalar_out.begin());
+            ASSERT_TRUE(equal)
+                << toString(kind) << ": record " << i << " (op "
+                << ops + i << ", "
+                << (writes ? "write" : "read") << " of "
+                << extents[i].count << " @ " << extents[i].start
+                << ") diverged from the scalar loop";
+        }
+        ops += chunk;
+    }
+
+    // The two instances saw identical operations, so their final
+    // static fragmentation must agree too.
+    EXPECT_EQ(scalar_layer->staticFragmentCount(),
+              batch_layer->staticFragmentCount())
+        << toString(kind);
+}
+
+TEST(BatchTranslate, ConventionalMatchesScalarLoop)
+{
+    runDifferential(LayerKind::Conventional, 0xba7c401);
+}
+
+TEST(BatchTranslate, LogStructuredMatchesScalarLoop)
+{
+    runDifferential(LayerKind::LogStructured, 0xba7c402);
+}
+
+TEST(BatchTranslate, FiniteLogMatchesScalarLoop)
+{
+    runDifferential(LayerKind::FiniteLog, 0xba7c403);
+}
+
+TEST(BatchTranslate, MediaCacheMatchesScalarLoop)
+{
+    runDifferential(LayerKind::MediaCache, 0xba7c404);
+}
+
+} // namespace
+} // namespace logseek::stl

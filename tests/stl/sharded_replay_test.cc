@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Differential tests for sharded replay: SimConfig::replayShards
+ * selects an execution strategy, so the SimResult — every counter,
+ * the bit pattern of seekTimeSec, and the zoned-device mirror —
+ * must be byte-identical (operator==) at every shard count, for
+ * every translation layer, with and without the zoned-device
+ * layer, and whether shards run inline or on real threads.
+ *
+ * The suite name (ShardedReplay*) keeps these tests inside the
+ * tsan preset's test filter; the threaded-executor tests are the
+ * ones TSan exercises (stl_tests does not link the sweep library,
+ * so the executor here is plain std::thread fan-out rather than
+ * sweep::makeShardExecutor).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "stl/log_structured.h"
+#include "stl/sharded_translation.h"
+#include "stl/simulator.h"
+#include "stl/translation_layer.h"
+#include "util/random.h"
+
+namespace logseek::stl
+{
+namespace
+{
+
+trace::Trace
+randomTrace(std::uint64_t seed, std::size_t ops, Lba space,
+            double write_fraction)
+{
+    Rng rng(seed);
+    trace::Trace trace("random-" + std::to_string(seed));
+    for (std::size_t i = 0; i < ops; ++i) {
+        const SectorCount count = 1 + rng.nextUint(32);
+        const Lba lba = rng.nextUint(space - count);
+        if (rng.nextBool(write_fraction))
+            trace.appendWrite(lba, count);
+        else
+            trace.appendRead(lba, count);
+    }
+    return trace;
+}
+
+/**
+ * Base configuration per layer. The finite-log and media-cache
+ * capacities are shrunk far below the trace's write volume so
+ * cleaning/merge maintenance actually runs — the deferred
+ * cleaning-access journal is the subtlest part of the sharded
+ * accounting path and must be covered, not dodged.
+ */
+SimConfig
+baseConfig(TranslationKind kind, bool zoned)
+{
+    SimConfig config;
+    config.translation = kind;
+    if (kind == TranslationKind::FiniteLogStructured) {
+        config.finiteLog.capacityBytes = 32 * kMiB;
+        config.finiteLog.segmentBytes = 1 * kMiB;
+    }
+    if (kind == TranslationKind::MediaCache)
+        config.mediaCache.cacheBytes = 4 * kMiB;
+    if (zoned)
+        config.zonedDevice = disk::ZonedDeviceOptions{};
+    return config;
+}
+
+/**
+ * Trace address space per layer: the finite log gets a small LBA
+ * space (8 MiB of sectors) so its 32 MiB log sees ~40 MiB of
+ * churn — cleaning runs repeatedly — while the live set always
+ * fits. The other layers replay a 512 MiB space.
+ */
+Lba
+traceSpaceFor(TranslationKind kind)
+{
+    return kind == TranslationKind::FiniteLogStructured ? 1 << 14
+                                                        : 1 << 20;
+}
+
+const char *
+toString(TranslationKind kind)
+{
+    switch (kind) {
+    case TranslationKind::Conventional: return "conventional";
+    case TranslationKind::LogStructured: return "log-structured";
+    case TranslationKind::FiniteLogStructured: return "finite-log";
+    case TranslationKind::MediaCache: return "media-cache";
+    }
+    return "?";
+}
+
+/**
+ * A thread-per-chunk executor: chunk 0 on the caller (the engine's
+ * contract), the rest on fresh std::threads, joined before
+ * returning. Deliberately naive — its job is to put the shard
+ * callback on real concurrent threads so TSan can watch it.
+ */
+ShardExecutor
+threadedExecutor()
+{
+    return [](std::size_t chunks,
+              const std::function<void(std::size_t)> &fn) {
+        std::vector<std::thread> threads;
+        threads.reserve(chunks > 0 ? chunks - 1 : 0);
+        for (std::size_t k = 1; k < chunks; ++k)
+            threads.emplace_back([&fn, k] { fn(k); });
+        if (chunks > 0)
+            fn(0);
+        for (auto &thread : threads)
+            thread.join();
+    };
+}
+
+TEST(ShardedReplay, ByteIdenticalAcrossShardCountsAndLayers)
+{
+    const TranslationKind kinds[] = {
+        TranslationKind::Conventional,
+        TranslationKind::LogStructured,
+        TranslationKind::FiniteLogStructured,
+        TranslationKind::MediaCache,
+    };
+    std::uint64_t combo = 0;
+    for (const TranslationKind kind : kinds) {
+        for (const bool zoned : {false, true}) {
+            const trace::Trace trace =
+                randomTrace(0x5ead0 + combo++, 12000,
+                            traceSpaceFor(kind), 0.4);
+            const SimConfig config = baseConfig(kind, zoned);
+            const SimResult serial = Simulator(config).run(trace);
+            for (const int shards : {2, 4, 7}) {
+                SimConfig sharded = config;
+                sharded.replayShards = shards;
+                const SimResult result =
+                    Simulator(sharded).run(trace);
+                EXPECT_TRUE(result == serial)
+                    << toString(kind) << (zoned ? "+zoned" : "")
+                    << " diverged at " << shards << " shards";
+            }
+        }
+    }
+}
+
+TEST(ShardedReplay, MechanismsAndOddBatchStayByteIdentical)
+{
+    // All mechanisms at once: defrag rewrites invalidate batched
+    // translations mid-run, prefetch and the selective cache
+    // reorder media accesses — none of it may leak into the
+    // sharded classification.
+    SimConfig config;
+    config.translation = TranslationKind::LogStructured;
+    config.defrag = DefragConfig{};
+    config.prefetch = PrefetchConfig{};
+    config.cache = SelectiveCacheConfig{64 * kMiB};
+
+    const trace::Trace trace =
+        randomTrace(0x5ead10, 20000, 1 << 20, 0.4);
+    const SimResult serial = Simulator(config).run(trace);
+    for (const int shards : {2, 7}) {
+        SimConfig sharded = config;
+        sharded.replayShards = shards;
+        EXPECT_TRUE(Simulator(sharded).run(trace) == serial)
+            << "LS+all diverged at " << shards << " shards";
+    }
+
+    // A batch size that divides into nothing evenly: every run is
+    // split at awkward boundaries and the shard chunking math sees
+    // ragged tails.
+    SimConfig odd = config;
+    odd.replayShards = 4;
+    odd.replayBatchSize = 17;
+    EXPECT_TRUE(Simulator(odd).run(trace) == serial)
+        << "LS+all diverged at batch 17 / 4 shards";
+}
+
+TEST(ShardedReplay, ThreadedExecutorMatchesInline)
+{
+    // Same differential, but the shards run on real threads: under
+    // the tsan preset this is the test that proves shard-local
+    // classification truly shares nothing.
+    for (const TranslationKind kind :
+         {TranslationKind::LogStructured,
+          TranslationKind::FiniteLogStructured}) {
+        const trace::Trace trace = randomTrace(
+            0x5ead20 + static_cast<std::uint64_t>(kind), 15000,
+            traceSpaceFor(kind), 0.4);
+        const SimConfig config = baseConfig(kind, /*zoned=*/true);
+        const SimResult serial = Simulator(config).run(trace);
+
+        SimConfig sharded = config;
+        sharded.replayShards = 4;
+        sharded.shardExecutor = threadedExecutor();
+        EXPECT_TRUE(Simulator(sharded).run(trace) == serial)
+            << toString(kind)
+            << " diverged with a threaded executor";
+    }
+}
+
+TEST(ShardedReplay, ShardedTranslationMatchesLogStructured)
+{
+    // Layer-level differential: ShardedTranslation stripes the LBA
+    // space over independent regions, and its contract is that
+    // after mergePhysicallyContiguousInPlace the output is exactly
+    // the single-map layer's (stripe splits heal because stripes
+    // are placed back-to-back in the log).
+    constexpr Lba kSpace = 1 << 18;
+    LogStructuredLayer single(kSpace);
+    ShardedTranslation sharded(kSpace, 5);
+    EXPECT_EQ(single.name(), sharded.name());
+
+    Rng rng(0x51ab5);
+    SegmentBuffer single_out;
+    SegmentBuffer sharded_out;
+    for (std::size_t op = 0; op < 20000; ++op) {
+        const SectorCount count = 1 + rng.nextUint(32);
+        const Lba lba = rng.nextUint(kSpace - count);
+        const SectorExtent extent{lba, count};
+        if (rng.nextBool(0.5)) {
+            single.placeWriteInto(extent, single_out);
+            sharded.placeWriteInto(extent, sharded_out);
+        } else {
+            single.translateReadInto(extent, single_out);
+            sharded.translateReadInto(extent, sharded_out);
+        }
+        mergePhysicallyContiguousInPlace(single_out);
+        mergePhysicallyContiguousInPlace(sharded_out);
+        ASSERT_EQ(single_out.size(), sharded_out.size())
+            << "op " << op;
+        for (std::size_t i = 0; i < single_out.size(); ++i) {
+            ASSERT_TRUE(single_out.begin()[i] ==
+                        sharded_out.begin()[i])
+                << "op " << op << ", segment " << i;
+        }
+    }
+    EXPECT_EQ(single.staticFragmentCount(),
+              sharded.staticFragmentCount());
+}
+
+TEST(ShardedReplay, RejectsOutOfRangeShardAndBatchCounts)
+{
+    const trace::Trace trace = randomTrace(0x5ead99, 64, 1 << 16,
+                                           0.5);
+    for (const int shards : {0, -1, 257}) {
+        SimConfig config;
+        config.replayShards = shards;
+        const auto result = Simulator(config).tryRun(trace);
+        EXPECT_FALSE(result.ok()) << "shards " << shards;
+    }
+    for (const int batch : {0, -3, 65537}) {
+        SimConfig config;
+        config.replayBatchSize = batch;
+        const auto result = Simulator(config).tryRun(trace);
+        EXPECT_FALSE(result.ok()) << "batch " << batch;
+    }
+}
+
+} // namespace
+} // namespace logseek::stl

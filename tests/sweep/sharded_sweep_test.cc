@@ -1,0 +1,176 @@
+/**
+ * @file
+ * SweepRunner integration tests for sharded replay: a sweep run
+ * with SweepOptions::replayShards > 1 (the --replay-shards path)
+ * must produce a byte-identical deterministic grid — same rows,
+ * same SimResults, same JSON — as the serial sweep, at every job
+ * count, and through a checkpoint/resume cycle.
+ *
+ * The suite name (ShardedReplaySweep*) keeps these tests inside
+ * the tsan preset's filter, where the TaskPool-backed
+ * makeShardExecutor fan-out is the interesting surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stl/simulator.h"
+#include "sweep/report.h"
+#include "sweep/sweep_runner.h"
+#include "util/cancellation.h"
+#include "workloads/profiles.h"
+
+namespace logseek::sweep
+{
+namespace
+{
+
+workloads::ProfileOptions
+tinyProfile()
+{
+    workloads::ProfileOptions options;
+    options.scale = 0.002;
+    return options;
+}
+
+std::vector<WorkloadSpec>
+twoWorkloads()
+{
+    return {WorkloadSpec::profile("usr_1", tinyProfile()),
+            WorkloadSpec::profile("w91", tinyProfile())};
+}
+
+/**
+ * Configs that stress the deferred-accounting path: a plain
+ * baseline, a log-structured replay, and the all-mechanisms
+ * config whose defrag rewrites invalidate batched translations.
+ */
+std::vector<ConfigSpec>
+threeConfigs()
+{
+    stl::SimConfig conventional;
+    conventional.translation = stl::TranslationKind::Conventional;
+    stl::SimConfig ls;
+    ls.translation = stl::TranslationKind::LogStructured;
+    stl::SimConfig ls_all = ls;
+    ls_all.defrag = stl::DefragConfig{};
+    ls_all.prefetch = stl::PrefetchConfig{};
+    ls_all.cache = stl::SelectiveCacheConfig{64 * kMiB};
+    return {ConfigSpec::fixed("NoLS", conventional),
+            ConfigSpec::fixed("LS", ls),
+            ConfigSpec::fixed("LS+all", ls_all)};
+}
+
+std::string
+deterministicJson(const SweepResult &sweep)
+{
+    std::ostringstream out;
+    writeJson(out, sweep, /*with_telemetry=*/false);
+    return out.str();
+}
+
+/** A self-deleting temp file path. */
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &name)
+        : path_(std::string(::testing::TempDir()) + name)
+    {
+        std::remove(path_.c_str());
+    }
+
+    ~TempPath() { std::remove(path_.c_str()); }
+
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(ShardedReplaySweep, MatchesSerialSweepAcrossJobCounts)
+{
+    const std::string reference = deterministicJson(
+        SweepRunner(twoWorkloads(), threeConfigs(), {}).run());
+
+    for (const int jobs : {1, 4}) {
+        SweepOptions options;
+        options.jobs = jobs;
+        options.replayShards = 4;
+        const SweepResult sharded =
+            SweepRunner(twoWorkloads(), threeConfigs(), options)
+                .run();
+        EXPECT_EQ(deterministicJson(sharded), reference)
+            << "replayShards=4, jobs " << jobs;
+        for (const RunRow &row : sharded.rows)
+            EXPECT_TRUE(row.status.ok()) << row.status.message();
+    }
+}
+
+TEST(ShardedReplaySweep, ExplicitBatchSizeStaysIdentical)
+{
+    const std::string reference = deterministicJson(
+        SweepRunner(twoWorkloads(), threeConfigs(), {}).run());
+
+    SweepOptions options;
+    options.jobs = 2;
+    options.replayShards = 3;
+    options.replayBatchSize = 17; // ragged run boundaries
+    const SweepResult sharded =
+        SweepRunner(twoWorkloads(), threeConfigs(), options).run();
+    EXPECT_EQ(deterministicJson(sharded), reference);
+}
+
+TEST(ShardedReplaySweep, ResumedShardedSweepIsByteIdentical)
+{
+    const std::string reference = deterministicJson(
+        SweepRunner(twoWorkloads(), threeConfigs(), {}).run());
+
+    // Interrupt a checkpointing sharded sweep after its first
+    // completed cell, then resume — also sharded — and require the
+    // byte-identical grid. Sharding must not leak into what gets
+    // checkpointed or how restored rows compare.
+    TempPath ckpt("sharded_sweep_resume.ckpt");
+    CancelSource source;
+    std::atomic<int> completed{0};
+    SweepOptions interrupted;
+    interrupted.jobs = 1; // deterministic completion order
+    interrupted.replayShards = 4;
+    interrupted.checkpointPath = ckpt.str();
+    interrupted.cancel = source.token();
+    interrupted.onCellComplete = [&](const RunRow &) {
+        if (completed.fetch_add(1) + 1 == 1)
+            source.cancel();
+    };
+    const SweepResult first =
+        SweepRunner(twoWorkloads(), threeConfigs(), interrupted)
+            .run();
+
+    std::uint64_t finished = 0;
+    for (const RunRow &row : first.rows)
+        if (row.status.ok())
+            ++finished;
+    ASSERT_GE(finished, 1u);
+    ASSERT_LT(finished, first.rows.size());
+
+    for (const int jobs : {1, 4}) {
+        SweepOptions resume;
+        resume.jobs = jobs;
+        resume.replayShards = 4;
+        resume.resumePath = ckpt.str();
+        const SweepResult resumed =
+            SweepRunner(twoWorkloads(), threeConfigs(), resume)
+                .run();
+        EXPECT_EQ(deterministicJson(resumed), reference)
+            << "jobs " << jobs;
+        EXPECT_EQ(resumed.telemetry.restoredRuns, finished)
+            << "jobs " << jobs;
+    }
+}
+
+} // namespace
+} // namespace logseek::sweep
