@@ -18,7 +18,8 @@
  *
  * Usage: device_fault_sweep [scale] [seed] [--jobs N]
  *        [--fault-rate R] [--bad-sector-seed N]
- *        [--max-open-zones N] [--json[=path]] [--csv[=path]]
+ *        [--max-open-zones N] [--error-log-cap N]
+ *        [--json[=path]] [--csv[=path]]
  */
 
 #include <algorithm>
@@ -69,10 +70,13 @@ sizedLog(const trace::Trace &trace)
 
 disk::ZonedDeviceOptions
 deviceOptions(const FaultProfile &profile, double rate,
-              std::uint64_t seed, std::uint32_t max_open_zones)
+              std::uint64_t seed, std::uint32_t max_open_zones,
+              std::size_t error_log_cap)
 {
     disk::ZonedDeviceOptions options;
     options.maxOpenZones = max_open_zones;
+    if (error_log_cap > 0)
+        options.errorLogCap = error_log_cap;
     options.faults.seed = seed;
     if (profile.transient)
         options.faults.transientRate = rate;
@@ -91,18 +95,20 @@ sweep::ConfigSpec
 deviceConfig(const std::string &label,
              stl::TranslationKind translation,
              const FaultProfile &profile, double rate,
-             std::uint64_t seed, std::uint32_t max_open_zones)
+             std::uint64_t seed, std::uint32_t max_open_zones,
+             std::size_t error_log_cap)
 {
     return sweep::ConfigSpec::deferred(
-        label, [translation, profile, rate, seed,
-                max_open_zones](const trace::Trace &trace) {
+        label, [translation, profile, rate, seed, max_open_zones,
+                error_log_cap](const trace::Trace &trace) {
             stl::SimConfig config;
             config.translation = translation;
             if (translation ==
                 stl::TranslationKind::FiniteLogStructured)
                 config.finiteLog = sizedLog(trace);
-            config.zonedDevice = deviceOptions(
-                profile, rate, seed, max_open_zones);
+            config.zonedDevice =
+                deviceOptions(profile, rate, seed,
+                              max_open_zones, error_log_cap);
             return config;
         });
 }
@@ -147,13 +153,15 @@ main(int argc, char **argv)
     for (const auto &[tname, translation] : translations) {
         configs.push_back(deviceConfig(
             tname + " clean", translation, profiles[0], 0.0,
-            cli->badSectorSeed, cli->maxOpenZones));
+            cli->badSectorSeed, cli->maxOpenZones,
+            cli->errorLogCap));
         for (std::size_t p = 1; p < profiles.size(); ++p)
             for (const auto &[rname, rate] : rates)
                 configs.push_back(deviceConfig(
                     tname + " " + profiles[p].name + " " + rname,
                     translation, profiles[p], rate,
-                    cli->badSectorSeed, cli->maxOpenZones));
+                    cli->badSectorSeed, cli->maxOpenZones,
+                    cli->errorLogCap));
     }
     const std::size_t config_count = configs.size();
 

@@ -260,7 +260,9 @@ main(int argc, char **argv)
          << ", \"opsPerSec\": " << parallel.telemetry.opsPerSec()
          << ", \"steals\": " << parallel.telemetry.steals << "},\n"
          << "  \"sharded\": {\"jobs\": 1, \"replayShards\": 4, "
-            "\"wallSec\": "
+            "\"parallelLegValid\": "
+         << (parallel_leg_valid ? "true" : "false")
+         << ", \"wallSec\": "
          << sharded.telemetry.wallSec << ", \"opsPerSec\": "
          << sharded.telemetry.opsPerSec() << "},\n"
          << "  \"speedup\": " << speedup << ",\n"

@@ -30,11 +30,19 @@
 # the zoned-device recovery paths (retry, zone resets, degraded
 # reads) execute under ASan+UBSan on every push.
 #
+# The extra mode `crash-smoke` builds crash_recovery_bench under
+# the asan preset and runs the reduced crash matrix (power-loss
+# injection, log-scan remount, fsck, oracle equivalence), writing
+# BENCH_crash_recovery.smoke.json, then runs the CrashRecovery
+# differential suite — so every recovery path executes under
+# ASan+UBSan on every push.
+#
 # Usage:
 #   scripts/tier1.sh            # all three presets
 #   scripts/tier1.sh default    # just one
 #   scripts/tier1.sh bench-smoke
 #   scripts/tier1.sh fault-smoke
+#   scripts/tier1.sh crash-smoke
 #   JOBS=8 scripts/tier1.sh     # override the build parallelism
 
 set -euo pipefail
@@ -86,6 +94,17 @@ run_fault_smoke() {
         --json=BENCH_device_faults.smoke.json
 }
 
+run_crash_smoke() {
+    echo "==> tier1: crash-smoke"
+    cmake --preset asan
+    cmake --build --preset asan -j "${JOBS}" \
+        --target crash_recovery_bench stl_tests
+    build-asan/bench/crash_recovery_bench \
+        --json=BENCH_crash_recovery.smoke.json
+    ctest --test-dir build-asan -R "CrashRecovery" \
+        --output-on-failure -j "${JOBS}"
+}
+
 for preset in "${PRESETS[@]}"; do
     if [ "${preset}" = "bench-smoke" ]; then
         run_bench_smoke
@@ -93,6 +112,10 @@ for preset in "${PRESETS[@]}"; do
     fi
     if [ "${preset}" = "fault-smoke" ]; then
         run_fault_smoke
+        continue
+    fi
+    if [ "${preset}" = "crash-smoke" ]; then
+        run_crash_smoke
         continue
     fi
     echo "==> tier1: preset '${preset}'"

@@ -48,6 +48,7 @@ toString(DeviceErrc errc)
       case DeviceErrc::TransientMediaError:
         return "TRANSIENT_MEDIA_ERROR";
       case DeviceErrc::GrownDefect: return "GROWN_DEFECT";
+      case DeviceErrc::PowerLoss: return "POWER_LOSS";
     }
     return "UNKNOWN";
 }
@@ -60,6 +61,7 @@ statusCodeOf(DeviceErrc errc)
         return StatusCode::Unavailable;
       case DeviceErrc::GrownDefect:
       case DeviceErrc::ZoneOffline:
+      case DeviceErrc::PowerLoss:
         return StatusCode::DataLoss;
       case DeviceErrc::TooManyOpenZones:
         return StatusCode::ResourceExhausted;

@@ -100,6 +100,11 @@ enum class DeviceErrc : std::uint8_t
 
     /** A persistent grown defect; retries cannot help. */
     GrownDefect,
+
+    /** The device lost power mid-operation; everything after the
+     *  flushed prefix is gone and the device is dead until it is
+     *  re-opened (a new ZonedDevice) and the host remounts. */
+    PowerLoss,
 };
 
 /** Printable name of a DeviceErrc ("WP_VIOLATION", ...). */
@@ -108,8 +113,10 @@ const char *toString(DeviceErrc errc);
 /**
  * The canonical StatusCode a DeviceErrc surfaces as:
  * TransientMediaError → Unavailable (retryable), GrownDefect /
- * ZoneOffline → DataLoss, TooManyOpenZones → ResourceExhausted,
- * everything else → FailedPrecondition.
+ * ZoneOffline / PowerLoss → DataLoss (non-retryable, so sweep
+ * retry machinery never re-runs a deterministic crash), TooMany-
+ * OpenZones → ResourceExhausted, everything else →
+ * FailedPrecondition.
  */
 StatusCode statusCodeOf(DeviceErrc errc);
 

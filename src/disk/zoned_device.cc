@@ -36,6 +36,7 @@ constexpr std::uint64_t kTransientSalt = 0x7472616e7369656eULL;
 constexpr std::uint64_t kRetriesSalt = 0x7265747269657321ULL;
 constexpr std::uint64_t kOfflineSalt = 0x6f66666c696e6521ULL;
 constexpr std::uint64_t kDivergeSalt = 0x6469766572676521ULL;
+constexpr std::uint64_t kCrashSalt = 0x706f7765726c6f73ULL;
 
 std::uint32_t
 clampToU32(std::uint64_t n)
@@ -50,8 +51,10 @@ ZonedDevice::ZonedDevice(const ZoneLayout &layout,
                          const ZonedDeviceOptions &options,
                          CancelToken cancel)
     : options_(options), zones_(layout), cancel_(std::move(cancel)),
-      rng_(options.faults.seed)
+      rng_(options.faults.seed), errorLog_(options.errorLogCap)
 {
+    panicIf(options.errorLogCap == 0,
+            "ZonedDevice: errorLogCap must be >= 1");
     auto &registry = telemetry::Registry::global();
     readRetries_ =
         &registry.counter("device_read_retries_total");
@@ -62,8 +65,21 @@ ZonedDevice::ZonedDevice(const ZoneLayout &layout,
         "device_media_errors_total", "kind=\"transient\"");
     mediaErrorsGrown_ = &registry.counter(
         "device_media_errors_total", "kind=\"grown\"");
+    crashes_ = &registry.counter("device_crashes_total");
     recoveryLatency_ =
         &registry.histogram("device_recovery_latency_ns");
+}
+
+void
+ZonedDevice::checkAlive() const
+{
+    if (dead_)
+        throw StatusError(deviceError(
+            DeviceErrc::PowerLoss,
+            "device lost power at write op " +
+                std::to_string(
+                    options_.crash.crashAtWriteOp) +
+                " and has not been re-opened"));
 }
 
 void
@@ -223,6 +239,7 @@ ZonedDevice::readPiece(std::size_t index,
 DeviceReadResult
 ZonedDevice::read(const SectorExtent &extent)
 {
+    checkAlive();
     DeviceReadResult out;
     if (extent.empty())
         return out;
@@ -294,10 +311,43 @@ ZonedDevice::writePiece(std::size_t index,
 DeviceWriteResult
 ZonedDevice::write(const SectorExtent &extent)
 {
+    checkAlive();
     DeviceWriteResult out;
     if (extent.empty())
         return out;
     zones_.ensureCovers(extent.end());
+
+    // Scheduled power loss: this very op dies mid-transfer. A
+    // seeded prefix of the extent reaches the media (advancing the
+    // zone write pointer partway — the torn tail a real drive
+    // leaves), the rest is lost, and the device goes dead.
+    if (options_.crash.armed() &&
+        writeOps_ + 1 == options_.crash.crashAtWriteOp) {
+        const std::uint64_t h = mix64(
+            options_.crash.seed ^ (writeOps_ + 1) ^ kCrashSalt);
+        const SectorCount flushed = h % (extent.count + 1);
+        for (std::uint64_t sector = extent.start;
+             sector < extent.start + flushed;) {
+            const std::size_t index = zones_.zoneIndexOf(sector);
+            const std::uint64_t piece_end =
+                std::min(extent.start + flushed,
+                         zones_.zone(index).end());
+            writePiece(index, {sector, piece_end - sector});
+            sector = piece_end;
+        }
+        ++writeOps_;
+        dead_ = true;
+        ++stats_.crashes;
+        crashes_->add();
+        throw StatusError(deviceError(
+            DeviceErrc::PowerLoss,
+            "power lost during write op " +
+                std::to_string(writeOps_) + ": " +
+                std::to_string(flushed) + " of " +
+                std::to_string(extent.count) +
+                " sectors reached the media"));
+    }
+
     std::size_t last_index = 0;
     for (std::uint64_t sector = extent.start;
          sector < extent.end();) {

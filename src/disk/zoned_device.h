@@ -81,6 +81,28 @@ struct DeviceFaultConfig
     }
 };
 
+/**
+ * Seeded power-loss schedule. When armed, the crashAtWriteOp-th
+ * media write op kills the device mid-transfer: a seeded prefix of
+ * the extent reaches the media (so the zone write pointer stops
+ * partway through the op — a torn tail, with the host's view of the
+ * pointer now stale), the op throws StatusError(POWER_LOSS →
+ * DataLoss), and every subsequent access fails the same way until
+ * the host builds a fresh device and remounts. Like the fault
+ * model, the torn length is a pure hash of (seed, op), so equal
+ * seeds crash identically across --jobs and checkpoint/resume.
+ */
+struct CrashSchedule
+{
+    /** 1-based media-write-op index that dies; 0 = never. */
+    std::uint64_t crashAtWriteOp = 0;
+
+    /** Seed of the torn-tail length draw. */
+    std::uint64_t seed = 0x70776c055ULL;
+
+    bool armed() const { return crashAtWriteOp > 0; }
+};
+
 /** Full device configuration (geometry comes from ZoneLayout). */
 struct ZonedDeviceOptions
 {
@@ -100,6 +122,16 @@ struct ZonedDeviceOptions
 
     /** Media-fault injection policy. */
     DeviceFaultConfig faults;
+
+    /** Power-loss schedule; disarmed by default. */
+    CrashSchedule crash;
+
+    /**
+     * Bound of the read-error log (entries kept before counting
+     * drops); must be >= 1. Defaults to ReadErrorLog::kMaxEntries
+     * so existing configurations keep their capping behavior.
+     */
+    std::size_t errorLogCap = 256;
 
     /**
      * Read-recovery budget: attempts and backoff for retried
@@ -129,18 +161,25 @@ struct ReadErrorEntry
 
 /**
  * Bounded per-device log of read-error episodes. Keeps the first
- * kMaxEntries (the interesting ones for triage) and counts the
- * rest, so a high fault rate cannot balloon memory.
+ * `cap` entries (the interesting ones for triage) and counts the
+ * rest, so a high fault rate cannot balloon memory. The drop count
+ * is surfaced in SimResult/reports rather than silently capping.
  */
 class ReadErrorLog
 {
   public:
+    /** Default bound (ZonedDeviceOptions::errorLogCap overrides). */
     static constexpr std::size_t kMaxEntries = 256;
+
+    explicit ReadErrorLog(std::size_t cap = kMaxEntries)
+        : cap_(cap == 0 ? 1 : cap)
+    {
+    }
 
     void
     append(ReadErrorEntry entry)
     {
-        if (entries_.size() < kMaxEntries)
+        if (entries_.size() < cap_)
             entries_.push_back(std::move(entry));
         else
             ++dropped_;
@@ -151,9 +190,12 @@ class ReadErrorLog
         return entries_;
     }
 
+    std::size_t cap() const { return cap_; }
+
     std::uint64_t dropped() const { return dropped_; }
 
   private:
+    std::size_t cap_;
     std::deque<ReadErrorEntry> entries_;
     std::uint64_t dropped_ = 0;
 };
@@ -206,15 +248,18 @@ struct DeviceStats
     std::uint64_t outOfPolicyWrites = 0;
     std::uint64_t grownDefects = 0;
     std::uint64_t wpDivergences = 0;
+    std::uint64_t crashes = 0;
 };
 
 /**
  * The read/write front over a ZoneSet. Accesses may span any
  * number of zones; the device splits them at zone boundaries and
  * applies per-zone policy. Policy violations and media errors are
- * absorbed into counted, typed results — the only exception a
- * device op ever throws is StatusError(Cancelled/DeadlineExceeded)
- * when the cancellation token fires during recovery backoff.
+ * absorbed into counted, typed results — the only exceptions a
+ * device op ever throws are StatusError(Cancelled/DeadlineExceeded)
+ * when the cancellation token fires during recovery backoff and
+ * StatusError(DataLoss) when the seeded CrashSchedule kills the
+ * device (power loss is not a partial result: the run is over).
  * Not thread-safe: one device belongs to one replay.
  */
 class ZonedDevice
@@ -248,6 +293,10 @@ class ZonedDevice
     const ZonedDeviceOptions &options() const { return options_; }
     const ReadErrorLog &readErrorLog() const { return errorLog_; }
     const DeviceStats &stats() const { return stats_; }
+
+    /** True once a scheduled power loss fired: every further
+     *  access throws the POWER_LOSS status. */
+    bool dead() const { return dead_; }
 
     /** Publish the zone-condition census as telemetry gauges
      *  (device_zones{condition=...}). */
@@ -298,8 +347,14 @@ class ZonedDevice
     /** Grown defects already discovered: later reads fail fast. */
     std::unordered_set<std::uint64_t> knownDefects_;
 
-    /** Media write ops so far (divergence hashing). */
+    /** Throw POWER_LOSS if the scheduled crash already fired. */
+    void checkAlive() const;
+
+    /** Media write ops so far (divergence and crash scheduling). */
     std::uint64_t writeOps_ = 0;
+
+    /** Power already lost; set by the crash schedule. */
+    bool dead_ = false;
 
     ReadErrorLog errorLog_;
     DeviceStats stats_;
@@ -310,6 +365,7 @@ class ZonedDevice
     telemetry::Counter *wpViolations_;
     telemetry::Counter *mediaErrorsTransient_;
     telemetry::Counter *mediaErrorsGrown_;
+    telemetry::Counter *crashes_;
     telemetry::LatencyHistogram *recoveryLatency_;
 };
 

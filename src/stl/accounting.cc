@@ -264,6 +264,8 @@ Accounting::finishDevice()
             disk::ZoneCondition::ReadOnly)];
     result_.deviceOfflineZones = census[static_cast<std::size_t>(
         disk::ZoneCondition::Offline)];
+    result_.deviceErrorLogDropped =
+        device_->readErrorLog().dropped();
     device_->publishZoneGauges();
 }
 

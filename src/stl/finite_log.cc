@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace logseek::stl
@@ -121,6 +122,8 @@ void
 FiniteLogStructuredLayer::append(Lba lba, SectorCount count,
                                  SegmentBuffer &out)
 {
+    if (journal_ != nullptr)
+        journalScratch_.clear();
     while (count > 0) {
         const Pba open_end =
             logStart_ +
@@ -145,10 +148,18 @@ FiniteLogStructuredLayer::append(Lba lba, SectorCount count,
         adjustLive({writePtr_, take}, true);
 
         out.push(Segment{SectorExtent{lba, take}, writePtr_, true});
+        if (journal_ != nullptr)
+            journalScratch_.push_back({lba, writePtr_, take});
         writePtr_ += take;
         lba += take;
         count -= take;
     }
+    // One epoch per append (host write or cleaning re-append); the
+    // post-op write pointer and open segment ride along so mount
+    // never re-derives free-segment arithmetic.
+    if (journal_ != nullptr)
+        journal_->record(JournalRecordKind::Placement, writePtr_,
+                         openSegment_, journalScratch_);
 }
 
 void
@@ -295,8 +306,65 @@ FiniteLogStructuredLayer::maintenance()
                 "cleaning");
         segments_[victim].free = true;
         ++cleanings_;
+        if (journal_ != nullptr)
+            journal_->record(JournalRecordKind::SegmentReset,
+                             writePtr_, victim, {});
     }
     return accesses;
+}
+
+MountStats
+FiniteLogStructuredLayer::mountFromJournal(
+    const SegmentJournal &journal)
+{
+    const telemetry::ScopedTimer timer(
+        &telemetry::Registry::global().histogram(
+            "mount_latency_ns"));
+    panicIf(!map_.empty() || !reverse_.empty(),
+            "FiniteLogStructuredLayer: mount on a non-fresh layer");
+    const JournalScan scan = scanJournal(journal.image());
+    for (const JournalRecord &record : scan.records) {
+        switch (record.kind) {
+        case JournalRecordKind::Placement:
+            for (const JournalEntry &entry : record.entries) {
+                displacedScratch_.clear();
+                map_.mapRange(entry.lba, entry.pba, entry.count,
+                              &displacedScratch_);
+                for (const auto &dead : displacedScratch_) {
+                    adjustLive(dead, false);
+                    removeReverse(dead);
+                }
+                reverse_.emplace(
+                    entry.pba,
+                    std::make_pair(entry.lba, entry.count));
+                adjustLive({entry.pba, entry.count}, true);
+                // Append never splits an entry across segments.
+                segments_[segmentOf(entry.pba)].free = false;
+            }
+            openSegment_ =
+                static_cast<std::uint32_t>(record.aux);
+            writePtr_ = record.frontierAfter;
+            break;
+        case JournalRecordKind::SegmentReset: {
+            const auto victim =
+                static_cast<std::uint32_t>(record.aux);
+            panicIf(victim >= segments_.size(),
+                    "FiniteLogStructuredLayer: journal reclaims a "
+                    "segment beyond the log");
+            panicIf(segments_[victim].live != 0,
+                    "FiniteLogStructuredLayer: journal reclaims a "
+                    "live segment");
+            segments_[victim].free = true;
+            writePtr_ = record.frontierAfter;
+            ++cleanings_;
+            break;
+        }
+        case JournalRecordKind::MergeReset:
+            fatal("FiniteLogStructuredLayer: foreign record kind "
+                  "in journal");
+        }
+    }
+    return mountStatsFrom(scan);
 }
 
 } // namespace logseek::stl

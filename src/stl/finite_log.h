@@ -88,6 +88,24 @@ class FiniteLogStructuredLayer : public TranslationLayer
 
     std::string name() const override { return "finite-log"; }
 
+    void attachJournal(SegmentJournal *journal) override
+    {
+        journal_ = journal;
+    }
+
+    /**
+     * Replays Placement epochs through the same displaced-range
+     * bookkeeping as live appends (forward map, reverse map,
+     * per-segment liveness, free flags) and SegmentReset epochs as
+     * victim reclaims, then adopts the recorded write pointer and
+     * open segment. A crash between a cleaning pass's re-appends
+     * and its SegmentReset recovers to a consistent mid-clean
+     * state: the moved extents are live at their new home and the
+     * victim is simply not yet free.
+     */
+    MountStats
+    mountFromJournal(const SegmentJournal &journal) override;
+
     /**
      * Greedy garbage collection: runs while free segments are at or
      * below the reserve, returning the cleaning reads/rewrites.
@@ -125,11 +143,37 @@ class FiniteLogStructuredLayer : public TranslationLayer
         return static_cast<std::uint32_t>(segments_.size());
     }
 
+    /** Sectors per segment. */
+    SectorCount segmentSectors() const { return segmentSectors_; }
+
+    /** True when segment i is on the free list. */
+    bool
+    segmentFree(std::uint32_t i) const
+    {
+        return segments_[i].free;
+    }
+
     /** Live (mapped) sectors in the log. */
     SectorCount liveSectors() const { return map_.mappedSectors(); }
 
     /** Live sectors in segment i (tests/diagnostics). */
     SectorCount segmentLive(std::uint32_t i) const;
+
+    /** Index of the currently open segment. */
+    std::uint32_t openSegment() const { return openSegment_; }
+
+    /** Physical sector the next append will start at. */
+    Pba writePointer() const { return writePtr_; }
+
+    /** Forward map (read-only; Fsck and diagnostics). */
+    const ExtentMap &extentMap() const { return map_; }
+
+    /** Reverse map (read-only; Fsck and diagnostics). */
+    const std::map<Pba, std::pair<Lba, SectorCount>> &
+    reverseMap() const
+    {
+        return reverse_;
+    }
 
   private:
     struct SegmentState
@@ -178,6 +222,12 @@ class FiniteLogStructuredLayer : public TranslationLayer
      *  capacity, so steady-state appends do not allocate. */
     std::vector<SectorExtent> displacedScratch_;
     SegmentBuffer cleanScratch_;
+
+    /** Durable metadata journal; null = volatile (the default). */
+    SegmentJournal *journal_ = nullptr;
+
+    /** Reusable per-op entry scratch for journal records. */
+    std::vector<JournalEntry> journalScratch_;
 };
 
 } // namespace logseek::stl

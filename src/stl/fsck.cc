@@ -1,0 +1,443 @@
+#include "fsck.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "stl/extent_map.h"
+#include "stl/finite_log.h"
+#include "stl/log_structured.h"
+#include "stl/media_cache.h"
+#include "stl/sharded_translation.h"
+#include "telemetry/metrics.h"
+
+namespace logseek::stl
+{
+
+namespace
+{
+
+std::string
+formatEntry(const JournalEntry &entry)
+{
+    return "(lba " + std::to_string(entry.lba) + " -> pba " +
+           std::to_string(entry.pba) + ", " +
+           std::to_string(entry.count) + " sectors)";
+}
+
+void
+report(FsckReport &out, std::string check, std::string detail)
+{
+    out.violations.push_back(
+        FsckViolation{std::move(check), std::move(detail)});
+}
+
+std::vector<JournalEntry>
+collectEntries(const ExtentMap &map)
+{
+    std::vector<JournalEntry> entries;
+    entries.reserve(map.entryCount());
+    map.forEachEntry([&](Lba lba, Pba pba, SectorCount count) {
+        entries.push_back({lba, pba, count});
+    });
+    return entries;
+}
+
+/** Merge logically and physically adjacent runs so two maps with
+ *  different internal split points compare by meaning, not shape
+ *  (the shard union splits at stripe boundaries, for example). */
+void
+coalesce(std::vector<JournalEntry> &entries)
+{
+    if (entries.size() < 2)
+        return;
+    std::size_t out = 0;
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        JournalEntry &last = entries[out];
+        const JournalEntry &next = entries[i];
+        if (last.lba + last.count == next.lba &&
+            last.pba + last.count == next.pba)
+            last.count += next.count;
+        else
+            entries[++out] = next;
+    }
+    entries.resize(out + 1);
+}
+
+void
+compareEntries(FsckReport &out, const char *check,
+               std::vector<JournalEntry> expected,
+               std::vector<JournalEntry> actual)
+{
+    coalesce(expected);
+    coalesce(actual);
+    out.checkedEntries += expected.size();
+    if (expected.size() != actual.size()) {
+        report(out, check,
+               "entry count mismatch: journal replay has " +
+                   std::to_string(expected.size()) +
+                   " runs, layer has " +
+                   std::to_string(actual.size()));
+        return;
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        if (expected[i] == actual[i])
+            continue;
+        report(out, check,
+               "run " + std::to_string(i) +
+                   " diverges: journal replay " +
+                   formatEntry(expected[i]) + ", layer " +
+                   formatEntry(actual[i]));
+        return;
+    }
+}
+
+void
+checkFrontier(FsckReport &out, const JournalScan &scan,
+              Pba log_start, Pba frontier, std::uint64_t crossings)
+{
+    Pba want_frontier = log_start;
+    std::uint64_t want_crossings = 0;
+    if (!scan.records.empty()) {
+        want_frontier = scan.records.back().frontierAfter;
+        want_crossings = scan.records.back().aux;
+    }
+    if (frontier != want_frontier)
+        report(out, "frontier-alignment",
+               "write frontier at " + std::to_string(frontier) +
+                   ", last journal epoch recorded " +
+                   std::to_string(want_frontier));
+    if (crossings != want_crossings)
+        report(out, "zone-crossings",
+               "layer crossed " + std::to_string(crossings) +
+                   " zone boundaries, journal recorded " +
+                   std::to_string(want_crossings));
+}
+
+void
+checkPlacementBounds(FsckReport &out,
+                     const std::vector<JournalEntry> &entries,
+                     Pba log_start, Pba frontier)
+{
+    for (const JournalEntry &entry : entries) {
+        if (entry.pba >= log_start &&
+            entry.pba + entry.count <= frontier)
+            continue;
+        report(out, "on-log-bounds",
+               "mapped run " + formatEntry(entry) +
+                   " outside the written log [" +
+                   std::to_string(log_start) + ", " +
+                   std::to_string(frontier) + ")");
+        return;
+    }
+}
+
+void
+checkLogStructured(const LogStructuredLayer &layer,
+                   const JournalScan &scan, FsckReport &out)
+{
+    ExtentMap expected;
+    for (const JournalRecord &record : scan.records) {
+        if (record.kind != JournalRecordKind::Placement) {
+            report(out, "record-kind",
+                   "log-structured journal holds a non-placement "
+                   "epoch " +
+                       std::to_string(record.epoch));
+            continue;
+        }
+        for (const JournalEntry &entry : record.entries)
+            expected.mapRange(entry.lba, entry.pba, entry.count);
+    }
+    compareEntries(out, "map-log-agreement",
+                   collectEntries(expected),
+                   collectEntries(layer.extentMap()));
+    checkFrontier(out, scan, layer.logStart(),
+                  layer.writeFrontier(), layer.zoneCrossings());
+    checkPlacementBounds(out, collectEntries(layer.extentMap()),
+                         layer.logStart(), layer.writeFrontier());
+}
+
+void
+checkSharded(const ShardedTranslation &layer,
+             const JournalScan &scan, FsckReport &out)
+{
+    ExtentMap expected;
+    for (const JournalRecord &record : scan.records) {
+        if (record.kind != JournalRecordKind::Placement) {
+            report(out, "record-kind",
+                   "sharded journal holds a non-placement epoch " +
+                       std::to_string(record.epoch));
+            continue;
+        }
+        for (const JournalEntry &entry : record.entries)
+            expected.mapRange(entry.lba, entry.pba, entry.count);
+    }
+
+    // Stripe containment plus the union compare: entries must live
+    // inside their stripe, and the concatenated per-shard maps must
+    // equal the single-map replay once boundary splits coalesce.
+    std::vector<JournalEntry> actual;
+    for (std::size_t shard = 0; shard < layer.shardCount();
+         ++shard) {
+        const Lba stripe_start = shard * layer.shardWidth();
+        const Lba stripe_end = layer.shardEnd(shard);
+        layer.shardMap(shard).forEachEntry(
+            [&](Lba lba, Pba pba, SectorCount count) {
+                if (lba < stripe_start || lba + count > stripe_end)
+                    report(out, "shard-stripe",
+                           "shard " + std::to_string(shard) +
+                               " holds run " +
+                               formatEntry({lba, pba, count}) +
+                               " outside its stripe [" +
+                               std::to_string(stripe_start) +
+                               ", " +
+                               std::to_string(stripe_end) + ")");
+                actual.push_back({lba, pba, count});
+            });
+    }
+    compareEntries(out, "map-log-agreement",
+                   collectEntries(expected), std::move(actual));
+    checkFrontier(out, scan, layer.logStart(),
+                  layer.writeFrontier(), layer.zoneCrossings());
+}
+
+void
+checkFiniteLog(const FiniteLogStructuredLayer &layer,
+               const JournalScan &scan, FsckReport &out)
+{
+    ExtentMap expected;
+    std::uint64_t expected_cleanings = 0;
+    Pba want_ptr = layer.logStart();
+    std::uint32_t want_open = 0;
+    for (const JournalRecord &record : scan.records) {
+        switch (record.kind) {
+        case JournalRecordKind::Placement:
+            for (const JournalEntry &entry : record.entries)
+                expected.mapRange(entry.lba, entry.pba,
+                                  entry.count);
+            want_open = static_cast<std::uint32_t>(record.aux);
+            want_ptr = record.frontierAfter;
+            break;
+        case JournalRecordKind::SegmentReset:
+            ++expected_cleanings;
+            want_ptr = record.frontierAfter;
+            break;
+        case JournalRecordKind::MergeReset:
+            report(out, "record-kind",
+                   "finite-log journal holds a merge epoch " +
+                       std::to_string(record.epoch));
+            break;
+        }
+    }
+    compareEntries(out, "map-log-agreement",
+                   collectEntries(expected),
+                   collectEntries(layer.extentMap()));
+    if (layer.cleanings() != expected_cleanings)
+        report(out, "cleaning-count",
+               "layer reclaimed " +
+                   std::to_string(layer.cleanings()) +
+                   " segments, journal recorded " +
+                   std::to_string(expected_cleanings));
+    if (layer.writePointer() != want_ptr)
+        report(out, "frontier-alignment",
+               "write pointer at " +
+                   std::to_string(layer.writePointer()) +
+                   ", last journal epoch recorded " +
+                   std::to_string(want_ptr));
+    if (layer.openSegment() != want_open)
+        report(out, "open-segment",
+               "open segment " +
+                   std::to_string(layer.openSegment()) +
+                   ", journal recorded " +
+                   std::to_string(want_open));
+
+    // The open segment must be off the free list and must contain
+    // the write pointer (or sit exactly one past its end, the lazy
+    // open-on-next-append state).
+    if (layer.segmentFree(layer.openSegment()))
+        report(out, "open-segment",
+               "open segment " +
+                   std::to_string(layer.openSegment()) +
+                   " is on the free list");
+    const Pba open_start =
+        layer.logStart() +
+        static_cast<Pba>(layer.openSegment()) *
+            layer.segmentSectors();
+    if (layer.writePointer() < open_start ||
+        layer.writePointer() >
+            open_start + layer.segmentSectors())
+        report(out, "frontier-alignment",
+               "write pointer " +
+                   std::to_string(layer.writePointer()) +
+                   " outside open segment " +
+                   std::to_string(layer.openSegment()));
+
+    // Forward/reverse bijection: the reverse map, re-sorted by LBA,
+    // must describe exactly the forward map.
+    std::vector<JournalEntry> from_reverse;
+    from_reverse.reserve(layer.reverseMap().size());
+    for (const auto &[pba, entry] : layer.reverseMap())
+        from_reverse.push_back({entry.first, pba, entry.second});
+    std::sort(from_reverse.begin(), from_reverse.end(),
+              [](const JournalEntry &a, const JournalEntry &b) {
+                  return a.lba < b.lba;
+              });
+    compareEntries(out, "reverse-bijection",
+                   collectEntries(layer.extentMap()),
+                   std::move(from_reverse));
+
+    // Liveness accounting: per-segment live counters must equal the
+    // reverse-resident sectors in that segment, and free segments
+    // must hold no live data.
+    std::vector<SectorCount> live(layer.segmentCount(), 0);
+    for (const auto &[pba, entry] : layer.reverseMap()) {
+        Pba cursor = pba;
+        const Pba end = pba + entry.second;
+        while (cursor < end) {
+            const auto seg = static_cast<std::uint32_t>(
+                (cursor - layer.logStart()) /
+                layer.segmentSectors());
+            const Pba seg_end =
+                layer.logStart() +
+                (static_cast<Pba>(seg) + 1) *
+                    layer.segmentSectors();
+            const Pba piece_end = std::min(end, seg_end);
+            live[seg] += piece_end - cursor;
+            cursor = piece_end;
+        }
+    }
+    for (std::uint32_t i = 0; i < layer.segmentCount(); ++i) {
+        if (layer.segmentLive(i) != live[i])
+            report(out, "liveness-accounting",
+                   "segment " + std::to_string(i) + " counts " +
+                       std::to_string(layer.segmentLive(i)) +
+                       " live sectors, reverse map holds " +
+                       std::to_string(live[i]));
+        if (layer.segmentFree(i) && layer.segmentLive(i) != 0)
+            report(out, "free-segment-live",
+                   "free segment " + std::to_string(i) +
+                       " still counts " +
+                       std::to_string(layer.segmentLive(i)) +
+                       " live sectors");
+    }
+}
+
+void
+checkMediaCache(const MediaCacheLayer &layer,
+                const JournalScan &scan, FsckReport &out)
+{
+    ExtentMap expected;
+    SectorCount expected_used = 0;
+    std::uint64_t expected_merges = 0;
+    for (const JournalRecord &record : scan.records) {
+        switch (record.kind) {
+        case JournalRecordKind::Placement:
+            for (const JournalEntry &entry : record.entries) {
+                expected.mapRange(entry.lba, entry.pba,
+                                  entry.count);
+                expected_used += entry.count;
+            }
+            break;
+        case JournalRecordKind::MergeReset:
+            expected = ExtentMap();
+            expected_used = 0;
+            ++expected_merges;
+            if (record.aux != expected_merges)
+                report(out, "merge-count",
+                       "merge epoch " +
+                           std::to_string(record.epoch) +
+                           " recorded merge #" +
+                           std::to_string(record.aux) +
+                           ", replay expected #" +
+                           std::to_string(expected_merges));
+            break;
+        case JournalRecordKind::SegmentReset:
+            report(out, "record-kind",
+                   "media-cache journal holds a segment-reset "
+                   "epoch " +
+                       std::to_string(record.epoch));
+            break;
+        }
+    }
+    compareEntries(out, "map-log-agreement",
+                   collectEntries(expected),
+                   collectEntries(layer.extentMap()));
+    if (layer.cacheUsedSectors() != expected_used)
+        report(out, "cache-accounting",
+               "cache holds " +
+                   std::to_string(layer.cacheUsedSectors()) +
+                   " dirty sectors, journal replay expected " +
+                   std::to_string(expected_used));
+    if (layer.mergeCount() != expected_merges)
+        report(out, "merge-count",
+               "layer merged " +
+                   std::to_string(layer.mergeCount()) +
+                   " times, journal recorded " +
+                   std::to_string(expected_merges));
+    if (layer.cachePointer() !=
+        layer.cacheStart() + layer.cacheUsedSectors())
+        report(out, "cache-accounting",
+               "cache pointer " +
+                   std::to_string(layer.cachePointer()) +
+                   " disagrees with cacheStart + used = " +
+                   std::to_string(layer.cacheStart() +
+                                  layer.cacheUsedSectors()));
+    checkPlacementBounds(out, collectEntries(layer.extentMap()),
+                         layer.cacheStart(),
+                         layer.cachePointer());
+}
+
+} // namespace
+
+std::string
+FsckReport::toString() const
+{
+    if (violations.empty())
+        return "fsck: clean (" +
+               std::to_string(checkedEntries) +
+               " entries checked)";
+    std::string text = "fsck: " +
+                       std::to_string(violations.size()) +
+                       " violation(s):";
+    for (const FsckViolation &violation : violations)
+        text += "\n  [" + violation.check + "] " +
+                violation.detail;
+    return text;
+}
+
+FsckReport
+Fsck::check(const TranslationLayer &layer,
+            const SegmentJournal &journal)
+{
+    FsckReport out;
+    const JournalScan scan = scanJournal(journal.image());
+    if (const auto *sharded =
+            dynamic_cast<const ShardedTranslation *>(&layer)) {
+        checkSharded(*sharded, scan, out);
+    } else if (const auto *log =
+                   dynamic_cast<const LogStructuredLayer *>(
+                       &layer)) {
+        checkLogStructured(*log, scan, out);
+    } else if (const auto *finite = dynamic_cast<
+                   const FiniteLogStructuredLayer *>(&layer)) {
+        checkFiniteLog(*finite, scan, out);
+    } else if (const auto *cache =
+                   dynamic_cast<const MediaCacheLayer *>(
+                       &layer)) {
+        checkMediaCache(*cache, scan, out);
+    } else if (!journal.empty()) {
+        // Identity layers journal nothing; a non-empty journal
+        // means someone attached the wrong one.
+        report(out, "conventional-journal",
+               "layer '" + layer.name() +
+                   "' has no durable state but the journal holds " +
+                   std::to_string(scan.segmentsScanned) +
+                   " frames");
+    }
+    if (!out.violations.empty())
+        telemetry::Registry::global()
+            .counter("fsck_violations_total")
+            .add(out.violations.size());
+    return out;
+}
+
+} // namespace logseek::stl

@@ -65,6 +65,14 @@ class LogFrontier
     /** Number of zone boundaries crossed so far. */
     std::uint64_t crossings() const { return crossings_; }
 
+    /**
+     * Mount-time restore: adopt the position (and crossing count)
+     * a journal recorded after its last epoch. Panics if the
+     * position sits inside a guard band — a journal that places
+     * the frontier there is lying.
+     */
+    void restore(Pba pos, std::uint64_t crossings);
+
   private:
     Pba start_;
     Pba pos_;
@@ -103,6 +111,14 @@ class LogStructuredLayer : public TranslationLayer
     std::size_t staticFragmentCount() const override;
 
     std::string name() const override { return "log-structured"; }
+
+    void attachJournal(SegmentJournal *journal) override
+    {
+        journal_ = journal;
+    }
+
+    MountStats
+    mountFromJournal(const SegmentJournal &journal) override;
 
     /**
      * Rewrite a logical range contiguously at the write frontier
@@ -145,6 +161,12 @@ class LogStructuredLayer : public TranslationLayer
     ExtentMap map_;
     Pba logStart_;
     LogFrontier frontier_;
+
+    /** Durable metadata journal; null = volatile (the default). */
+    SegmentJournal *journal_ = nullptr;
+
+    /** Reusable per-op entry scratch for journal records. */
+    std::vector<JournalEntry> journalScratch_;
 };
 
 } // namespace logseek::stl

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace logseek::stl
@@ -48,6 +49,12 @@ MediaCacheLayer::placeWriteInto(const SectorExtent &extent,
     cacheUsed_ += extent.count;
     out.clear();
     out.push(Segment{extent, placed, true});
+    if (journal_ != nullptr) {
+        const JournalEntry entry{extent.start, placed,
+                                 extent.count};
+        journal_->record(JournalRecordKind::Placement, cachePtr_,
+                         merges_, {&entry, 1});
+    }
 }
 
 void
@@ -79,6 +86,12 @@ MediaCacheLayer::placeWriteBatchInto(
         cacheUsed_ += extent.count;
         out.flat().push(Segment{extent, placed, true});
         out.endRecord();
+        if (journal_ != nullptr) {
+            const JournalEntry entry{extent.start, placed,
+                                     extent.count};
+            journal_->record(JournalRecordKind::Placement,
+                             cachePtr_, merges_, {&entry, 1});
+        }
     }
 }
 
@@ -154,7 +167,42 @@ MediaCacheLayer::maintenance()
     cacheUsed_ = 0;
     cachePtr_ = cacheStart_;
     ++merges_;
+    if (journal_ != nullptr)
+        journal_->record(JournalRecordKind::MergeReset, cachePtr_,
+                         merges_, {});
     return accesses;
+}
+
+MountStats
+MediaCacheLayer::mountFromJournal(const SegmentJournal &journal)
+{
+    const telemetry::ScopedTimer timer(
+        &telemetry::Registry::global().histogram(
+            "mount_latency_ns"));
+    panicIf(!map_.empty(),
+            "MediaCacheLayer: mount on a non-fresh layer");
+    const JournalScan scan = scanJournal(journal.image());
+    for (const JournalRecord &record : scan.records) {
+        switch (record.kind) {
+        case JournalRecordKind::Placement:
+            for (const JournalEntry &entry : record.entries) {
+                map_.mapRange(entry.lba, entry.pba, entry.count);
+                cacheUsed_ += entry.count;
+            }
+            cachePtr_ = record.frontierAfter;
+            break;
+        case JournalRecordKind::MergeReset:
+            map_ = ExtentMap();
+            cacheUsed_ = 0;
+            cachePtr_ = record.frontierAfter;
+            merges_ = record.aux;
+            break;
+        case JournalRecordKind::SegmentReset:
+            fatal("MediaCacheLayer: foreign record kind in "
+                  "journal");
+        }
+    }
+    return mountStatsFrom(scan);
 }
 
 } // namespace logseek::stl

@@ -88,6 +88,17 @@ class MediaCacheLayer : public TranslationLayer
 
     std::string name() const override { return "media-cache"; }
 
+    void attachJournal(SegmentJournal *journal) override
+    {
+        journal_ = journal;
+    }
+
+    /** Replays cache placements and MergeReset epochs (each merge
+     *  drops the map and rewinds the append pointer), then adopts
+     *  the recorded cache pointer. */
+    MountStats
+    mountFromJournal(const SegmentJournal &journal) override;
+
     /**
      * Background work owed after the last request: when the cache
      * is past its threshold this returns the full merge's media
@@ -108,6 +119,12 @@ class MediaCacheLayer : public TranslationLayer
     /** Number of merges performed so far. */
     std::uint64_t mergeCount() const { return merges_; }
 
+    /** Next cache append position (Fsck and diagnostics). */
+    Pba cachePointer() const { return cachePtr_; }
+
+    /** Cache map (read-only; Fsck and diagnostics). */
+    const ExtentMap &extentMap() const { return map_; }
+
   private:
     /** True once the configured merge threshold is exceeded. */
     bool needsMerge() const;
@@ -125,6 +142,9 @@ class MediaCacheLayer : public TranslationLayer
     Pba cachePtr_;
     SectorCount cacheUsed_ = 0;
     std::uint64_t merges_ = 0;
+
+    /** Durable metadata journal; null = volatile (the default). */
+    SegmentJournal *journal_ = nullptr;
 };
 
 } // namespace logseek::stl

@@ -8,6 +8,7 @@
 #include "stl/conventional.h"
 #include "stl/defrag.h"
 #include "stl/finite_log.h"
+#include "stl/fsck.h"
 #include "stl/log_structured.h"
 #include "stl/media_cache.h"
 #include "stl/prefetch.h"
@@ -373,6 +374,8 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
     } else {
         layer_ = std::make_unique<ConventionalLayer>();
     }
+    if (config_.journal != nullptr)
+        layer_->attachJournal(config_.journal);
 
     // Zoned-device realism layer: zone geometry is matched to the
     // translation layer's physical structure so in-policy traffic
@@ -512,6 +515,16 @@ ReplayEngine::run()
     accounting_.setStaticFragments(layer_->staticFragmentCount());
     accounting_.finishDevice();
     emitStageSpans();
+
+    // --paranoid: the in-memory translation state and the durable
+    // journal must agree at the end of every run.
+    if (config_.paranoidFsck && config_.journal != nullptr) {
+        const FsckReport fsck =
+            Fsck::check(*layer_, *config_.journal);
+        if (!fsck.ok())
+            fatal("paranoid fsck failed after replay of '" +
+                  trace_.name() + "': " + fsck.toString());
+    }
     return std::move(result_);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace logseek::stl
@@ -89,16 +90,48 @@ ShardedTranslation::appendWrite(const SectorExtent &extent,
 
     Lba lba = extent.start;
     SectorCount remaining = extent.count;
+    if (journal_ != nullptr)
+        journalScratch_.clear();
     while (remaining > 0) {
         const SectorCount take =
             std::min(remaining, frontier_.zoneRemaining());
         const Pba placed = frontier_.pos();
         mapSharded(lba, placed, take);
         out.push(Segment{SectorExtent{lba, take}, placed, true});
+        if (journal_ != nullptr)
+            journalScratch_.push_back({lba, placed, take});
         frontier_.advance(take);
         lba += take;
         remaining -= take;
     }
+    if (journal_ != nullptr)
+        journal_->record(JournalRecordKind::Placement,
+                         frontier_.pos(), frontier_.crossings(),
+                         journalScratch_);
+}
+
+MountStats
+ShardedTranslation::mountFromJournal(const SegmentJournal &journal)
+{
+    const telemetry::ScopedTimer timer(
+        &telemetry::Registry::global().histogram(
+            "mount_latency_ns"));
+    for (const ExtentMap &map : maps_)
+        panicIf(!map.empty(),
+                "ShardedTranslation: mount on a non-fresh layer");
+    const JournalScan scan = scanJournal(journal.image());
+    for (const JournalRecord &record : scan.records) {
+        panicIf(record.kind != JournalRecordKind::Placement,
+                "ShardedTranslation: foreign record kind in "
+                "journal");
+        for (const JournalEntry &entry : record.entries)
+            mapSharded(entry.lba, entry.pba, entry.count);
+    }
+    if (!scan.records.empty()) {
+        const JournalRecord &last = scan.records.back();
+        frontier_.restore(last.frontierAfter, last.aux);
+    }
+    return mountStatsFrom(scan);
 }
 
 void

@@ -79,6 +79,18 @@ class ShardedTranslation : public TranslationLayer
      *  strategy, not a different translation model. */
     std::string name() const override { return "log-structured"; }
 
+    void attachJournal(SegmentJournal *journal) override
+    {
+        journal_ = journal;
+    }
+
+    /** Journal records carry entries unsplit at stripe boundaries
+     *  (zone-split only, as placed), so the image is byte-identical
+     *  to LogStructuredLayer's for the same op stream — the basis
+     *  of the recovery determinism check across replayShards. */
+    MountStats
+    mountFromJournal(const SegmentJournal &journal) override;
+
     /** Defrag support, identical to LogStructuredLayer. */
     std::vector<Segment>
     relocate(const SectorExtent &extent)
@@ -115,14 +127,24 @@ class ShardedTranslation : public TranslationLayer
         return maps_[shard].entryCount();
     }
 
+    /** Stripe `shard`'s map (read-only; Fsck and diagnostics). */
+    const ExtentMap &
+    shardMap(std::size_t shard) const
+    {
+        return maps_[shard];
+    }
+
+    /** LBA width of every stripe but the (clamping) last. */
+    SectorCount shardWidth() const { return shardWidth_; }
+
+    /** One past the last LBA routed to stripe `shard`. */
+    Lba shardEnd(std::size_t shard) const;
+
   private:
     /** Stripe owning `lba` (LBAs at or above logStart clamp to the
      *  last stripe; they are unmapped there, so reads of them still
      *  produce the identity holes the single map would). */
     std::size_t shardOf(Lba lba) const;
-
-    /** One past the last LBA routed to stripe `shard`. */
-    Lba shardEnd(std::size_t shard) const;
 
     /** mapRange clipped per stripe; placement stays contiguous. */
     void mapSharded(Lba lba, Pba placed, SectorCount count);
@@ -139,6 +161,12 @@ class ShardedTranslation : public TranslationLayer
     SectorCount shardWidth_;
     std::vector<ExtentMap> maps_;
     LogFrontier frontier_;
+
+    /** Durable metadata journal; null = volatile (the default). */
+    SegmentJournal *journal_ = nullptr;
+
+    /** Reusable per-op entry scratch for journal records. */
+    std::vector<JournalEntry> journalScratch_;
 };
 
 } // namespace logseek::stl

@@ -124,6 +124,27 @@ struct SimConfig
      */
     ShardExecutor shardExecutor;
 
+    /**
+     * Durable translation-metadata journal; off (null) by default.
+     * When set, the translation layer records every state mutation
+     * as one epoch frame into this caller-owned journal, which
+     * must outlive the run — it is the piece of state that
+     * survives a crash, so the crash-recovery harness keeps it
+     * while the engine (and its layer) are torn down and remounts
+     * a fresh layer from it. Not owned; does not affect seek
+     * accounting or label().
+     */
+    SegmentJournal *journal = nullptr;
+
+    /**
+     * Run the Fsck invariant verifier after the replay (requires
+     * `journal`): extent-map ↔ journal agreement, write-pointer
+     * alignment, shard-stripe consistency. Any violation is fatal
+     * — this is the --paranoid belt-and-suspenders mode, off by
+     * default. Does not affect results or label().
+     */
+    bool paranoidFsck = false;
+
     /** Short label of the configuration, e.g. "LS+cache". */
     std::string label() const;
 };
@@ -265,6 +286,11 @@ struct SimResult
     std::uint64_t deviceGrownDefects = 0;
     std::uint64_t deviceReadOnlyZones = 0;
     std::uint64_t deviceOfflineZones = 0;
+
+    /** Read-error-log entries the device dropped because the
+     *  configured bound (ZonedDeviceOptions::errorLogCap) was
+     *  reached; 0 when the device layer is off. */
+    std::uint64_t deviceErrorLogDropped = 0;
 
     /**
      * Exact (bit-wise, including seekTimeSec) comparison. The

@@ -2,8 +2,35 @@
 
 #include <utility>
 
+#include "telemetry/metrics.h"
+
 namespace logseek::stl
 {
+
+MountStats
+mountStatsFrom(const JournalScan &scan)
+{
+    MountStats stats;
+    stats.epochsApplied = scan.records.size();
+    stats.segmentsScanned = scan.segmentsScanned;
+    stats.tornTails = scan.tornTail ? 1 : 0;
+    stats.damagedFrames = scan.damagedFrames;
+    stats.truncatedEpochs = scan.truncatedEpochs;
+    return stats;
+}
+
+MountStats
+TranslationLayer::mountFromJournal(const SegmentJournal &journal)
+{
+    // Identity layers have no state to rebuild; the scan still
+    // runs so the caller sees the metadata region's damage tally.
+    const telemetry::ScopedTimer timer(
+        &telemetry::Registry::global().histogram(
+            "mount_latency_ns"));
+    MountStats stats = mountStatsFrom(scanJournal(journal.image()));
+    stats.epochsApplied = 0;
+    return stats;
+}
 
 void
 TranslationLayer::translateReadBatchInto(

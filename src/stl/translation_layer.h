@@ -19,6 +19,7 @@
 
 #include "stl/extent_map.h"
 #include "stl/io_batch.h"
+#include "stl/segment_journal.h"
 #include "trace/record.h"
 #include "util/extent.h"
 
@@ -118,6 +119,30 @@ class TranslationLayer
      * layers without background work return nothing.
      */
     virtual std::vector<MediaAccess> maintenance() { return {}; }
+
+    /**
+     * Attach the durable metadata journal: from now on every
+     * translation-state mutation (placement, reclaim, merge) is
+     * recorded as one epoch frame. Not owned; null detaches. The
+     * conventional layer keeps the default no-op — identity
+     * placement has no state to lose.
+     */
+    virtual void attachJournal(SegmentJournal *journal)
+    {
+        (void)journal;
+    }
+
+    /**
+     * Crash recovery: rebuild the translation state by scanning a
+     * (possibly torn) journal image — SMORE-style log-scan mount.
+     * Must be called on a freshly constructed layer; replays the
+     * scan's consistent epoch prefix and restores the write
+     * position recorded with the last epoch. The default (identity
+     * layers) applies nothing but still reports the scan, so a
+     * caller can see the damage tally for any layer. Records the
+     * mount duration in the mount_latency_ns histogram.
+     */
+    virtual MountStats mountFromJournal(const SegmentJournal &journal);
 };
 
 /**

@@ -155,6 +155,7 @@ encodeSimResult(std::string &out, const stl::SimResult &result)
     putU64(out, result.deviceGrownDefects);
     putU64(out, result.deviceReadOnlyZones);
     putU64(out, result.deviceOfflineZones);
+    putU64(out, result.deviceErrorLogDropped);
 }
 
 void
@@ -194,6 +195,7 @@ decodeSimResult(Reader &reader, stl::SimResult &result)
     result.deviceGrownDefects = reader.u64();
     result.deviceReadOnlyZones = reader.u64();
     result.deviceOfflineZones = reader.u64();
+    result.deviceErrorLogDropped = reader.u64();
 }
 
 } // namespace

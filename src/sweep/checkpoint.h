@@ -24,7 +24,7 @@ namespace logseek::sweep
 
 /** Current cell-record encoding version. Version 2 appended the
  *  SimResult device counters (zoned-device realism layer). */
-inline constexpr std::uint8_t kCellRecordVersion = 2;
+inline constexpr std::uint8_t kCellRecordVersion = 3;
 
 /** The durable form of one completed sweep cell. */
 struct CellRecord

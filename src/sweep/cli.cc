@@ -152,8 +152,8 @@ benchUsage(const std::string &name)
            "[--retries N] [--checkpoint path] [--resume path] "
            "[--metrics-out file] [--trace-out file] "
            "[--fault-rate R] [--bad-sector-seed N] "
-           "[--max-open-zones N] [--replay-shards N] "
-           "[--replay-batch N] [--help]";
+           "[--max-open-zones N] [--error-log-cap N] "
+           "[--replay-shards N] [--replay-batch N] [--help]";
 }
 
 std::string
@@ -195,6 +195,10 @@ benchHelp(const std::string &name)
         "map (>= 0)\n"
         "  --max-open-zones N   zoned-device open-zone limit "
         "[1, 65536]\n"
+        "  --error-log-cap N    zoned-device read-error-log bound "
+        "[1, 1048576]\n"
+        "                       (entries past the cap are counted, "
+        "not kept)\n"
         "  --replay-shards N    parallel seek-classification "
         "shards per replay [1, 256]\n"
         "                       (1 = serial; results are "
@@ -213,8 +217,9 @@ benchFlagNames()
             "--checkpoint",    "--resume",
             "--metrics-out",   "--trace-out",
             "--fault-rate",    "--bad-sector-seed",
-            "--max-open-zones", "--replay-shards",
-            "--replay-batch",  "--help"};
+            "--max-open-zones", "--error-log-cap",
+            "--replay-shards", "--replay-batch",
+            "--help"};
 }
 
 StatusOr<BenchCli>
@@ -368,6 +373,21 @@ tryParseBenchCli(int argc, char **argv, double default_scale)
                     *value);
             cli.maxOpenZones =
                 static_cast<std::uint32_t>(zones.value());
+        } else if (matches("--error-log-cap")) {
+            if (!value)
+                return invalidArgumentError(
+                    "--error-log-cap requires a value");
+            StatusOr<long long> cap =
+                parseIntArg("--error-log-cap", *value);
+            if (!cap.ok())
+                return cap.status();
+            if (cap.value() < 1 || cap.value() > 1048576)
+                return invalidArgumentError(
+                    "--error-log-cap must be in [1, 1048576]: "
+                    "got " +
+                    *value);
+            cli.errorLogCap =
+                static_cast<std::size_t>(cap.value());
         } else if (matches("--replay-shards")) {
             if (!value)
                 return invalidArgumentError(

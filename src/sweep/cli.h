@@ -9,8 +9,8 @@
  *           [--retries N] [--checkpoint path] [--resume path]
  *           [--metrics-out file] [--trace-out file]
  *           [--fault-rate R] [--bad-sector-seed N]
- *           [--max-open-zones N] [--replay-shards N]
- *           [--replay-batch N] [--help]
+ *           [--max-open-zones N] [--error-log-cap N]
+ *           [--replay-shards N] [--replay-batch N] [--help]
  *
  * scale/seed feed the synthetic workload profiles; --jobs sets the
  * sweep worker count ("auto" = hardware concurrency; 0 and negative
@@ -98,6 +98,12 @@ struct BenchCli
     /** Zoned-device open-zone limit (--max-open-zones, in
      *  [1, 65536]). */
     std::uint32_t maxOpenZones = 8;
+
+    /** Read-error-log bound (--error-log-cap, in [1, 1048576]);
+     *  0 = keep the device default
+     *  (disk::ReadErrorLog::kMaxEntries). Entries past the cap are
+     *  dropped and counted, never silently lost. */
+    std::size_t errorLogCap = 0;
 
     /** Intra-replay shard count (--replay-shards, in [1, 256]);
      *  1 = serial replay, > 1 shards every cell's seek

@@ -59,6 +59,8 @@ resultFields(const stl::SimResult &result)
         {"cleaningMerges", std::to_string(result.cleaningMerges)},
         {"staticFragments",
          std::to_string(result.staticFragments)},
+        {"deviceErrorLogDropped",
+         std::to_string(result.deviceErrorLogDropped)},
         {"seekTimeSec", formatExact(result.seekTimeSec)},
         {"writeAmplification",
          formatExact(result.writeAmplification())},

@@ -334,5 +334,76 @@ TEST(ZonedDeviceFaults, ErrorLogBoundsItsMemory)
               total - ReadErrorLog::kMaxEntries);
 }
 
+TEST(ZonedDeviceFaults, ErrorLogCapIsConfigurable)
+{
+    ZonedDeviceOptions options = quietOptions();
+    options.faults.transientRate = 1.0;
+    options.errorLogCap = 16;
+
+    ZonedDevice device(swrLayout(), options);
+    device.write({0, 50});
+    device.read({0, 50});
+    EXPECT_EQ(device.readErrorLog().cap(), 16U);
+    EXPECT_EQ(device.readErrorLog().entries().size(), 16U);
+    EXPECT_EQ(device.readErrorLog().dropped(), 50U - 16U);
+}
+
+TEST(ZonedDeviceCrash, ScheduledPowerLossKillsTheDevice)
+{
+    ZonedDeviceOptions options = quietOptions();
+    options.crash.crashAtWriteOp = 3;
+    options.crash.seed = 0x11;
+
+    ZonedDevice device(swrLayout(), options);
+    device.write({0, 8});
+    device.write({8, 8});
+    EXPECT_FALSE(device.dead());
+    try {
+        device.write({16, 8});
+        FAIL() << "expected StatusError from scheduled crash";
+    } catch (const StatusError &error) {
+        EXPECT_EQ(error.status().code(), StatusCode::DataLoss);
+    }
+    EXPECT_TRUE(device.dead());
+    EXPECT_EQ(device.stats().crashes, 1U);
+
+    // A dead device refuses every further access, reads included.
+    EXPECT_THROW(device.write({24, 8}), StatusError);
+    EXPECT_THROW(device.read({0, 8}), StatusError);
+}
+
+TEST(ZonedDeviceCrash, TornWriteAdvancesPointerPartway)
+{
+    // The crashed op flushes a seeded prefix: the zone's write
+    // pointer lands somewhere in [start of op, end of op] — never
+    // beyond, and deterministically for a fixed seed.
+    const auto crashed_wp = [](std::uint64_t seed) {
+        ZonedDeviceOptions options = quietOptions();
+        options.crash.crashAtWriteOp = 1;
+        options.crash.seed = seed;
+        ZonedDevice device(swrLayout(), options);
+        EXPECT_THROW(device.write({0, 32}), StatusError);
+        return device.zones().zone(0).writePointer;
+    };
+
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 99ULL}) {
+        const std::uint64_t wp = crashed_wp(seed);
+        EXPECT_LE(wp, 32U) << "seed " << seed;
+        EXPECT_EQ(wp, crashed_wp(seed)) << "seed " << seed;
+    }
+}
+
+TEST(ZonedDeviceCrash, UnarmedScheduleNeverFires)
+{
+    ZonedDeviceOptions options = quietOptions();
+    ASSERT_EQ(options.crash.crashAtWriteOp, 0U);
+
+    ZonedDevice device(swrLayout(), options);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        device.write({i * 8, 8});
+    EXPECT_FALSE(device.dead());
+    EXPECT_EQ(device.stats().crashes, 0U);
+}
+
 } // namespace
 } // namespace logseek::disk

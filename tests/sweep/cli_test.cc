@@ -133,6 +133,32 @@ TEST(BenchCliTest, FaultToleranceFlagValidation)
     EXPECT_FALSE(tryParse({"--resume="}).ok());
 }
 
+TEST(BenchCliTest, ErrorLogCapFlag)
+{
+    const auto defaulted = parse({});
+    ASSERT_TRUE(defaulted.has_value());
+    EXPECT_EQ(defaulted->errorLogCap, 0U); // 0 = device default
+
+    const StatusOr<BenchCli> cli =
+        tryParse({"--error-log-cap", "512"});
+    ASSERT_TRUE(cli.ok()) << cli.status().message();
+    EXPECT_EQ(cli.value().errorLogCap, 512U);
+
+    const StatusOr<BenchCli> spelled =
+        tryParse({"--error-log-cap=1"});
+    ASSERT_TRUE(spelled.ok());
+    EXPECT_EQ(spelled.value().errorLogCap, 1U);
+}
+
+TEST(BenchCliTest, ErrorLogCapValidation)
+{
+    EXPECT_FALSE(tryParse({"--error-log-cap", "0"}).ok());
+    EXPECT_FALSE(tryParse({"--error-log-cap", "-4"}).ok());
+    EXPECT_FALSE(tryParse({"--error-log-cap", "1048577"}).ok());
+    EXPECT_FALSE(tryParse({"--error-log-cap", "many"}).ok());
+    EXPECT_FALSE(tryParse({"--error-log-cap"}).ok());
+}
+
 TEST(BenchCliTest, PositionalValidation)
 {
     EXPECT_FALSE(tryParse({"0"}).ok());      // scale must be > 0
