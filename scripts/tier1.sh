@@ -37,12 +37,21 @@
 # differential suite — so every recovery path executes under
 # ASan+UBSan on every push.
 #
+# The extra mode `gc-smoke` builds gc_ablation under the default
+# preset and runs the cleaning-policy × stream-count × utilization
+# grid at small scale, writing BENCH_gc_ablation.smoke.json, then
+# reruns it with --jobs 2 and diffs the two reports — the grid has
+# no timing fields, so the diff proves every GC cell is
+# byte-identical across sweep parallelism (the checked-in
+# BENCH_gc_ablation.json is regenerated manually at full scale).
+#
 # Usage:
 #   scripts/tier1.sh            # all three presets
 #   scripts/tier1.sh default    # just one
 #   scripts/tier1.sh bench-smoke
 #   scripts/tier1.sh fault-smoke
 #   scripts/tier1.sh crash-smoke
+#   scripts/tier1.sh gc-smoke
 #   JOBS=8 scripts/tier1.sh     # override the build parallelism
 
 set -euo pipefail
@@ -105,9 +114,25 @@ run_crash_smoke() {
         --output-on-failure -j "${JOBS}"
 }
 
+run_gc_smoke() {
+    echo "==> tier1: gc-smoke"
+    cmake --preset default
+    cmake --build --preset default -j "${JOBS}" --target gc_ablation
+    build/bench/gc_ablation 0.002 --jobs 1 \
+        --json=BENCH_gc_ablation.smoke.json > /dev/null
+    build/bench/gc_ablation 0.002 --jobs 2 \
+        --json=/tmp/tier1_gc_jobs2.json > /dev/null
+    diff BENCH_gc_ablation.smoke.json /tmp/tier1_gc_jobs2.json
+    echo "==> tier1: gc-smoke byte-identical across --jobs"
+}
+
 for preset in "${PRESETS[@]}"; do
     if [ "${preset}" = "bench-smoke" ]; then
         run_bench_smoke
+        continue
+    fi
+    if [ "${preset}" = "gc-smoke" ]; then
+        run_gc_smoke
         continue
     fi
     if [ "${preset}" = "fault-smoke" ]; then

@@ -305,6 +305,14 @@ Accounting::setCleaningMerges(std::uint64_t merges)
 }
 
 void
+Accounting::setGcVictimStats(std::uint64_t live_bytes,
+                             std::uint64_t span_bytes)
+{
+    result_.gcVictimLiveBytes = live_bytes;
+    result_.gcVictimSpanBytes = span_bytes;
+}
+
+void
 Accounting::setStaticFragments(std::size_t fragments)
 {
     result_.staticFragments = fragments;

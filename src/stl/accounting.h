@@ -79,6 +79,10 @@ class Accounting
     /** Sample the layer's cleaning-merge counter (end of run). */
     void setCleaningMerges(std::uint64_t merges);
 
+    /** Record GC victim statistics (finite log only). */
+    void setGcVictimStats(std::uint64_t live_bytes,
+                          std::uint64_t span_bytes);
+
     /** Sample the layer's static fragmentation (end of run). */
     void setStaticFragments(std::size_t fragments);
 

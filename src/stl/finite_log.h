@@ -1,7 +1,7 @@
 /**
  * @file
- * Finite-capacity log-structured translation layer with greedy
- * garbage collection.
+ * Finite-capacity log-structured translation layer with pluggable
+ * garbage collection and multi-stream placement.
  *
  * The paper's model assumes an infinite disk — fair for archival
  * systems that never overwrite — but §I and §IV-A note that on a
@@ -9,11 +9,16 @@
  * defragmentation's "use of free space will eventually necessitate
  * running the cleaning algorithm with its attendant overheads."
  * This layer makes that cost measurable: the log lives in a fixed
- * physical region divided into segments; writes fill an open
- * segment; when free segments run low, greedy cleaning picks the
- * segment with the least live data, reads its live extents and
- * rewrites them at the frontier (all visible to the simulator as
- * cleaning traffic via maintenance()).
+ * physical region divided into segments; writes fill each placement
+ * stream's open segment; when free segments run low, the configured
+ * CleaningPolicy picks victims whose live extents are read and
+ * rewritten at the coldest stream's frontier (all visible to the
+ * simulator as cleaning traffic via maintenance()).
+ *
+ * With gc.streams == 1 and the greedy policy (the defaults) the
+ * layer is byte-identical to its historical single-frontier form:
+ * same placements, same journal image, same cleaning traffic —
+ * pinned by a differential test against ReferenceFiniteLog.
  */
 
 #ifndef LOGSEEK_STL_FINITE_LOG_H
@@ -21,11 +26,15 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "stl/extent_map.h"
+#include "stl/gc/cleaning_policy.h"
 #include "stl/translation_layer.h"
+#include "telemetry/metrics.h"
 
 namespace logseek::stl
 {
@@ -44,15 +53,19 @@ struct FiniteLogConfig
 
     /** Clean until at least this many segments are free. */
     std::uint32_t cleanTargetSegments = 4;
+
+    /** Cleaning policy and placement-stream configuration. */
+    gc::GcConfig gc;
 };
 
 /**
- * Segmented log with greedy victim selection. Identity-placed data
- * (never written during the run) lives below the log region and is
- * never cleaned, matching the paper's placement for data written
- * before trace collection began.
+ * Segmented log with pluggable victim selection. Identity-placed
+ * data (never written during the run) lives below the log region
+ * and is never cleaned, matching the paper's placement for data
+ * written before trace collection began.
  */
-class FiniteLogStructuredLayer : public TranslationLayer
+class FiniteLogStructuredLayer : public TranslationLayer,
+                                 public gc::SegmentStateView
 {
   public:
     /**
@@ -97,20 +110,22 @@ class FiniteLogStructuredLayer : public TranslationLayer
      * Replays Placement epochs through the same displaced-range
      * bookkeeping as live appends (forward map, reverse map,
      * per-segment liveness, free flags) and SegmentReset epochs as
-     * victim reclaims, then adopts the recorded write pointer and
-     * open segment. A crash between a cleaning pass's re-appends
-     * and its SegmentReset recovers to a consistent mid-clean
-     * state: the moved extents are live at their new home and the
-     * victim is simply not yet free.
+     * victim reclaims, then adopts each stream's recorded write
+     * pointer and open segment (the owning stream rides in the aux
+     * word's high half). A crash between a cleaning pass's
+     * re-appends and its SegmentReset recovers to a consistent
+     * mid-clean state: the moved extents are live at their new home
+     * and the victim is simply not yet free.
      */
     MountStats
     mountFromJournal(const SegmentJournal &journal) override;
 
     /**
-     * Greedy garbage collection: runs while free segments are at or
-     * below the reserve, returning the cleaning reads/rewrites.
-     * fatal() if the log is overcommitted (no cleanable victim can
-     * make progress).
+     * Garbage collection: runs while the policy's hysteresis says
+     * to (by default, free segments at or below the reserve until
+     * the target is restored), returning the cleaning
+     * reads/rewrites. fatal() if the log is overcommitted (no
+     * cleanable victim can make progress).
      */
     std::vector<MediaAccess> maintenance() override;
 
@@ -118,15 +133,18 @@ class FiniteLogStructuredLayer : public TranslationLayer
     std::vector<Segment>
     relocate(const SectorExtent &extent)
     {
-        return placeWrite(extent);
+        SegmentBuffer buffer;
+        relocateInto(extent, buffer);
+        return {buffer.begin(), buffer.end()};
     }
 
-    /** Allocation-free relocate for the replay hot path. */
-    void
-    relocateInto(const SectorExtent &extent, SegmentBuffer &out)
-    {
-        placeWriteInto(extent, out);
-    }
+    /**
+     * Allocation-free relocate for the replay hot path. Relocations
+     * move already-written (hence presumed cold) data, so they go
+     * to the coldest stream and bypass the router's interval
+     * inference — a defrag rewrite is not evidence the data is hot.
+     */
+    void relocateInto(const SectorExtent &extent, SegmentBuffer &out);
 
     /** First physical sector of the log region. */
     Pba logStart() const { return logStart_; }
@@ -134,21 +152,36 @@ class FiniteLogStructuredLayer : public TranslationLayer
     /** Number of cleaning segment reclaims so far. */
     std::uint64_t cleanings() const { return cleanings_; }
 
+    /** Live bytes moved out of GC victims so far. */
+    std::uint64_t gcVictimLiveBytes() const
+    {
+        return gcVictimLiveBytes_;
+    }
+
+    /** Total bytes spanned by GC victims so far. */
+    std::uint64_t gcVictimSpanBytes() const
+    {
+        return gcVictimSpanBytes_;
+    }
+
     /** Number of segments currently free. */
     std::uint32_t freeSegments() const;
 
     /** Total segments in the log region. */
-    std::uint32_t segmentCount() const
+    std::uint32_t segmentCount() const override
     {
         return static_cast<std::uint32_t>(segments_.size());
     }
 
     /** Sectors per segment. */
-    SectorCount segmentSectors() const { return segmentSectors_; }
+    SectorCount segmentSectors() const override
+    {
+        return segmentSectors_;
+    }
 
     /** True when segment i is on the free list. */
     bool
-    segmentFree(std::uint32_t i) const
+    segmentFree(std::uint32_t i) const override
     {
         return segments_[i].free;
     }
@@ -157,13 +190,60 @@ class FiniteLogStructuredLayer : public TranslationLayer
     SectorCount liveSectors() const { return map_.mappedSectors(); }
 
     /** Live sectors in segment i (tests/diagnostics). */
-    SectorCount segmentLive(std::uint32_t i) const;
+    SectorCount segmentLive(std::uint32_t i) const override;
 
-    /** Index of the currently open segment. */
-    std::uint32_t openSegment() const { return openSegment_; }
+    /** True when segment i is some stream's open segment. */
+    bool segmentOpen(std::uint32_t i) const override;
 
-    /** Physical sector the next append will start at. */
-    Pba writePointer() const { return writePtr_; }
+    /** Logical tick of the last write into segment i. */
+    std::uint64_t
+    segmentLastWrite(std::uint32_t i) const override
+    {
+        return segments_[i].lastWrite;
+    }
+
+    /** Current logical tick (one per append). */
+    std::uint64_t now() const override { return tick_; }
+
+    /** The active cleaning policy. */
+    const gc::CleaningPolicy &policy() const { return *policy_; }
+
+    /** Number of placement streams. */
+    std::uint32_t
+    streamCount() const
+    {
+        return static_cast<std::uint32_t>(streams_.size());
+    }
+
+    /** True when stream sid has opened a segment. */
+    bool
+    streamOpened(std::uint32_t sid) const
+    {
+        return streams_[sid].opened;
+    }
+
+    /** Open segment of stream sid (meaningful when opened). */
+    std::uint32_t
+    streamOpenSegment(std::uint32_t sid) const
+    {
+        return streams_[sid].openSegment;
+    }
+
+    /** Write pointer of stream sid (meaningful when opened). */
+    Pba
+    streamWritePointer(std::uint32_t sid) const
+    {
+        return streams_[sid].writePtr;
+    }
+
+    /** Index of the currently open segment (stream 0). */
+    std::uint32_t openSegment() const
+    {
+        return streams_[0].openSegment;
+    }
+
+    /** Physical sector stream 0's next append will start at. */
+    Pba writePointer() const { return streams_[0].writePtr; }
 
     /** Forward map (read-only; Fsck and diagnostics). */
     const ExtentMap &extentMap() const { return map_; }
@@ -180,7 +260,26 @@ class FiniteLogStructuredLayer : public TranslationLayer
     {
         SectorCount live = 0;
         bool free = true;
+
+        /** Logical tick of the last write (0 = never written). */
+        std::uint64_t lastWrite = 0;
     };
+
+    struct StreamState
+    {
+        std::uint32_t openSegment = 0;
+        Pba writePtr = 0;
+
+        /** False until the stream claims its first segment. */
+        bool opened = false;
+    };
+
+    /** Stream cleaning re-appends and relocations land in. */
+    std::uint32_t
+    coldStream() const
+    {
+        return static_cast<std::uint32_t>(streams_.size()) - 1;
+    }
 
     /** Segment index of a log sector. */
     std::uint32_t segmentOf(Pba pba) const;
@@ -191,16 +290,17 @@ class FiniteLogStructuredLayer : public TranslationLayer
     /** Remove a physical range from the reverse (pba->lba) map. */
     void removeReverse(const SectorExtent &range);
 
-    /** Pick a new open segment from the free list; fatal if none. */
-    void openFreeSegment();
+    /** Open a free segment for stream sid; fatal if none. */
+    void openFreeSegment(std::uint32_t sid);
 
     /**
-     * Append count sectors of lba at the frontier, updating both
-     * maps and liveness; pushes the placed segments (split at
-     * segment boundaries) onto `out` without clearing it. Does not
-     * run cleaning.
+     * Append count sectors of lba at stream sid's frontier,
+     * updating both maps and liveness; pushes the placed segments
+     * (split at segment boundaries) onto `out` without clearing it.
+     * Does not run cleaning.
      */
-    void append(Lba lba, SectorCount count, SegmentBuffer &out);
+    void append(Lba lba, SectorCount count, SegmentBuffer &out,
+                std::uint32_t sid);
 
     FiniteLogConfig config_;
     Pba logStart_;
@@ -213,9 +313,17 @@ class FiniteLogStructuredLayer : public TranslationLayer
     /** Reverse map: log pba -> (lba, count); entries disjoint. */
     std::map<Pba, std::pair<Lba, SectorCount>> reverse_;
 
-    std::uint32_t openSegment_ = 0;
-    Pba writePtr_;
+    std::vector<StreamState> streams_;
     std::uint64_t cleanings_ = 0;
+    std::uint64_t tick_ = 0;
+    std::uint64_t gcVictimLiveBytes_ = 0;
+    std::uint64_t gcVictimSpanBytes_ = 0;
+
+    /** Victim selector + hysteresis; never null. */
+    std::unique_ptr<gc::CleaningPolicy> policy_;
+
+    /** Host-write classifier; engaged only when streams > 1. */
+    std::optional<gc::StreamRouter> router_;
 
     /** Reusable scratches: displaced ranges from mapRange and the
      *  per-entry placements during cleaning. clear() keeps their
@@ -228,6 +336,11 @@ class FiniteLogStructuredLayer : public TranslationLayer
 
     /** Reusable per-op entry scratch for journal records. */
     std::vector<JournalEntry> journalScratch_;
+
+    /** Constructor-resolved gc_* telemetry handles. */
+    telemetry::Counter *gcReclaims_ = nullptr;
+    telemetry::Counter *gcMovedBytes_ = nullptr;
+    telemetry::LatencyHistogram *gcVictimUtilization_ = nullptr;
 };
 
 } // namespace logseek::stl

@@ -206,20 +206,55 @@ checkFiniteLog(const FiniteLogStructuredLayer &layer,
 {
     ExtentMap expected;
     std::uint64_t expected_cleanings = 0;
-    Pba want_ptr = layer.logStart();
-    std::uint32_t want_open = 0;
+    // Per-stream expected frontier state replayed from the journal.
+    // Stream 0 opens segment 0 at construction; the rest open
+    // lazily on their first append. The owning stream of each
+    // record rides in the aux word's high half.
+    struct StreamWant
+    {
+        Pba ptr = 0;
+        std::uint32_t open = 0;
+        bool opened = false;
+    };
+    std::vector<StreamWant> want(layer.streamCount());
+    want[0] = {layer.logStart(), 0, true};
     for (const JournalRecord &record : scan.records) {
+        const auto sid =
+            static_cast<std::uint32_t>(record.aux >> 32);
         switch (record.kind) {
         case JournalRecordKind::Placement:
             for (const JournalEntry &entry : record.entries)
                 expected.mapRange(entry.lba, entry.pba,
                                   entry.count);
-            want_open = static_cast<std::uint32_t>(record.aux);
-            want_ptr = record.frontierAfter;
+            if (sid >= want.size()) {
+                report(out, "stream-bounds",
+                       "journal epoch " +
+                           std::to_string(record.epoch) +
+                           " places into stream " +
+                           std::to_string(sid) + " of " +
+                           std::to_string(want.size()));
+                break;
+            }
+            want[sid] = {record.frontierAfter,
+                         static_cast<std::uint32_t>(record.aux),
+                         true};
             break;
         case JournalRecordKind::SegmentReset:
             ++expected_cleanings;
-            want_ptr = record.frontierAfter;
+            if (sid >= want.size()) {
+                report(out, "stream-bounds",
+                       "journal epoch " +
+                           std::to_string(record.epoch) +
+                           " resets via stream " +
+                           std::to_string(sid) + " of " +
+                           std::to_string(want.size()));
+                break;
+            }
+            // The reset's frontier belongs to the cleaning stream;
+            // a fully-dead victim moves nothing and records the
+            // logStart sentinel while the stream is still closed.
+            if (want[sid].opened)
+                want[sid].ptr = record.frontierAfter;
             break;
         case JournalRecordKind::MergeReset:
             report(out, "record-kind",
@@ -237,39 +272,93 @@ checkFiniteLog(const FiniteLogStructuredLayer &layer,
                    std::to_string(layer.cleanings()) +
                    " segments, journal recorded " +
                    std::to_string(expected_cleanings));
-    if (layer.writePointer() != want_ptr)
-        report(out, "frontier-alignment",
-               "write pointer at " +
-                   std::to_string(layer.writePointer()) +
-                   ", last journal epoch recorded " +
-                   std::to_string(want_ptr));
-    if (layer.openSegment() != want_open)
-        report(out, "open-segment",
-               "open segment " +
-                   std::to_string(layer.openSegment()) +
-                   ", journal recorded " +
-                   std::to_string(want_open));
+    for (std::uint32_t sid = 0; sid < layer.streamCount();
+         ++sid) {
+        if (layer.streamOpened(sid) != want[sid].opened) {
+            report(out, "stream-open",
+                   "stream " + std::to_string(sid) +
+                       (layer.streamOpened(sid)
+                            ? " is open, journal never opened it"
+                            : " is closed, journal opened it"));
+            continue;
+        }
+        if (!layer.streamOpened(sid))
+            continue;
+        if (layer.streamWritePointer(sid) != want[sid].ptr)
+            report(out, "frontier-alignment",
+                   "stream " + std::to_string(sid) +
+                       " write pointer at " +
+                       std::to_string(
+                           layer.streamWritePointer(sid)) +
+                       ", last journal epoch recorded " +
+                       std::to_string(want[sid].ptr));
+        if (layer.streamOpenSegment(sid) != want[sid].open)
+            report(out, "open-segment",
+                   "stream " + std::to_string(sid) +
+                       " open segment " +
+                       std::to_string(
+                           layer.streamOpenSegment(sid)) +
+                       ", journal recorded " +
+                       std::to_string(want[sid].open));
 
-    // The open segment must be off the free list and must contain
-    // the write pointer (or sit exactly one past its end, the lazy
-    // open-on-next-append state).
-    if (layer.segmentFree(layer.openSegment()))
-        report(out, "open-segment",
-               "open segment " +
-                   std::to_string(layer.openSegment()) +
-                   " is on the free list");
-    const Pba open_start =
-        layer.logStart() +
-        static_cast<Pba>(layer.openSegment()) *
-            layer.segmentSectors();
-    if (layer.writePointer() < open_start ||
-        layer.writePointer() >
-            open_start + layer.segmentSectors())
-        report(out, "frontier-alignment",
-               "write pointer " +
-                   std::to_string(layer.writePointer()) +
-                   " outside open segment " +
-                   std::to_string(layer.openSegment()));
+        // Each open segment must be off the free list and must
+        // contain its stream's write pointer (or sit exactly one
+        // past its end, the lazy open-on-next-append state).
+        if (layer.segmentFree(layer.streamOpenSegment(sid)))
+            report(out, "open-segment",
+                   "stream " + std::to_string(sid) +
+                       " open segment " +
+                       std::to_string(
+                           layer.streamOpenSegment(sid)) +
+                       " is on the free list");
+        const Pba open_start =
+            layer.logStart() +
+            static_cast<Pba>(layer.streamOpenSegment(sid)) *
+                layer.segmentSectors();
+        if (layer.streamWritePointer(sid) < open_start ||
+            layer.streamWritePointer(sid) >
+                open_start + layer.segmentSectors())
+            report(out, "frontier-alignment",
+                   "stream " + std::to_string(sid) +
+                       " write pointer " +
+                       std::to_string(
+                           layer.streamWritePointer(sid)) +
+                       " outside open segment " +
+                       std::to_string(
+                           layer.streamOpenSegment(sid)));
+    }
+
+    // Opened streams must own distinct open segments — two
+    // frontiers in one segment would interleave their appends.
+    for (std::uint32_t a = 0; a < layer.streamCount(); ++a) {
+        if (!layer.streamOpened(a))
+            continue;
+        for (std::uint32_t b = a + 1; b < layer.streamCount();
+             ++b) {
+            if (layer.streamOpened(b) &&
+                layer.streamOpenSegment(a) ==
+                    layer.streamOpenSegment(b))
+                report(out, "stream-open-distinct",
+                       "streams " + std::to_string(a) + " and " +
+                           std::to_string(b) +
+                           " share open segment " +
+                           std::to_string(
+                               layer.streamOpenSegment(a)));
+        }
+    }
+
+    // GC liveness: the per-segment live counters must sum to
+    // exactly the mapped sectors — cleaning may move data but
+    // never lose or duplicate liveness.
+    SectorCount live_total = 0;
+    for (std::uint32_t i = 0; i < layer.segmentCount(); ++i)
+        live_total += layer.segmentLive(i);
+    if (live_total != layer.extentMap().mappedSectors())
+        report(out, "gc-liveness",
+               "segments count " + std::to_string(live_total) +
+                   " live sectors, forward map holds " +
+                   std::to_string(
+                       layer.extentMap().mappedSectors()));
 
     // Forward/reverse bijection: the reverse map, re-sorted by LBA,
     // must describe exactly the forward map.

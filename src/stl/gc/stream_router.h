@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Hot/cold placement-stream classifier driven by block-invalidation
+ * -time inference.
+ *
+ * Separating Data via Block Invalidation Time Inference (FAST '22)
+ * observes that a block's *invalidation time* — how long until it is
+ * overwritten — is the quantity a cleaner actually cares about, and
+ * that it can be inferred online: a block's last update interval
+ * predicts its next one. The router keeps a decayed update-interval
+ * estimate per LBA bucket and classifies each host write into one of
+ * N placement streams: short inferred intervals (hot, soon-dead
+ * data) are separated from long ones (cold, long-lived data), so
+ * segments fill with data that dies together and victims are either
+ * mostly dead (hot streams) or left alone (cold streams).
+ *
+ * Everything is a deterministic function of the write sequence — a
+ * logical clock ticks once per routed write, intervals are measured
+ * in ticks, and the decayed estimates use integer EWMA arithmetic —
+ * so replays are byte-identical across jobs, shards and resumes.
+ */
+
+#ifndef LOGSEEK_STL_GC_STREAM_ROUTER_H
+#define LOGSEEK_STL_GC_STREAM_ROUTER_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/units.h"
+
+namespace logseek::stl::gc
+{
+
+/** Tuning knobs of the block-invalidation-time inference. */
+struct StreamRouterConfig
+{
+    /**
+     * LBA bucket granularity in sectors: writes whose start sectors
+     * fall in the same bucket share one update-interval estimate.
+     * Coarser buckets cost less memory and generalize across
+     * neighbours; finer buckets track per-extent behaviour.
+     */
+    SectorCount bucketSectors = 64;
+};
+
+/**
+ * Classifies host writes into [0, streams) where stream 0 is the
+ * hottest (shortest inferred invalidation time) and streams-1 the
+ * coldest. First-touch writes — no interval history — go cold, as
+ * do writes whose decayed interval estimate exceeds the decayed
+ * global mean; the bands in between split geometrically.
+ */
+class StreamRouter
+{
+  public:
+    /** @param streams Placement stream count, in [1, 8]. */
+    explicit StreamRouter(std::uint32_t streams,
+                          const StreamRouterConfig &config = {});
+
+    /**
+     * Classify one host write and advance the logical clock. Every
+     * bucket the extent spans has its interval estimate refreshed;
+     * the first bucket's estimate decides the stream.
+     */
+    std::uint32_t route(Lba lba, SectorCount count);
+
+    std::uint32_t streams() const { return streams_; }
+
+    /** The coldest stream; cleaning re-appends belong here. */
+    std::uint32_t
+    coldestStream() const
+    {
+        return streams_ - 1;
+    }
+
+    /** Logical writes routed so far. */
+    std::uint64_t clock() const { return clock_; }
+
+    /** Decayed mean update interval across all buckets (ticks). */
+    std::uint64_t meanInterval() const { return meanInterval_; }
+
+  private:
+    struct Bucket
+    {
+        /** Logical tick of the bucket's last write. */
+        std::uint64_t lastWrite = 0;
+
+        /** Decayed update-interval estimate (0 = one write seen). */
+        std::uint64_t interval = 0;
+    };
+
+    std::uint32_t streams_;
+    StreamRouterConfig config_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t meanInterval_ = 0;
+    std::unordered_map<std::uint64_t, Bucket> buckets_;
+};
+
+} // namespace logseek::stl::gc
+
+#endif // LOGSEEK_STL_GC_STREAM_ROUTER_H

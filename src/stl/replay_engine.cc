@@ -363,6 +363,10 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
         cleaningMerges_ = [raw = fl.get()] {
             return raw->cleanings();
         };
+        gcVictimStats_ = [raw = fl.get()] {
+            return std::make_pair(raw->gcVictimLiveBytes(),
+                                  raw->gcVictimSpanBytes());
+        };
         layer_ = std::move(fl);
     } else if (config_.translation == TranslationKind::MediaCache) {
         auto mc = std::make_unique<MediaCacheLayer>(
@@ -512,6 +516,10 @@ ReplayEngine::run()
     // last request.
     if (cleaningMerges_)
         accounting_.setCleaningMerges(cleaningMerges_());
+    if (gcVictimStats_) {
+        const auto [live, span] = gcVictimStats_();
+        accounting_.setGcVictimStats(live, span);
+    }
     accounting_.setStaticFragments(layer_->staticFragmentCount());
     accounting_.finishDevice();
     emitStageSpans();

@@ -180,6 +180,11 @@ class ReplayEngine
 
     /** Samples the layer's merge/cleaning counter; may be empty. */
     std::function<std::uint64_t()> cleaningMerges_;
+
+    /** Samples the finite log's GC victim (live, span) byte
+     *  totals; may be empty. */
+    std::function<std::pair<std::uint64_t, std::uint64_t>()>
+        gcVictimStats_;
 };
 
 } // namespace logseek::stl

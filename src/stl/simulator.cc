@@ -25,9 +25,22 @@ SimConfig::label() const
     } else if (translation == TranslationKind::MediaCache) {
         out = "MediaCache";
     } else {
-        out = translation == TranslationKind::FiniteLogStructured
-                  ? "FiniteLS"
-                  : "LS";
+        if (translation == TranslationKind::FiniteLogStructured) {
+            out = "FiniteLS";
+            // Non-default GC configurations are visible in the
+            // label so sweep cells stay distinguishable.
+            if (finiteLog.gc.policy ==
+                gc::CleaningPolicyKind::CostBenefit)
+                out += "+cb";
+            else if (finiteLog.gc.policy ==
+                     gc::CleaningPolicyKind::ZoneGranular)
+                out += "+zg";
+            if (finiteLog.gc.streams > 1)
+                out += "+s" +
+                       std::to_string(finiteLog.gc.streams);
+        } else {
+            out = "LS";
+        }
         if (defrag)
             out += "+defrag";
         if (prefetch)

@@ -292,6 +292,12 @@ struct SimResult
      *  reached; 0 when the device layer is off. */
     std::uint64_t deviceErrorLogDropped = 0;
 
+    /** Live bytes GC moved out of victim segments (finite log
+     *  only); gcVictimSpanBytes is the total capacity the victims
+     *  spanned, so live/span is the mean victim utilization. */
+    std::uint64_t gcVictimLiveBytes = 0;
+    std::uint64_t gcVictimSpanBytes = 0;
+
     /**
      * Exact (bit-wise, including seekTimeSec) comparison. The
      * sharded replay core is contractually byte-identical to the

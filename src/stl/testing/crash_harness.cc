@@ -266,6 +266,12 @@ CrashCase::label() const
 {
     std::ostringstream out;
     out << kindName(kind);
+    if (policy == gc::CleaningPolicyKind::CostBenefit)
+        out << "+cb";
+    else if (policy == gc::CleaningPolicyKind::ZoneGranular)
+        out << "+zg";
+    if (streams > 1)
+        out << "+s" << streams;
     if (zones)
         out << "+zones";
     if (shards > 1)
@@ -318,6 +324,13 @@ crashCaseConfig(const CrashCase &c)
         config.finiteLog.segmentBytes = 128 * kKiB;
         config.finiteLog.cleanReserveSegments = 2;
         config.finiteLog.cleanTargetSegments = 4;
+        config.finiteLog.gc.policy = c.policy;
+        config.finiteLog.gc.streams = c.streams;
+        // Each extra stream pins another open segment; give the
+        // multi-stream cells headroom so the hot-quarter live set
+        // never overcommits the log.
+        if (c.streams > 1)
+            config.finiteLog.capacityBytes = 2 * kMiB;
     }
     if (c.kind == TranslationKind::MediaCache) {
         config.mediaCache.cacheBytes = 256 * kKiB;

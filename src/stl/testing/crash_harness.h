@@ -60,7 +60,13 @@ struct CrashCase
     /** Seed of the torn-tail draws (mixed with the crash point). */
     std::uint64_t seed = 0xc4a5471ULL;
 
-    /** Human-readable cell label, e.g. "FiniteLS+dev/7". */
+    /** Cleaning policy of the finite-log cell. */
+    gc::CleaningPolicyKind policy = gc::CleaningPolicyKind::Greedy;
+
+    /** Placement streams of the finite-log cell. */
+    std::uint32_t streams = 1;
+
+    /** Human-readable cell label, e.g. "FiniteLS+cb+s2+dev/7". */
     std::string label() const;
 };
 

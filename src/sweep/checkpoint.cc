@@ -156,6 +156,8 @@ encodeSimResult(std::string &out, const stl::SimResult &result)
     putU64(out, result.deviceReadOnlyZones);
     putU64(out, result.deviceOfflineZones);
     putU64(out, result.deviceErrorLogDropped);
+    putU64(out, result.gcVictimLiveBytes);
+    putU64(out, result.gcVictimSpanBytes);
 }
 
 void
@@ -196,6 +198,8 @@ decodeSimResult(Reader &reader, stl::SimResult &result)
     result.deviceReadOnlyZones = reader.u64();
     result.deviceOfflineZones = reader.u64();
     result.deviceErrorLogDropped = reader.u64();
+    result.gcVictimLiveBytes = reader.u64();
+    result.gcVictimSpanBytes = reader.u64();
 }
 
 } // namespace

@@ -23,8 +23,9 @@ namespace logseek::sweep
 {
 
 /** Current cell-record encoding version. Version 2 appended the
- *  SimResult device counters (zoned-device realism layer). */
-inline constexpr std::uint8_t kCellRecordVersion = 3;
+ *  SimResult device counters (zoned-device realism layer);
+ *  version 4 appended the GC victim statistics. */
+inline constexpr std::uint8_t kCellRecordVersion = 4;
 
 /** The durable form of one completed sweep cell. */
 struct CellRecord

@@ -143,6 +143,23 @@ BenchCli::emitReports(const SweepResult &sweep) const
         benchTraceWriter().writeFile(traceOutPath);
 }
 
+void
+BenchCli::applyFiniteLogOverrides(
+    stl::FiniteLogConfig &config) const
+{
+    if (logCapacityBytes != 0)
+        config.capacityBytes = logCapacityBytes;
+    if (segmentBytes != 0)
+        config.segmentBytes = segmentBytes;
+    if (cleanReserve != 0) {
+        config.cleanReserveSegments = cleanReserve;
+        // Keep the hysteresis valid: the target must exceed the
+        // reserve, so follow a raised reserve upward.
+        if (config.cleanTargetSegments <= cleanReserve)
+            config.cleanTargetSegments = cleanReserve + 2;
+    }
+}
+
 std::string
 benchUsage(const std::string &name)
 {
@@ -153,6 +170,8 @@ benchUsage(const std::string &name)
            "[--metrics-out file] [--trace-out file] "
            "[--fault-rate R] [--bad-sector-seed N] "
            "[--max-open-zones N] [--error-log-cap N] "
+           "[--log-capacity N] [--segment-bytes N] "
+           "[--clean-reserve N] "
            "[--replay-shards N] [--replay-batch N] [--help]";
 }
 
@@ -199,6 +218,13 @@ benchHelp(const std::string &name)
         "[1, 1048576]\n"
         "                       (entries past the cap are counted, "
         "not kept)\n"
+        "  --log-capacity N     finite-log capacity override in "
+        "bytes [1 MiB, 1 TiB]\n"
+        "                       (0/unset = the bench default)\n"
+        "  --segment-bytes N    finite-log segment size override "
+        "in bytes [64 KiB, 1 GiB]\n"
+        "  --clean-reserve N    finite-log cleaning reserve "
+        "override in segments [1, 1024]\n"
         "  --replay-shards N    parallel seek-classification "
         "shards per replay [1, 256]\n"
         "                       (1 = serial; results are "
@@ -218,8 +244,9 @@ benchFlagNames()
             "--metrics-out",   "--trace-out",
             "--fault-rate",    "--bad-sector-seed",
             "--max-open-zones", "--error-log-cap",
-            "--replay-shards", "--replay-batch",
-            "--help"};
+            "--log-capacity",  "--segment-bytes",
+            "--clean-reserve", "--replay-shards",
+            "--replay-batch",  "--help"};
 }
 
 StatusOr<BenchCli>
@@ -388,6 +415,55 @@ tryParseBenchCli(int argc, char **argv, double default_scale)
                     *value);
             cli.errorLogCap =
                 static_cast<std::size_t>(cap.value());
+        } else if (matches("--log-capacity")) {
+            if (!value)
+                return invalidArgumentError(
+                    "--log-capacity requires a value");
+            StatusOr<long long> capacity =
+                parseIntArg("--log-capacity", *value);
+            if (!capacity.ok())
+                return capacity.status();
+            if (capacity.value() <
+                    static_cast<long long>(kMiB) ||
+                capacity.value() >
+                    static_cast<long long>(1024 * kGiB))
+                return invalidArgumentError(
+                    "--log-capacity must be in [1 MiB, 1 TiB] "
+                    "bytes: got " +
+                    *value);
+            cli.logCapacityBytes =
+                static_cast<std::uint64_t>(capacity.value());
+        } else if (matches("--segment-bytes")) {
+            if (!value)
+                return invalidArgumentError(
+                    "--segment-bytes requires a value");
+            StatusOr<long long> segment =
+                parseIntArg("--segment-bytes", *value);
+            if (!segment.ok())
+                return segment.status();
+            if (segment.value() <
+                    static_cast<long long>(64 * kKiB) ||
+                segment.value() > static_cast<long long>(kGiB))
+                return invalidArgumentError(
+                    "--segment-bytes must be in [64 KiB, 1 GiB] "
+                    "bytes: got " +
+                    *value);
+            cli.segmentBytes =
+                static_cast<std::uint64_t>(segment.value());
+        } else if (matches("--clean-reserve")) {
+            if (!value)
+                return invalidArgumentError(
+                    "--clean-reserve requires a value");
+            StatusOr<long long> reserve =
+                parseIntArg("--clean-reserve", *value);
+            if (!reserve.ok())
+                return reserve.status();
+            if (reserve.value() < 1 || reserve.value() > 1024)
+                return invalidArgumentError(
+                    "--clean-reserve must be in [1, 1024]: got " +
+                    *value);
+            cli.cleanReserve =
+                static_cast<std::uint32_t>(reserve.value());
         } else if (matches("--replay-shards")) {
             if (!value)
                 return invalidArgumentError(

@@ -105,6 +105,22 @@ struct BenchCli
      *  dropped and counted, never silently lost. */
     std::size_t errorLogCap = 0;
 
+    /** Finite-log capacity override in bytes (--log-capacity, in
+     *  [1 MiB, 1 TiB]); 0 = keep the bench default. Lets GC
+     *  experiments change utilization without recompiling. */
+    std::uint64_t logCapacityBytes = 0;
+
+    /** Finite-log segment size override in bytes
+     *  (--segment-bytes, in [64 KiB, 1 GiB]); 0 = bench
+     *  default. */
+    std::uint64_t segmentBytes = 0;
+
+    /** Finite-log cleaning reserve override in segments
+     *  (--clean-reserve, in [1, 1024]); 0 = bench default. The
+     *  clean target follows at reserve + 2 unless the bench sets
+     *  its own. */
+    std::uint32_t cleanReserve = 0;
+
     /** Intra-replay shard count (--replay-shards, in [1, 256]);
      *  1 = serial replay, > 1 shards every cell's seek
      *  classification over a dedicated pool. */
@@ -143,6 +159,16 @@ struct BenchCli
      * the telemetry snapshot/trace to --metrics-out/--trace-out.
      */
     void emitReports(const SweepResult &sweep) const;
+
+    /**
+     * Apply the --log-capacity / --segment-bytes /
+     * --clean-reserve overrides onto a bench's finite-log
+     * configuration; flags left at 0 keep the bench's values.
+     * When --clean-reserve is set the clean target is raised to
+     * reserve + 2 if it would not otherwise exceed the reserve.
+     */
+    void applyFiniteLogOverrides(stl::FiniteLogConfig &config)
+        const;
 };
 
 /** The standard one-line usage string for a bench binary. */

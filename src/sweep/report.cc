@@ -61,6 +61,10 @@ resultFields(const stl::SimResult &result)
          std::to_string(result.staticFragments)},
         {"deviceErrorLogDropped",
          std::to_string(result.deviceErrorLogDropped)},
+        {"gcVictimLiveBytes",
+         std::to_string(result.gcVictimLiveBytes)},
+        {"gcVictimSpanBytes",
+         std::to_string(result.gcVictimSpanBytes)},
         {"seekTimeSec", formatExact(result.seekTimeSec)},
         {"writeAmplification",
          formatExact(result.writeAmplification())},

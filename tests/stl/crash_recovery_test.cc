@@ -50,6 +50,16 @@ matrixCells(bool zoned_device)
                          shards, zoned_device, 31, kSeed});
         cells.push_back({TranslationKind::FiniteLogStructured,
                          false, shards, zoned_device, 37, kSeed});
+        // GC-active finite-log cells: cost-benefit victims with
+        // hot/cold stream separation, and SMORE-style zone-granular
+        // reclamation. Every crash point must still pass Fsck's
+        // per-stream frontier and GC-liveness checks.
+        cells.push_back({TranslationKind::FiniteLogStructured,
+                         false, shards, zoned_device, 37, kSeed,
+                         gc::CleaningPolicyKind::CostBenefit, 2});
+        cells.push_back({TranslationKind::FiniteLogStructured,
+                         false, shards, zoned_device, 43, kSeed,
+                         gc::CleaningPolicyKind::ZoneGranular, 1});
         cells.push_back({TranslationKind::MediaCache, false,
                          shards, zoned_device, 29, kSeed});
         cells.push_back({TranslationKind::Conventional, false,

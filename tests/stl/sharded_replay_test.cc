@@ -148,6 +148,49 @@ TEST(ShardedReplay, ByteIdenticalAcrossShardCountsAndLayers)
     }
 }
 
+TEST(ShardedReplay, CleaningSeeksByteIdenticalAcrossShardCounts)
+{
+    // The deferred-classification path must charge cleaning
+    // accesses exactly like the serial path: finite-log churn with
+    // every reclaim partly live (random overwrites) pins the
+    // cleaning-seek count — and the whole SimResult — bitwise at
+    // every shard count, for every cleaning policy and stream
+    // split.
+    const trace::Trace trace =
+        randomTrace(0xc1ea9, 16000,
+                    traceSpaceFor(
+                        TranslationKind::FiniteLogStructured),
+                    0.8);
+    for (const auto policy :
+         {gc::CleaningPolicyKind::Greedy,
+          gc::CleaningPolicyKind::CostBenefit,
+          gc::CleaningPolicyKind::ZoneGranular}) {
+        for (const std::uint32_t streams : {1U, 2U}) {
+            SimConfig config = baseConfig(
+                TranslationKind::FiniteLogStructured, false);
+            config.finiteLog.gc.policy = policy;
+            config.finiteLog.gc.streams = streams;
+            const SimResult serial =
+                Simulator(config).run(trace);
+            ASSERT_GT(serial.cleaningMerges, 0U);
+            ASSERT_GT(serial.cleaningSeeks, 0U);
+            for (const int shards : {2, 7}) {
+                SimConfig sharded = config;
+                sharded.replayShards = shards;
+                const SimResult result =
+                    Simulator(sharded).run(trace);
+                EXPECT_EQ(result.cleaningSeeks,
+                          serial.cleaningSeeks)
+                    << serial.configLabel << " diverged at "
+                    << shards << " shards";
+                EXPECT_TRUE(result == serial)
+                    << serial.configLabel << " diverged at "
+                    << shards << " shards";
+            }
+        }
+    }
+}
+
 TEST(ShardedReplay, MechanismsAndOddBatchStayByteIdentical)
 {
     // All mechanisms at once: defrag rewrites invalidate batched

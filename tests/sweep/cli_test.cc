@@ -159,6 +159,68 @@ TEST(BenchCliTest, ErrorLogCapValidation)
     EXPECT_FALSE(tryParse({"--error-log-cap"}).ok());
 }
 
+TEST(BenchCliTest, FiniteLogOverrideFlags)
+{
+    const auto defaulted = parse({});
+    ASSERT_TRUE(defaulted.has_value());
+    EXPECT_EQ(defaulted->logCapacityBytes, 0U);
+    EXPECT_EQ(defaulted->segmentBytes, 0U);
+    EXPECT_EQ(defaulted->cleanReserve, 0U);
+
+    const StatusOr<BenchCli> cli = tryParse(
+        {"--log-capacity", "67108864", "--segment-bytes",
+         "1048576", "--clean-reserve=6"});
+    ASSERT_TRUE(cli.ok()) << cli.status().message();
+    EXPECT_EQ(cli.value().logCapacityBytes, 64 * kMiB);
+    EXPECT_EQ(cli.value().segmentBytes, kMiB);
+    EXPECT_EQ(cli.value().cleanReserve, 6U);
+
+    // Overrides apply onto a bench config; zeros leave it alone.
+    // The default target (4) is below the raised reserve, so the
+    // hysteresis follows it upward to reserve + 2.
+    stl::FiniteLogConfig config;
+    cli.value().applyFiniteLogOverrides(config);
+    EXPECT_EQ(config.capacityBytes, 64 * kMiB);
+    EXPECT_EQ(config.segmentBytes, kMiB);
+    EXPECT_EQ(config.cleanReserveSegments, 6U);
+    EXPECT_EQ(config.cleanTargetSegments, 8U); // followed upward
+
+    // A reserve the default target already clears leaves the
+    // target alone.
+    stl::FiniteLogConfig low;
+    const StatusOr<BenchCli> small =
+        tryParse({"--clean-reserve", "3"});
+    ASSERT_TRUE(small.ok());
+    small.value().applyFiniteLogOverrides(low);
+    EXPECT_EQ(low.cleanReserveSegments, 3U);
+    EXPECT_EQ(low.cleanTargetSegments, 4U);
+
+    stl::FiniteLogConfig untouched;
+    const auto plain = parse({});
+    plain->applyFiniteLogOverrides(untouched);
+    EXPECT_EQ(untouched.capacityBytes,
+              stl::FiniteLogConfig{}.capacityBytes);
+    EXPECT_EQ(untouched.cleanTargetSegments,
+              stl::FiniteLogConfig{}.cleanTargetSegments);
+}
+
+TEST(BenchCliTest, FiniteLogOverrideValidation)
+{
+    EXPECT_FALSE(tryParse({"--log-capacity", "0"}).ok());
+    EXPECT_FALSE(tryParse({"--log-capacity", "1048575"}).ok());
+    EXPECT_FALSE(
+        tryParse({"--log-capacity", "1099511627777"}).ok());
+    EXPECT_FALSE(tryParse({"--log-capacity", "lots"}).ok());
+    EXPECT_FALSE(tryParse({"--log-capacity"}).ok());
+    EXPECT_FALSE(tryParse({"--segment-bytes", "65535"}).ok());
+    EXPECT_FALSE(tryParse({"--segment-bytes", "1073741825"}).ok());
+    EXPECT_FALSE(tryParse({"--segment-bytes"}).ok());
+    EXPECT_FALSE(tryParse({"--clean-reserve", "0"}).ok());
+    EXPECT_FALSE(tryParse({"--clean-reserve", "1025"}).ok());
+    EXPECT_FALSE(tryParse({"--clean-reserve", "-1"}).ok());
+    EXPECT_FALSE(tryParse({"--clean-reserve"}).ok());
+}
+
 TEST(BenchCliTest, PositionalValidation)
 {
     EXPECT_FALSE(tryParse({"0"}).ok());      // scale must be > 0
