@@ -38,8 +38,11 @@ main(int argc, char **argv)
 
     std::vector<analysis::MisorderedWriteStats> stats(names.size());
     sweep::SweepOptions options = cli->sweepOptions();
-    options.onTrace = [&stats](std::size_t w,
-                               const trace::Trace &trace) {
+    auto chained = std::move(options.onTrace);
+    options.onTrace = [&stats, chained](std::size_t w,
+                                        const trace::Trace &trace) {
+        if (chained)
+            chained(w, trace);
         stats[w] = analysis::countMisorderedWrites(trace);
     };
     sweep::SweepRunner runner(std::move(specs), {},

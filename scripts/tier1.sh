@@ -45,6 +45,16 @@
 # byte-identical across sweep parallelism (the checked-in
 # BENCH_gc_ablation.json is regenerated manually at full scale).
 #
+# The extra mode `ingest-smoke` builds perf_ingest and
+# trace_convert under the default preset, converts a sample MSR CSV
+# to LSKC and byte-diffs a reconversion (cmp — the converter must
+# be deterministic), then runs the reduced ingestion benchmark,
+# writing BENCH_ingest.smoke.json. perf_ingest exits non-zero when
+# the LSKC mmap-open >= 10x CSV-parse contract, the zero-copy
+# replay byte-identity, or the streaming-generator flat-RSS assert
+# fails, so all three gate CI (the checked-in BENCH_ingest.json is
+# regenerated manually at full iterations).
+#
 # Usage:
 #   scripts/tier1.sh            # all three presets
 #   scripts/tier1.sh default    # just one
@@ -52,6 +62,7 @@
 #   scripts/tier1.sh fault-smoke
 #   scripts/tier1.sh crash-smoke
 #   scripts/tier1.sh gc-smoke
+#   scripts/tier1.sh ingest-smoke
 #   JOBS=8 scripts/tier1.sh     # override the build parallelism
 
 set -euo pipefail
@@ -126,9 +137,39 @@ run_gc_smoke() {
     echo "==> tier1: gc-smoke byte-identical across --jobs"
 }
 
+run_ingest_smoke() {
+    echo "==> tier1: ingest-smoke"
+    cmake --preset default
+    cmake --build --preset default -j "${JOBS}" \
+        --target perf_ingest trace_convert
+    # Conversion determinism: CSV -> LSKC, then LSKC -> LSKC again;
+    # the canonicalizing reconversion must be byte-identical.
+    sample=/tmp/tier1_ingest_sample.csv
+    printf '%s\n' \
+        '128166372003640000,hm,0,Read,328452096,8192,1547' \
+        '128166372004137000,hm,0,Write,2216429568,4096,388' \
+        '128166372016260000,hm,0,Read,328497152,16384,723' \
+        > "${sample}"
+    build/bench/trace_convert "${sample}" \
+        --convert-out /tmp/tier1_ingest.lskc
+    build/bench/trace_convert /tmp/tier1_ingest.lskc \
+        --convert-out /tmp/tier1_ingest2.lskc --out-format lskc
+    cmp /tmp/tier1_ingest.lskc /tmp/tier1_ingest2.lskc
+    echo "==> tier1: ingest-smoke conversion byte-identical"
+    # The benchmark asserts its own contracts (>= 10x mmap-open,
+    # replay byte-identity, flat streaming RSS) and fails the gate
+    # via its exit code.
+    build/bench/perf_ingest --smoke \
+        --json=BENCH_ingest.smoke.json
+}
+
 for preset in "${PRESETS[@]}"; do
     if [ "${preset}" = "bench-smoke" ]; then
         run_bench_smoke
+        continue
+    fi
+    if [ "${preset}" = "ingest-smoke" ]; then
+        run_ingest_smoke
         continue
     fi
     if [ "${preset}" = "gc-smoke" ]; then

@@ -6,10 +6,9 @@
  * instead of one record at a time. Two reusable containers make
  * that allocation-free in steady state:
  *
- *  - IoEventBatch: a structure-of-arrays view of one trace block
- *    (lba/len as contiguous SectorExtents, timestamps and types as
- *    parallel columns), so a whole run of same-type records can be
- *    handed to the translation layer as one span.
+ *  - trace::IoEventBatch (aliased here): a structure-of-arrays view
+ *    of one trace block, owned or zero-copy-bound to an mmap'd
+ *    LSKC section — see trace/io_batch.h.
  *  - SegmentBufferBatch: the per-record translation results of a
  *    batch, stored as one flat segment array plus per-record
  *    offsets — the batch analogue of SegmentBuffer.
@@ -26,69 +25,16 @@
 #include <vector>
 
 #include "stl/extent_map.h"
-#include "trace/trace.h"
+#include "trace/io_batch.h"
 #include "util/extent.h"
 
 namespace logseek::stl
 {
 
-/**
- * Structure-of-arrays form of one block of trace records. The
- * extent column doubles as the contiguous span the batched
- * translation API consumes; timestamps and types stay in their own
- * columns so run-splitting scans touch only one byte per record.
- */
-class IoEventBatch
-{
-  public:
-    /** Rebuild the columns from trace records [begin, end). */
-    void
-    buildFrom(const trace::Trace &trace, std::size_t begin,
-              std::size_t end)
-    {
-        extents_.clear();
-        timestamps_.clear();
-        types_.clear();
-        for (std::size_t i = begin; i < end; ++i) {
-            const trace::IoRecord &record = trace[i];
-            extents_.push_back(record.extent);
-            timestamps_.push_back(record.timestampUs);
-            types_.push_back(record.type);
-        }
-    }
-
-    std::size_t size() const { return extents_.size(); }
-    bool empty() const { return extents_.empty(); }
-
-    const SectorExtent &extent(std::size_t i) const
-    {
-        return extents_[i];
-    }
-    std::uint64_t timestamp(std::size_t i) const
-    {
-        return timestamps_[i];
-    }
-    trace::IoType type(std::size_t i) const { return types_[i]; }
-
-    /** Pointer into the contiguous extent column (for spans). */
-    const SectorExtent *extentData() const { return extents_.data(); }
-
-    /** One past the last index of the same-type run starting at i. */
-    std::size_t
-    runEnd(std::size_t i) const
-    {
-        const trace::IoType head = types_[i];
-        std::size_t j = i + 1;
-        while (j < types_.size() && types_[j] == head)
-            ++j;
-        return j;
-    }
-
-  private:
-    std::vector<SectorExtent> extents_;
-    std::vector<std::uint64_t> timestamps_;
-    std::vector<trace::IoType> types_;
-};
+/** The replay engine's batch type lives with the trace layer now
+ *  (it is also the unit TraceInput producers fill); this alias
+ *  keeps the historical stl:: spelling working. */
+using IoEventBatch = trace::IoEventBatch;
 
 /**
  * Per-record translation results of a batch: one flat Segment

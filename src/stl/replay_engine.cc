@@ -308,11 +308,32 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
                            const trace::Trace &trace,
                            const std::vector<SimObserver *> &observers,
                            CancelToken cancel)
-    : config_(config), trace_(trace), observers_(observers),
+    : ReplayEngine(config,
+                   std::make_unique<trace::TraceRef>(trace),
+                   observers, std::move(cancel))
+{
+}
+
+ReplayEngine::ReplayEngine(const SimConfig &config,
+                           std::unique_ptr<trace::TraceInput> owned,
+                           const std::vector<SimObserver *> &observers,
+                           CancelToken cancel)
+    : ReplayEngine(config, *owned, observers, std::move(cancel))
+{
+    // The delegated ctor stored &*owned in input_; moving the
+    // unique_ptr into the member does not relocate the pointee.
+    ownedInput_ = std::move(owned);
+}
+
+ReplayEngine::ReplayEngine(const SimConfig &config,
+                           trace::TraceInput &input,
+                           const std::vector<SimObserver *> &observers,
+                           CancelToken cancel)
+    : config_(config), input_(&input), observers_(observers),
       cancel_(std::move(cancel)),
       accounting_(result_, config.seekTime)
 {
-    result_.workload = trace.name();
+    result_.workload = input.name();
     result_.configLabel = config_.label();
 
     panicIf(config_.replayBatchSize < 1 ||
@@ -333,9 +354,9 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
     // single structure and shard accounting only.
     RelocateFn relocate;
     if (config_.translation == TranslationKind::LogStructured &&
-        config_.replayShards > 1 && trace.addressSpaceEnd() > 0) {
+        config_.replayShards > 1 && input.addressSpaceEnd() > 0) {
         auto ls = std::make_unique<ShardedTranslation>(
-            trace.addressSpaceEnd(),
+            input.addressSpaceEnd(),
             static_cast<std::size_t>(config_.replayShards),
             config_.zones);
         relocate = [raw = ls.get()](const SectorExtent &extent,
@@ -346,7 +367,7 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
     } else if (config_.translation ==
                TranslationKind::LogStructured) {
         auto ls = std::make_unique<LogStructuredLayer>(
-            trace.addressSpaceEnd(), config_.zones);
+            input.addressSpaceEnd(), config_.zones);
         relocate = [raw = ls.get()](const SectorExtent &extent,
                                     SegmentBuffer &out) {
             raw->relocateInto(extent, out);
@@ -355,7 +376,7 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
     } else if (config_.translation ==
                TranslationKind::FiniteLogStructured) {
         auto fl = std::make_unique<FiniteLogStructuredLayer>(
-            trace.addressSpaceEnd(), config_.finiteLog);
+            input.addressSpaceEnd(), config_.finiteLog);
         relocate = [raw = fl.get()](const SectorExtent &extent,
                                     SegmentBuffer &out) {
             raw->relocateInto(extent, out);
@@ -370,7 +391,7 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
         layer_ = std::move(fl);
     } else if (config_.translation == TranslationKind::MediaCache) {
         auto mc = std::make_unique<MediaCacheLayer>(
-            trace.addressSpaceEnd(), config_.mediaCache);
+            input.addressSpaceEnd(), config_.mediaCache);
         cleaningMerges_ = [raw = mc.get()] {
             return raw->mergeCount();
         };
@@ -390,7 +411,7 @@ ReplayEngine::ReplayEngine(const SimConfig &config,
     // zones.
     if (config_.zonedDevice) {
         const std::uint64_t identity_end =
-            trace.addressSpaceEnd();
+            input.addressSpaceEnd();
         disk::ZoneLayout layout;
         layout.maxOpenZones = config_.zonedDevice->maxOpenZones;
         std::uint64_t zone_bytes = 256 * kMiB;
@@ -462,7 +483,6 @@ ReplayEngine::run()
 {
     const auto batch_size =
         static_cast<std::size_t>(config_.replayBatchSize);
-    const std::size_t total = trace_.size();
 
     // The batch's events are reused across batches: reset() keeps
     // the segment/seek vectors' capacity, so the replay loop stops
@@ -470,8 +490,16 @@ ReplayEngine::run()
     if (events_.size() < batch_size)
         events_.resize(batch_size);
 
-    for (std::size_t base = 0; base < total; base += batch_size) {
-        const std::size_t end = std::min(total, base + batch_size);
+    // Pull-based replay: the input hands over one batch at a time
+    // (an in-RAM copy, a zero-copy mmap span or a freshly
+    // synthesized chunk — the loop cannot tell), so memory use is
+    // bounded by one batch regardless of the workload's size.
+    input_->reset();
+    std::uint64_t base = 0;
+    for (;;) {
+        const std::size_t n = input_->next(batch_, batch_size);
+        if (n == 0)
+            break;
         // Cooperative cancellation: polled at every batch boundary
         // here and every kCancelCheckInterval records inside the
         // serving loops, so an over-deadline replay unwinds within
@@ -479,8 +507,6 @@ ReplayEngine::run()
         if (cancel_.cancelled())
             throwCancelled();
 
-        batch_.buildFrom(trace_, base, end);
-        const std::size_t n = batch_.size();
         batchesTotal_->add();
         batchSize_->record(n);
 
@@ -509,6 +535,8 @@ ReplayEngine::run()
         for (std::size_t k = 0; k < n; ++k)
             for (auto *observer : observers_)
                 observer->onEvent(events_[k]);
+
+        base += n;
     }
 
     // Counters sampled once, after the loop: cleaningMerges only
@@ -531,7 +559,7 @@ ReplayEngine::run()
             Fsck::check(*layer_, *config_.journal);
         if (!fsck.ok())
             fatal("paranoid fsck failed after replay of '" +
-                  trace_.name() + "': " + fsck.toString());
+                  input_->name() + "': " + fsck.toString());
     }
     return std::move(result_);
 }
@@ -540,7 +568,7 @@ void
 ReplayEngine::throwCancelled()
 {
     throw StatusError(cancel_.toStatus("replay of trace '" +
-                                       trace_.name() + "'"));
+                                       input_->name() + "'"));
 }
 
 void
@@ -598,7 +626,7 @@ ReplayEngine::translateRun(std::size_t begin, std::size_t end,
 }
 
 void
-ReplayEngine::serveReadRun(std::size_t base, std::size_t begin,
+ReplayEngine::serveReadRun(std::uint64_t base, std::size_t begin,
                            std::size_t end, bool fast_media_only)
 {
     // Reads are translated lazily in adaptive mini-chunks, one
@@ -645,7 +673,7 @@ ReplayEngine::serveReadRun(std::size_t base, std::size_t begin,
         IoEvent &event = events_[k];
         event.reset();
         event.opIndex = op;
-        event.record = trace_[op];
+        event.record = batch_.record(k);
 
         const telemetry::ScopedTimer timer(readLatency_);
         accounting_.beginRead();
@@ -693,7 +721,7 @@ ReplayEngine::serveReadRun(std::size_t base, std::size_t begin,
 }
 
 void
-ReplayEngine::serveWriteRun(std::size_t base, std::size_t begin,
+ReplayEngine::serveWriteRun(std::uint64_t base, std::size_t begin,
                             std::size_t end)
 {
     if (!layerHasMaintenance_) {
@@ -713,7 +741,7 @@ ReplayEngine::serveWriteRun(std::size_t base, std::size_t begin,
             IoEvent &event = events_[k];
             event.reset();
             event.opIndex = op;
-            event.record = trace_[op];
+            event.record = batch_.record(k);
 
             accounting_.beginWrite(event.record.extent.bytes());
             event.segments.assign(
@@ -737,7 +765,7 @@ ReplayEngine::serveWriteRun(std::size_t base, std::size_t begin,
         IoEvent &event = events_[k];
         event.reset();
         event.opIndex = op;
-        event.record = trace_[op];
+        event.record = batch_.record(k);
 
         accounting_.beginWrite(event.record.extent.bytes());
         layer_->placeWriteInto(event.record.extent,

@@ -37,6 +37,7 @@
 #include "stl/read_stage.h"
 #include "stl/simulator.h"
 #include "stl/translation_layer.h"
+#include "trace/input.h"
 #include "trace/trace.h"
 #include "util/cancellation.h"
 
@@ -54,7 +55,15 @@ class ReplayEngine
   public:
     /**
      * @param config Simulation configuration (copied).
-     * @param trace The trace to replay; must outlive the engine.
+     * @param input The record stream to replay; must outlive the
+     *        engine. run() resets it, so the cursor position on
+     *        entry does not matter. The engine pulls batches
+     *        through TraceInput::next(), so it is indifferent to
+     *        whether the records live in RAM (TraceRef), in an
+     *        mmap'd LSKC file (zero-copy LskcView) or are
+     *        synthesized on the fly (workloads::WorkloadStream) —
+     *        the SimResult is byte-identical for identical record
+     *        streams.
      * @param observers Observers notified once per logical request,
      *        in trace order (delivered at the end of the request's
      *        batch, once the event is fully resolved); not owned.
@@ -62,6 +71,12 @@ class ReplayEngine
      *        batch boundary and every kCancelCheckInterval records
      *        inside the serving loops; default never fires.
      */
+    ReplayEngine(const SimConfig &config, trace::TraceInput &input,
+                 const std::vector<SimObserver *> &observers,
+                 CancelToken cancel = {});
+
+    /** Convenience overload replaying an in-RAM trace (wraps it in
+     *  an engine-owned TraceRef). */
     ReplayEngine(const SimConfig &config, const trace::Trace &trace,
                  const std::vector<SimObserver *> &observers,
                  CancelToken cancel = {});
@@ -85,16 +100,24 @@ class ReplayEngine
     const ReadPipeline &readPipeline() const { return pipeline_; }
 
   private:
+    /** Delegation helper: the Trace overload routes through this
+     *  to keep the owned TraceRef alive for the engine's life. */
+    ReplayEngine(const SimConfig &config,
+                 std::unique_ptr<trace::TraceInput> owned,
+                 const std::vector<SimObserver *> &observers,
+                 CancelToken cancel);
+
     /**
      * Serve batch records [begin, end) — one same-type read run.
+     * `base` is the trace-wide index of batch record 0.
      * `fast_media_only` short-circuits the pipeline when it is
      * exactly the media-access stage and telemetry is off.
      */
-    void serveReadRun(std::size_t base, std::size_t begin,
+    void serveReadRun(std::uint64_t base, std::size_t begin,
                       std::size_t end, bool fast_media_only);
 
     /** Serve batch records [begin, end) — one write run. */
-    void serveWriteRun(std::size_t base, std::size_t begin,
+    void serveWriteRun(std::uint64_t base, std::size_t begin,
                        std::size_t end);
 
     /**
@@ -123,7 +146,14 @@ class ReplayEngine
     void emitStageSpans();
 
     SimConfig config_;
-    const trace::Trace &trace_;
+
+    /** Set only by the Trace convenience ctor: the TraceRef the
+     *  engine itself owns; input_ points at it then. */
+    std::unique_ptr<trace::TraceInput> ownedInput_;
+
+    /** The record stream being replayed; never null. */
+    trace::TraceInput *input_;
+
     std::vector<SimObserver *> observers_;
     CancelToken cancel_;
 

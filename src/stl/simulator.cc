@@ -74,19 +74,33 @@ Simulator::clearObservers()
 Status
 Simulator::validateTrace(const trace::Trace &trace)
 {
+    trace::TraceRef ref(trace);
+    return validateInput(ref);
+}
+
+Status
+Simulator::validateInput(trace::TraceInput &input)
+{
+    input.reset();
+    trace::IoEventBatch batch;
     std::uint64_t index = 0;
-    for (const auto &record : trace) {
-        if (record.extent.empty())
-            return invalidArgumentError(
-                "trace '" + trace.name() + "': record " +
-                std::to_string(index) + " has an empty extent");
-        if (record.extent.start + record.extent.count <
-            record.extent.start)
-            return invalidArgumentError(
-                "trace '" + trace.name() + "': record " +
-                std::to_string(index) +
-                " sector range overflows the address space");
-        ++index;
+    for (;;) {
+        const std::size_t n = input.next(batch, 4096);
+        if (n == 0)
+            break;
+        for (std::size_t k = 0; k < n; ++k, ++index) {
+            const SectorExtent &extent = batch.extent(k);
+            if (extent.empty())
+                return invalidArgumentError(
+                    "trace '" + input.name() + "': record " +
+                    std::to_string(index) +
+                    " has an empty extent");
+            if (extent.start + extent.count < extent.start)
+                return invalidArgumentError(
+                    "trace '" + input.name() + "': record " +
+                    std::to_string(index) +
+                    " sector range overflows the address space");
+        }
     }
     return Status();
 }
@@ -100,8 +114,24 @@ Simulator::run(const trace::Trace &trace)
     return std::move(result).value();
 }
 
+SimResult
+Simulator::run(trace::TraceInput &input)
+{
+    StatusOr<SimResult> result = tryRun(input);
+    if (!result.ok())
+        result.status().orFatal();
+    return std::move(result).value();
+}
+
 StatusOr<SimResult>
 Simulator::tryRun(const trace::Trace &trace, CancelToken cancel)
+{
+    trace::TraceRef ref(trace);
+    return tryRun(ref, std::move(cancel));
+}
+
+StatusOr<SimResult>
+Simulator::tryRun(trace::TraceInput &input, CancelToken cancel)
 {
     if (config_.replayShards < 1 || config_.replayShards > 256)
         return invalidArgumentError(
@@ -112,31 +142,31 @@ Simulator::tryRun(const trace::Trace &trace, CancelToken cancel)
         return invalidArgumentError(
             "replayBatchSize must be in [1, 65536]; got " +
             std::to_string(config_.replayBatchSize));
-    Status valid = validateTrace(trace);
+    Status valid = validateInput(input);
     if (!valid.ok())
         return valid;
     try {
-        return replay(trace, cancel);
+        return replay(input, cancel);
     } catch (const StatusError &e) {
         // Cooperative cancellation (or another typed failure) from
         // inside the replay loop: pass the Status through intact so
         // callers can tell DeadlineExceeded from Cancelled.
         return e.status();
     } catch (const PanicError &e) {
-        return internalError("replay of trace '" + trace.name() +
+        return internalError("replay of trace '" + input.name() +
                              "' hit an internal bug: " + e.what());
     } catch (const FatalError &e) {
         return invalidArgumentError("replay of trace '" +
-                                    trace.name() +
+                                    input.name() +
                                     "' failed: " + e.what());
     }
 }
 
 SimResult
-Simulator::replay(const trace::Trace &trace,
+Simulator::replay(trace::TraceInput &input,
                   const CancelToken &cancel)
 {
-    ReplayEngine engine(config_, trace, observers_, cancel);
+    ReplayEngine engine(config_, input, observers_, cancel);
     return engine.run();
 }
 

@@ -32,6 +32,7 @@
 #include "stl/prefetch.h"
 #include "stl/selective_cache.h"
 #include "stl/translation_layer.h"
+#include "trace/input.h"
 #include "trace/trace.h"
 #include "util/cancellation.h"
 #include "util/status.h"
@@ -368,6 +369,10 @@ class Simulator
      */
     SimResult run(const trace::Trace &trace);
 
+    /** As run(const Trace &), replaying any record stream (mmap'd
+     *  LSKC view, streaming generator, ...). Resets the input. */
+    SimResult run(trace::TraceInput &input);
+
     /**
      * Typed-error replay entry point: validates the trace up front
      * (InvalidArgument on a malformed record), then replays it,
@@ -381,17 +386,30 @@ class Simulator
                                CancelToken cancel = {});
 
     /**
+     * As tryRun(const Trace &), for any record stream. The
+     * validation pass and the replay each reset the input, so it
+     * is pulled twice end to end; for identical record sequences
+     * the SimResult is byte-identical to the in-RAM overload.
+     */
+    StatusOr<SimResult> tryRun(trace::TraceInput &input,
+                               CancelToken cancel = {});
+
+    /**
      * Check that a trace is replayable: every record has a
      * non-empty extent whose sector range does not overflow.
      * Returns InvalidArgument naming the first offending record.
      */
     static Status validateTrace(const trace::Trace &trace);
 
+    /** Streaming validateTrace over one full pass of `input`
+     *  (resets it; leaves the cursor at the end). */
+    static Status validateInput(trace::TraceInput &input);
+
     const SimConfig &config() const { return config_; }
 
   private:
-    /** Builds a per-run ReplayEngine and replays the trace. */
-    SimResult replay(const trace::Trace &trace,
+    /** Builds a per-run ReplayEngine and replays the stream. */
+    SimResult replay(trace::TraceInput &input,
                      const CancelToken &cancel);
 
     SimConfig config_;

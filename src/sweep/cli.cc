@@ -10,6 +10,7 @@
 
 #include "analysis/validating_observer.h"
 #include "sweep/report.h"
+#include "trace/convert.h"
 #include "telemetry/export.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace_writer.h"
@@ -118,6 +119,27 @@ BenchCli::sweepOptions(ObserverFactory extra) const
     options.replayShards = replayShards > 1 ? replayShards : 0;
     options.replayBatchSize = replayBatch;
 
+    // --convert-out exports the first workload's trace once it is
+    // loaded, in the --trace-format (or extension-implied) format.
+    // Benches that install their own onTrace hook must chain this
+    // one (see cli.h); export failures warn rather than poison the
+    // sweep — the replay results are still sound without the side
+    // file.
+    if (!convertOutPath.empty()) {
+        const std::string out = convertOutPath;
+        const trace::TraceFormat format = traceFormat;
+        options.onTrace = [out, format](
+                              std::size_t workload_index,
+                              const trace::Trace &trace) {
+            if (workload_index != 0)
+                return;
+            const Status written =
+                trace::tryWriteTraceFile(out, trace, format);
+            if (!written.ok())
+                warn("--convert-out: " + written.message());
+        };
+    }
+
     // Arm telemetry for the run this options object configures.
     // Observability is strictly opt-in: without these flags the
     // enabled flag stays false and every instrument is a no-op.
@@ -172,7 +194,8 @@ benchUsage(const std::string &name)
            "[--max-open-zones N] [--error-log-cap N] "
            "[--log-capacity N] [--segment-bytes N] "
            "[--clean-reserve N] "
-           "[--replay-shards N] [--replay-batch N] [--help]";
+           "[--replay-shards N] [--replay-batch N] "
+           "[--trace-format F] [--convert-out file] [--help]";
 }
 
 std::string
@@ -231,6 +254,14 @@ benchHelp(const std::string &name)
         "byte-identical)\n"
         "  --replay-batch N     replay batch size in records "
         "[1, 65536] (default 256)\n"
+        "  --trace-format F     format of trace files read or "
+        "converted:\n"
+        "                       auto, csv, lskt or lskc "
+        "(default auto)\n"
+        "  --convert-out file   export the first workload's trace "
+        "to this path\n"
+        "                       (format from the extension unless "
+        "--trace-format is set)\n"
         "  --help               print this help and exit\n";
 }
 
@@ -246,7 +277,8 @@ benchFlagNames()
             "--max-open-zones", "--error-log-cap",
             "--log-capacity",  "--segment-bytes",
             "--clean-reserve", "--replay-shards",
-            "--replay-batch",  "--help"};
+            "--replay-batch",  "--trace-format",
+            "--convert-out",   "--help"};
 }
 
 StatusOr<BenchCli>
@@ -490,6 +522,20 @@ tryParseBenchCli(int argc, char **argv, double default_scale)
                     "--replay-batch must be in [1, 65536]: got " +
                     *value);
             cli.replayBatch = static_cast<int>(batch.value());
+        } else if (matches("--trace-format")) {
+            if (!value)
+                return invalidArgumentError(
+                    "--trace-format requires a value");
+            StatusOr<trace::TraceFormat> format =
+                trace::parseTraceFormat(*value);
+            if (!format.ok())
+                return format.status();
+            cli.traceFormat = format.value();
+        } else if (matches("--convert-out")) {
+            if (!value || value->empty())
+                return invalidArgumentError(
+                    "--convert-out requires a path");
+            cli.convertOutPath = std::move(*value);
         } else if (arg.rfind("--", 0) == 0) {
             return invalidArgumentError("unknown option: " + arg);
         } else if (positional == 0) {

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "sweep/sweep_runner.h"
+#include "trace/format.h"
 #include "util/status.h"
 #include "workloads/profiles.h"
 
@@ -130,6 +131,21 @@ struct BenchCli
      *  [1, 65536]); 0 = the engine default. */
     int replayBatch = 0;
 
+    /** Declared format of trace files a bench reads or converts
+     *  (--trace-format {auto, csv, lskt, lskc}); Auto (the
+     *  default) resolves by magic sniff / extension. Parsed
+     *  strictly — any other spelling is InvalidArgument. */
+    trace::TraceFormat traceFormat = trace::TraceFormat::Auto;
+
+    /** Destination of a trace conversion (--convert-out); empty =
+     *  no conversion requested. sweepOptions() turns this into an
+     *  onTrace hook exporting the first workload's trace; the
+     *  output format follows the path's extension unless
+     *  --trace-format overrides it. Named --convert-out because
+     *  --trace-out is already the Chrome trace_event
+     *  destination. */
+    std::string convertOutPath;
+
     /** --help / -h was given; the caller prints help and exits. */
     bool helpRequested = false;
 
@@ -146,8 +162,20 @@ struct BenchCli
 
     /**
      * SweepOptions reflecting every parsed flag: jobs, observers,
-     * deadline, retry policy and checkpoint/resume paths. Benches
-     * may set onTrace or other hooks on the returned object. Also
+     * deadline, retry policy and checkpoint/resume paths. With
+     * --convert-out it pre-installs an onTrace hook that exports
+     * the first workload's trace in the --trace-format (or
+     * extension-implied) format, so benches that install their
+     * own onTrace hook must chain the existing one:
+     *
+     *   auto chained = std::move(options.onTrace);
+     *   options.onTrace = [chained, ...](std::size_t w,
+     *                                    const trace::Trace &t) {
+     *       if (chained) chained(w, t);
+     *       ...
+     *   };
+     *
+     * Also
      * arms the telemetry subsystem (enables collection, installs
      * the process-wide trace writer) when --metrics-out or
      * --trace-out was given; telemetry stays disabled otherwise.

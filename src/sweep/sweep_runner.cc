@@ -83,9 +83,11 @@ WorkloadSpec
 WorkloadSpec::profile(const std::string &name,
                       const workloads::ProfileOptions &options)
 {
-    return {name, [name, options] {
+    return {name,
+            [name, options] {
                 return workloads::makeWorkload(name, options);
-            }};
+            },
+            nullptr};
 }
 
 WorkloadSpec
@@ -100,16 +102,26 @@ WorkloadSpec::derived(
                 trace::Trace out = transform(
                     workloads::makeWorkload(profile_name, options));
                 return out;
-            }};
+            },
+            nullptr};
+}
+
+WorkloadSpec
+WorkloadSpec::source(
+    std::string name,
+    std::function<std::shared_ptr<const trace::TraceSource>()>
+        load_source)
+{
+    return {std::move(name), nullptr, std::move(load_source)};
 }
 
 ConfigSpec
 ConfigSpec::fixed(std::string label, stl::SimConfig config)
 {
     return {std::move(label),
-            [config = std::move(config)](const trace::Trace &) {
-                return config;
-            }};
+            [config](const trace::Trace &) { return config; },
+            [config = std::move(config)](
+                const trace::TraceSource &) { return config; }};
 }
 
 ConfigSpec
@@ -117,7 +129,15 @@ ConfigSpec::deferred(
     std::string label,
     std::function<stl::SimConfig(const trace::Trace &)> make)
 {
-    return {std::move(label), std::move(make)};
+    return {std::move(label), std::move(make), nullptr};
+}
+
+ConfigSpec
+ConfigSpec::deferredSource(
+    std::string label,
+    std::function<stl::SimConfig(const trace::TraceSource &)> make)
+{
+    return {std::move(label), nullptr, std::move(make)};
 }
 
 const RunRow &
@@ -238,11 +258,11 @@ SweepRunner::run()
         auto run_cell = [this, &out, &pool, &shard_executor,
                          finish_cell, config_count, max_attempts](
                             std::size_t w, std::size_t c,
-                            std::shared_ptr<const trace::Trace>
-                                trace,
+                            std::shared_ptr<const trace::TraceSource>
+                                source,
                             int load_extra_attempts) {
             RunRow &row = out.rows[w * config_count + c];
-            row.ops = trace->size();
+            row.ops = source->sizeHint().value_or(0);
             Rng rng(cellSeed(options_.retrySeed, w, c));
             int attempt = 0;
             Status status;
@@ -266,8 +286,27 @@ SweepRunner::run()
                 span->arg("config", row.key.configLabel);
                 span->arg("attempt", std::to_string(attempt));
                 try {
-                    stl::SimConfig config =
-                        configs_[c].make(*trace);
+                    stl::SimConfig config;
+                    if (configs_[c].makeSource) {
+                        config = configs_[c].makeSource(*source);
+                    } else {
+                        const trace::Trace *memory =
+                            source->memoryTrace();
+                        if (memory == nullptr) {
+                            // A trace-shaped factory cannot see a
+                            // streamed workload; this is a spec
+                            // bug, not a transient fault.
+                            status = invalidArgumentError(
+                                "config '" + row.key.configLabel +
+                                "' sizes itself from the whole "
+                                "trace, but workload '" +
+                                row.key.workload +
+                                "' is not RAM-backed; use "
+                                "ConfigSpec::deferredSource");
+                            break;
+                        }
+                        config = configs_[c].make(*memory);
+                    }
                     if (options_.replayShards > 0)
                         config.replayShards =
                             options_.replayShards;
@@ -303,16 +342,23 @@ SweepRunner::run()
                                         DeadlineExceeded);
                             });
 
+                    // A fresh cursor per attempt: a replay that
+                    // died mid-stream left the old one mid-pull.
+                    std::unique_ptr<trace::TraceInput> input =
+                        source->open();
                     const auto run_start =
                         std::chrono::steady_clock::now();
                     StatusOr<stl::SimResult> result =
-                        simulator.tryRun(*trace,
+                        simulator.tryRun(*input,
                                          cell_cancel.token());
                     row.wallSec = secondsSince(run_start);
                     if (watch)
                         pool.disarmWatchdog(*watch);
                     if (result.ok()) {
                         row.result = std::move(result).value();
+                        if (!source->sizeHint())
+                            row.ops = row.result.reads +
+                                      row.result.writes;
                         status = Status();
                         break;
                     }
@@ -358,7 +404,7 @@ SweepRunner::run()
 
             pool.submit([this, &out, &pool, run_cell, finish_cell,
                          w, config_count, max_attempts] {
-                std::shared_ptr<const trace::Trace> trace;
+                std::shared_ptr<const trace::TraceSource> source;
                 Rng rng(cellSeed(options_.retrySeed ^
                                      0x10adf00dULL,
                                  w, config_count));
@@ -378,11 +424,23 @@ SweepRunner::run()
                     span.arg("workload", workloads_[w].name);
                     span.arg("attempt", std::to_string(attempt));
                     try {
-                        trace =
-                            std::make_shared<const trace::Trace>(
+                        if (workloads_[w].loadSource)
+                            source = workloads_[w].loadSource();
+                        else
+                            source = std::make_shared<
+                                const trace::InMemoryTraceSource>(
                                 workloads_[w].load());
-                        if (options_.onTrace)
-                            options_.onTrace(w, *trace);
+                        if (source == nullptr)
+                            throw FatalError(
+                                "workload '" +
+                                workloads_[w].name +
+                                "': loadSource returned null");
+                        if (options_.onTrace) {
+                            const trace::Trace *memory =
+                                source->memoryTrace();
+                            if (memory != nullptr)
+                                options_.onTrace(w, *memory);
+                        }
                         status = Status();
                         break;
                     } catch (const StatusError &e) {
@@ -418,16 +476,20 @@ SweepRunner::run()
                     }
                     return;
                 }
-                // Fan the loaded trace out into one task per
-                // config; idle workers steal them. Retries spent
-                // loading count toward each cell's attempts.
+                // Fan the loaded source out into one task per
+                // config; idle workers steal them. Each task holds
+                // one shared_ptr reference, so the source — the
+                // trace memory or the file mapping — is released
+                // the moment the workload's last cell completes,
+                // not at sweep end. Retries spent loading count
+                // toward each cell's attempts.
                 const int load_extra = attempt - 1;
                 for (std::size_t c = 0; c < config_count; ++c) {
                     if (out.rows[w * config_count + c].restored)
                         continue;
-                    pool.submit([run_cell, w, c, trace,
+                    pool.submit([run_cell, w, c, source,
                                  load_extra] {
-                        run_cell(w, c, trace, load_extra);
+                        run_cell(w, c, source, load_extra);
                     });
                 }
             });

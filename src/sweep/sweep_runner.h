@@ -4,13 +4,16 @@
  *
  * Every figure and ablation in the paper is a sweep: a set of
  * workloads replayed under a matrix of simulator configurations.
- * SweepRunner loads each trace exactly once, shares it read-only
- * across a work-stealing thread pool, replays every (workload,
- * config) cell with a fresh per-run engine and fresh per-run
- * observers (from a factory — observers are stateful and not
- * thread-safe, so they are never shared between runs), and returns
- * rows in deterministic (workload, config) order: the results are
- * byte-identical whatever the job count.
+ * SweepRunner loads each workload exactly once — as an immutable
+ * TraceSource shared read-only across a work-stealing thread pool,
+ * each cell pulling records through its own cursor — replays every
+ * (workload, config) cell with a fresh per-run engine and fresh
+ * per-run observers (from a factory — observers are stateful and
+ * not thread-safe, so they are never shared between runs), and
+ * returns rows in deterministic (workload, config) order: the
+ * results are byte-identical whatever the job count. A workload's
+ * source is released when its last cell completes, so peak memory
+ * tracks in-flight workloads, not the whole sweep.
  */
 
 #ifndef LOGSEEK_SWEEP_SWEEP_RUNNER_H
@@ -25,6 +28,7 @@
 #include <vector>
 
 #include "stl/simulator.h"
+#include "trace/input.h"
 #include "trace/trace.h"
 #include "util/cancellation.h"
 #include "util/retry.h"
@@ -42,8 +46,20 @@ struct WorkloadSpec
     /**
      * Produces the trace; called exactly once, on a pool worker.
      * Must be safe to call concurrently with other specs' loaders.
+     * Ignored when loadSource is set.
      */
     std::function<trace::Trace()> load;
+
+    /**
+     * Produces a shareable TraceSource instead of an in-RAM Trace;
+     * preferred over `load` when set. Also called exactly once, on
+     * a pool worker; the runner shares the source across the
+     * workload's cells and drops its references as cells complete,
+     * so the source (trace memory or file mapping) is released
+     * when the last dependent cell finishes — not at sweep end.
+     */
+    std::function<std::shared_ptr<const trace::TraceSource>()>
+        loadSource;
 
     /** A named synthetic profile (workloads::makeWorkload). */
     static WorkloadSpec profile(const std::string &name,
@@ -57,6 +73,16 @@ struct WorkloadSpec
     derived(const std::string &label, const std::string &profile_name,
             const workloads::ProfileOptions &options,
             std::function<trace::Trace(const trace::Trace &)> transform);
+
+    /**
+     * A workload backed by any TraceSource — an mmap'd LSKC file
+     * (trace::LskcSource) or a streaming generator
+     * (workloads::StreamSource).
+     */
+    static WorkloadSpec
+    source(std::string name,
+           std::function<std::shared_ptr<const trace::TraceSource>()>
+               load_source);
 };
 
 /** One column of a sweep: a label plus a config (factory). */
@@ -68,8 +94,18 @@ struct ConfigSpec
      * Builds the SimConfig for one workload. Receives the loaded
      * trace so configs can be sized from trace properties (e.g. a
      * finite log scaled to the written volume). Must be pure.
+     * Only usable on RAM-backed workloads; makeSource wins when
+     * both are set.
      */
     std::function<stl::SimConfig(const trace::Trace &)> make;
+
+    /**
+     * Source-aware factory: sees the workload's TraceSource, so it
+     * also works for streamed/mmap'd workloads that never
+     * materialize a Trace. Must be pure.
+     */
+    std::function<stl::SimConfig(const trace::TraceSource &)>
+        makeSource;
 
     /** A trace-independent configuration. */
     static ConfigSpec fixed(std::string label, stl::SimConfig config);
@@ -78,6 +114,12 @@ struct ConfigSpec
     static ConfigSpec
     deferred(std::string label,
              std::function<stl::SimConfig(const trace::Trace &)> make);
+
+    /** A configuration computed per workload from its source. */
+    static ConfigSpec deferredSource(
+        std::string label,
+        std::function<stl::SimConfig(const trace::TraceSource &)>
+            make);
 };
 
 /**
@@ -148,7 +190,8 @@ struct RunRow
     /** Wall-clock of the replay (excludes trace loading). */
     double wallSec = 0.0;
 
-    /** Requests replayed. */
+    /** Requests replayed (the source's size hint when it has one,
+     *  otherwise the completed replay's read + write count). */
     std::uint64_t ops = 0;
 
     double
@@ -248,7 +291,9 @@ struct SweepOptions
      * in flight concurrently; the hook must only touch per-
      * workload state (e.g. its own slot of a pre-sized vector).
      * Benches that analyze traces without replaying use this as
-     * the work body, with an empty config list.
+     * the work body, with an empty config list. Only fires for
+     * RAM-backed workloads (TraceSource::memoryTrace() non-null);
+     * streamed workloads never materialize a Trace to hand it.
      */
     std::function<void(std::size_t workload_index,
                        const trace::Trace &trace)>

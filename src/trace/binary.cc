@@ -7,6 +7,7 @@
 #include <istream>
 #include <ostream>
 
+#include "telemetry/metrics.h"
 #include "util/logging.h"
 
 namespace logseek::trace
@@ -166,6 +167,12 @@ tryReadBinaryTrace(std::istream &in)
                                         : IoType::Write,
                               SectorExtent{lba, sectors}});
     }
+    auto &registry = telemetry::Registry::global();
+    registry.counter("ingest_records_total", "format=\"lskt\"")
+        .add(count);
+    registry.counter("ingest_bytes_total", "format=\"lskt\"")
+        .add(kBinaryTraceHeaderBytes + name_len + 8 +
+             count * kBinaryTraceRecordBytes);
     return trace;
 }
 

@@ -1,0 +1,23 @@
+#include "input.h"
+
+namespace logseek::trace
+{
+
+Trace
+materialize(TraceInput &input)
+{
+    input.reset();
+    Trace trace(input.name());
+    IoEventBatch batch;
+    constexpr std::size_t kBatch = 4096;
+    for (;;) {
+        const std::size_t n = input.next(batch, kBatch);
+        if (n == 0)
+            break;
+        for (std::size_t i = 0; i < n; ++i)
+            trace.append(batch.record(i));
+    }
+    return trace;
+}
+
+} // namespace logseek::trace

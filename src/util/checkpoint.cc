@@ -1,10 +1,18 @@
 #include "checkpoint.h"
 
 #include <array>
+#include <bit>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+
+// The slice-by-16 CRC kernel folds raw 32-bit loads into the
+// state, which is only the IEEE byte-order-free CRC on a
+// little-endian host; the project already pins this for the
+// on-disk formats.
+static_assert(std::endian::native == std::endian::little,
+              "crc32 slice-by-16 kernel assumes little-endian");
 
 namespace logseek
 {
@@ -34,21 +42,40 @@ getLe32(std::string_view bytes, std::size_t at)
     return value;
 }
 
-/** Lazily built table for the IEEE CRC-32 polynomial. */
-const std::array<std::uint32_t, 256> &
-crcTable()
+/**
+ * Lazily built slice-by-16 tables for the IEEE CRC-32 polynomial:
+ * tables[0] is the classic byte-at-a-time table; tables[k] rolls a
+ * byte through k additional zero bytes, so sixteen table lookups
+ * advance the CRC by sixteen input bytes at once. Same polynomial,
+ * same result, an order of magnitude more throughput — which
+ * matters now that the CRC guards whole LSKC trace columns, not
+ * just checkpoint frames.
+ */
+constexpr std::size_t kCrcSlices = 16;
+using CrcTables =
+    std::array<std::array<std::uint32_t, 256>, kCrcSlices>;
+
+const CrcTables &
+crcTables()
 {
-    static const std::array<std::uint32_t, 256> table = [] {
-        std::array<std::uint32_t, 256> t{};
+    static const CrcTables tables = [] {
+        CrcTables t{};
         for (std::uint32_t n = 0; n < 256; ++n) {
             std::uint32_t c = n;
             for (int k = 0; k < 8; ++k)
                 c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-            t[n] = c;
+            t[0][n] = c;
+        }
+        for (std::uint32_t n = 0; n < 256; ++n) {
+            std::uint32_t c = t[0][n];
+            for (std::size_t k = 1; k < kCrcSlices; ++k) {
+                c = t[0][c & 0xffu] ^ (c >> 8);
+                t[k][n] = c;
+            }
         }
         return t;
     }();
-    return table;
+    return tables;
 }
 
 } // namespace
@@ -56,13 +83,44 @@ crcTable()
 std::uint32_t
 crc32(std::string_view bytes)
 {
-    const auto &table = crcTable();
-    std::uint32_t crc = 0xffffffffu;
-    for (const char ch : bytes)
-        crc = table[(crc ^ static_cast<unsigned char>(ch)) &
-                    0xffu] ^
+    Crc32 crc;
+    crc.update(bytes);
+    return crc.value();
+}
+
+void
+Crc32::update(std::string_view bytes)
+{
+    const auto &t = crcTables();
+    std::uint32_t crc = state_;
+    const char *p = bytes.data();
+    std::size_t n = bytes.size();
+    while (n >= 16) {
+        std::uint32_t w0;
+        std::uint32_t w1;
+        std::uint32_t w2;
+        std::uint32_t w3;
+        std::memcpy(&w0, p, 4);
+        std::memcpy(&w1, p + 4, 4);
+        std::memcpy(&w2, p + 8, 4);
+        std::memcpy(&w3, p + 12, 4);
+        w0 ^= crc;
+        crc = t[15][w0 & 0xffu] ^ t[14][(w0 >> 8) & 0xffu] ^
+              t[13][(w0 >> 16) & 0xffu] ^ t[12][w0 >> 24] ^
+              t[11][w1 & 0xffu] ^ t[10][(w1 >> 8) & 0xffu] ^
+              t[9][(w1 >> 16) & 0xffu] ^ t[8][w1 >> 24] ^
+              t[7][w2 & 0xffu] ^ t[6][(w2 >> 8) & 0xffu] ^
+              t[5][(w2 >> 16) & 0xffu] ^ t[4][w2 >> 24] ^
+              t[3][w3 & 0xffu] ^ t[2][(w3 >> 8) & 0xffu] ^
+              t[1][(w3 >> 16) & 0xffu] ^ t[0][w3 >> 24];
+        p += 16;
+        n -= 16;
+    }
+    for (; n > 0; ++p, --n)
+        crc = t[0][(crc ^ static_cast<unsigned char>(*p)) &
+                   0xffu] ^
               (crc >> 8);
-    return crc ^ 0xffffffffu;
+    state_ = crc;
 }
 
 void

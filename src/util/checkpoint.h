@@ -36,6 +36,25 @@ namespace logseek
 /** IEEE CRC-32 (the zlib/PNG polynomial) of the given bytes. */
 std::uint32_t crc32(std::string_view bytes);
 
+/**
+ * Incremental form of crc32(): update() over consecutive slices
+ * yields exactly crc32() of their concatenation, so multi-gigabyte
+ * sections (the LSKC trace columns) can be checksummed through a
+ * small buffer instead of one contiguous allocation.
+ */
+class Crc32
+{
+  public:
+    /** Fold the next slice into the running checksum. */
+    void update(std::string_view bytes);
+
+    /** The CRC-32 of everything updated so far. */
+    std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+  private:
+    std::uint32_t state_ = 0xffffffffu;
+};
+
 /** Append one framed record to an in-memory file image. */
 void appendCheckpointFrame(std::string &out,
                            std::string_view payload);

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * End-to-end ingestion/replay byte-identity: a trace replayed from
+ * an mmap'd LSKC file or a streaming generator must produce the
+ * bit-identical SimResult (operator==, including the seekTimeSec
+ * bit pattern) as the in-RAM path — across sweep --jobs {1, 2},
+ * --replay-shards {1, 4}, and a checkpoint/resume cycle. Also pins
+ * the source-lifecycle contract: the sweep drops its TraceSource
+ * references once the last dependent cell completes.
+ *
+ * The suite name (IngestReplay*) keeps these tests inside the tsan
+ * preset's test filter; the jobs=2 sweeps are what TSan exercises.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "stl/simulator.h"
+#include "sweep/sweep_runner.h"
+#include "trace/lskc.h"
+#include "util/random.h"
+#include "workloads/stream.h"
+
+namespace logseek::sweep
+{
+namespace
+{
+
+trace::Trace
+randomTrace(std::uint64_t seed, std::size_t ops)
+{
+    Rng rng(seed);
+    trace::Trace trace("ingest-" + std::to_string(seed));
+    for (std::size_t i = 0; i < ops; ++i) {
+        const SectorCount count = 1 + rng.nextUint(32);
+        const Lba lba = rng.nextUint((1ULL << 22) - count);
+        if (rng.nextBool(0.5))
+            trace.appendWrite(lba, count, i * 5);
+        else
+            trace.appendRead(lba, count, i * 5);
+    }
+    return trace;
+}
+
+std::string
+tempPath(const std::string &tag)
+{
+    return "/tmp/logseek_ingest_" + tag + "_" +
+           std::to_string(::getpid());
+}
+
+stl::SimConfig
+shardedConfig(int shards)
+{
+    stl::SimConfig config;
+    config.replayShards = shards;
+    return config;
+}
+
+/** Direct in-RAM replay under the given shard count. */
+stl::SimResult
+ramResult(const trace::Trace &trace, int shards)
+{
+    stl::Simulator simulator(shardedConfig(shards));
+    return simulator.run(trace);
+}
+
+TEST(IngestReplay, LskcSweepMatchesRamAcrossJobsAndShards)
+{
+    const trace::Trace trace = randomTrace(21, 3000);
+    const std::string path = tempPath("grid") + ".lskc";
+    ASSERT_TRUE(trace::tryWriteLskcFile(path, trace).ok());
+
+    const stl::SimResult ram1 = ramResult(trace, 1);
+    const stl::SimResult ram4 = ramResult(trace, 4);
+
+    for (const int jobs : {1, 2}) {
+        std::vector<WorkloadSpec> workloads;
+        workloads.push_back(WorkloadSpec::source(
+            trace.name(), [path] {
+                auto source = trace::LskcSource::tryOpen(path);
+                EXPECT_TRUE(source.ok())
+                    << source.status().message();
+                return source.value();
+            }));
+        std::vector<ConfigSpec> configs;
+        configs.push_back(
+            ConfigSpec::fixed("shards1", shardedConfig(1)));
+        configs.push_back(
+            ConfigSpec::fixed("shards4", shardedConfig(4)));
+
+        SweepOptions options;
+        options.jobs = jobs;
+        SweepRunner runner(workloads, configs, options);
+        const SweepResult result = runner.run();
+
+        ASSERT_EQ(result.rows.size(), 2u) << "jobs " << jobs;
+        ASSERT_TRUE(result.row(0, 0).status.ok())
+            << result.row(0, 0).status.message();
+        ASSERT_TRUE(result.row(0, 1).status.ok());
+        // Byte identity against the in-RAM path at every cell.
+        EXPECT_TRUE(result.row(0, 0).result == ram1)
+            << "jobs " << jobs;
+        EXPECT_TRUE(result.row(0, 1).result == ram4)
+            << "jobs " << jobs;
+        EXPECT_EQ(result.row(0, 0).ops, trace.size());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(IngestReplay, CheckpointResumeRestoresLskcCellsByteIdentically)
+{
+    const trace::Trace trace = randomTrace(23, 2000);
+    const std::string path = tempPath("ckpt") + ".lskc";
+    const std::string checkpoint = tempPath("ckpt") + ".lckp";
+    ASSERT_TRUE(trace::tryWriteLskcFile(path, trace).ok());
+
+    const auto specs = [&] {
+        std::vector<WorkloadSpec> workloads;
+        workloads.push_back(WorkloadSpec::source(
+            trace.name(), [path] {
+                return trace::LskcSource::tryOpen(path).value();
+            }));
+        return workloads;
+    };
+    std::vector<ConfigSpec> configs;
+    configs.push_back(ConfigSpec::fixed("shards1", shardedConfig(1)));
+    configs.push_back(ConfigSpec::fixed("shards4", shardedConfig(4)));
+
+    SweepOptions first_options;
+    first_options.jobs = 2;
+    first_options.checkpointPath = checkpoint;
+    SweepRunner first(specs(), configs, first_options);
+    const SweepResult fresh = first.run();
+    ASSERT_TRUE(fresh.row(0, 0).status.ok());
+    ASSERT_TRUE(fresh.row(0, 1).status.ok());
+
+    SweepOptions resume_options;
+    resume_options.jobs = 2;
+    resume_options.resumePath = checkpoint;
+    SweepRunner second(specs(), configs, resume_options);
+    const SweepResult resumed = second.run();
+
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const RunRow &row = resumed.row(0, c);
+        ASSERT_TRUE(row.status.ok()) << "config " << c;
+        EXPECT_TRUE(row.restored) << "config " << c;
+        // Restored rows carry the bit-identical result the fresh
+        // replay produced, seekTimeSec bits included.
+        EXPECT_TRUE(row.result == fresh.row(0, c).result)
+            << "config " << c;
+    }
+    EXPECT_EQ(resumed.telemetry.restoredRuns, configs.size());
+
+    std::remove(path.c_str());
+    std::remove(checkpoint.c_str());
+}
+
+TEST(IngestReplay, StreamedSweepMatchesRamAcrossJobsAndShards)
+{
+    const workloads::StreamSpec spec =
+        workloads::mixedStream("stream-mix", 3, 800, 31);
+    workloads::WorkloadStream probe(spec);
+    const trace::Trace materialized = trace::materialize(probe);
+
+    const stl::SimResult ram1 = ramResult(materialized, 1);
+    const stl::SimResult ram4 = ramResult(materialized, 4);
+
+    for (const int jobs : {1, 2}) {
+        std::vector<WorkloadSpec> workloads_list;
+        workloads_list.push_back(WorkloadSpec::source(
+            spec.name, [spec] {
+                return std::make_shared<
+                    const workloads::StreamSource>(spec);
+            }));
+        std::vector<ConfigSpec> configs;
+        configs.push_back(
+            ConfigSpec::fixed("shards1", shardedConfig(1)));
+        configs.push_back(
+            ConfigSpec::fixed("shards4", shardedConfig(4)));
+
+        SweepOptions options;
+        options.jobs = jobs;
+        SweepRunner runner(workloads_list, configs, options);
+        const SweepResult result = runner.run();
+
+        ASSERT_TRUE(result.row(0, 0).status.ok())
+            << result.row(0, 0).status.message();
+        ASSERT_TRUE(result.row(0, 1).status.ok());
+        EXPECT_TRUE(result.row(0, 0).result == ram1)
+            << "jobs " << jobs;
+        EXPECT_TRUE(result.row(0, 1).result == ram4)
+            << "jobs " << jobs;
+    }
+}
+
+TEST(IngestReplay, SourceIsReleasedWhenItsLastCellCompletes)
+{
+    const trace::Trace trace = randomTrace(27, 500);
+    // The loader hands its only strong reference to the runner;
+    // after run() returns every runner-side copy must be gone.
+    auto holder = std::make_shared<
+        std::shared_ptr<const trace::TraceSource>>(
+        std::make_shared<const trace::InMemoryTraceSource>(trace));
+    std::weak_ptr<const trace::TraceSource> alive = *holder;
+
+    std::vector<WorkloadSpec> workloads_list;
+    workloads_list.push_back(WorkloadSpec::source(
+        trace.name(),
+        [holder] { return std::move(*holder); }));
+    std::vector<ConfigSpec> configs;
+    configs.push_back(ConfigSpec::fixed("shards1", shardedConfig(1)));
+    configs.push_back(ConfigSpec::fixed("shards4", shardedConfig(4)));
+
+    SweepOptions options;
+    options.jobs = 2;
+    SweepRunner runner(workloads_list, configs, options);
+    const SweepResult result = runner.run();
+    ASSERT_TRUE(result.row(0, 0).status.ok());
+    ASSERT_TRUE(result.row(0, 1).status.ok());
+    EXPECT_TRUE(alive.expired())
+        << "the sweep still holds a TraceSource reference after "
+           "its last cell completed";
+}
+
+TEST(IngestReplay, TraceSizingConfigOnStreamedWorkloadFailsTyped)
+{
+    // A Trace-sizing config (ConfigSpec::deferred) cannot run on a
+    // workload that never materializes a Trace; the cell must fail
+    // with a typed InvalidArgument, not crash or silently skip.
+    std::vector<WorkloadSpec> workloads_list;
+    workloads_list.push_back(WorkloadSpec::source(
+        "stream", [] {
+            return std::make_shared<const workloads::StreamSource>(
+                workloads::mixedStream("stream", 1, 100, 1));
+        }));
+    std::vector<ConfigSpec> configs;
+    configs.push_back(ConfigSpec::deferred(
+        "sized", [](const trace::Trace &) {
+            return stl::SimConfig{};
+        }));
+
+    SweepRunner runner(workloads_list, configs, SweepOptions{});
+    const SweepResult result = runner.run();
+    ASSERT_EQ(result.rows.size(), 1u);
+    const RunRow &row = result.row(0, 0);
+    ASSERT_FALSE(row.status.ok());
+    EXPECT_EQ(row.status.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(row.status.message().find("not RAM-backed"),
+              std::string::npos)
+        << row.status.message();
+}
+
+} // namespace
+} // namespace logseek::sweep

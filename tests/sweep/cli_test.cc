@@ -12,14 +12,19 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/validating_observer.h"
 #include "sweep/cli.h"
+#include "trace/binary.h"
+#include "trace/lskc.h"
 
 namespace logseek::sweep
 {
@@ -285,6 +290,98 @@ TEST(BenchCliTest, ObservabilityFlagsRequirePaths)
     EXPECT_FALSE(tryParse({"--metrics-out="}).ok());
     EXPECT_FALSE(tryParse({"--trace-out"}).ok());
     EXPECT_FALSE(tryParse({"--trace-out="}).ok());
+}
+
+TEST(BenchCliTest, TraceFormatFlag)
+{
+    const auto cli = parse({"--trace-format", "lskc"});
+    ASSERT_TRUE(cli.has_value());
+    EXPECT_EQ(cli->traceFormat, trace::TraceFormat::Lskc);
+
+    const auto eq = parse({"--trace-format=csv"});
+    ASSERT_TRUE(eq.has_value());
+    EXPECT_EQ(eq->traceFormat, trace::TraceFormat::Csv);
+
+    const auto off = parse({});
+    ASSERT_TRUE(off.has_value());
+    EXPECT_EQ(off->traceFormat, trace::TraceFormat::Auto);
+}
+
+TEST(BenchCliTest, TraceFormatRejectsUnknownValues)
+{
+    // The parser is strict: exact lower-case names only, and the
+    // error names the offending value.
+    for (const char *bad : {"CSV", "binary", "lsk", ""}) {
+        const auto cli = tryParse({"--trace-format", bad});
+        ASSERT_FALSE(cli.ok()) << "'" << bad << "'";
+        EXPECT_EQ(cli.status().code(), StatusCode::InvalidArgument)
+            << "'" << bad << "'";
+    }
+    EXPECT_FALSE(tryParse({"--trace-format"}).ok());
+}
+
+TEST(BenchCliTest, ConvertOutFlag)
+{
+    const auto cli = parse({"--convert-out", "/tmp/out.lskc"});
+    ASSERT_TRUE(cli.has_value());
+    EXPECT_EQ(cli->convertOutPath, "/tmp/out.lskc");
+
+    const auto eq = parse({"--convert-out=o.lskc"});
+    ASSERT_TRUE(eq.has_value());
+    EXPECT_EQ(eq->convertOutPath, "o.lskc");
+
+    const auto off = parse({});
+    ASSERT_TRUE(off.has_value());
+    EXPECT_TRUE(off->convertOutPath.empty());
+
+    EXPECT_FALSE(tryParse({"--convert-out"}).ok());
+    EXPECT_FALSE(tryParse({"--convert-out="}).ok());
+}
+
+TEST(BenchCliTest, ConvertOutInstallsExportHook)
+{
+    const std::string out = "/tmp/logseek_cli_convert_" +
+                            std::to_string(::getpid()) + ".lskc";
+    const auto cli = parse({"--convert-out", out.c_str()});
+    ASSERT_TRUE(cli.has_value());
+    SweepOptions options = cli->sweepOptions();
+    ASSERT_TRUE(static_cast<bool>(options.onTrace));
+
+    trace::Trace sample("hook");
+    sample.appendRead(100, 8, 0);
+    sample.appendWrite(5000, 64, 1234);
+
+    // Only the first workload is exported.
+    options.onTrace(1, sample);
+    EXPECT_FALSE(trace::tryReadLskcFile(out).ok());
+    options.onTrace(0, sample);
+    StatusOr<trace::Trace> back = trace::tryReadLskcFile(out);
+    ASSERT_TRUE(back.ok()) << back.status().message();
+    ASSERT_EQ(back.value().size(), sample.size());
+    for (std::size_t i = 0; i < sample.size(); ++i)
+        EXPECT_EQ(back.value()[i], sample[i]) << i;
+    std::remove(out.c_str());
+
+    // --trace-format overrides the extension: the same path now
+    // receives LSKT bytes.
+    const auto forced =
+        parse({"--convert-out", out.c_str(), "--trace-format",
+               "lskt"});
+    ASSERT_TRUE(forced.has_value());
+    SweepOptions forced_options = forced->sweepOptions();
+    ASSERT_TRUE(static_cast<bool>(forced_options.onTrace));
+    forced_options.onTrace(0, sample);
+    EXPECT_FALSE(trace::tryReadLskcFile(out).ok());
+    StatusOr<trace::Trace> lskt =
+        trace::tryReadBinaryTraceFile(out);
+    ASSERT_TRUE(lskt.ok()) << lskt.status().message();
+    EXPECT_EQ(lskt.value().size(), sample.size());
+    std::remove(out.c_str());
+
+    // Without --convert-out no hook is installed.
+    const auto off = parse({});
+    ASSERT_TRUE(off.has_value());
+    EXPECT_FALSE(static_cast<bool>(off->sweepOptions().onTrace));
 }
 
 TEST(BenchCliTest, HelpRequestShortCircuitsParsing)

@@ -180,7 +180,8 @@ TEST(SweepRunnerFaultTest, TransientLoaderFaultRetriesToSuccess)
                                           "trace load");
                                       return workloads::makeWorkload(
                                           "usr_1", tinyProfile());
-                                  }}},
+                                  },
+                                  nullptr}},
                     {ConfigSpec::fixed("NoLS", conventional())},
                     options)
             .run();

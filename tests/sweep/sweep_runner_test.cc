@@ -296,9 +296,11 @@ TEST(SweepRunnerTest, FailingLoaderFailsOnlyItsOwnRow)
 {
     std::vector<WorkloadSpec> specs = tinyWorkloads();
     specs.push_back(
-        {"broken-load", []() -> trace::Trace {
+        {"broken-load",
+         []() -> trace::Trace {
              throw FatalError("deliberately broken loader");
-         }});
+         },
+         nullptr});
 
     SweepOptions options;
     options.jobs = 4;

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the pull-based TraceInput abstraction: TraceRef batch
+ * semantics, reset/rewind, materialize round-trips, IoEventBatch
+ * owned-vs-bound column modes, and InMemoryTraceSource cursor
+ * independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "trace/input.h"
+#include "trace/io_batch.h"
+#include "util/random.h"
+
+namespace logseek::trace
+{
+namespace
+{
+
+Trace
+randomTrace(std::uint64_t seed, std::size_t ops)
+{
+    Rng rng(seed);
+    Trace trace("input-" + std::to_string(seed));
+    for (std::size_t i = 0; i < ops; ++i) {
+        const SectorCount count = 1 + rng.nextUint(64);
+        const Lba lba = rng.nextUint(1ULL << 28);
+        if (rng.nextBool(0.4))
+            trace.appendWrite(lba, count, i * 10);
+        else
+            trace.appendRead(lba, count, i * 10);
+    }
+    return trace;
+}
+
+TEST(TraceInput, TraceRefServesEveryRecordInOrder)
+{
+    const Trace trace = randomTrace(1, 1000);
+    TraceRef input(trace);
+    EXPECT_EQ(input.name(), trace.name());
+    EXPECT_EQ(input.addressSpaceEnd(), trace.addressSpaceEnd());
+    ASSERT_TRUE(input.sizeHint().has_value());
+    EXPECT_EQ(*input.sizeHint(), trace.size());
+
+    IoEventBatch batch;
+    std::size_t seen = 0;
+    // A batch size that does not divide the trace exercises the
+    // short final batch.
+    for (;;) {
+        const std::size_t n = input.next(batch, 97);
+        if (n == 0)
+            break;
+        ASSERT_EQ(batch.size(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(batch.record(i), trace[seen + i])
+                << "record " << seen + i;
+        seen += n;
+    }
+    EXPECT_EQ(seen, trace.size());
+    // Exhausted inputs keep returning 0.
+    EXPECT_EQ(input.next(batch, 97), 0u);
+}
+
+TEST(TraceInput, ResetReproducesTheIdenticalSequence)
+{
+    const Trace trace = randomTrace(2, 500);
+    TraceRef input(trace);
+    IoEventBatch batch;
+    // Drain half, reset, then check a full pass from the start.
+    std::size_t drained = 0;
+    while (drained < 250)
+        drained += input.next(batch, 64);
+    input.reset();
+    const Trace replayed = materialize(input);
+    ASSERT_EQ(replayed.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        ASSERT_EQ(replayed[i], trace[i]);
+}
+
+TEST(TraceInput, MaterializeRoundTripsNameSpaceAndRecords)
+{
+    const Trace trace = randomTrace(3, 200);
+    TraceRef input(trace);
+    const Trace copy = materialize(input);
+    EXPECT_EQ(copy.name(), trace.name());
+    EXPECT_EQ(copy.addressSpaceEnd(), trace.addressSpaceEnd());
+    ASSERT_EQ(copy.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(copy[i], trace[i]);
+}
+
+TEST(TraceInput, InMemorySourceCursorsAreIndependent)
+{
+    InMemoryTraceSource source(randomTrace(4, 300));
+    ASSERT_NE(source.memoryTrace(), nullptr);
+    const Trace &trace = *source.memoryTrace();
+
+    std::unique_ptr<TraceInput> a = source.open();
+    std::unique_ptr<TraceInput> b = source.open();
+    IoEventBatch batch;
+    // Advancing one cursor must not move the other.
+    ASSERT_EQ(a->next(batch, 100), 100u);
+    const Trace from_b = materialize(*b);
+    ASSERT_EQ(from_b.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        ASSERT_EQ(from_b[i], trace[i]);
+}
+
+TEST(TraceInput, BatchOwnedModeRebuildsAfterBoundMode)
+{
+    const Trace trace = randomTrace(5, 50);
+    IoEventBatch batch;
+    batch.buildFrom(trace, 0, 10);
+    ASSERT_EQ(batch.size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(batch.record(i), trace[i]);
+
+    // Bind external columns (here: another batch's copies would
+    // alias, so use the trace's own records via a second owned
+    // build), then verify owned append still works after clear().
+    batch.clear();
+    EXPECT_EQ(batch.size(), 0u);
+    batch.append(trace[20]);
+    batch.append(trace[21]);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch.record(0), trace[20]);
+    EXPECT_EQ(batch.record(1), trace[21]);
+}
+
+TEST(TraceInput, BatchBindServesExternalColumnsZeroCopy)
+{
+    // Build parallel columns by hand and bind them: record() must
+    // reconstruct the exact IoRecord without copying.
+    const SectorExtent extents[2] = {{100, 8}, {500, 16}};
+    const std::uint64_t timestamps[2] = {10, 20};
+    const IoType types[2] = {IoType::Read, IoType::Write};
+    IoEventBatch batch;
+    batch.bind(extents, timestamps, types, 2);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch.extent(0).start, 100u);
+    EXPECT_EQ(batch.extent(0).count, 8u);
+    EXPECT_EQ(batch.timestamp(1), 20u);
+    EXPECT_EQ(batch.type(1), IoType::Write);
+    const IoRecord first = batch.record(0);
+    EXPECT_EQ(first.extent.start, 100u);
+    EXPECT_EQ(first.extent.count, 8u);
+    EXPECT_EQ(first.type, IoType::Read);
+    EXPECT_EQ(first.timestampUs, 10u);
+}
+
+} // namespace
+} // namespace logseek::trace
